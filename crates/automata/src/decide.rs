@@ -1,0 +1,201 @@
+//! Decision procedures on STA languages: emptiness (with witness
+//! extraction), membership, inclusion, equivalence, universality
+//! (§3.5's assertion language: `a ∈ l`, `l1 == l2`, `is-empty`).
+
+use crate::error::AutomataError;
+use crate::normalize::{nonempty_states, normalize};
+use crate::ops::{complement, intersect};
+use crate::sta::Sta;
+use fast_smt::{BoolAlg, Label};
+use fast_trees::Tree;
+
+/// Emptiness of the designated language (Proposition 1).
+///
+/// # Errors
+///
+/// Propagates state-budget errors from normalization.
+pub fn is_empty<A: BoolAlg<Elem = Label>>(sta: &Sta<A>) -> Result<bool, AutomataError> {
+    let norm = normalize(sta)?;
+    let ne = nonempty_states(&norm);
+    Ok(!ne[norm.initial().0])
+}
+
+/// Produces a tree in the designated language, if the language is
+/// non-empty and witness labels can be extracted from the guards.
+///
+/// The returned tree is always verified with [`Sta::accepts`]; `None`
+/// therefore means "empty or could not construct", never a wrong witness.
+///
+/// # Errors
+///
+/// Propagates state-budget errors from normalization.
+pub fn witness<A: BoolAlg<Elem = Label>>(
+    sta: &Sta<A>,
+) -> Result<Option<Tree>, AutomataError> {
+    let norm = normalize(sta)?;
+    let alg = norm.alg().clone();
+    let n = norm.state_count();
+    let mut best: Vec<Option<Tree>> = vec![None; n];
+    // Least fixpoint, building smallest-first witnesses.
+    loop {
+        let mut changed = false;
+        for q in norm.states() {
+            if best[q.0].is_some() {
+                continue;
+            }
+            for r in norm.rules(q) {
+                let kids: Option<Vec<Tree>> = r
+                    .lookahead
+                    .iter()
+                    .map(|s| best[s.iter().next().unwrap().0].clone())
+                    .collect();
+                let Some(kids) = kids else { continue };
+                let Some(label) = alg.model(&r.guard) else { continue };
+                best[q.0] = Some(Tree::new(r.ctor, label, kids));
+                changed = true;
+                break;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    match best[norm.initial().0].take() {
+        Some(t) if sta.accepts(&t) => Ok(Some(t)),
+        _ => Ok(None),
+    }
+}
+
+/// Language inclusion `L(a) ⊆ L(b)`.
+///
+/// # Errors
+///
+/// Propagates state-budget errors.
+///
+/// # Panics
+///
+/// Panics if the automata have different tree types.
+pub fn includes<A: BoolAlg<Elem = Label>>(
+    a: &Sta<A>,
+    b: &Sta<A>,
+) -> Result<bool, AutomataError> {
+    let diff = intersect(a, &complement(b)?);
+    is_empty(&diff)
+}
+
+/// Language equivalence `L(a) = L(b)`.
+///
+/// # Errors
+///
+/// Propagates state-budget errors.
+///
+/// # Panics
+///
+/// Panics if the automata have different tree types.
+pub fn equivalent<A: BoolAlg<Elem = Label>>(
+    a: &Sta<A>,
+    b: &Sta<A>,
+) -> Result<bool, AutomataError> {
+    Ok(includes(a, b)? && includes(b, a)?)
+}
+
+/// Universality: does the designated language contain every tree?
+///
+/// # Errors
+///
+/// Propagates state-budget errors.
+pub fn is_universal<A: BoolAlg<Elem = Label>>(sta: &Sta<A>) -> Result<bool, AutomataError> {
+    is_empty(&complement(sta)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sta::fixtures::{bt, bt_alg, example2};
+    use crate::sta::StaBuilder;
+    use crate::ops::union;
+    use fast_smt::{CmpOp, Formula, Term};
+
+    #[test]
+    fn example2_nonempty_with_witness() {
+        let (sta, ..) = example2();
+        assert!(!is_empty(&sta).unwrap());
+        let w = witness(&sta).unwrap().expect("witness exists");
+        assert!(sta.accepts(&w));
+    }
+
+    #[test]
+    fn contradictory_guard_is_empty() {
+        let ty = bt();
+        let alg = bt_alg(&ty);
+        let l = ty.ctor_id("L").unwrap();
+        let x = Term::field(0);
+        let mut b = StaBuilder::new(ty, alg);
+        let q = b.state("q");
+        // x > 0 and x < 0 simultaneously.
+        b.leaf_rule(
+            q,
+            l,
+            Formula::cmp(CmpOp::Gt, x.clone(), Term::int(0))
+                .and(Formula::cmp(CmpOp::Lt, x, Term::int(0))),
+        );
+        let sta = b.build(q);
+        assert!(is_empty(&sta).unwrap());
+        assert!(witness(&sta).unwrap().is_none());
+    }
+
+    #[test]
+    fn structurally_empty() {
+        let ty = bt();
+        let alg = bt_alg(&ty);
+        let n = ty.ctor_id("N").unwrap();
+        let mut b = StaBuilder::new(ty, alg);
+        let q = b.state("q");
+        // Only an N rule that requires itself: no base case ⇒ empty.
+        b.simple_rule(q, n, Formula::True, vec![Some(q), Some(q)]);
+        let sta = b.build(q);
+        assert!(is_empty(&sta).unwrap());
+    }
+
+    #[test]
+    fn inclusion_and_equivalence() {
+        let ty = bt();
+        let alg = bt_alg(&ty);
+        let l = ty.ctor_id("L").unwrap();
+        let n = ty.ctor_id("N").unwrap();
+        let x = Term::field(0);
+
+        let mk = |lo: i64| {
+            let mut b = StaBuilder::new(ty.clone(), alg.clone());
+            let q = b.state("q");
+            b.leaf_rule(q, l, Formula::cmp(CmpOp::Gt, x.clone(), Term::int(lo)));
+            b.simple_rule(q, n, Formula::True, vec![Some(q), Some(q)]);
+            b.build(q)
+        };
+        let gt0 = mk(0);
+        let gt5 = mk(5);
+        assert!(includes(&gt5, &gt0).unwrap());
+        assert!(!includes(&gt0, &gt5).unwrap());
+        assert!(equivalent(&gt0, &gt0).unwrap());
+        assert!(!equivalent(&gt0, &gt5).unwrap());
+        // (leaves > 0) ∪ (leaves > 5) ≡ (leaves > 0)
+        let u = union(&gt0, &gt5);
+        assert!(equivalent(&u, &gt0).unwrap());
+    }
+
+    #[test]
+    fn universality() {
+        let ty = bt();
+        let alg = bt_alg(&ty);
+        let l = ty.ctor_id("L").unwrap();
+        let n = ty.ctor_id("N").unwrap();
+        let mut b = StaBuilder::new(ty.clone(), alg.clone());
+        let q = b.state("all");
+        b.leaf_rule(q, l, Formula::True);
+        b.simple_rule(q, n, Formula::True, vec![Some(q), Some(q)]);
+        let all = b.build(q);
+        assert!(is_universal(&all).unwrap());
+        let (p, ..) = example2();
+        assert!(!is_universal(&p).unwrap());
+    }
+}

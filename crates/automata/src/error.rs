@@ -1,0 +1,46 @@
+//! Errors for the automata algorithms.
+
+use std::fmt;
+
+/// Errors raised by the potentially expensive automata constructions.
+///
+/// The underlying problems are complete for exponential classes
+/// (non-emptiness of alternating STAs is ExpTime-complete, Proposition 2),
+/// so the implementations enforce explicit state budgets instead of
+/// diverging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutomataError {
+    /// A construction exceeded its state budget.
+    StateLimit {
+        /// Which algorithm hit the limit.
+        context: &'static str,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for AutomataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomataError::StateLimit { context, limit } => {
+                write!(f, "{context} exceeded its state budget of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AutomataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = AutomataError::StateLimit {
+            context: "determinize",
+            limit: 42,
+        };
+        assert_eq!(e.to_string(), "determinize exceeded its state budget of 42");
+    }
+}

@@ -1,0 +1,250 @@
+//! Boolean operations on STA languages (§3.5: `intersect`, `union`,
+//! `complement`, `difference`, `minimize`).
+//!
+//! Binary operations combine the two automata into one state space; the
+//! result's designated state denotes the combined language. Complement and
+//! minimization go through determinization ([`crate::bottomup`]).
+
+use crate::bottomup::determinize;
+use crate::error::AutomataError;
+use crate::normalize::{clean, normalize};
+use crate::sta::{Rule, Sta, StateId};
+use fast_smt::{BoolAlg, Label};
+use std::collections::BTreeSet;
+
+/// Union: `L(result) = L(a) ∪ L(b)`.
+///
+/// # Panics
+///
+/// Panics if the automata have different tree types.
+pub fn union<A: BoolAlg<Elem = Label>>(a: &Sta<A>, b: &Sta<A>) -> Sta<A> {
+    let mut out = a.clone();
+    let offset = out.absorb(b);
+    let init = out.push_state("∪".to_string());
+    for r in a.rules(a.initial()).to_vec() {
+        out.push_rule(init, r);
+    }
+    for r in b.rules(b.initial()).to_vec() {
+        out.push_rule(
+            init,
+            Rule {
+                ctor: r.ctor,
+                guard: r.guard,
+                lookahead: r
+                    .lookahead
+                    .into_iter()
+                    .map(|s| s.into_iter().map(|q| StateId(q.0 + offset)).collect())
+                    .collect(),
+            },
+        );
+    }
+    out.with_initial(init)
+}
+
+/// Intersection: `L(result) = L(a) ∩ L(b)`, via alternation — pairs of
+/// root rules are merged (guards conjoined, lookaheads unioned), exactly
+/// the paper's `!` merge restricted to the root.
+///
+/// # Panics
+///
+/// Panics if the automata have different tree types.
+pub fn intersect<A: BoolAlg<Elem = Label>>(a: &Sta<A>, b: &Sta<A>) -> Sta<A> {
+    let alg = a.alg().clone();
+    let mut out = a.clone();
+    let offset = out.absorb(b);
+    let init = out.push_state("∩".to_string());
+    for ra in a.rules(a.initial()) {
+        for rb in b.rules(b.initial()) {
+            if ra.ctor != rb.ctor {
+                continue;
+            }
+            let guard = alg.and(&ra.guard, &rb.guard);
+            if !alg.is_sat(&guard) {
+                continue;
+            }
+            let lookahead: Vec<BTreeSet<StateId>> = ra
+                .lookahead
+                .iter()
+                .zip(rb.lookahead.iter())
+                .map(|(x, y)| {
+                    x.iter()
+                        .copied()
+                        .chain(y.iter().map(|q| StateId(q.0 + offset)))
+                        .collect()
+                })
+                .collect();
+            out.push_rule(
+                init,
+                Rule {
+                    ctor: ra.ctor,
+                    guard,
+                    lookahead,
+                },
+            );
+        }
+    }
+    out.with_initial(init)
+}
+
+/// Complement: `L(result) = T_σ^Σ \ L(a)`.
+///
+/// Route: normalize → clean → determinize → flip finals → back to an STA.
+///
+/// # Errors
+///
+/// Propagates state-budget errors from normalization/determinization.
+pub fn complement<A: BoolAlg<Elem = Label>>(a: &Sta<A>) -> Result<Sta<A>, AutomataError> {
+    let norm = clean(&normalize(a)?);
+    let q0 = norm.initial();
+    let mut det = determinize(&norm)?;
+    det.set_finals(|s| !s.contains(&q0));
+    Ok(det.to_sta())
+}
+
+/// Difference: `L(result) = L(a) \ L(b)`.
+///
+/// # Errors
+///
+/// Propagates state-budget errors from complementation.
+///
+/// # Panics
+///
+/// Panics if the automata have different tree types.
+pub fn difference<A: BoolAlg<Elem = Label>>(
+    a: &Sta<A>,
+    b: &Sta<A>,
+) -> Result<Sta<A>, AutomataError> {
+    Ok(intersect(a, &complement(b)?))
+}
+
+/// Minimization: returns a normalized, deterministic-bottom-up-backed STA
+/// with the minimal number of states for `L(a)`.
+///
+/// # Errors
+///
+/// Propagates state-budget errors.
+pub fn minimize<A: BoolAlg<Elem = Label>>(a: &Sta<A>) -> Result<Sta<A>, AutomataError> {
+    let norm = clean(&normalize(a)?);
+    let q0 = norm.initial();
+    let mut det = determinize(&norm)?;
+    det.set_finals(|s| s.contains(&q0));
+    Ok(det.minimize().to_sta())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sta::fixtures::{bt, bt_alg, example2};
+    use crate::sta::StaBuilder;
+    use fast_smt::{CmpOp, Formula, Term};
+    use fast_trees::{Tree, TreeGen};
+
+    /// Leaves-all-positive (p) and leaves-all-odd (o) as separate automata.
+    fn p_and_o() -> (Sta, Sta) {
+        let ty = bt();
+        let alg = bt_alg(&ty);
+        let l = ty.ctor_id("L").unwrap();
+        let n = ty.ctor_id("N").unwrap();
+        let x = Term::field(0);
+
+        let mut b = StaBuilder::new(ty.clone(), alg.clone());
+        let p = b.state("p");
+        b.leaf_rule(p, l, Formula::cmp(CmpOp::Gt, x.clone(), Term::int(0)));
+        b.simple_rule(p, n, Formula::True, vec![Some(p), Some(p)]);
+        let pa = b.build(p);
+
+        let mut b = StaBuilder::new(ty, alg);
+        let o = b.state("o");
+        b.leaf_rule(o, l, Formula::eq(x.modulo(2), Term::int(1)));
+        b.simple_rule(o, n, Formula::True, vec![Some(o), Some(o)]);
+        let ob = b.build(o);
+        (pa, ob)
+    }
+
+    fn agree(
+        f: impl Fn(&Tree) -> bool,
+        sta: &Sta,
+        seed: u64,
+    ) {
+        let ty = sta.ty().clone();
+        let mut g = TreeGen::new(seed).with_max_depth(4).with_int_range(-4, 4);
+        for _ in 0..150 {
+            let t = g.tree(&ty);
+            assert_eq!(sta.accepts(&t), f(&t), "disagree on {}", t.display(&ty));
+        }
+    }
+
+    fn all_leaves(t: &Tree, pred: &dyn Fn(i64) -> bool) -> bool {
+        if t.children().is_empty() {
+            pred(t.label().get(0).as_int().unwrap())
+        } else {
+            t.children().iter().all(|c| all_leaves(c, pred))
+        }
+    }
+
+    #[test]
+    fn union_semantics() {
+        let (p, o) = p_and_o();
+        let u = union(&p, &o);
+        agree(
+            |t| all_leaves(t, &|n| n > 0) || all_leaves(t, &|n| n.rem_euclid(2) == 1),
+            &u,
+            101,
+        );
+    }
+
+    #[test]
+    fn intersect_semantics() {
+        let (p, o) = p_and_o();
+        let i = intersect(&p, &o);
+        agree(
+            |t| all_leaves(t, &|n| n > 0) && all_leaves(t, &|n| n.rem_euclid(2) == 1),
+            &i,
+            103,
+        );
+    }
+
+    #[test]
+    fn complement_semantics() {
+        let (p, _) = p_and_o();
+        let c = complement(&p).unwrap();
+        agree(|t| !all_leaves(t, &|n| n > 0), &c, 107);
+    }
+
+    #[test]
+    fn difference_semantics() {
+        let (p, o) = p_and_o();
+        let d = difference(&p, &o).unwrap();
+        agree(
+            |t| all_leaves(t, &|n| n > 0) && !all_leaves(t, &|n| n.rem_euclid(2) == 1),
+            &d,
+            109,
+        );
+    }
+
+    #[test]
+    fn minimize_preserves_language() {
+        let (sta, ..) = example2();
+        let m = minimize(&sta).unwrap();
+        let ty = sta.ty().clone();
+        let mut g = TreeGen::new(113).with_max_depth(4).with_int_range(-4, 4);
+        for _ in 0..150 {
+            let t = g.tree(&ty);
+            assert_eq!(sta.accepts(&t), m.accepts(&t));
+        }
+    }
+
+    #[test]
+    fn union_with_example2_q() {
+        // Mixing automata with multi-state spaces exercises `absorb`.
+        let (e2, _p, _o, _q) = example2();
+        let (p, _) = p_and_o();
+        let u = union(&e2, &p);
+        let ty = u.ty().clone();
+        let mut g = TreeGen::new(127).with_max_depth(4).with_int_range(-4, 4);
+        for _ in 0..150 {
+            let t = g.tree(&ty);
+            assert_eq!(u.accepts(&t), e2.accepts(&t) || p.accepts(&t));
+        }
+    }
+}

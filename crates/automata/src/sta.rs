@@ -1,0 +1,585 @@
+//! Alternating symbolic tree automata (Definition 1 of the paper).
+
+use fast_smt::{BoolAlg, Label, LabelAlg};
+use fast_trees::{CtorId, Tree, TreeType};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a state within its automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub usize);
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A transition rule `(q, f, φ, ℓ̄)`: from state `q`, reading a node built
+/// with constructor `f` whose label satisfies the guard `φ`, each child `i`
+/// must be accepted by *every* state in the lookahead set `ℓ̄ᵢ`
+/// (conjunction; the empty set is unconstrained).
+#[derive(Debug)]
+pub struct Rule<A: BoolAlg = LabelAlg> {
+    /// Constructor this rule matches.
+    pub ctor: CtorId,
+    /// Guard over the node label.
+    pub guard: A::Pred,
+    /// Per-child conjunctive state sets (`lookahead.len() == rank(ctor)`).
+    pub lookahead: Vec<BTreeSet<StateId>>,
+}
+
+/// An alternating symbolic tree automaton over trees of one [`TreeType`],
+/// with guards drawn from an effective Boolean algebra `A`.
+///
+/// Unlike textbook presentations there is no distinguished final-state set:
+/// each state `q` denotes a language `L_q` (Definition 2), and operations
+/// take or return *designated* states. [`Sta::initial`] records the
+/// designated state of automata produced by the library's operations.
+///
+/// # Examples
+///
+/// ```
+/// use fast_automata::StaBuilder;
+/// use fast_smt::{Formula, LabelAlg, LabelSig, Sort, Term};
+/// use fast_trees::{Tree, TreeType};
+/// use std::sync::Arc;
+///
+/// // lang p: BT { L() where i > 0 | N(x, y) given (p x) (p y) }
+/// let bt = TreeType::new("BT", LabelSig::single("i", Sort::Int),
+///                        vec![("L", 0), ("N", 2)]);
+/// let alg = Arc::new(LabelAlg::new(bt.sig().clone()));
+/// let mut b = StaBuilder::new(bt.clone(), alg);
+/// let p = b.state("p");
+/// let gt0 = Formula::cmp(fast_smt::CmpOp::Gt, Term::field(0), Term::int(0));
+/// b.leaf_rule(p, bt.ctor_id("L").unwrap(), gt0);
+/// b.simple_rule(p, bt.ctor_id("N").unwrap(), Formula::True, vec![Some(p), Some(p)]);
+/// let sta = b.build(p);
+/// assert!(sta.accepts(&Tree::parse(&bt, "N[0](L[1], L[2])").unwrap()));
+/// assert!(!sta.accepts(&Tree::parse(&bt, "N[0](L[1], L[0])").unwrap()));
+/// ```
+#[derive(Debug)]
+pub struct Sta<A: BoolAlg<Elem = Label> = LabelAlg> {
+    ty: Arc<TreeType>,
+    alg: Arc<A>,
+    names: Vec<String>,
+    rules: Vec<Vec<Rule<A>>>,
+    initial: StateId,
+}
+
+impl<A: BoolAlg> Clone for Rule<A> {
+    fn clone(&self) -> Self {
+        Rule {
+            ctor: self.ctor,
+            guard: self.guard.clone(),
+            lookahead: self.lookahead.clone(),
+        }
+    }
+}
+
+impl<A: BoolAlg> PartialEq for Rule<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ctor == other.ctor
+            && self.guard == other.guard
+            && self.lookahead == other.lookahead
+    }
+}
+
+impl<A: BoolAlg> Eq for Rule<A> {}
+
+impl<A: BoolAlg<Elem = Label>> Clone for Sta<A> {
+    fn clone(&self) -> Self {
+        Sta {
+            ty: self.ty.clone(),
+            alg: self.alg.clone(),
+            names: self.names.clone(),
+            rules: self.rules.clone(),
+            initial: self.initial,
+        }
+    }
+}
+
+impl<A: BoolAlg<Elem = Label>> Sta<A> {
+    /// The tree type this automaton runs over.
+    pub fn ty(&self) -> &Arc<TreeType> {
+        &self.ty
+    }
+
+    /// The label algebra.
+    pub fn alg(&self) -> &Arc<A> {
+        &self.alg
+    }
+
+    /// The designated (initial) state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Total number of rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.iter().map(Vec::len).sum()
+    }
+
+    /// All states.
+    pub fn states(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.rules.len()).map(StateId)
+    }
+
+    /// Debug name of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is out of range.
+    pub fn state_name(&self, q: StateId) -> &str {
+        &self.names[q.0]
+    }
+
+    /// Rules out of a state (`δ(q)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is out of range.
+    pub fn rules(&self, q: StateId) -> &[Rule<A>] {
+        &self.rules[q.0]
+    }
+
+    /// True if every lookahead set of every rule is a singleton
+    /// (Definition 3; the output shape of [`crate::normalize`]).
+    pub fn is_normalized(&self) -> bool {
+        self.rules.iter().flatten().all(|r| {
+            r.lookahead.iter().all(|s| s.len() == 1)
+        })
+    }
+
+    /// Bottom-up evaluation: for each node of `t` the set of states whose
+    /// language contains the subtree; returns the set for the root.
+    ///
+    /// This implements Definition 2 directly, including alternation (every
+    /// state in a lookahead set must accept the child).
+    pub fn eval_states(&self, t: &Tree) -> BTreeSet<StateId> {
+        let child_sets: Vec<BTreeSet<StateId>> =
+            t.children().iter().map(|c| self.eval_states(c)).collect();
+        let mut out = BTreeSet::new();
+        for q in self.states() {
+            'rules: for r in self.rules(q) {
+                if r.ctor != t.ctor() {
+                    continue;
+                }
+                if !self.alg.eval(&r.guard, t.label()) {
+                    continue;
+                }
+                for (i, la) in r.lookahead.iter().enumerate() {
+                    if !la.is_subset(&child_sets[i]) {
+                        continue 'rules;
+                    }
+                }
+                out.insert(q);
+                break;
+            }
+        }
+        out
+    }
+
+    /// Bottom-up evaluation over the whole tree with sharing-aware
+    /// memoization: returns, for every distinct shared node (keyed by
+    /// [`Tree::addr`]), the set of accepting states. Used by the
+    /// transducer crate to check rule lookaheads in a single pass.
+    pub fn eval_states_map(
+        &self,
+        t: &Tree,
+    ) -> std::collections::HashMap<usize, BTreeSet<StateId>> {
+        let mut memo = std::collections::HashMap::new();
+        self.eval_into(t, &mut memo);
+        memo
+    }
+
+    // Explicit post-order stack: deep sibling/child chains (arbitrarily
+    // long HTML documents) must not overflow the call stack.
+    fn eval_into(
+        &self,
+        root: &Tree,
+        memo: &mut std::collections::HashMap<usize, BTreeSet<StateId>>,
+    ) {
+        let mut stack: Vec<(&Tree, bool)> = vec![(root, false)];
+        while let Some((t, expanded)) = stack.pop() {
+            if memo.contains_key(&t.addr()) {
+                continue;
+            }
+            if !expanded {
+                stack.push((t, true));
+                for c in t.children() {
+                    stack.push((c, false));
+                }
+                continue;
+            }
+            let mut out = BTreeSet::new();
+            for q in self.states() {
+                'rules: for r in self.rules(q) {
+                    if r.ctor != t.ctor() || !self.alg.eval(&r.guard, t.label()) {
+                        continue;
+                    }
+                    for (i, la) in r.lookahead.iter().enumerate() {
+                        let child_states = &memo[&t.child(i).addr()];
+                        if !la.is_subset(child_states) {
+                            continue 'rules;
+                        }
+                    }
+                    out.insert(q);
+                    break;
+                }
+            }
+            memo.insert(t.addr(), out);
+        }
+    }
+
+    /// Membership in the designated state's language.
+    pub fn accepts(&self, t: &Tree) -> bool {
+        self.accepts_at(self.initial, t)
+    }
+
+    /// Membership in `L_q`.
+    pub fn accepts_at(&self, q: StateId, t: &Tree) -> bool {
+        self.eval_states(t).contains(&q)
+    }
+
+    /// Re-designates the initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is out of range.
+    pub fn with_initial(mut self, q: StateId) -> Self {
+        assert!(q.0 < self.rules.len(), "state out of range");
+        self.initial = q;
+        self
+    }
+
+    /// Low-level constructor from raw parts, for libraries building
+    /// automata programmatically (e.g. domain automata of transducers).
+    /// Most users should prefer [`StaBuilder`].
+    pub fn from_parts(
+        ty: Arc<TreeType>,
+        alg: Arc<A>,
+        names: Vec<String>,
+        rules: Vec<Vec<Rule<A>>>,
+        initial: StateId,
+    ) -> Self {
+        debug_assert_eq!(names.len(), rules.len());
+        Sta {
+            ty,
+            alg,
+            names,
+            rules,
+            initial,
+        }
+    }
+
+    /// Checks two automata share a tree type (same structure) — required by
+    /// the binary operations.
+    pub(crate) fn assert_compatible(&self, other: &Sta<A>) {
+        assert_eq!(
+            self.ty, other.ty,
+            "automata operate over different tree types"
+        );
+    }
+
+    /// Copies another automaton's states into this one's state space,
+    /// returning the offset added to the other's state ids. Both automata
+    /// must share the tree type. Used by binary language operations and by
+    /// the transducer layer to combine lookahead automata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree types differ.
+    pub fn absorb(&mut self, other: &Sta<A>) -> usize {
+        self.assert_compatible(other);
+        let offset = self.rules.len();
+        for (i, rs) in other.rules.iter().enumerate() {
+            self.names.push(format!("{}'", other.names[i]));
+            self.rules.push(
+                rs.iter()
+                    .map(|r| Rule {
+                        ctor: r.ctor,
+                        guard: r.guard.clone(),
+                        lookahead: r
+                            .lookahead
+                            .iter()
+                            .map(|s| s.iter().map(|q| StateId(q.0 + offset)).collect())
+                            .collect(),
+                    })
+                    .collect(),
+            );
+        }
+        offset
+    }
+
+    /// Appends a fresh state, returning its id (low-level API; see
+    /// [`StaBuilder`] for the ergonomic path).
+    pub fn push_state(&mut self, name: String) -> StateId {
+        self.names.push(name);
+        self.rules.push(Vec::new());
+        StateId(self.rules.len() - 1)
+    }
+
+    /// Appends a rule to a state (low-level API).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch.
+    pub fn push_rule(&mut self, q: StateId, rule: Rule<A>) {
+        assert_eq!(
+            rule.lookahead.len(),
+            self.ty.rank(rule.ctor),
+            "lookahead arity must equal constructor rank"
+        );
+        self.rules[q.0].push(rule);
+    }
+}
+
+impl<A: BoolAlg<Elem = Label>> fmt::Display for Sta<A>
+where
+    A::Pred: fmt::Display,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "STA over {} ({} states, {} rules, initial {})",
+            self.ty.name(),
+            self.state_count(),
+            self.rule_count(),
+            self.initial
+        )?;
+        for q in self.states() {
+            for r in self.rules(q) {
+                write!(
+                    f,
+                    "  {}[{}] --{}, {}--> (",
+                    q,
+                    self.names[q.0],
+                    self.ty.ctor_name(r.ctor),
+                    r.guard
+                )?;
+                for (i, la) in r.lookahead.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{{")?;
+                    for (j, s) in la.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{s}")?;
+                    }
+                    write!(f, "}}")?;
+                }
+                writeln!(f, ")")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Sta`]s.
+#[derive(Debug)]
+pub struct StaBuilder<A: BoolAlg<Elem = Label> = LabelAlg> {
+    sta: Sta<A>,
+}
+
+impl<A: BoolAlg<Elem = Label>> StaBuilder<A> {
+    /// Starts building an automaton over `ty` with algebra `alg`.
+    pub fn new(ty: Arc<TreeType>, alg: Arc<A>) -> Self {
+        StaBuilder {
+            sta: Sta {
+                ty,
+                alg,
+                names: Vec::new(),
+                rules: Vec::new(),
+                initial: StateId(0),
+            },
+        }
+    }
+
+    /// Declares a state.
+    pub fn state(&mut self, name: &str) -> StateId {
+        self.sta.push_state(name.to_string())
+    }
+
+    /// Adds a rule `(q, f, φ, ℓ̄)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lookahead arity does not match the constructor rank.
+    pub fn rule(
+        &mut self,
+        q: StateId,
+        ctor: CtorId,
+        guard: A::Pred,
+        lookahead: Vec<BTreeSet<StateId>>,
+    ) {
+        self.sta.push_rule(
+            q,
+            Rule {
+                ctor,
+                guard,
+                lookahead,
+            },
+        );
+    }
+
+    /// Adds a rule whose per-child lookahead is at most one state
+    /// (`None` = unconstrained).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lookahead arity does not match the constructor rank.
+    pub fn simple_rule(
+        &mut self,
+        q: StateId,
+        ctor: CtorId,
+        guard: A::Pred,
+        lookahead: Vec<Option<StateId>>,
+    ) {
+        let la = lookahead
+            .into_iter()
+            .map(|o| o.into_iter().collect())
+            .collect();
+        self.rule(q, ctor, guard, la);
+    }
+
+    /// Adds a leaf rule (nullary constructor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constructor is not nullary.
+    pub fn leaf_rule(&mut self, q: StateId, ctor: CtorId, guard: A::Pred) {
+        self.rule(q, ctor, guard, Vec::new());
+    }
+
+    /// Finishes, designating `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is out of range or no state was declared.
+    pub fn build(self, initial: StateId) -> Sta<A> {
+        assert!(
+            initial.0 < self.sta.rules.len(),
+            "initial state out of range"
+        );
+        let mut sta = self.sta;
+        sta.initial = initial;
+        sta
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod fixtures {
+    use super::*;
+    use fast_smt::{CmpOp, Formula, LabelSig, Sort, Term};
+
+    pub fn bt() -> Arc<TreeType> {
+        TreeType::new(
+            "BT",
+            LabelSig::single("i", Sort::Int),
+            vec![("L", 0), ("N", 2)],
+        )
+    }
+
+    pub fn bt_alg(ty: &TreeType) -> Arc<LabelAlg> {
+        Arc::new(LabelAlg::new(ty.sig().clone()))
+    }
+
+    /// The paper's Example 2 automaton: states p (positive leaves),
+    /// o (odd leaves), q (first subtree unconstrained, second in p ∩ o).
+    pub fn example2() -> (Sta, StateId, StateId, StateId) {
+        let ty = bt();
+        let alg = bt_alg(&ty);
+        let l = ty.ctor_id("L").unwrap();
+        let n = ty.ctor_id("N").unwrap();
+        let mut b = StaBuilder::new(ty, alg);
+        let p = b.state("p");
+        let o = b.state("o");
+        let q = b.state("q");
+        let x = Term::field(0);
+        b.leaf_rule(p, l, Formula::cmp(CmpOp::Gt, x.clone(), Term::int(0)));
+        b.simple_rule(p, n, Formula::True, vec![Some(p), Some(p)]);
+        b.leaf_rule(o, l, Formula::eq(x.clone().modulo(2), Term::int(1)));
+        b.simple_rule(o, n, Formula::True, vec![Some(o), Some(o)]);
+        b.rule(
+            q,
+            n,
+            Formula::True,
+            vec![BTreeSet::new(), [p, o].into_iter().collect()],
+        );
+        (b.build(q), p, o, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fixtures::*;
+    use super::*;
+
+    #[test]
+    fn example2_semantics() {
+        let (sta, p, o, q) = example2();
+        let ty = sta.ty().clone();
+        let t = |s: &str| Tree::parse(&ty, s).unwrap();
+
+        // p: all leaves positive.
+        assert!(sta.accepts_at(p, &t("L[3]")));
+        assert!(!sta.accepts_at(p, &t("L[0]")));
+        assert!(sta.accepts_at(p, &t("N[0](L[1], L[2])")));
+        assert!(!sta.accepts_at(p, &t("N[0](L[1], L[-2])")));
+
+        // o: all leaves odd (note -3 % 2 == 1 with Euclidean semantics).
+        assert!(sta.accepts_at(o, &t("L[-3]")));
+        assert!(!sta.accepts_at(o, &t("L[2]")));
+
+        // q: only N nodes; second subtree must be in p ∩ o.
+        assert!(!sta.accepts_at(q, &t("L[1]"))); // no L rule for q
+        assert!(sta.accepts_at(q, &t("N[0](L[-4], L[3])")));
+        assert!(!sta.accepts_at(q, &t("N[0](L[-4], L[2])"))); // 2 even
+        assert!(!sta.accepts_at(q, &t("N[0](L[-4], L[-3])"))); // -3 not positive
+        assert!(sta.accepts(&t("N[0](L[-4], L[3])"))); // initial is q
+    }
+
+    #[test]
+    fn normalized_check() {
+        let (sta, ..) = example2();
+        assert!(!sta.is_normalized()); // q's rule has a 2-element and an empty set
+    }
+
+    #[test]
+    fn eval_states_collects_everything() {
+        let (sta, p, o, _q) = example2();
+        let ty = sta.ty().clone();
+        let t = Tree::parse(&ty, "L[3]").unwrap();
+        let states = sta.eval_states(&t);
+        assert!(states.contains(&p) && states.contains(&o));
+        assert_eq!(states.len(), 2);
+    }
+
+    #[test]
+    fn display_contains_rules() {
+        let (sta, ..) = example2();
+        let s = sta.to_string();
+        assert!(s.contains("STA over BT"));
+        assert!(s.contains("--N, true-->"));
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead arity")]
+    fn arity_mismatch_panics() {
+        let ty = bt();
+        let alg = bt_alg(&ty);
+        let n = ty.ctor_id("N").unwrap();
+        let mut b = StaBuilder::new(ty, alg);
+        let q = b.state("q");
+        b.simple_rule(q, n, fast_smt::Formula::True, vec![Some(q)]); // rank 2!
+    }
+}

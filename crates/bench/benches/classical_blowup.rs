@@ -1,0 +1,30 @@
+//! Criterion benches for §6: expanding symbolic automata over growing
+//! finite alphabets versus the constant-cost symbolic operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fast_bench::strings6::{char_domain, chars_alg, chars_type, not_word_lang, word_lang};
+use fast_classical::expand_sta;
+
+fn classical_blowup(c: &mut Criterion) {
+    let ty = chars_type();
+    let alg = chars_alg(&ty);
+    let script = word_lang(&ty, &alg, "script");
+
+    let mut g = c.benchmark_group("classical_blowup");
+    g.sample_size(10);
+    g.bench_function("symbolic_complement", |b| {
+        b.iter(|| not_word_lang(&ty, &alg, "script").unwrap());
+    });
+    let not_script = not_word_lang(&ty, &alg, "script").unwrap();
+    for k in [6u32, 8, 10] {
+        let domain = char_domain(1 << k);
+        g.bench_with_input(BenchmarkId::new("expand_not_script", 1 << k), &k, |b, _| {
+            b.iter(|| expand_sta(&not_script, &domain).unwrap());
+        });
+    }
+    let _ = script;
+    g.finish();
+}
+
+criterion_group!(benches, classical_blowup);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benches for Fig. 7: fused vs sequential evaluation of
+//! repeated `map_caesar`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fast_bench::lists::{fused_maps, ilist_alg, ilist_type, map_caesar, naive_maps, random_list};
+
+fn deforestation(c: &mut Criterion) {
+    let ty = ilist_type();
+    let alg = ilist_alg(&ty);
+    let m = map_caesar(&ty, &alg);
+    let input = random_list(&ty, 1024, 7);
+
+    let mut g = c.benchmark_group("deforestation");
+    g.sample_size(15);
+    for n in [4usize, 16, 64] {
+        let fused = fused_maps(&ty, &alg, n).unwrap();
+        g.bench_with_input(BenchmarkId::new("fast_fused", n), &n, |b, _| {
+            b.iter(|| fused.run(&input).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("naive_sequential", n), &n, |b, &n| {
+            b.iter(|| naive_maps(&m, &input, n).unwrap());
+        });
+    }
+    // The composition itself (construction cost, amortized once).
+    g.bench_function("compose_64_maps", |b| {
+        b.iter(|| fused_maps(&ty, &alg, 64).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, deforestation);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benches for §5.1: the Fig. 2 sanitizer against the
+//! hand-written monolithic baseline on a 20 KB page.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fast_bench::sanitizer::{baseline_sanitize, compile_fig2};
+use fast_trees::HtmlGen;
+
+fn sanitizer(c: &mut Criterion) {
+    let compiled = compile_fig2();
+    let ty = compiled.tree_type("HtmlE").unwrap().clone();
+    let sani = compiled.transducer("sani").unwrap();
+    let doc = HtmlGen::new(51).doc_of_size(20_000);
+    let encoded = doc.encode(&ty);
+
+    let mut g = c.benchmark_group("sanitizer_20kb");
+    g.sample_size(15);
+    g.bench_function("fast_sani", |b| {
+        b.iter(|| sani.run(&encoded).unwrap());
+    });
+    g.bench_function("manual_baseline", |b| {
+        b.iter(|| baseline_sanitize(&doc));
+    });
+    g.bench_function("fig2_whole_analysis", |b| {
+        b.iter(compile_fig2);
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sanitizer);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benches over the paper's core transducer operations
+//! (Fig. 6 pipeline phases on representative tagger pairs).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fast_bench::taggers::{
+    double_tag_lang, generate_taggers, no_tags_lang, world_alg, world_type,
+};
+use fast_core::{compose, restrict, restrict_out};
+
+fn ar_ops(c: &mut Criterion) {
+    let ty = world_type();
+    let alg = world_alg(&ty);
+    let taggers = generate_taggers(&ty, &alg, 8, 2014);
+    let no_tags = no_tags_lang(&ty, &alg);
+    let double = double_tag_lang(&ty, &alg);
+    let (t1, t2) = (&taggers[0], &taggers[1]);
+
+    let mut g = c.benchmark_group("ar_ops");
+    g.sample_size(20);
+    g.bench_function("compose_pair", |b| {
+        b.iter(|| compose(t1, t2).unwrap());
+    });
+    let composed = compose(t1, t2).unwrap();
+    g.bench_function("input_restrict", |b| {
+        b.iter(|| restrict(&composed, &no_tags).unwrap());
+    });
+    let restricted = restrict(&composed, &no_tags).unwrap();
+    g.bench_function("output_restrict", |b| {
+        b.iter_batched(
+            || restricted.clone(),
+            |r| restrict_out(&r, &double).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    let out_restricted = restrict_out(&restricted, &double).unwrap();
+    g.bench_function("emptiness_check", |b| {
+        b.iter(|| fast_core::is_empty_transducer(&out_restricted).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ar_ops);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Fig. 6 — augmented reality: running times for operations on
+//! transducers. Generates N random taggers (default 100, as in §5.2),
+//! runs the four-step conflict check on every pair, and prints the
+//! composition / input-restriction / output-restriction time histograms
+//! plus the conflict count.
+//!
+//! Usage: `fig6_ar [--taggers N] [--seed S]`
+
+use fast_bench::taggers::{
+    conflict_check, double_tag_lang, generate_taggers, no_tags_lang, world_alg, world_type,
+};
+use fast_bench::timing::Histogram;
+
+fn main() {
+    let mut n = 100usize;
+    let mut seed = 2014u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--taggers" => {
+                n = args[i + 1].parse().expect("--taggers N");
+                i += 2;
+            }
+            "--seed" => {
+                seed = args[i + 1].parse().expect("--seed S");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let ty = world_type();
+    let alg = world_alg(&ty);
+    let no_tags = no_tags_lang(&ty, &alg);
+    let double = double_tag_lang(&ty, &alg);
+    println!(
+        "Fig. 6 reproduction: {n} taggers, {} pairwise checks (seed {seed})",
+        n * (n - 1) / 2
+    );
+    println!(
+        "input-restriction language: {} states; output language: {} states",
+        no_tags.state_count(),
+        double.state_count()
+    );
+    let taggers = generate_taggers(&ty, &alg, n, seed);
+    let sizes: Vec<usize> = taggers.iter().map(|t| t.state_count()).collect();
+    println!(
+        "tagger sizes: {} to {} states",
+        sizes.iter().min().unwrap(),
+        sizes.iter().max().unwrap()
+    );
+
+    let mut h_compose = Histogram::new();
+    let mut h_input = Histogram::new();
+    let mut h_output = Histogram::new();
+    let mut h_check = Histogram::new();
+    let mut conflicts = 0u64;
+    let mut errors = 0u64;
+    let total = n * (n - 1) / 2;
+    let mut done = 0usize;
+    for i in 0..taggers.len() {
+        for j in (i + 1)..taggers.len() {
+            match conflict_check(&taggers[i], &taggers[j], &no_tags, &double) {
+                Ok(r) => {
+                    h_compose.record(r.compose);
+                    h_input.record(r.input_restrict);
+                    h_output.record(r.output_restrict);
+                    h_check.record(r.check);
+                    if r.conflict {
+                        conflicts += 1;
+                    }
+                }
+                Err(_) => errors += 1,
+            }
+            done += 1;
+            if done.is_multiple_of(500) {
+                eprintln!("  …{done}/{total}");
+            }
+        }
+    }
+
+    println!("\n== Composition ==\n{h_compose}");
+    println!("== Input restriction ==\n{h_input}");
+    println!("== Output restriction ==\n{h_output}");
+    println!("== Emptiness check ==\n{h_check}");
+    println!(
+        "analyzed {} pairs: {conflicts} actual conflicts, {errors} budget errors",
+        total
+    );
+    let per_pair = h_compose.mean() + h_input.mean() + h_output.mean() + h_check.mean();
+    println!(
+        "average per pairwise conflict check: {:.3} ms (paper: ~193 ms on 2014 hardware)",
+        per_pair.as_secs_f64() * 1e3
+    );
+}

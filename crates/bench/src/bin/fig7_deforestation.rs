@@ -1,0 +1,65 @@
+//! Fig. 7 — deforestation advantage for a list of 4,096 integers:
+//! evaluation time of `map_caesar` composed with itself n times, fused
+//! via transducer composition (Fast) versus applied sequentially (no
+//! Fast), for n = 1..512.
+//!
+//! Usage: `fig7_deforestation [--len N] [--max-compositions N]`
+
+use fast_bench::lists::{fused_maps, ilist_alg, ilist_type, map_caesar, naive_maps, random_list};
+use std::time::Instant;
+
+fn main() {
+    let mut len = 4096usize;
+    let mut max_n = 512usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--len" => {
+                len = args[i + 1].parse().expect("--len N");
+                i += 2;
+            }
+            "--max-compositions" => {
+                max_n = args[i + 1].parse().expect("--max-compositions N");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let ty = ilist_type();
+    let alg = ilist_alg(&ty);
+    let m = map_caesar(&ty, &alg);
+    let input = random_list(&ty, len, 4096);
+
+    println!("Fig. 7 reproduction: list of {len} integers");
+    println!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "n", "fast (ms)", "naive (ms)", "speedup"
+    );
+    let mut n = 1usize;
+    while n <= max_n {
+        let fused = fused_maps(&ty, &alg, n).expect("composition fits budget");
+        let start = Instant::now();
+        let fast_out = fused.run(&input).expect("run fits budget");
+        let fast_t = start.elapsed();
+
+        let start = Instant::now();
+        let naive_out = naive_maps(&m, &input, n).expect("run fits budget");
+        let naive_t = start.elapsed();
+
+        assert_eq!(fast_out[0], naive_out, "fused and naive agree");
+        println!(
+            "{:>6} {:>14.3} {:>14.3} {:>9.1}x",
+            n,
+            fast_t.as_secs_f64() * 1e3,
+            naive_t.as_secs_f64() * 1e3,
+            naive_t.as_secs_f64() / fast_t.as_secs_f64().max(1e-9)
+        );
+        n *= 2;
+    }
+    println!(
+        "\nShape check (paper): Fast stays flat while naive grows linearly in n;\n\
+         the paper reports 1,313 ms vs 4,686 ms at n = 512 for 4,096 elements."
+    );
+}

@@ -1,0 +1,80 @@
+//! §5.1 — sanitizer throughput on a 10-page corpus (20 KB … 409 KB),
+//! Fast-compiled sanitizer vs the hand-written monolithic rewriter
+//! (standing in for HTML Purifier). The paper's claim to reproduce: the
+//! Fast sanitizer's speed is *comparable* to the monolithic one.
+//!
+//! Usage: `tab51_sanitizer [--seed S]`
+
+use fast_bench::sanitizer::{baseline_sanitize, compile_fig2, corpus};
+use fast_trees::HtmlDoc;
+use std::time::Instant;
+
+fn main() {
+    let mut seed = 51u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = args[i + 1].parse().expect("--seed S");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    println!("§5.1 reproduction: compiling and verifying the Fig. 2 sanitizer…");
+    let start = Instant::now();
+    let compiled = compile_fig2();
+    println!(
+        "compiled + analyzed (pre-image emptiness verified) in {:.1} ms\n",
+        start.elapsed().as_secs_f64() * 1e3
+    );
+    let ty = compiled.tree_type("HtmlE").unwrap().clone();
+    let sani = compiled.transducer("sani").unwrap();
+
+    println!(
+        "{:>4} {:>10} {:>12} {:>12} {:>12} {:>8}",
+        "page", "size (KB)", "fast (ms)", "manual (ms)", "ratio", "match"
+    );
+    let docs = corpus(seed);
+    let mut fast_total = 0.0f64;
+    let mut base_total = 0.0f64;
+    for (i, doc) in docs.iter().enumerate() {
+        let size_kb = doc.render().len() as f64 / 1024.0;
+        let encoded = doc.encode(&ty);
+
+        let start = Instant::now();
+        let out = sani.run(&encoded).expect("run fits budget");
+        let fast_t = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let expected = baseline_sanitize(doc);
+        let base_t = start.elapsed().as_secs_f64() * 1e3;
+
+        let fast_doc = HtmlDoc::decode(&ty, &out[0]).expect("decodes");
+        let matches = fast_doc == expected;
+        fast_total += fast_t;
+        base_total += base_t;
+        println!(
+            "{:>4} {:>10.0} {:>12.2} {:>12.2} {:>11.1}x {:>8}",
+            i + 1,
+            size_kb,
+            fast_t,
+            base_t,
+            fast_t / base_t.max(1e-9),
+            if matches { "yes" } else { "NO" }
+        );
+        assert!(matches, "Fast and baseline must agree");
+    }
+    println!(
+        "\ntotals: fast {fast_total:.1} ms, manual {base_total:.1} ms \
+         (paper: \"comparable to HTML Purify\"; the Fast pipeline executes\n\
+         remScript∘esc fused into one pass over the tree encoding)"
+    );
+    println!(
+        "maintainability datum (paper): ~200 lines of Fast vs ~10,000 lines of PHP; \
+         this repo's Fig. 2 program is {} lines.",
+        fast_bench::sanitizer::FIG2_FIXED.lines().count()
+    );
+}

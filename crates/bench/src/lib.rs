@@ -1,0 +1,25 @@
+//! # fast-bench — workloads and harnesses for the paper's evaluation
+//!
+//! One module per experiment family (see DESIGN.md §5 for the
+//! experiment index):
+//!
+//! * [`taggers`] — §5.2 augmented-reality taggers and the conflict-check
+//!   pipeline (Fig. 6);
+//! * [`lists`] — §5.3 deforestation workloads (Fig. 7);
+//! * [`sanitizer`] — §5.1 HTML sanitization corpus and the hand-written
+//!   monolithic baseline;
+//! * [`strings6`] — §6 symbolic-vs-classical succinctness workload;
+//! * [`timing`] — the log-bucketed histogram used by Fig. 6.
+//!
+//! The `fig6_ar`, `fig7_deforestation`, `tab51_sanitizer`,
+//! `sec54_analysis`, `sec6_classical`, and `ablations` binaries print the
+//! tables/series recorded in EXPERIMENTS.md; the Criterion benches under
+//! `benches/` cover the same operations with statistical rigor.
+
+#![warn(missing_docs)]
+
+pub mod lists;
+pub mod sanitizer;
+pub mod strings6;
+pub mod taggers;
+pub mod timing;

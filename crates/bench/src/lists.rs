@@ -1,0 +1,152 @@
+//! §5.3 deforestation workloads (Fig. 7): `map_caesar` self-composition
+//! over integer lists.
+
+use fast_core::{compose, Out, Sttr, SttrBuilder, TransducerError};
+use fast_smt::{Formula, Label, LabelAlg, LabelFn, LabelSig, Sort, Term};
+use fast_trees::{Tree, TreeType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The `IList` tree type of Fig. 8.
+pub fn ilist_type() -> Arc<TreeType> {
+    TreeType::new(
+        "IList",
+        LabelSig::single("i", Sort::Int),
+        vec![("nil", 0), ("cons", 1)],
+    )
+}
+
+/// A shared algebra for `IList`.
+pub fn ilist_alg(ty: &TreeType) -> Arc<LabelAlg> {
+    Arc::new(LabelAlg::new(ty.sig().clone()))
+}
+
+/// The `map_caesar` transducer: `x ↦ (x + 5) % 26` on every element.
+pub fn map_caesar(ty: &Arc<TreeType>, alg: &Arc<LabelAlg>) -> Sttr {
+    let nil = ty.ctor_id("nil").unwrap();
+    let cons = ty.ctor_id("cons").unwrap();
+    let mut b = SttrBuilder::new(ty.clone(), alg.clone());
+    let q = b.state("map_caesar");
+    b.plain_rule(
+        q,
+        nil,
+        Formula::True,
+        Out::node(nil, LabelFn::new(vec![Term::int(0)]), vec![]),
+    );
+    b.plain_rule(
+        q,
+        cons,
+        Formula::True,
+        Out::node(
+            cons,
+            LabelFn::new(vec![Term::field(0).add(Term::int(5)).modulo(26)]),
+            vec![Out::Call(q, 0)],
+        ),
+    );
+    b.build(q)
+}
+
+/// The `filter_ev` transducer of Fig. 8: keep even elements.
+pub fn filter_ev(ty: &Arc<TreeType>, alg: &Arc<LabelAlg>) -> Sttr {
+    let nil = ty.ctor_id("nil").unwrap();
+    let cons = ty.ctor_id("cons").unwrap();
+    let even = Formula::eq(Term::field(0).modulo(2), Term::int(0));
+    let mut b = SttrBuilder::new(ty.clone(), alg.clone());
+    let q = b.state("filter_ev");
+    b.plain_rule(
+        q,
+        nil,
+        Formula::True,
+        Out::node(nil, LabelFn::new(vec![Term::int(0)]), vec![]),
+    );
+    b.plain_rule(
+        q,
+        cons,
+        even.clone(),
+        Out::node(cons, LabelFn::identity(1), vec![Out::Call(q, 0)]),
+    );
+    b.plain_rule(q, cons, even.not(), Out::Call(q, 0));
+    b.build(q)
+}
+
+/// A random integer list of length `n` as a `cons` chain.
+pub fn random_list(ty: &Arc<TreeType>, n: usize, seed: u64) -> Tree {
+    let nil = ty.ctor_id("nil").unwrap();
+    let cons = ty.ctor_id("cons").unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Tree::leaf(nil, Label::single(0i64));
+    for _ in 0..n {
+        let v: i64 = rng.gen_range(0..1000);
+        t = Tree::new(cons, Label::single(v), vec![t]);
+    }
+    t
+}
+
+/// Fuses `map_caesar` with itself `n` times into a single transducer
+/// (`mapⁿ` in §5.3).
+///
+/// # Errors
+///
+/// Propagates composition budget errors.
+pub fn fused_maps(
+    ty: &Arc<TreeType>,
+    alg: &Arc<LabelAlg>,
+    n: usize,
+) -> Result<Sttr, TransducerError> {
+    let m = map_caesar(ty, alg);
+    let mut fused = m.clone();
+    for _ in 1..n {
+        fused = compose(&fused, &m)?;
+    }
+    Ok(fused)
+}
+
+/// Runs `map_caesar` sequentially `n` times — the non-deforested baseline.
+///
+/// # Errors
+///
+/// Propagates run budget errors.
+pub fn naive_maps(m: &Sttr, input: &Tree, n: usize) -> Result<Tree, TransducerError> {
+    let mut t = input.clone();
+    for _ in 0..n {
+        t = m.run(&t)?.pop().expect("map_caesar is total");
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fused_equals_naive() {
+        let ty = ilist_type();
+        let alg = ilist_alg(&ty);
+        let m = map_caesar(&ty, &alg);
+        let input = random_list(&ty, 50, 9);
+        for n in [1usize, 2, 5, 8] {
+            let fused = fused_maps(&ty, &alg, n).unwrap();
+            let a = fused.run(&input).unwrap().pop().unwrap();
+            let b = naive_maps(&m, &input, n).unwrap();
+            assert_eq!(a, b, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fused_size_stays_small() {
+        let ty = ilist_type();
+        let alg = ilist_alg(&ty);
+        let f64x = fused_maps(&ty, &alg, 64).unwrap();
+        assert!(f64x.state_count() <= 2, "states: {}", f64x.state_count());
+        assert!(f64x.rule_count() <= 4, "rules: {}", f64x.rule_count());
+    }
+
+    #[test]
+    fn list_generation() {
+        let ty = ilist_type();
+        let l = random_list(&ty, 100, 1);
+        assert_eq!(l.size(), 101);
+        assert_eq!(random_list(&ty, 100, 1), l);
+    }
+}

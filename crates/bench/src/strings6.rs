@@ -1,0 +1,117 @@
+//! §6 workload: the `"script"` string language over character chains,
+//! symbolically (constant size) and classically (alphabet-proportional).
+
+use fast_automata::{complement, Sta, StaBuilder};
+use fast_smt::{Formula, Label, LabelAlg, LabelSig, Sort, Term, Value};
+use fast_trees::TreeType;
+use std::sync::Arc;
+
+/// `type Chars[c: Char] { nil(0), ch(1) }` — strings as character chains,
+/// the encoding §6 discusses for HtmlE tag values.
+pub fn chars_type() -> Arc<TreeType> {
+    TreeType::new(
+        "Chars",
+        LabelSig::single("c", Sort::Char),
+        vec![("nil", 0), ("ch", 1)],
+    )
+}
+
+/// Shared algebra for [`chars_type`].
+pub fn chars_alg(ty: &TreeType) -> Arc<LabelAlg> {
+    Arc::new(LabelAlg::new(ty.sig().clone()))
+}
+
+/// The symbolic language of the chain spelling exactly `word` — `|word|`
+/// states and `|word| + 1` rules regardless of the alphabet, the §6
+/// comparison point (the classical automaton needs one rule per concrete
+/// character).
+pub fn word_lang(ty: &Arc<TreeType>, alg: &Arc<LabelAlg>, word: &str) -> Sta {
+    let nil = ty.ctor_id("nil").unwrap();
+    let ch = ty.ctor_id("ch").unwrap();
+    let mut b = StaBuilder::new(ty.clone(), alg.clone());
+    let states: Vec<_> = word
+        .chars()
+        .map(|c| b.state(&format!("after_{c}")))
+        .collect();
+    let end = b.state("end");
+    b.leaf_rule(end, nil, Formula::True);
+    let mut next = end;
+    let chars: Vec<char> = word.chars().collect();
+    for (i, c) in chars.into_iter().enumerate().rev() {
+        b.simple_rule(
+            states[i],
+            ch,
+            Formula::eq(Term::field(0), Term::Lit(Value::Char(c))),
+            vec![Some(next)],
+        );
+        next = states[i];
+    }
+    b.build(states[0])
+}
+
+/// The symbolic complement of [`word_lang`] — still constant-size in the
+/// alphabet (the classical one needs `|word|·(n−1)` rules, §6).
+///
+/// # Errors
+///
+/// Propagates automata budget errors.
+pub fn not_word_lang(
+    ty: &Arc<TreeType>,
+    alg: &Arc<LabelAlg>,
+    word: &str,
+) -> Result<Sta, fast_automata::AutomataError> {
+    complement(&word_lang(ty, alg, word))
+}
+
+/// The first `n` printable-ish characters as a finite label domain.
+pub fn char_domain(n: usize) -> Vec<Label> {
+    (0u32..)
+        .filter_map(char::from_u32)
+        .take(n)
+        .map(|c| Label::single(Value::Char(c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_trees::Tree;
+
+    fn chain(ty: &TreeType, s: &str) -> Tree {
+        let nil = ty.ctor_id("nil").unwrap();
+        let ch = ty.ctor_id("ch").unwrap();
+        let mut t = Tree::leaf(nil, Label::single(Value::Char('\0')));
+        for c in s.chars().rev() {
+            t = Tree::new(ch, Label::single(Value::Char(c)), vec![t]);
+        }
+        t
+    }
+
+    #[test]
+    fn word_lang_accepts_exactly_the_word() {
+        let ty = chars_type();
+        let alg = chars_alg(&ty);
+        let lang = word_lang(&ty, &alg, "script");
+        assert!(lang.accepts(&chain(&ty, "script")));
+        assert!(!lang.accepts(&chain(&ty, "scripX")));
+        assert!(!lang.accepts(&chain(&ty, "scrip")));
+        assert!(!lang.accepts(&chain(&ty, "scripts")));
+        assert_eq!(lang.rule_count(), 7); // 6 chars + nil
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let ty = chars_type();
+        let alg = chars_alg(&ty);
+        let not_script = not_word_lang(&ty, &alg, "script").unwrap();
+        assert!(!not_script.accepts(&chain(&ty, "script")));
+        assert!(not_script.accepts(&chain(&ty, "div")));
+        assert!(not_script.accepts(&chain(&ty, "")));
+    }
+
+    #[test]
+    fn domain_sizes() {
+        assert_eq!(char_domain(16).len(), 16);
+        assert_eq!(char_domain(256).len(), 256);
+    }
+}

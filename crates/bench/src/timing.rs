@@ -1,0 +1,135 @@
+//! The log-bucketed running-time histogram of Fig. 6.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Number of power-of-two millisecond buckets: `[0,1), [1,2), [2,4), …,
+/// [32768, 65536)` — exactly the x-axis of Fig. 6.
+pub const BUCKETS: usize = 17;
+
+/// A histogram over the paper's Fig. 6 time intervals.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    total: Duration,
+    n: u64,
+    max: Duration,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one measurement.
+    pub fn record(&mut self, d: Duration) {
+        let ms = d.as_millis() as u64;
+        let bucket = if ms == 0 {
+            0
+        } else {
+            (64 - ms.leading_zeros() as usize).min(BUCKETS - 1)
+        };
+        self.counts[bucket] += 1;
+        self.total += d;
+        self.n += 1;
+        self.max = self.max.max(d);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean duration.
+    pub fn mean(&self) -> Duration {
+        if self.n == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.n as u32
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Label for bucket `i` in milliseconds, Fig. 6 style.
+    pub fn bucket_label(i: usize) -> String {
+        if i == 0 {
+            "[0-1)".to_string()
+        } else {
+            format!("[{}-{})", 1u64 << (i - 1), 1u64 << i)
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:>16} {:>10}", "interval (ms)", "count")?;
+        let last = self
+            .counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0);
+        for i in 0..=last {
+            writeln!(
+                f,
+                "{:>16} {:>10}",
+                Histogram::bucket_label(i),
+                self.counts[i]
+            )?;
+        }
+        writeln!(
+            f,
+            "samples: {}   mean: {:.3} ms   max: {:.3} ms",
+            self.n,
+            self.mean().as_secs_f64() * 1e3,
+            self.max.as_secs_f64() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_micros(300)); // [0-1)
+        h.record(Duration::from_millis(1)); // [1-2)
+        h.record(Duration::from_millis(3)); // [2-4)
+        h.record(Duration::from_millis(12)); // [8-16)
+        h.record(Duration::from_millis(40_000)); // clamped to last bucket
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[2], 1);
+        assert_eq!(h.counts()[4], 1);
+        assert_eq!(h.counts()[BUCKETS - 1], 1);
+        assert_eq!(h.count(), 5);
+        assert!(h.max() >= Duration::from_secs(40));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Histogram::bucket_label(0), "[0-1)");
+        assert_eq!(Histogram::bucket_label(1), "[1-2)");
+        assert_eq!(Histogram::bucket_label(16), "[32768-65536)");
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_millis(5));
+        let s = h.to_string();
+        assert!(s.contains("[4-8)"));
+        assert!(s.contains("samples: 1"));
+    }
+}

@@ -1,0 +1,468 @@
+//! Classical nondeterministic (top-down) tree automata over explicit
+//! finite ranked alphabets.
+
+use fast_smt::Label;
+use fast_trees::{CtorId, Tree};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// A ranked symbol of the classical alphabet: a constructor paired with a
+/// concrete label drawn from the finite label domain.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol {
+    /// The constructor.
+    pub ctor: CtorId,
+    /// Index into the label domain.
+    pub label: usize,
+    /// Number of children.
+    pub rank: usize,
+}
+
+/// A classical nondeterministic tree automaton: per-state top-down rules
+/// over explicit symbols. The designated state plays the same role as in
+/// [`fast_automata::Sta`].
+#[derive(Debug, Clone)]
+pub struct Cta {
+    labels: Vec<Label>,
+    rules: Vec<Vec<(Symbol, Vec<usize>)>>,
+    initial: usize,
+}
+
+/// Builder for [`Cta`].
+#[derive(Debug)]
+pub struct CtaBuilder {
+    labels: Vec<Label>,
+    rules: Vec<Vec<(Symbol, Vec<usize>)>>,
+}
+
+impl CtaBuilder {
+    /// Starts building over a finite label domain.
+    pub fn new(labels: Vec<Label>) -> Self {
+        CtaBuilder {
+            labels,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Declares a state, returning its id.
+    pub fn state(&mut self) -> usize {
+        self.rules.push(Vec::new());
+        self.rules.len() - 1
+    }
+
+    /// Adds a rule `(q, symbol) → children`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities disagree or ids are out of range.
+    pub fn rule(&mut self, q: usize, sym: Symbol, children: Vec<usize>) {
+        assert_eq!(sym.rank, children.len(), "rank mismatch");
+        assert!(sym.label < self.labels.len(), "label out of domain");
+        self.rules[q].push((sym, children));
+    }
+
+    /// Finishes with the designated state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is out of range.
+    pub fn build(self, initial: usize) -> Cta {
+        assert!(initial < self.rules.len());
+        Cta {
+            labels: self.labels,
+            rules: self.rules,
+            initial,
+        }
+    }
+}
+
+impl Cta {
+    /// The label domain.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Total number of rules — the §6 size measure.
+    pub fn rule_count(&self) -> usize {
+        self.rules.iter().map(Vec::len).sum()
+    }
+
+    /// The designated state.
+    pub fn initial(&self) -> usize {
+        self.initial
+    }
+
+    fn label_index(&self, l: &Label) -> Option<usize> {
+        self.labels.iter().position(|x| x == l)
+    }
+
+    /// Bottom-up membership: the set of states accepting `t`, or `None`
+    /// for the designated state via [`Cta::accepts`].
+    fn eval_states(&self, t: &Tree) -> BTreeSet<usize> {
+        let kids: Vec<BTreeSet<usize>> =
+            t.children().iter().map(|c| self.eval_states(c)).collect();
+        let Some(label) = self.label_index(t.label()) else {
+            return BTreeSet::new();
+        };
+        let mut out = BTreeSet::new();
+        for (q, rules) in self.rules.iter().enumerate() {
+            'rules: for (sym, children) in rules {
+                if sym.ctor != t.ctor() || sym.label != label {
+                    continue;
+                }
+                for (i, c) in children.iter().enumerate() {
+                    if !kids[i].contains(c) {
+                        continue 'rules;
+                    }
+                }
+                out.insert(q);
+                break;
+            }
+        }
+        out
+    }
+
+    /// Language membership at the designated state. Trees whose labels lie
+    /// outside the finite domain are rejected.
+    pub fn accepts(&self, t: &Tree) -> bool {
+        self.eval_states(t).contains(&self.initial)
+    }
+
+    /// Emptiness of the designated language (least fixpoint).
+    pub fn is_empty(&self) -> bool {
+        let n = self.state_count();
+        let mut nonempty = vec![false; n];
+        loop {
+            let mut changed = false;
+            for (q, rules) in self.rules.iter().enumerate() {
+                if nonempty[q] {
+                    continue;
+                }
+                if rules
+                    .iter()
+                    .any(|(_, cs)| cs.iter().all(|&c| nonempty[c]))
+                {
+                    nonempty[q] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return !nonempty[self.initial];
+            }
+        }
+    }
+
+    /// Union of two languages over the same label domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label domains differ.
+    pub fn union(&self, other: &Cta) -> Cta {
+        assert_eq!(self.labels, other.labels, "label domains differ");
+        let offset = self.state_count();
+        let mut rules = self.rules.clone();
+        for rs in &other.rules {
+            rules.push(
+                rs.iter()
+                    .map(|(s, cs)| (s.clone(), cs.iter().map(|c| c + offset).collect()))
+                    .collect(),
+            );
+        }
+        let init = rules.len();
+        let mut init_rules: Vec<(Symbol, Vec<usize>)> = self.rules[self.initial].clone();
+        init_rules.extend(other.rules[other.initial].iter().map(|(s, cs)| {
+            (s.clone(), cs.iter().map(|c| c + offset).collect::<Vec<_>>())
+        }));
+        rules.push(init_rules);
+        Cta {
+            labels: self.labels.clone(),
+            rules,
+            initial: init,
+        }
+    }
+
+    /// Intersection via the product construction (the classical algorithm
+    /// whose size is `O(|A|·|B|)` in rules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label domains differ.
+    pub fn intersect(&self, other: &Cta) -> Cta {
+        assert_eq!(self.labels, other.labels, "label domains differ");
+        let mut ids: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut rules: Vec<Vec<(Symbol, Vec<usize>)>> = Vec::new();
+        let mut queue = VecDeque::new();
+        let root = (self.initial, other.initial);
+        ids.insert(root, 0);
+        rules.push(Vec::new());
+        queue.push_back(root);
+        while let Some((p, q)) = queue.pop_front() {
+            let me = ids[&(p, q)];
+            let mut new_rules = Vec::new();
+            for (sa, ca) in &self.rules[p] {
+                for (sb, cb) in &other.rules[q] {
+                    if sa != sb {
+                        continue;
+                    }
+                    let mut children = Vec::with_capacity(sa.rank);
+                    for i in 0..sa.rank {
+                        let key = (ca[i], cb[i]);
+                        let id = *ids.entry(key).or_insert_with(|| {
+                            rules.push(Vec::new());
+                            queue.push_back(key);
+                            rules.len() - 1
+                        });
+                        children.push(id);
+                    }
+                    new_rules.push((sa.clone(), children));
+                }
+            }
+            rules[me] = new_rules;
+        }
+        Cta {
+            labels: self.labels.clone(),
+            rules,
+            initial: 0,
+        }
+    }
+
+    /// Complement with respect to the *finite-domain* tree language, via
+    /// bottom-up determinization — the construction whose cost §6 calls
+    /// "expensive" for large alphabets. Rules are enumerated per symbol
+    /// and per reachable child-state tuple.
+    pub fn complement(&self) -> Cta {
+        // Collect the symbol alphabet actually present plus all symbols
+        // over the domain for the constructors we know (needed for
+        // completeness of the complement).
+        let mut symbols: HashSet<Symbol> = HashSet::new();
+        for rs in &self.rules {
+            for (s, _) in rs {
+                symbols.insert(s.clone());
+            }
+        }
+        // Extend: every (ctor, label) combination seen must be complete
+        // over the whole label domain.
+        let ctor_ranks: HashSet<(CtorId, usize)> =
+            symbols.iter().map(|s| (s.ctor, s.rank)).collect();
+        for (ctor, rank) in &ctor_ranks {
+            for label in 0..self.labels.len() {
+                symbols.insert(Symbol {
+                    ctor: *ctor,
+                    label,
+                    rank: *rank,
+                });
+            }
+        }
+        let symbols: Vec<Symbol> = symbols.into_iter().collect();
+
+        // Subset construction, bottom-up, complete over reachable subsets.
+        let mut subset_ids: HashMap<BTreeSet<usize>, usize> = HashMap::new();
+        let mut subsets: Vec<BTreeSet<usize>> = Vec::new();
+        let mut det: Vec<(Symbol, Vec<usize>, usize)> = Vec::new();
+        let mut intern = |s: BTreeSet<usize>, subsets: &mut Vec<BTreeSet<usize>>| -> usize {
+            if let Some(&i) = subset_ids.get(&s) {
+                return i;
+            }
+            subsets.push(s.clone());
+            subset_ids.insert(s, subsets.len() - 1);
+            subsets.len() - 1
+        };
+        loop {
+            let mut added = false;
+            for sym in &symbols {
+                let tuples = tuples(subsets.len(), sym.rank);
+                for tuple in tuples {
+                    if det
+                        .iter()
+                        .any(|(s, t, _)| s == sym && *t == tuple)
+                    {
+                        continue;
+                    }
+                    let mut target = BTreeSet::new();
+                    for (q, rs) in self.rules.iter().enumerate() {
+                        'rules: for (s, cs) in rs {
+                            if s != sym {
+                                continue;
+                            }
+                            for (i, c) in cs.iter().enumerate() {
+                                if !subsets[tuple[i]].contains(c) {
+                                    continue 'rules;
+                                }
+                            }
+                            target.insert(q);
+                            break;
+                        }
+                    }
+                    let id = intern(target, &mut subsets);
+                    det.push((sym.clone(), tuple, id));
+                    added = true;
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+        // Top-down automaton: state per subset; initial = union of
+        // non-accepting subsets, expressed with a fresh state.
+        let n = subsets.len();
+        let mut rules: Vec<Vec<(Symbol, Vec<usize>)>> = vec![Vec::new(); n + 1];
+        for (sym, tuple, target) in &det {
+            rules[*target].push((sym.clone(), tuple.clone()));
+            if !subsets[*target].contains(&self.initial) {
+                rules[n].push((sym.clone(), tuple.clone()));
+            }
+        }
+        Cta {
+            labels: self.labels.clone(),
+            rules,
+            initial: n,
+        }
+    }
+}
+
+fn tuples(n: usize, rank: usize) -> Vec<Vec<usize>> {
+    if rank == 0 {
+        return vec![Vec::new()];
+    }
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut cur = vec![0usize; rank];
+    loop {
+        out.push(cur.clone());
+        let mut i = rank;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            cur[i] += 1;
+            if cur[i] < n {
+                break;
+            }
+            cur[i] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_smt::{LabelSig, Sort, Value};
+    use fast_trees::TreeType;
+    use std::sync::Arc;
+
+    fn ilist() -> Arc<TreeType> {
+        TreeType::new(
+            "IList",
+            LabelSig::single("i", Sort::Int),
+            vec![("nil", 0), ("cons", 1)],
+        )
+    }
+
+    fn domain(n: i64) -> Vec<Label> {
+        (0..n).map(|i| Label::single(Value::Int(i))).collect()
+    }
+
+    /// Lists over {0..3} whose elements are all even.
+    fn evens() -> (Cta, Arc<TreeType>) {
+        let ty = ilist();
+        let nil = ty.ctor_id("nil").unwrap();
+        let cons = ty.ctor_id("cons").unwrap();
+        let mut b = CtaBuilder::new(domain(4));
+        let q = b.state();
+        b.rule(q, Symbol { ctor: nil, label: 0, rank: 0 }, vec![]);
+        for l in [0usize, 2] {
+            b.rule(q, Symbol { ctor: cons, label: l, rank: 1 }, vec![q]);
+        }
+        (b.build(q), ty)
+    }
+
+    #[test]
+    fn membership() {
+        let (a, ty) = evens();
+        let t = Tree::parse(&ty, "cons[2](cons[0](nil[0]))").unwrap();
+        assert!(a.accepts(&t));
+        let t = Tree::parse(&ty, "cons[1](nil[0])").unwrap();
+        assert!(!a.accepts(&t));
+        // Out-of-domain labels are rejected.
+        let t = Tree::parse(&ty, "cons[100](nil[0])").unwrap();
+        assert!(!a.accepts(&t));
+    }
+
+    #[test]
+    fn emptiness() {
+        let (a, _) = evens();
+        assert!(!a.is_empty());
+        let mut b = CtaBuilder::new(domain(2));
+        let q = b.state();
+        // Only a self-referential rule: empty.
+        let cons = fast_trees::CtorId(1);
+        b.rule(q, Symbol { ctor: cons, label: 0, rank: 1 }, vec![q]);
+        assert!(b.build(q).is_empty());
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let ty = ilist();
+        let nil = ty.ctor_id("nil").unwrap();
+        let cons = ty.ctor_id("cons").unwrap();
+        let mk = |allowed: &[usize]| {
+            let mut b = CtaBuilder::new(domain(4));
+            let q = b.state();
+            b.rule(q, Symbol { ctor: nil, label: 0, rank: 0 }, vec![]);
+            for &l in allowed {
+                b.rule(q, Symbol { ctor: cons, label: l, rank: 1 }, vec![q]);
+            }
+            b.build(q)
+        };
+        let evens = mk(&[0, 2]);
+        let small = mk(&[0, 1]);
+        let u = evens.union(&small);
+        let i = evens.intersect(&small);
+        let t = |s: &str| Tree::parse(&ty, s).unwrap();
+        assert!(u.accepts(&t("cons[1](nil[0])")));
+        assert!(u.accepts(&t("cons[2](nil[0])")));
+        assert!(!u.accepts(&t("cons[3](nil[0])")));
+        assert!(i.accepts(&t("cons[0](nil[0])")));
+        assert!(!i.accepts(&t("cons[1](nil[0])")));
+        assert!(!i.accepts(&t("cons[2](nil[0])")));
+    }
+
+    #[test]
+    fn complement() {
+        let (a, ty) = evens();
+        let c = a.complement();
+        let t = |s: &str| Tree::parse(&ty, s).unwrap();
+        assert!(!c.accepts(&t("cons[2](nil[0])")));
+        assert!(c.accepts(&t("cons[1](nil[0])")));
+        assert!(c.accepts(&t("cons[3](cons[2](nil[0]))")));
+        // nil[0] is in evens, so not in the complement.
+        assert!(!c.accepts(&t("nil[0]")));
+        // Complement rule count grows with the domain — the §6 point.
+        assert!(c.rule_count() > a.rule_count());
+    }
+
+    #[test]
+    fn complement_rule_count_scales_with_domain() {
+        let ty = ilist();
+        let nil = ty.ctor_id("nil").unwrap();
+        let cons = ty.ctor_id("cons").unwrap();
+        let counts: Vec<usize> = [4i64, 8, 16]
+            .iter()
+            .map(|&n| {
+                let mut b = CtaBuilder::new(domain(n));
+                let q = b.state();
+                b.rule(q, Symbol { ctor: nil, label: 0, rank: 0 }, vec![]);
+                b.rule(q, Symbol { ctor: cons, label: 1, rank: 1 }, vec![q]);
+                b.build(q).complement().rule_count()
+            })
+            .collect();
+        assert!(counts[0] < counts[1] && counts[1] < counts[2]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Classical top-down tree transducers over explicit finite alphabets.
+
+use crate::cta::Symbol;
+use fast_smt::Label;
+use fast_trees::{CtorId, Tree};
+use std::collections::BTreeSet;
+
+/// Right-hand-side template of a classical rule: a tree of concrete
+/// symbols with `(state, child-index)` leaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RhsTemplate {
+    /// `q(yᵢ)` — transduce input child `i` from state `q`.
+    Call(usize, usize),
+    /// A concrete output node.
+    Node {
+        /// Output constructor.
+        ctor: CtorId,
+        /// Concrete output label.
+        label: Label,
+        /// Children templates.
+        children: Vec<RhsTemplate>,
+    },
+}
+
+/// A classical rule `(q, symbol) → rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CttRule {
+    /// Source state.
+    pub state: usize,
+    /// Input symbol matched.
+    pub sym: Symbol,
+    /// Output template.
+    pub rhs: RhsTemplate,
+}
+
+/// A classical (finite-alphabet) nondeterministic top-down tree
+/// transducer.
+#[derive(Debug, Clone)]
+pub struct Ctt {
+    labels: Vec<Label>,
+    state_count: usize,
+    rules: Vec<CttRule>,
+    initial: usize,
+}
+
+impl Ctt {
+    /// Creates a transducer from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rule references an out-of-range state.
+    pub fn new(labels: Vec<Label>, state_count: usize, rules: Vec<CttRule>, initial: usize) -> Ctt {
+        assert!(initial < state_count);
+        for r in &rules {
+            assert!(r.state < state_count);
+        }
+        Ctt {
+            labels,
+            state_count,
+            rules,
+            initial,
+        }
+    }
+
+    /// The finite label domain.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// Number of rules — the §6 size measure.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Runs the transduction from the designated state, returning all
+    /// outputs (deduplicated).
+    pub fn run(&self, t: &Tree) -> Vec<Tree> {
+        let set = self.transduce(self.initial, t);
+        set.into_iter().collect()
+    }
+
+    fn transduce(&self, q: usize, t: &Tree) -> BTreeSet<Tree> {
+        let Some(label) = self.labels.iter().position(|l| l == t.label()) else {
+            return BTreeSet::new();
+        };
+        let mut out = BTreeSet::new();
+        for r in &self.rules {
+            if r.state != q || r.sym.ctor != t.ctor() || r.sym.label != label {
+                continue;
+            }
+            out.extend(self.eval_rhs(&r.rhs, t));
+        }
+        out
+    }
+
+    fn eval_rhs(&self, rhs: &RhsTemplate, t: &Tree) -> BTreeSet<Tree> {
+        match rhs {
+            RhsTemplate::Call(q, i) => self.transduce(*q, t.child(*i)),
+            RhsTemplate::Node {
+                ctor,
+                label,
+                children,
+            } => {
+                let mut acc: Vec<Vec<Tree>> = vec![Vec::new()];
+                for c in children {
+                    let opts = self.eval_rhs(c, t);
+                    let mut next = Vec::new();
+                    for partial in &acc {
+                        for o in &opts {
+                            let mut p = partial.clone();
+                            p.push(o.clone());
+                            next.push(p);
+                        }
+                    }
+                    acc = next;
+                }
+                acc.into_iter()
+                    .map(|kids| Tree::new(*ctor, label.clone(), kids))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_smt::{LabelSig, Sort, Value};
+    use fast_trees::TreeType;
+
+    #[test]
+    fn classical_increment_mod_4() {
+        let ty = TreeType::new(
+            "IList",
+            LabelSig::single("i", Sort::Int),
+            vec![("nil", 0), ("cons", 1)],
+        );
+        let nil = ty.ctor_id("nil").unwrap();
+        let cons = ty.ctor_id("cons").unwrap();
+        let labels: Vec<Label> = (0..4).map(|i| Label::single(Value::Int(i))).collect();
+        // One rule per concrete label — the classical expansion of a
+        // single symbolic rule.
+        let mut rules = vec![CttRule {
+            state: 0,
+            sym: Symbol {
+                ctor: nil,
+                label: 0,
+                rank: 0,
+            },
+            rhs: RhsTemplate::Node {
+                ctor: nil,
+                label: labels[0].clone(),
+                children: vec![],
+            },
+        }];
+        for l in 0..4usize {
+            rules.push(CttRule {
+                state: 0,
+                sym: Symbol {
+                    ctor: cons,
+                    label: l,
+                    rank: 1,
+                },
+                rhs: RhsTemplate::Node {
+                    ctor: cons,
+                    label: labels[(l + 1) % 4].clone(),
+                    children: vec![RhsTemplate::Call(0, 0)],
+                },
+            });
+        }
+        let t = Ctt::new(labels, 1, rules, 0);
+        assert_eq!(t.rule_count(), 5);
+        let input = Tree::parse(&ty, "cons[3](cons[0](nil[0]))").unwrap();
+        let out = t.run(&input);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].display(&ty).to_string(), "cons[0](cons[1](nil[0]))");
+        // Out-of-domain input produces nothing.
+        let input = Tree::parse(&ty, "cons[9](nil[0])").unwrap();
+        assert!(t.run(&input).is_empty());
+    }
+}

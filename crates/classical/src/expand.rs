@@ -1,0 +1,282 @@
+//! Expansion of symbolic automata/transducers over a finite label domain
+//! into classical form — the measurement instrument for §6.
+
+use crate::cta::{Cta, CtaBuilder, Symbol};
+use crate::ctt::{Ctt, CttRule, RhsTemplate};
+use fast_automata::{normalize, Sta};
+use fast_core::{Out, Sttr};
+use fast_smt::{BoolAlg, Label, LabelAlg, TransAlg};
+use std::fmt;
+
+/// Errors during expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpandError {
+    /// Normalization of the symbolic automaton hit its budget.
+    Automata(fast_automata::AutomataError),
+    /// The transducer uses regular lookahead, which classical top-down
+    /// transducers cannot express (the paper's Example 4 point).
+    LookaheadUnsupported,
+}
+
+impl fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpandError::Automata(e) => write!(f, "{e}"),
+            ExpandError::LookaheadUnsupported => write!(
+                f,
+                "classical top-down transducers cannot express regular lookahead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+impl From<fast_automata::AutomataError> for ExpandError {
+    fn from(e: fast_automata::AutomataError) -> Self {
+        ExpandError::Automata(e)
+    }
+}
+
+/// Expands a symbolic tree automaton over the finite label `domain`: one
+/// classical rule per (symbolic rule, satisfying label). The symbolic
+/// automaton is normalized first (classical TAs have no alternation).
+///
+/// # Errors
+///
+/// Propagates normalization budget errors.
+pub fn expand_sta(sta: &Sta<LabelAlg>, domain: &[Label]) -> Result<Cta, ExpandError> {
+    let norm = normalize(sta)?;
+    let alg = norm.alg().clone();
+    let mut b = CtaBuilder::new(domain.to_vec());
+    let states: Vec<usize> = norm.states().map(|_| b.state()).collect();
+    for q in norm.states() {
+        for r in norm.rules(q) {
+            let rank = r.lookahead.len();
+            let children: Vec<usize> = r
+                .lookahead
+                .iter()
+                .map(|s| states[s.iter().next().expect("normalized").0])
+                .collect();
+            for (li, label) in domain.iter().enumerate() {
+                if alg.eval(&r.guard, label) {
+                    b.rule(
+                        states[q.0],
+                        Symbol {
+                            ctor: r.ctor,
+                            label: li,
+                            rank,
+                        },
+                        children.clone(),
+                    );
+                }
+            }
+        }
+    }
+    Ok(b.build(states[norm.initial().0]))
+}
+
+/// Expands a lookahead-free symbolic transducer over the finite label
+/// `domain`: one classical rule per (symbolic rule, satisfying label),
+/// with output label functions evaluated concretely.
+///
+/// # Errors
+///
+/// Returns [`ExpandError::LookaheadUnsupported`] if any rule carries a
+/// non-empty lookahead set.
+pub fn expand_sttr(sttr: &Sttr<LabelAlg>, domain: &[Label]) -> Result<Ctt, ExpandError> {
+    let alg = sttr.alg().clone();
+    let mut rules = Vec::new();
+    for q in sttr.states() {
+        for r in sttr.rules(q) {
+            if r.lookahead.iter().any(|s| !s.is_empty()) {
+                return Err(ExpandError::LookaheadUnsupported);
+            }
+            let rank = r.lookahead.len();
+            for (li, label) in domain.iter().enumerate() {
+                if !alg.eval(&r.guard, label) {
+                    continue;
+                }
+                let Some(rhs) = expand_out(&alg, &r.output, label) else {
+                    continue;
+                };
+                rules.push(CttRule {
+                    state: q.0,
+                    sym: Symbol {
+                        ctor: r.ctor,
+                        label: li,
+                        rank,
+                    },
+                    rhs,
+                });
+            }
+        }
+    }
+    Ok(Ctt::new(
+        domain.to_vec(),
+        sttr.state_count(),
+        rules,
+        sttr.initial().0,
+    ))
+}
+
+fn expand_out(alg: &LabelAlg, out: &Out<LabelAlg>, input: &Label) -> Option<RhsTemplate> {
+    match out {
+        Out::Call(q, i) => Some(RhsTemplate::Call(q.0, *i)),
+        Out::Node {
+            ctor,
+            fun,
+            children,
+        } => {
+            let label = alg.apply_fun(fun, input)?;
+            let kids = children
+                .iter()
+                .map(|c| expand_out(alg, c, input))
+                .collect::<Option<Vec<_>>>()?;
+            Some(RhsTemplate::Node {
+                ctor: *ctor,
+                label,
+                children: kids,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_automata::StaBuilder;
+    use fast_core::SttrBuilder;
+    use fast_smt::{CmpOp, Formula, LabelFn, LabelSig, Sort, Term, Value};
+    use fast_trees::{Tree, TreeType};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<TreeType>, Arc<LabelAlg>, Vec<Label>) {
+        let ty = TreeType::new(
+            "IList",
+            LabelSig::single("i", Sort::Int),
+            vec![("nil", 0), ("cons", 1)],
+        );
+        let alg = Arc::new(LabelAlg::new(ty.sig().clone()));
+        let domain: Vec<Label> = (0..16).map(|i| Label::single(Value::Int(i))).collect();
+        (ty, alg, domain)
+    }
+
+    #[test]
+    fn expanded_sta_agrees_with_symbolic() {
+        let (ty, alg, domain) = setup();
+        let nil = ty.ctor_id("nil").unwrap();
+        let cons = ty.ctor_id("cons").unwrap();
+        let mut b = StaBuilder::new(ty.clone(), alg);
+        let q = b.state("evens");
+        b.leaf_rule(q, nil, Formula::True);
+        b.simple_rule(
+            q,
+            cons,
+            Formula::eq(Term::field(0).modulo(2), Term::int(0)),
+            vec![Some(q)],
+        );
+        let sta = b.build(q);
+        let cta = expand_sta(&sta, &domain).unwrap();
+        // One classical rule per even label plus the nil rules.
+        assert!(cta.rule_count() > sta.rule_count());
+        for text in [
+            "nil[0]",
+            "cons[2](nil[0])",
+            "cons[3](nil[0])",
+            "cons[4](cons[6](nil[0]))",
+        ] {
+            let t = Tree::parse(&ty, text).unwrap();
+            assert_eq!(cta.accepts(&t), sta.accepts(&t), "on {text}");
+        }
+    }
+
+    #[test]
+    fn expanded_rule_count_grows_linearly() {
+        let (ty, alg, _) = setup();
+        let nil = ty.ctor_id("nil").unwrap();
+        let cons = ty.ctor_id("cons").unwrap();
+        let mut b = StaBuilder::new(ty.clone(), alg);
+        let q = b.state("nonzero");
+        b.leaf_rule(q, nil, Formula::True);
+        b.simple_rule(
+            q,
+            cons,
+            Formula::cmp(CmpOp::Ne, Term::field(0), Term::int(0)),
+            vec![Some(q)],
+        );
+        let sta = b.build(q);
+        let counts: Vec<usize> = [8i64, 16, 32]
+            .iter()
+            .map(|&n| {
+                let domain: Vec<Label> =
+                    (0..n).map(|i| Label::single(Value::Int(i))).collect();
+                expand_sta(&sta, &domain).unwrap().rule_count()
+            })
+            .collect();
+        // Symbolic stays at 2 rules; classical grows linearly: the
+        // true-guarded nil rule expands to n copies and the x≠0 cons rule
+        // to n−1, so 2n−1 in total.
+        assert_eq!(sta.rule_count(), 2);
+        assert_eq!(counts, vec![15, 31, 63]);
+    }
+
+    #[test]
+    fn expanded_sttr_agrees_with_symbolic() {
+        let (ty, alg, domain) = setup();
+        let nil = ty.ctor_id("nil").unwrap();
+        let cons = ty.ctor_id("cons").unwrap();
+        let mut b = SttrBuilder::new(ty.clone(), alg);
+        let q = b.state("inc_mod_16");
+        b.plain_rule(
+            q,
+            nil,
+            Formula::True,
+            Out::node(nil, LabelFn::new(vec![Term::int(0)]), vec![]),
+        );
+        b.plain_rule(
+            q,
+            cons,
+            Formula::True,
+            Out::node(
+                cons,
+                LabelFn::new(vec![Term::field(0).add(Term::int(1)).modulo(16)]),
+                vec![Out::Call(q, 0)],
+            ),
+        );
+        let sttr = b.build(q);
+        let ctt = expand_sttr(&sttr, &domain).unwrap();
+        // Both true-guarded rules expand once per domain label.
+        assert_eq!(ctt.rule_count(), 16 + 16);
+        let input = Tree::parse(&ty, "cons[15](cons[3](nil[0]))").unwrap();
+        assert_eq!(ctt.run(&input), sttr.run(&input).unwrap());
+    }
+
+    #[test]
+    fn lookahead_is_rejected() {
+        let (ty, alg, domain) = setup();
+        let nil = ty.ctor_id("nil").unwrap();
+        let cons = ty.ctor_id("cons").unwrap();
+        // Lookahead automaton: anything.
+        let mut lb = StaBuilder::new(ty.clone(), alg.clone());
+        let all = lb.state("all");
+        lb.leaf_rule(all, nil, Formula::True);
+        lb.simple_rule(all, cons, Formula::True, vec![Some(all)]);
+        let la = lb.build(all);
+
+        let mut b = SttrBuilder::new(ty.clone(), alg).with_lookahead(la);
+        let q = b.state("q");
+        b.rule(
+            q,
+            cons,
+            Formula::True,
+            vec![[fast_automata::StateId(0)].into_iter().collect()],
+            Out::node(nil, LabelFn::new(vec![Term::int(0)]), vec![]),
+        );
+        let sttr = b.build(q);
+        assert!(matches!(
+            expand_sttr(&sttr, &domain),
+            Err(ExpandError::LookaheadUnsupported)
+        ));
+    }
+}

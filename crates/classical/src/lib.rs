@@ -1,0 +1,20 @@
+//! # fast-classical — classical finite-alphabet tree automata & transducers
+//!
+//! The baseline the paper argues against in §6: classical tree automata
+//! and top-down tree transducers whose alphabet is an explicit, finite set
+//! of ranked symbols. A symbolic automaton/transducer over a finite label
+//! domain can be *expanded* into this representation — one classical
+//! symbol per (constructor, label) pair — which is exactly the encoding
+//! whose size explodes with the alphabet (`tag != "script"` needs
+//! `6·(2^16 − 1)` classical rules, §6). The `sec6_classical` benchmark
+//! measures that blow-up against the constant-size symbolic form.
+
+#![warn(missing_docs)]
+
+mod cta;
+mod ctt;
+mod expand;
+
+pub use cta::{Cta, CtaBuilder, Symbol};
+pub use ctt::{Ctt, CttRule, RhsTemplate};
+pub use expand::{expand_sta, expand_sttr, ExpandError};

@@ -1,0 +1,66 @@
+//! Errors for the transducer algorithms.
+
+use fast_automata::AutomataError;
+use std::fmt;
+
+/// Errors raised by transducer constructions and runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransducerError {
+    /// An underlying automaton construction hit its state budget.
+    Automata(AutomataError),
+    /// A construction or run exceeded its own budget.
+    Budget {
+        /// Which algorithm hit the limit.
+        context: &'static str,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for TransducerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransducerError::Automata(e) => write!(f, "{e}"),
+            TransducerError::Budget { context, limit } => {
+                write!(f, "{context} exceeded its budget of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransducerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransducerError::Automata(e) => Some(e),
+            TransducerError::Budget { .. } => None,
+        }
+    }
+}
+
+impl From<AutomataError> for TransducerError {
+    fn from(e: AutomataError) -> Self {
+        TransducerError::Automata(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = TransducerError::Budget {
+            context: "compose",
+            limit: 10,
+        };
+        assert_eq!(e.to_string(), "compose exceeded its budget of 10");
+        assert!(e.source().is_none());
+        let w: TransducerError = AutomataError::StateLimit {
+            context: "normalize",
+            limit: 5,
+        }
+        .into();
+        assert!(w.source().is_some());
+    }
+}

@@ -1,0 +1,193 @@
+//! Derived transducer operations (§3.5): input/output restriction and
+//! type-checking. All are special applications of composition with the
+//! restricted identity transducer, which is single-valued *and* linear, so
+//! they are always exact (Theorem 4).
+
+use crate::compose::{compose, preimage};
+use crate::error::TransducerError;
+use crate::sttr::{identity_restricted, Sttr};
+use fast_automata::{complement, intersect, is_empty, Sta};
+use fast_smt::{Label, TransAlg};
+
+/// `restrict t l`: behaves like `t` but is only defined on inputs in the
+/// language of `l`'s designated state.
+///
+/// # Errors
+///
+/// Propagates composition/normalization budget errors.
+///
+/// # Panics
+///
+/// Panics on tree-type mismatch.
+pub fn restrict<A: TransAlg<Elem = Label>>(
+    t: &Sttr<A>,
+    l: &Sta<A>,
+) -> Result<Sttr<A>, TransducerError> {
+    let id = identity_restricted(l)?;
+    compose(&id, t)
+}
+
+/// `restrict-out t l`: behaves like `t` but only produces outputs in the
+/// language of `l`'s designated state (`compose t (restrict I l)`, as in
+/// §3.5).
+///
+/// # Errors
+///
+/// Propagates composition/normalization budget errors.
+///
+/// # Panics
+///
+/// Panics on tree-type mismatch.
+pub fn restrict_out<A: TransAlg<Elem = Label>>(
+    t: &Sttr<A>,
+    l: &Sta<A>,
+) -> Result<Sttr<A>, TransducerError> {
+    let id = identity_restricted(l)?;
+    compose(t, &id)
+}
+
+/// Is the transduction empty — i.e. does `t` produce no output on any
+/// input? Decided via emptiness of the domain automaton restricted to
+/// rules that can actually produce output; equivalently, emptiness of the
+/// pre-image of the universal language.
+///
+/// # Errors
+///
+/// Propagates budget errors.
+pub fn is_empty_transducer<A: TransAlg<Elem = Label>>(
+    t: &Sttr<A>,
+) -> Result<bool, TransducerError> {
+    is_empty(&t.domain()).map_err(TransducerError::from)
+}
+
+/// `type-check l1 t l2`: true iff for every input in `L(l1)`, `t` only
+/// produces outputs in `L(l2)` — checked as emptiness of
+/// `L(l1) ∩ pre-image(t, ¬L(l2))`.
+///
+/// # Errors
+///
+/// Propagates budget errors.
+///
+/// # Panics
+///
+/// Panics on tree-type mismatch.
+pub fn type_check<A: TransAlg<Elem = Label>>(
+    l1: &Sta<A>,
+    t: &Sttr<A>,
+    l2: &Sta<A>,
+) -> Result<bool, TransducerError> {
+    let bad_outputs = complement(l2).map_err(TransducerError::from)?;
+    let bad_inputs = preimage(t, &bad_outputs)?;
+    let offending = intersect(l1, &bad_inputs);
+    is_empty(&offending).map_err(TransducerError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sttr::fixtures::{filter_ev, ilist, ilist_alg, map_caesar};
+    use fast_automata::StaBuilder;
+    use fast_smt::{Formula, Term};
+    use fast_trees::{Tree, TreeGen};
+
+    /// Language of lists with all elements in [lo, hi].
+    fn range_lang(lo: i64, hi: i64) -> Sta {
+        let ty = ilist();
+        let alg = ilist_alg(&ty);
+        let nil = ty.ctor_id("nil").unwrap();
+        let cons = ty.ctor_id("cons").unwrap();
+        let mut b = StaBuilder::new(ty, alg);
+        let s = b.state("range");
+        b.leaf_rule(s, nil, Formula::True);
+        b.simple_rule(
+            s,
+            cons,
+            Formula::cmp(fast_smt::CmpOp::Ge, Term::field(0), Term::int(lo))
+                .and(Formula::cmp(fast_smt::CmpOp::Le, Term::field(0), Term::int(hi))),
+            vec![Some(s)],
+        );
+        b.build(s)
+    }
+
+    #[test]
+    fn restrict_cuts_domain() {
+        let m = map_caesar();
+        let l = range_lang(0, 9);
+        let r = restrict(&m, &l).unwrap();
+        let ty = m.ty().clone();
+        let inside = Tree::parse(&ty, "cons[3](nil[0])").unwrap();
+        let outside = Tree::parse(&ty, "cons[30](nil[0])").unwrap();
+        assert_eq!(r.run(&inside).unwrap(), m.run(&inside).unwrap());
+        assert!(r.run(&outside).unwrap().is_empty());
+        assert!(!m.run(&outside).unwrap().is_empty());
+    }
+
+    #[test]
+    fn restrict_out_cuts_by_output() {
+        // map_caesar outputs are always in [0, 25]; restricting outputs to
+        // [0, 9] keeps exactly inputs whose mapped values land there.
+        let m = map_caesar();
+        let l = range_lang(0, 9);
+        let r = restrict_out(&m, &l).unwrap();
+        let ty = m.ty().clone();
+        let good = Tree::parse(&ty, "cons[30](nil[0])").unwrap(); // 30+5 % 26 = 9
+        let bad = Tree::parse(&ty, "cons[10](nil[0])").unwrap(); // 15
+        assert_eq!(r.run(&good).unwrap(), m.run(&good).unwrap());
+        assert!(r.run(&bad).unwrap().is_empty());
+    }
+
+    #[test]
+    fn type_check_map_caesar_range() {
+        // On any input, map_caesar produces values in [0, 25].
+        let m = map_caesar();
+        let all = range_lang(i64::MIN / 2, i64::MAX / 2);
+        let out_range = range_lang(0, 25);
+        let too_tight = range_lang(0, 10);
+        assert!(type_check(&all, &m, &out_range).unwrap());
+        assert!(!type_check(&all, &m, &too_tight).unwrap());
+    }
+
+    #[test]
+    fn type_check_filter_preserves_range() {
+        let f = filter_ev();
+        let l = range_lang(0, 9);
+        // Outputs of filter on [0,9] lists stay in [0,9]... except the nil
+        // relabeling to 0, which is still in range.
+        assert!(type_check(&l, &f, &l).unwrap());
+    }
+
+    #[test]
+    fn transducer_emptiness() {
+        let m = map_caesar();
+        assert!(!is_empty_transducer(&m).unwrap());
+        // Restrict to an empty language: transduction becomes empty.
+        let ty = m.ty().clone();
+        let alg = m.alg().clone();
+        let nil = ty.ctor_id("nil").unwrap();
+        let mut b = StaBuilder::new(ty, alg);
+        let s = b.state("empty");
+        b.leaf_rule(s, nil, Formula::False);
+        let empty = b.build(s);
+        let r = restrict(&m, &empty).unwrap();
+        assert!(is_empty_transducer(&r).unwrap());
+    }
+
+    #[test]
+    fn restricted_runs_agree_with_filtering() {
+        // Property-style check: restrict(t, l).run == run if input ∈ L else ∅.
+        let m = map_caesar();
+        let l = range_lang(-3, 3);
+        let r = restrict(&m, &l).unwrap();
+        let ty = m.ty().clone();
+        let mut g = TreeGen::new(23).with_max_depth(6).with_int_range(-6, 6);
+        for _ in 0..60 {
+            let t = g.tree(&ty);
+            let expected = if l.accepts(&t) {
+                m.run(&t).unwrap()
+            } else {
+                Vec::new()
+            };
+            assert_eq!(r.run(&t).unwrap(), expected);
+        }
+    }
+}

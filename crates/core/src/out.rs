@@ -1,0 +1,200 @@
+//! Output terms of transducer rules — the `k`-rank tree transformers
+//! `Λ(T_σ^Σ, Q, k)` of Definition 4.
+
+use fast_automata::StateId;
+use fast_smt::TransAlg;
+use fast_trees::CtorId;
+use std::collections::BTreeSet;
+
+/// An output term: either a recursive call `q̃(yᵢ)` on an input child, or
+/// an output node whose label is a symbolic function of the input label.
+///
+/// Note the deliberate absence of a bare `yᵢ` case: per Definition 4,
+/// subtrees are only accessed through a state. Verbatim copying is
+/// expressed by calling an identity state (see [`crate::identity`]); the
+/// Fast front-end desugars bare `y` accordingly.
+#[derive(Debug)]
+pub enum Out<A: TransAlg> {
+    /// `q̃(yᵢ)`: transduce input child `i` from state `q`.
+    Call(StateId, usize),
+    /// `f[e(x)](t₁, …, tₖ)`: an output node.
+    Node {
+        /// Output constructor.
+        ctor: CtorId,
+        /// Symbolic label function applied to the input label.
+        fun: A::Fun,
+        /// Child output terms.
+        children: Vec<Out<A>>,
+    },
+}
+
+impl<A: TransAlg> Clone for Out<A> {
+    fn clone(&self) -> Self {
+        match self {
+            Out::Call(q, i) => Out::Call(*q, *i),
+            Out::Node {
+                ctor,
+                fun,
+                children,
+            } => Out::Node {
+                ctor: *ctor,
+                fun: fun.clone(),
+                children: children.clone(),
+            },
+        }
+    }
+}
+
+impl<A: TransAlg> PartialEq for Out<A> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Out::Call(q, i), Out::Call(r, j)) => q == r && i == j,
+            (
+                Out::Node {
+                    ctor: c1,
+                    fun: f1,
+                    children: k1,
+                },
+                Out::Node {
+                    ctor: c2,
+                    fun: f2,
+                    children: k2,
+                },
+            ) => c1 == c2 && f1 == f2 && k1 == k2,
+            _ => false,
+        }
+    }
+}
+
+impl<A: TransAlg> Eq for Out<A> {}
+
+impl<A: TransAlg> Out<A> {
+    /// Convenience constructor for an output node.
+    pub fn node(ctor: CtorId, fun: A::Fun, children: Vec<Out<A>>) -> Self {
+        Out::Node {
+            ctor,
+            fun,
+            children,
+        }
+    }
+
+    /// Counts occurrences of each input-child index (used for the
+    /// linearity check of Definition 5).
+    pub fn child_use_counts(&self, counts: &mut Vec<usize>) {
+        match self {
+            Out::Call(_, i) => {
+                if counts.len() <= *i {
+                    counts.resize(i + 1, 0);
+                }
+                counts[*i] += 1;
+            }
+            Out::Node { children, .. } => {
+                for c in children {
+                    c.child_use_counts(counts);
+                }
+            }
+        }
+    }
+
+    /// The set `St(i, t)` of states applied to input child `i`
+    /// (Definition 6: these join the lookahead in the domain automaton).
+    pub fn states_on_child(&self, i: usize, out: &mut BTreeSet<StateId>) {
+        match self {
+            Out::Call(q, j) => {
+                if *j == i {
+                    out.insert(*q);
+                }
+            }
+            Out::Node { children, .. } => {
+                for c in children {
+                    c.states_on_child(i, out);
+                }
+            }
+        }
+    }
+
+    /// All states called anywhere in the output.
+    pub fn states_used(&self, out: &mut BTreeSet<StateId>) {
+        match self {
+            Out::Call(q, _) => {
+                out.insert(*q);
+            }
+            Out::Node { children, .. } => {
+                for c in children {
+                    c.states_used(out);
+                }
+            }
+        }
+    }
+
+    /// Remaps the states mentioned in calls (used when absorbing a
+    /// transducer into another state space).
+    pub fn map_states(&self, f: &dyn Fn(StateId) -> StateId) -> Out<A> {
+        match self {
+            Out::Call(q, i) => Out::Call(f(*q), *i),
+            Out::Node {
+                ctor,
+                fun,
+                children,
+            } => Out::Node {
+                ctor: *ctor,
+                fun: fun.clone(),
+                children: children.iter().map(|c| c.map_states(f)).collect(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_smt::{LabelAlg, LabelFn, Term};
+
+    type O = Out<LabelAlg>;
+
+    fn call(q: usize, i: usize) -> O {
+        Out::Call(StateId(q), i)
+    }
+
+    #[test]
+    fn child_counts_and_linearity_data() {
+        // f[x](q(y0), g[x](q(y0), r(y2)))
+        let t: O = Out::node(
+            fast_trees::CtorId(0),
+            LabelFn::identity(1),
+            vec![
+                call(0, 0),
+                Out::node(
+                    fast_trees::CtorId(1),
+                    LabelFn::identity(1),
+                    vec![call(0, 0), call(1, 2)],
+                ),
+            ],
+        );
+        let mut counts = Vec::new();
+        t.child_use_counts(&mut counts);
+        assert_eq!(counts, vec![2, 0, 1]);
+
+        let mut st0 = BTreeSet::new();
+        t.states_on_child(0, &mut st0);
+        assert_eq!(st0.into_iter().collect::<Vec<_>>(), vec![StateId(0)]);
+
+        let mut all = BTreeSet::new();
+        t.states_used(&mut all);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn map_states() {
+        let t: O = Out::node(
+            fast_trees::CtorId(0),
+            LabelFn::new(vec![Term::field(0)]),
+            vec![call(3, 1)],
+        );
+        let mapped = t.map_states(&|q| StateId(q.0 + 10));
+        let mut all = BTreeSet::new();
+        mapped.states_used(&mut all);
+        assert!(all.contains(&StateId(13)));
+        assert_eq!(mapped, mapped.clone());
+    }
+}

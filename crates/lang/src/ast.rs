@@ -1,0 +1,371 @@
+//! Abstract syntax for Fast programs (Fig. 4 of the paper).
+
+use crate::diag::Span;
+
+/// A complete program: a sequence of declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Declarations in source order.
+    pub decls: Vec<Decl>,
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// `type τ [x:σ, …] { c(k), … }`
+    Type(TypeDecl),
+    /// `lang p : τ { Lrule | … }`
+    Lang(LangDecl),
+    /// `trans q : τ -> τ { Trule | … }`
+    Trans(TransDecl),
+    /// `def p : τ := L`
+    DefLang(DefLangDecl),
+    /// `def q : τ -> τ := T`
+    DefTrans(DefTransDecl),
+    /// `tree t : τ := TR`
+    Tree(TreeDecl),
+    /// `assert-true A` / `assert-false A`
+    Assert(AssertDecl),
+}
+
+/// Base sorts for attribute fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortName {
+    /// `Int`
+    Int,
+    /// `String`
+    Str,
+    /// `Bool`
+    Bool,
+    /// `Char`
+    Char,
+    /// `Real` is accepted by the grammar but unsupported by the solver.
+    Real,
+}
+
+/// `type HtmlE[tag: String]{nil(0), …}`
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDecl {
+    /// Type name.
+    pub name: String,
+    /// Attribute fields.
+    pub attrs: Vec<(String, SortName)>,
+    /// Constructors with ranks.
+    pub ctors: Vec<(String, usize)>,
+    /// Location.
+    pub span: Span,
+}
+
+/// `lang p : τ { rule | … }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangDecl {
+    /// Language (state) name.
+    pub name: String,
+    /// Tree type name.
+    pub ty: String,
+    /// Rules.
+    pub rules: Vec<LangRule>,
+    /// Location.
+    pub span: Span,
+}
+
+/// `c(y1,…,yn) (where A)? (given (p y)+)?`
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangRule {
+    /// Constructor name.
+    pub ctor: String,
+    /// Child variable names.
+    pub vars: Vec<String>,
+    /// Optional guard.
+    pub guard: Option<Expr>,
+    /// Lookahead requirements `(lang-name, child-var)`.
+    pub given: Vec<(String, String)>,
+    /// Location.
+    pub span: Span,
+}
+
+/// `trans q : τ -> τ { rule | … }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransDecl {
+    /// Transformation name.
+    pub name: String,
+    /// Input type name.
+    pub ty_in: String,
+    /// Output type name (must equal `ty_in` — combined tree type, §3.3).
+    pub ty_out: String,
+    /// Rules.
+    pub rules: Vec<TransRule>,
+    /// Location.
+    pub span: Span,
+}
+
+/// `Lrule to Tout`
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransRule {
+    /// Pattern and guards.
+    pub lhs: LangRule,
+    /// Output term.
+    pub out: TOut,
+}
+
+/// Output terms `Tout ::= y | (q y) | (c [Aexp*] Tout*)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TOut {
+    /// Verbatim copy of a child (desugared to an identity state call).
+    Var(String, Span),
+    /// `(q y)` — recursive transformation call.
+    Call(String, String, Span),
+    /// `(c [e*] t*)` — output node.
+    Node {
+        /// Constructor name.
+        ctor: String,
+        /// Attribute expressions.
+        attrs: Vec<Expr>,
+        /// Child output terms.
+        children: Vec<TOut>,
+        /// Location.
+        span: Span,
+    },
+}
+
+/// `def p : τ := L`
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefLangDecl {
+    /// Name being defined.
+    pub name: String,
+    /// Tree type name.
+    pub ty: String,
+    /// Language expression.
+    pub body: LExpr,
+    /// Location.
+    pub span: Span,
+}
+
+/// `def q : τ -> τ := T`
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefTransDecl {
+    /// Name being defined.
+    pub name: String,
+    /// Input type name.
+    pub ty_in: String,
+    /// Output type name.
+    pub ty_out: String,
+    /// Transducer expression.
+    pub body: TExpr,
+    /// Location.
+    pub span: Span,
+}
+
+/// `tree t : τ := TR`
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeDecl {
+    /// Name being defined.
+    pub name: String,
+    /// Tree type name.
+    pub ty: String,
+    /// Tree expression.
+    pub body: TreeExpr,
+    /// Location.
+    pub span: Span,
+}
+
+/// `assert-true A` / `assert-false A`
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssertDecl {
+    /// Expected truth value.
+    pub expected: bool,
+    /// The assertion.
+    pub body: Assertion,
+    /// Location.
+    pub span: Span,
+}
+
+/// Language expressions `L`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LExpr {
+    /// A named language.
+    Name(String, Span),
+    /// `(intersect L L)`
+    Intersect(Box<LExpr>, Box<LExpr>, Span),
+    /// `(union L L)`
+    Union(Box<LExpr>, Box<LExpr>, Span),
+    /// `(complement L)`
+    Complement(Box<LExpr>, Span),
+    /// `(difference L L)`
+    Difference(Box<LExpr>, Box<LExpr>, Span),
+    /// `(minimize L)`
+    Minimize(Box<LExpr>, Span),
+    /// `(domain T)`
+    Domain(Box<TExpr>, Span),
+    /// `(pre-image T L)`
+    Preimage(Box<TExpr>, Box<LExpr>, Span),
+}
+
+impl LExpr {
+    /// The source span.
+    pub fn span(&self) -> Span {
+        match self {
+            LExpr::Name(_, s)
+            | LExpr::Intersect(_, _, s)
+            | LExpr::Union(_, _, s)
+            | LExpr::Complement(_, s)
+            | LExpr::Difference(_, _, s)
+            | LExpr::Minimize(_, s)
+            | LExpr::Domain(_, s)
+            | LExpr::Preimage(_, _, s) => *s,
+        }
+    }
+}
+
+/// Transducer expressions `T`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TExpr {
+    /// A named transformation.
+    Name(String, Span),
+    /// `(compose T T)`
+    Compose(Box<TExpr>, Box<TExpr>, Span),
+    /// `(restrict T L)`
+    Restrict(Box<TExpr>, Box<LExpr>, Span),
+    /// `(restrict-out T L)`
+    RestrictOut(Box<TExpr>, Box<LExpr>, Span),
+}
+
+impl TExpr {
+    /// The source span.
+    pub fn span(&self) -> Span {
+        match self {
+            TExpr::Name(_, s)
+            | TExpr::Compose(_, _, s)
+            | TExpr::Restrict(_, _, s)
+            | TExpr::RestrictOut(_, _, s) => *s,
+        }
+    }
+}
+
+/// Tree expressions `TR`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeExpr {
+    /// A named tree.
+    Name(String, Span),
+    /// `(c [e*] TR*)` — a concrete node (expressions must be constant).
+    Node {
+        /// Constructor name.
+        ctor: String,
+        /// Attribute expressions.
+        attrs: Vec<Expr>,
+        /// Children.
+        children: Vec<TreeExpr>,
+        /// Location.
+        span: Span,
+    },
+    /// `(apply T TR)` — run the transducer, take the unique output.
+    Apply(Box<TExpr>, Box<TreeExpr>, Span),
+    /// `(get-witness L)` — any tree in the language.
+    GetWitness(Box<LExpr>, Span),
+}
+
+impl TreeExpr {
+    /// The source span.
+    pub fn span(&self) -> Span {
+        match self {
+            TreeExpr::Name(_, s)
+            | TreeExpr::Node { span: s, .. }
+            | TreeExpr::Apply(_, _, s)
+            | TreeExpr::GetWitness(_, s) => *s,
+        }
+    }
+}
+
+/// Assertions `A`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Assertion {
+    /// `L == L`
+    LangEq(LExpr, LExpr),
+    /// `(is-empty L)`
+    IsEmptyLang(LExpr),
+    /// `(is-empty T)` — the transduction produces no output on any input.
+    IsEmptyTrans(TExpr),
+    /// `TR in L` — tree membership.
+    Member(TreeExpr, LExpr),
+    /// `(type-check L T L)`
+    TypeCheck(LExpr, TExpr, LExpr),
+}
+
+/// Binary operators in attribute expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `%` (constant positive divisor)
+    Mod,
+    /// `/` (constant positive divisor)
+    Div,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+/// Attribute expressions `Aexp`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Attribute reference.
+    Attr(String, Span),
+    /// Integer literal.
+    Int(i64, Span),
+    /// String literal.
+    Str(String, Span),
+    /// Boolean literal.
+    Bool(bool, Span),
+    /// Character literal.
+    Char(char, Span),
+    /// Binary operation `(a op b)` (also accepted prefix: `(op a b)`).
+    Bin(BinOp, Box<Expr>, Box<Expr>, Span),
+    /// `(not a)`
+    Not(Box<Expr>, Span),
+    /// `(startsWith a "c")`, `(endsWith a "c")`, `(contains a "c")`
+    StrTest(StrTestKind, Box<Expr>, String, Span),
+}
+
+/// Builtin string predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrTestKind {
+    /// Prefix test.
+    StartsWith,
+    /// Suffix test.
+    EndsWith,
+    /// Substring test.
+    Contains,
+}
+
+impl Expr {
+    /// The source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Attr(_, s)
+            | Expr::Int(_, s)
+            | Expr::Str(_, s)
+            | Expr::Bool(_, s)
+            | Expr::Char(_, s)
+            | Expr::Bin(_, _, _, s)
+            | Expr::Not(_, s)
+            | Expr::StrTest(_, _, _, s) => *s,
+        }
+    }
+}

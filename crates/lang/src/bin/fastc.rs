@@ -1,0 +1,104 @@
+//! `fastc` — compile and run a Fast program.
+//!
+//! Usage: `fastc <file.fast> [--quiet] [--stats]`
+//!
+//! Compiles the program, evaluates every definition and assertion, prints
+//! the assertion report (and with `--stats` the sizes of every compiled
+//! language and transformation), and exits non-zero if compilation fails
+//! or any assertion fails.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quiet = false;
+    let mut stats = false;
+    let mut path: Option<String> = None;
+    for a in &args {
+        match a.as_str() {
+            "--quiet" | "-q" => quiet = true,
+            "--stats" | "-s" => stats = true,
+            "--help" | "-h" => {
+                println!("usage: fastc <file.fast> [--quiet] [--stats]");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("fastc: unexpected argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: fastc <file.fast> [--quiet] [--stats]");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fastc: cannot read '{path}': {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let compiled = match fast_lang::compile(&src) {
+        Ok(c) => c,
+        Err(d) => {
+            eprintln!("{path}:{d}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if stats {
+        for name in compiled.lang_names() {
+            let sta = compiled.lang(name).unwrap();
+            println!(
+                "lang  {name}: {} states, {} rules",
+                sta.state_count(),
+                sta.rule_count()
+            );
+        }
+        for name in compiled.transducer_names() {
+            let t = compiled.transducer(name).unwrap();
+            println!(
+                "trans {name}: {} states, {} rules, {} lookahead states",
+                t.state_count(),
+                t.rule_count(),
+                t.lookahead_sta().state_count()
+            );
+        }
+        for name in compiled.tree_names() {
+            let t = compiled.tree(name).unwrap();
+            println!("tree  {name}: {} nodes", t.size());
+        }
+    }
+    let report = compiled.report();
+    let mut failed = 0usize;
+    for a in &report.assertions {
+        let status = if a.passed() { "PASS" } else { "FAIL" };
+        if !quiet || !a.passed() {
+            println!(
+                "{status} {path}:{} assert-{} {}",
+                a.span.start,
+                if a.expected { "true" } else { "false" },
+                a.description
+            );
+            if let Some(cx) = &a.counterexample {
+                println!("     counterexample: {cx}");
+            }
+        }
+        if !a.passed() {
+            failed += 1;
+        }
+    }
+    if !quiet {
+        println!(
+            "{} assertion(s), {} failed",
+            report.assertions.len(),
+            failed
+        );
+    }
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

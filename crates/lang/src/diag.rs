@@ -1,0 +1,101 @@
+//! Source positions and diagnostics.
+
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open source span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Start position.
+    pub start: Pos,
+    /// End position.
+    pub end: Pos,
+}
+
+impl Span {
+    /// A span covering a single position.
+    pub fn at(pos: Pos) -> Span {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// The union of two spans.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
+/// A compilation error with source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Where the problem is.
+    pub span: Span,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let d = Diagnostic::new(
+            Span::at(Pos { line: 3, col: 7 }),
+            "unknown constructor 'foo'",
+        );
+        assert_eq!(d.to_string(), "error at 3:7: unknown constructor 'foo'");
+    }
+
+    #[test]
+    fn span_union() {
+        let a = Span::at(Pos { line: 1, col: 1 });
+        let b = Span::at(Pos { line: 2, col: 5 });
+        let u = a.to(b);
+        assert_eq!(u.start, Pos { line: 1, col: 1 });
+        assert_eq!(u.end, Pos { line: 2, col: 5 });
+    }
+}

@@ -1,0 +1,475 @@
+//! Lexer for the Fast concrete syntax (Fig. 4 of the paper).
+//!
+//! Identifiers follow the paper (`(a..z|A..Z|_)(a..z|A..Z|_|.|0..9)*`);
+//! hyphenated keywords (`assert-true`, `pre-image`, …) are recognized
+//! greedily, so `-` remains available as the arithmetic operator.
+
+use crate::diag::{Diagnostic, Pos, Span};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier (type, state, constructor, or attribute name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Character literal.
+    Char(char),
+    /// Keyword (including the hyphenated multiword ones).
+    Kw(&'static str),
+    /// Operator or punctuation symbol.
+    Sym(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier '{s}'"),
+            Tok::Int(n) => write!(f, "integer {n}"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            Tok::Char(c) => write!(f, "character {c:?}"),
+            Tok::Kw(k) => write!(f, "keyword '{k}'"),
+            Tok::Sym(s) => write!(f, "'{s}'"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Keywords, including hyphenated ones (matched greedily).
+pub const KEYWORDS: &[&str] = &[
+    "type",
+    "lang",
+    "trans",
+    "def",
+    "tree",
+    "where",
+    "given",
+    "to",
+    "in",
+    "and",
+    "or",
+    "not",
+    "true",
+    "false",
+    "assert-true",
+    "assert-false",
+    "intersect",
+    "union",
+    "complement",
+    "difference",
+    "minimize",
+    "domain",
+    "pre-image",
+    "compose",
+    "restrict",
+    "restrict-out",
+    "apply",
+    "get-witness",
+    "is-empty",
+    "type-check",
+    "startsWith",
+    "endsWith",
+    "contains",
+];
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Its location.
+    pub span: Span,
+}
+
+/// Tokenizes a Fast program.
+///
+/// # Errors
+///
+/// Returns a diagnostic on malformed literals or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, Diagnostic> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lx = Lexer {
+        chars,
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        lx.skip_trivia();
+        let start = lx.pos();
+        let Some(c) = lx.peek() else {
+            out.push(Spanned {
+                tok: Tok::Eof,
+                span: Span::at(start),
+            });
+            return Ok(out);
+        };
+        let tok = lx.next_token(c)?;
+        let span = Span {
+            start,
+            end: lx.pos(),
+        };
+        out.push(Spanned { tok, span });
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while matches!(self.peek(), Some(c) if c != '\n') {
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Span::at(self.pos()), msg)
+    }
+
+    fn ident_segment(&mut self) -> String {
+        let mut s = String::new();
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '.') {
+            s.push(self.bump().unwrap());
+        }
+        s
+    }
+
+    fn next_token(&mut self, c: char) -> Result<Tok, Diagnostic> {
+        if c.is_alphabetic() || c == '_' {
+            let mut word = self.ident_segment();
+            // Greedy hyphenated keyword matching with backtracking.
+            loop {
+                if self.peek() == Some('-')
+                    && matches!(self.peek2(), Some(n) if n.is_alphabetic())
+                {
+                    let save = (self.i, self.line, self.col);
+                    self.bump(); // '-'
+                    let seg = self.ident_segment();
+                    let candidate = format!("{word}-{seg}");
+                    if KEYWORDS.contains(&candidate.as_str())
+                        || KEYWORDS.iter().any(|k| k.starts_with(&format!("{candidate}-")))
+                    {
+                        word = candidate;
+                        continue;
+                    }
+                    // Not a keyword: backtrack.
+                    self.i = save.0;
+                    self.line = save.1;
+                    self.col = save.2;
+                }
+                break;
+            }
+            if let Some(&k) = KEYWORDS.iter().find(|&&k| k == word) {
+                return Ok(Tok::Kw(k));
+            }
+            if word.contains('-') {
+                return Err(self.err(format!("'{word}' is not a keyword")));
+            }
+            return Ok(Tok::Ident(word));
+        }
+        if c.is_ascii_digit() {
+            return self.number(false);
+        }
+        match c {
+            '"' => self.string(),
+            '\'' => self.char_lit(),
+            '(' | ')' | '[' | ']' | '{' | '}' | ',' | '|' | '+' | '*' | '%' | '/' => {
+                self.bump();
+                Ok(Tok::Sym(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    '[' => "[",
+                    ']' => "]",
+                    '{' => "{",
+                    '}' => "}",
+                    ',' => ",",
+                    '|' => "|",
+                    '+' => "+",
+                    '*' => "*",
+                    '%' => "%",
+                    _ => "/",
+                }))
+            }
+            '-' => {
+                self.bump();
+                if self.peek() == Some('>') {
+                    self.bump();
+                    Ok(Tok::Sym("->"))
+                } else {
+                    Ok(Tok::Sym("-"))
+                }
+            }
+            ':' => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Ok(Tok::Sym(":="))
+                } else {
+                    Ok(Tok::Sym(":"))
+                }
+            }
+            '=' => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Ok(Tok::Sym("=="))
+                } else {
+                    Ok(Tok::Sym("="))
+                }
+            }
+            '!' => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Ok(Tok::Sym("!="))
+                } else {
+                    Err(self.err("expected '=' after '!'"))
+                }
+            }
+            '<' => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Ok(Tok::Sym("<="))
+                } else {
+                    Ok(Tok::Sym("<"))
+                }
+            }
+            '>' => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Ok(Tok::Sym(">="))
+                } else {
+                    Ok(Tok::Sym(">"))
+                }
+            }
+            other => Err(self.err(format!("unexpected character {other:?}"))),
+        }
+    }
+
+    fn number(&mut self, negative: bool) -> Result<Tok, Diagnostic> {
+        let mut s = String::new();
+        if negative {
+            s.push('-');
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            s.push(self.bump().unwrap());
+        }
+        s.parse::<i64>()
+            .map(Tok::Int)
+            .map_err(|_| self.err("integer literal out of range"))
+    }
+
+    fn string(&mut self) -> Result<Tok, Diagnostic> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(Tok::Str(s)),
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('0') => s.push('\0'),
+                    Some(c) => s.push(c),
+                    None => return Err(self.err("unterminated string literal")),
+                },
+                Some(c) => s.push(c),
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+    }
+
+    fn char_lit(&mut self) -> Result<Tok, Diagnostic> {
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            Some('\\') => match self.bump() {
+                Some('n') => '\n',
+                Some('t') => '\t',
+                Some('r') => '\r',
+                Some('0') => '\0',
+                Some(c) => c,
+                None => return Err(self.err("unterminated character literal")),
+            },
+            Some(c) => c,
+            None => return Err(self.err("unterminated character literal")),
+        };
+        match self.bump() {
+            Some('\'') => Ok(Tok::Char(c)),
+            _ => Err(self.err("expected closing single quote")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn idents_and_keywords() {
+        assert_eq!(
+            toks("lang nodeTree"),
+            vec![Tok::Kw("lang"), Tok::Ident("nodeTree".into()), Tok::Eof]
+        );
+        assert_eq!(toks("assert-true"), vec![Tok::Kw("assert-true"), Tok::Eof]);
+        assert_eq!(toks("pre-image"), vec![Tok::Kw("pre-image"), Tok::Eof]);
+        assert_eq!(toks("restrict-out"), vec![Tok::Kw("restrict-out"), Tok::Eof]);
+        // A non-keyword hyphen splits into ident minus ident.
+        assert_eq!(
+            toks("foo-bar"),
+            vec![
+                Tok::Ident("foo".into()),
+                Tok::Sym("-"),
+                Tok::Ident("bar".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(
+            toks("(x-2)"),
+            vec![
+                Tok::Sym("("),
+                Tok::Ident("x".into()),
+                Tok::Sym("-"),
+                Tok::Int(2),
+                Tok::Sym(")"),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("(i%2 = 0)"),
+            vec![
+                Tok::Sym("("),
+                Tok::Ident("i".into()),
+                Tok::Sym("%"),
+                Tok::Int(2),
+                Tok::Sym("="),
+                Tok::Int(0),
+                Tok::Sym(")"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn symbols() {
+        assert_eq!(
+            toks("-> := == != <= >="),
+            vec![
+                Tok::Sym("->"),
+                Tok::Sym(":="),
+                Tok::Sym("=="),
+                Tok::Sym("!="),
+                Tok::Sym("<="),
+                Tok::Sym(">="),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            toks(r#""script" 'a' 42 true"#),
+            vec![
+                Tok::Str("script".into()),
+                Tok::Char('a'),
+                Tok::Int(42),
+                Tok::Kw("true"),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(toks(r#""a\"b""#), vec![Tok::Str("a\"b".into()), Tok::Eof]);
+        assert_eq!(toks(r#""\\""#), vec![Tok::Str("\\".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_and_positions() {
+        let ts = lex("// header\nlang p").unwrap();
+        assert_eq!(ts[0].tok, Tok::Kw("lang"));
+        assert_eq!(ts[0].span.start.line, 2);
+        assert_eq!(ts[0].span.start.col, 1);
+        assert_eq!(ts[1].span.start.col, 6);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("'x").is_err());
+        assert!(lex("!x").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn fig2_fragment() {
+        let src = r#"
+            trans remScript: HtmlE -> HtmlE {
+              node(x1, x2, x3) where (tag != "script")
+                to (node [tag] x1 (remScript x2) (remScript x3))
+            }
+        "#;
+        let ts = toks(src);
+        assert!(ts.contains(&Tok::Kw("trans")));
+        assert!(ts.contains(&Tok::Sym("->")));
+        assert!(ts.contains(&Tok::Kw("where")));
+        assert!(ts.contains(&Tok::Kw("to")));
+        assert!(ts.contains(&Tok::Str("script".into())));
+    }
+}

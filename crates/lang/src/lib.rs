@@ -1,0 +1,52 @@
+//! # fast-lang — the Fast language
+//!
+//! Front-end for the Fast DSL of “Fast: a Transducer-Based Language for
+//! Tree Manipulation” (PLDI 2014): lexer, parser (Fig. 4 concrete
+//! syntax), type checker, compiler onto [`fast_automata::Sta`]s and
+//! [`fast_core::Sttr`]s, and an evaluator for `def`/`tree`/`assert`
+//! declarations. The `fastc` binary runs `.fast` programs from the
+//! command line.
+//!
+//! # Examples
+//!
+//! The analysis of §5.4 (Fig. 8), condensed:
+//!
+//! ```
+//! let program = r#"
+//!     type IList[i: Int] { nil(0), cons(1) }
+//!     trans map_caesar: IList -> IList {
+//!       nil() to (nil [0])
+//!     | cons(y) to (cons [(i + 5) % 26] (map_caesar y))
+//!     }
+//!     trans filter_ev: IList -> IList {
+//!       nil() to (nil [0])
+//!     | cons(y) where (i % 2 = 0) to (cons [i] (filter_ev y))
+//!     | cons(y) where not (i % 2 = 0) to (filter_ev y)
+//!     }
+//!     lang not_emp_list: IList { cons(x) }
+//!     def comp: IList -> IList := (compose map_caesar filter_ev)
+//!     def comp2: IList -> IList := (compose comp comp)
+//!     def restr: IList -> IList := (restrict-out comp2 not_emp_list)
+//!     assert-true (is-empty restr)
+//! "#;
+//! let compiled = fast_lang::compile(program)?;
+//! assert!(compiled.report().all_passed());
+//! # Ok::<(), fast_lang::Diagnostic>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod compile;
+mod diag;
+mod lexer;
+mod parser;
+mod pretty;
+
+pub mod xpath;
+
+pub use ast::*;
+pub use compile::{compile, AssertionResult, Compiled, Report};
+pub use diag::{Diagnostic, Pos, Span};
+pub use lexer::{lex, Spanned, Tok};
+pub use parser::parse;

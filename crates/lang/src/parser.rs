@@ -1,0 +1,961 @@
+//! Recursive-descent parser for Fast (Fig. 4).
+//!
+//! Attribute expressions use ordinary infix syntax with precedence
+//! (`or < and < comparisons < + - < * % /`), accepting both the paper's
+//! parenthesized-infix style (`(tag != "script")`) and prefix style
+//! (`(= tag "script")`).
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, Span};
+use crate::lexer::{lex, Spanned, Tok};
+
+/// Parses a complete program.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error.
+pub fn parse(src: &str) -> Result<Program, Diagnostic> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0 };
+    let mut decls = Vec::new();
+    while !matches!(p.peek(), Tok::Eof) {
+        decls.push(p.decl()?);
+    }
+    Ok(Program { decls })
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    i: usize,
+}
+
+/// An operand of an assertion whose category (language vs tree) is only
+/// known once the following operator is seen.
+enum Operand {
+    Lang(LExpr),
+    Tree(TreeExpr),
+    /// A bare name; category resolved by context.
+    Name(String, Span),
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.i + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.i].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks[self.i.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(self.span(), msg)
+    }
+
+    fn expect_sym(&mut self, s: &'static str) -> Result<(), Diagnostic> {
+        if *self.peek() == Tok::Sym(s) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{s}', found {}", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, k: &'static str) -> Result<(), Diagnostic> {
+        if *self.peek() == Tok::Kw(k) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{k}', found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, Diagnostic> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn eat_sym(&mut self, s: &'static str) -> bool {
+        if *self.peek() == Tok::Sym(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: &'static str) -> bool {
+        if *self.peek() == Tok::Kw(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn decl(&mut self) -> Result<Decl, Diagnostic> {
+        let start = self.span();
+        match self.peek().clone() {
+            Tok::Kw("type") => self.type_decl(start).map(Decl::Type),
+            Tok::Kw("lang") => self.lang_decl(start).map(Decl::Lang),
+            Tok::Kw("trans") => self.trans_decl(start).map(Decl::Trans),
+            Tok::Kw("def") => self.def_decl(start),
+            Tok::Kw("tree") => self.tree_decl(start).map(Decl::Tree),
+            Tok::Kw("assert-true") => {
+                self.bump();
+                let body = self.assertion()?;
+                Ok(Decl::Assert(AssertDecl {
+                    expected: true,
+                    body,
+                    span: start.to(self.prev_span()),
+                }))
+            }
+            Tok::Kw("assert-false") => {
+                self.bump();
+                let body = self.assertion()?;
+                Ok(Decl::Assert(AssertDecl {
+                    expected: false,
+                    body,
+                    span: start.to(self.prev_span()),
+                }))
+            }
+            other => Err(self.err(format!(
+                "expected a declaration (type/lang/trans/def/tree/assert), found {other}"
+            ))),
+        }
+    }
+
+    fn sort_name(&mut self) -> Result<SortName, Diagnostic> {
+        let name = self.ident()?;
+        match name.as_str() {
+            "Int" => Ok(SortName::Int),
+            "String" => Ok(SortName::Str),
+            "Bool" => Ok(SortName::Bool),
+            "Char" => Ok(SortName::Char),
+            "Real" => Ok(SortName::Real),
+            other => Err(Diagnostic::new(
+                self.prev_span(),
+                format!("unknown sort '{other}' (expected Int, String, Bool, Char, or Real)"),
+            )),
+        }
+    }
+
+    fn type_decl(&mut self, start: Span) -> Result<TypeDecl, Diagnostic> {
+        self.expect_kw("type")?;
+        let name = self.ident()?;
+        let mut attrs = Vec::new();
+        if self.eat_sym("[") {
+            if *self.peek() != Tok::Sym("]") {
+                loop {
+                    let attr = self.ident()?;
+                    self.expect_sym(":")?;
+                    let sort = self.sort_name()?;
+                    attrs.push((attr, sort));
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect_sym("]")?;
+        }
+        self.expect_sym("{")?;
+        let mut ctors = Vec::new();
+        loop {
+            let cname = self.ident()?;
+            self.expect_sym("(")?;
+            let rank = match self.bump() {
+                Tok::Int(n) if n >= 0 => n as usize,
+                other => {
+                    return Err(Diagnostic::new(
+                        self.prev_span(),
+                        format!("expected constructor rank, found {other}"),
+                    ))
+                }
+            };
+            self.expect_sym(")")?;
+            ctors.push((cname, rank));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym("}")?;
+        Ok(TypeDecl {
+            name,
+            attrs,
+            ctors,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn lang_decl(&mut self, start: Span) -> Result<LangDecl, Diagnostic> {
+        self.expect_kw("lang")?;
+        let name = self.ident()?;
+        self.expect_sym(":")?;
+        let ty = self.ident()?;
+        self.expect_sym("{")?;
+        let mut rules = vec![self.lang_rule()?];
+        while self.eat_sym("|") {
+            rules.push(self.lang_rule()?);
+        }
+        self.expect_sym("}")?;
+        Ok(LangDecl {
+            name,
+            ty,
+            rules,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn lang_rule(&mut self) -> Result<LangRule, Diagnostic> {
+        let start = self.span();
+        let ctor = self.ident()?;
+        let mut vars = Vec::new();
+        if self.eat_sym("(") {
+            if *self.peek() != Tok::Sym(")") {
+                loop {
+                    vars.push(self.ident()?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        let guard = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut given = Vec::new();
+        if self.eat_kw("given") {
+            loop {
+                self.expect_sym("(")?;
+                let lang = self.ident()?;
+                let var = self.ident()?;
+                self.expect_sym(")")?;
+                given.push((lang, var));
+                if *self.peek() != Tok::Sym("(") {
+                    break;
+                }
+            }
+        }
+        Ok(LangRule {
+            ctor,
+            vars,
+            guard,
+            given,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn trans_decl(&mut self, start: Span) -> Result<TransDecl, Diagnostic> {
+        self.expect_kw("trans")?;
+        let name = self.ident()?;
+        self.expect_sym(":")?;
+        let ty_in = self.ident()?;
+        self.expect_sym("->")?;
+        let ty_out = self.ident()?;
+        self.expect_sym("{")?;
+        let mut rules = vec![self.trans_rule()?];
+        while self.eat_sym("|") {
+            rules.push(self.trans_rule()?);
+        }
+        self.expect_sym("}")?;
+        Ok(TransDecl {
+            name,
+            ty_in,
+            ty_out,
+            rules,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn trans_rule(&mut self) -> Result<TransRule, Diagnostic> {
+        let lhs = self.lang_rule()?;
+        self.expect_kw("to")?;
+        let out = self.tout()?;
+        Ok(TransRule { lhs, out })
+    }
+
+    fn tout(&mut self) -> Result<TOut, Diagnostic> {
+        let start = self.span();
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(TOut::Var(name, start))
+            }
+            Tok::Sym("(") => {
+                self.bump();
+                let head = self.ident()?;
+                // `(c [attrs] children…)` — definitely a node.
+                if *self.peek() == Tok::Sym("[") {
+                    self.bump();
+                    let mut attrs = Vec::new();
+                    if *self.peek() != Tok::Sym("]") {
+                        loop {
+                            attrs.push(self.expr()?);
+                            if !self.eat_sym(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_sym("]")?;
+                    let mut children = Vec::new();
+                    while *self.peek() != Tok::Sym(")") {
+                        children.push(self.tout()?);
+                    }
+                    self.expect_sym(")")?;
+                    return Ok(TOut::Node {
+                        ctor: head,
+                        attrs,
+                        children,
+                        span: start.to(self.prev_span()),
+                    });
+                }
+                // `(q y)` or `(c t…)` without attributes; the compiler
+                // disambiguates single-variable cases by name kind.
+                let mut children = Vec::new();
+                while *self.peek() != Tok::Sym(")") {
+                    children.push(self.tout()?);
+                }
+                self.expect_sym(")")?;
+                let span = start.to(self.prev_span());
+                if children.len() == 1 {
+                    if let TOut::Var(v, _) = &children[0] {
+                        return Ok(TOut::Call(head, v.clone(), span));
+                    }
+                }
+                Ok(TOut::Node {
+                    ctor: head,
+                    attrs: Vec::new(),
+                    children,
+                    span,
+                })
+            }
+            other => Err(self.err(format!("expected an output term, found {other}"))),
+        }
+    }
+
+    fn def_decl(&mut self, start: Span) -> Result<Decl, Diagnostic> {
+        self.expect_kw("def")?;
+        let name = self.ident()?;
+        self.expect_sym(":")?;
+        let ty = self.ident()?;
+        if self.eat_sym("->") {
+            let ty_out = self.ident()?;
+            self.expect_sym(":=")?;
+            let body = self.texpr()?;
+            Ok(Decl::DefTrans(DefTransDecl {
+                name,
+                ty_in: ty,
+                ty_out,
+                body,
+                span: start.to(self.prev_span()),
+            }))
+        } else {
+            self.expect_sym(":=")?;
+            let body = self.lexpr()?;
+            Ok(Decl::DefLang(DefLangDecl {
+                name,
+                ty,
+                body,
+                span: start.to(self.prev_span()),
+            }))
+        }
+    }
+
+    fn tree_decl(&mut self, start: Span) -> Result<TreeDecl, Diagnostic> {
+        self.expect_kw("tree")?;
+        let name = self.ident()?;
+        self.expect_sym(":")?;
+        let ty = self.ident()?;
+        self.expect_sym(":=")?;
+        let body = self.tree_expr()?;
+        Ok(TreeDecl {
+            name,
+            ty,
+            body,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn lexpr(&mut self) -> Result<LExpr, Diagnostic> {
+        let start = self.span();
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(LExpr::Name(name, start))
+            }
+            Tok::Sym("(") => {
+                self.bump();
+                let e = match self.peek().clone() {
+                    Tok::Kw("intersect") => {
+                        self.bump();
+                        LExpr::Intersect(
+                            Box::new(self.lexpr()?),
+                            Box::new(self.lexpr()?),
+                            start,
+                        )
+                    }
+                    Tok::Kw("union") => {
+                        self.bump();
+                        LExpr::Union(Box::new(self.lexpr()?), Box::new(self.lexpr()?), start)
+                    }
+                    Tok::Kw("complement") => {
+                        self.bump();
+                        LExpr::Complement(Box::new(self.lexpr()?), start)
+                    }
+                    Tok::Kw("difference") => {
+                        self.bump();
+                        LExpr::Difference(
+                            Box::new(self.lexpr()?),
+                            Box::new(self.lexpr()?),
+                            start,
+                        )
+                    }
+                    Tok::Kw("minimize") => {
+                        self.bump();
+                        LExpr::Minimize(Box::new(self.lexpr()?), start)
+                    }
+                    Tok::Kw("domain") => {
+                        self.bump();
+                        LExpr::Domain(Box::new(self.texpr()?), start)
+                    }
+                    Tok::Kw("pre-image") => {
+                        self.bump();
+                        LExpr::Preimage(Box::new(self.texpr()?), Box::new(self.lexpr()?), start)
+                    }
+                    other => {
+                        return Err(self.err(format!(
+                            "expected a language operation, found {other}"
+                        )))
+                    }
+                };
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected a language expression, found {other}"))),
+        }
+    }
+
+    fn texpr(&mut self) -> Result<TExpr, Diagnostic> {
+        let start = self.span();
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(TExpr::Name(name, start))
+            }
+            Tok::Sym("(") => {
+                self.bump();
+                let e = match self.peek().clone() {
+                    Tok::Kw("compose") => {
+                        self.bump();
+                        TExpr::Compose(Box::new(self.texpr()?), Box::new(self.texpr()?), start)
+                    }
+                    Tok::Kw("restrict") => {
+                        self.bump();
+                        TExpr::Restrict(Box::new(self.texpr()?), Box::new(self.lexpr()?), start)
+                    }
+                    Tok::Kw("restrict-out") => {
+                        self.bump();
+                        TExpr::RestrictOut(
+                            Box::new(self.texpr()?),
+                            Box::new(self.lexpr()?),
+                            start,
+                        )
+                    }
+                    other => {
+                        return Err(self.err(format!(
+                            "expected a transducer operation, found {other}"
+                        )))
+                    }
+                };
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected a transducer expression, found {other}"))),
+        }
+    }
+
+    fn tree_expr(&mut self) -> Result<TreeExpr, Diagnostic> {
+        let start = self.span();
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(TreeExpr::Name(name, start))
+            }
+            Tok::Sym("(") => {
+                self.bump();
+                let e = match self.peek().clone() {
+                    Tok::Kw("apply") => {
+                        self.bump();
+                        let t = self.texpr()?;
+                        let tr = self.tree_expr()?;
+                        TreeExpr::Apply(Box::new(t), Box::new(tr), start)
+                    }
+                    Tok::Kw("get-witness") => {
+                        self.bump();
+                        TreeExpr::GetWitness(Box::new(self.lexpr()?), start)
+                    }
+                    Tok::Ident(ctor) => {
+                        self.bump();
+                        let mut attrs = Vec::new();
+                        if self.eat_sym("[") {
+                            if *self.peek() != Tok::Sym("]") {
+                                loop {
+                                    attrs.push(self.expr()?);
+                                    if !self.eat_sym(",") {
+                                        break;
+                                    }
+                                }
+                            }
+                            self.expect_sym("]")?;
+                        }
+                        let mut children = Vec::new();
+                        while *self.peek() != Tok::Sym(")") {
+                            children.push(self.tree_expr()?);
+                        }
+                        TreeExpr::Node {
+                            ctor,
+                            attrs,
+                            children,
+                            span: start,
+                        }
+                    }
+                    other => {
+                        return Err(
+                            self.err(format!("expected a tree expression, found {other}"))
+                        )
+                    }
+                };
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected a tree expression, found {other}"))),
+        }
+    }
+
+    fn assertion(&mut self) -> Result<Assertion, Diagnostic> {
+        // `(is-empty X)` and `(type-check …)` have distinguishing heads.
+        if *self.peek() == Tok::Sym("(") {
+            match self.peek2().clone() {
+                Tok::Kw("is-empty") => {
+                    self.bump(); // (
+                    self.bump(); // is-empty
+                    // A parenthesized operand's head keyword decides; a
+                    // bare name is resolved by the compiler.
+                    let a = if *self.peek() == Tok::Sym("(") {
+                        match self.peek2().clone() {
+                            Tok::Kw("compose") | Tok::Kw("restrict") | Tok::Kw("restrict-out") => {
+                                Assertion::IsEmptyTrans(self.texpr()?)
+                            }
+                            _ => Assertion::IsEmptyLang(self.lexpr()?),
+                        }
+                    } else {
+                        Assertion::IsEmptyLang(self.lexpr()?)
+                    };
+                    self.expect_sym(")")?;
+                    return Ok(a);
+                }
+                Tok::Kw("type-check") => {
+                    self.bump();
+                    self.bump();
+                    let l1 = self.lexpr()?;
+                    let t = self.texpr()?;
+                    let l2 = self.lexpr()?;
+                    self.expect_sym(")")?;
+                    return Ok(Assertion::TypeCheck(l1, t, l2));
+                }
+                _ => {}
+            }
+        }
+        // Otherwise: `L == L` or `TR in L`.
+        let lhs = self.operand()?;
+        if self.eat_sym("==") {
+            let rhs = self.lexpr()?;
+            let lhs = match lhs {
+                Operand::Lang(l) => l,
+                Operand::Name(n, s) => LExpr::Name(n, s),
+                Operand::Tree(t) => {
+                    return Err(Diagnostic::new(
+                        t.span(),
+                        "left side of '==' must be a language",
+                    ))
+                }
+            };
+            return Ok(Assertion::LangEq(lhs, rhs));
+        }
+        if self.eat_kw("in") {
+            let rhs = self.lexpr()?;
+            let lhs = match lhs {
+                Operand::Tree(t) => t,
+                Operand::Name(n, s) => TreeExpr::Name(n, s),
+                Operand::Lang(l) => {
+                    return Err(Diagnostic::new(
+                        l.span(),
+                        "left side of 'in' must be a tree",
+                    ))
+                }
+            };
+            return Ok(Assertion::Member(lhs, rhs));
+        }
+        Err(self.err(format!("expected '==' or 'in', found {}", self.peek())))
+    }
+
+    fn operand(&mut self) -> Result<Operand, Diagnostic> {
+        if let Tok::Ident(name) = self.peek().clone() {
+            let s = self.span();
+            self.bump();
+            return Ok(Operand::Name(name, s));
+        }
+        if *self.peek() == Tok::Sym("(") {
+            return match self.peek2().clone() {
+                Tok::Kw("intersect")
+                | Tok::Kw("union")
+                | Tok::Kw("complement")
+                | Tok::Kw("difference")
+                | Tok::Kw("minimize")
+                | Tok::Kw("domain")
+                | Tok::Kw("pre-image") => Ok(Operand::Lang(self.lexpr()?)),
+                _ => Ok(Operand::Tree(self.tree_expr()?)),
+            };
+        }
+        Err(self.err(format!(
+            "expected a language or tree operand, found {}",
+            self.peek()
+        )))
+    }
+
+    // ---- attribute expressions: Pratt parser ----
+
+    fn expr(&mut self) -> Result<Expr, Diagnostic> {
+        self.expr_bp(0)
+    }
+
+    fn expr_bp(&mut self, min_bp: u8) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.expr_atom()?;
+        loop {
+            let (op, bp) = match self.peek() {
+                Tok::Kw("or") => (BinOp::Or, 1),
+                Tok::Kw("and") => (BinOp::And, 2),
+                Tok::Sym("=") => (BinOp::Eq, 3),
+                Tok::Sym("!=") => (BinOp::Ne, 3),
+                Tok::Sym("<") => (BinOp::Lt, 3),
+                Tok::Sym("<=") => (BinOp::Le, 3),
+                Tok::Sym(">") => (BinOp::Gt, 3),
+                Tok::Sym(">=") => (BinOp::Ge, 3),
+                Tok::Sym("+") => (BinOp::Add, 4),
+                Tok::Sym("-") => (BinOp::Sub, 4),
+                Tok::Sym("*") => (BinOp::Mul, 5),
+                Tok::Sym("%") => (BinOp::Mod, 5),
+                Tok::Sym("/") => (BinOp::Div, 5),
+                _ => break,
+            };
+            if bp < min_bp {
+                break;
+            }
+            self.bump();
+            let rhs = self.expr_bp(bp + 1)?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn expr_atom(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.span();
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n, start))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s, start))
+            }
+            Tok::Char(c) => {
+                self.bump();
+                Ok(Expr::Char(c, start))
+            }
+            Tok::Kw("true") => {
+                self.bump();
+                Ok(Expr::Bool(true, start))
+            }
+            Tok::Kw("false") => {
+                self.bump();
+                Ok(Expr::Bool(false, start))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(Expr::Attr(name, start))
+            }
+            Tok::Kw("not") => {
+                self.bump();
+                let e = self.expr_atom()?;
+                let span = start.to(e.span());
+                Ok(Expr::Not(Box::new(e), span))
+            }
+            Tok::Sym("-") => {
+                self.bump();
+                let e = self.expr_atom()?;
+                let span = start.to(e.span());
+                Ok(Expr::Bin(
+                    BinOp::Sub,
+                    Box::new(Expr::Int(0, start)),
+                    Box::new(e),
+                    span,
+                ))
+            }
+            Tok::Sym("(") => {
+                self.bump();
+                // Prefix operator form `(op e1 e2)` / `(not e)` /
+                // `(startsWith e "c")`, or plain grouping.
+                let e = match self.peek().clone() {
+                    Tok::Kw("not") => {
+                        self.bump();
+                        let inner = self.expr()?;
+                        Expr::Not(Box::new(inner), start)
+                    }
+                    Tok::Kw(k @ ("and" | "or")) => {
+                        self.bump();
+                        let op = if k == "and" { BinOp::And } else { BinOp::Or };
+                        let mut acc = self.expr_atom_or_group()?;
+                        let mut count = 1;
+                        while *self.peek() != Tok::Sym(")") {
+                            let rhs = self.expr_atom_or_group()?;
+                            let span = acc.span().to(rhs.span());
+                            acc = Expr::Bin(op, Box::new(acc), Box::new(rhs), span);
+                            count += 1;
+                        }
+                        if count < 2 {
+                            return Err(self.err("expected at least two operands"));
+                        }
+                        acc
+                    }
+                    Tok::Kw(k @ ("startsWith" | "endsWith" | "contains")) => {
+                        self.bump();
+                        let kind = match k {
+                            "startsWith" => StrTestKind::StartsWith,
+                            "endsWith" => StrTestKind::EndsWith,
+                            _ => StrTestKind::Contains,
+                        };
+                        let arg = self.expr()?;
+                        let lit = match self.bump() {
+                            Tok::Str(s) => s,
+                            other => {
+                                return Err(Diagnostic::new(
+                                    self.prev_span(),
+                                    format!("expected a string literal, found {other}"),
+                                ))
+                            }
+                        };
+                        Expr::StrTest(kind, Box::new(arg), lit, start)
+                    }
+                    _ => self.expr()?,
+                };
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected an expression, found {other}"))),
+        }
+    }
+
+    fn expr_atom_or_group(&mut self) -> Result<Expr, Diagnostic> {
+        self.expr_bp(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_type_decl() {
+        let p = parse(r#"type HtmlE[tag: String]{nil(0), val(1), attr(2), node(3)}"#).unwrap();
+        assert_eq!(p.decls.len(), 1);
+        match &p.decls[0] {
+            Decl::Type(t) => {
+                assert_eq!(t.name, "HtmlE");
+                assert_eq!(t.attrs, vec![("tag".to_string(), SortName::Str)]);
+                assert_eq!(t.ctors.len(), 4);
+                assert_eq!(t.ctors[3], ("node".to_string(), 3));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_lang_decl() {
+        let src = r#"
+            lang nodeTree: HtmlE {
+              node(x1, x2, x3) given (attrTree x1) (nodeTree x2) (nodeTree x3)
+            | nil() where (tag = "")
+            }
+        "#;
+        let p = parse(src).unwrap();
+        match &p.decls[0] {
+            Decl::Lang(l) => {
+                assert_eq!(l.name, "nodeTree");
+                assert_eq!(l.rules.len(), 2);
+                assert_eq!(l.rules[0].given.len(), 3);
+                assert!(l.rules[1].guard.is_some());
+                assert!(l.rules[1].vars.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_trans_decl() {
+        let src = r#"
+            trans remScript: HtmlE -> HtmlE {
+              node(x1, x2, x3) where (tag != "script")
+                to (node [tag] x1 (remScript x2) (remScript x3))
+            | node(x1, x2, x3) where (tag = "script") to x3
+            | nil() to (nil [tag])
+            }
+        "#;
+        let p = parse(src).unwrap();
+        match &p.decls[0] {
+            Decl::Trans(t) => {
+                assert_eq!(t.rules.len(), 3);
+                match &t.rules[0].out {
+                    TOut::Node { ctor, attrs, children, .. } => {
+                        assert_eq!(ctor, "node");
+                        assert_eq!(attrs.len(), 1);
+                        assert_eq!(children.len(), 3);
+                        assert!(matches!(&children[0], TOut::Var(v, _) if v == "x1"));
+                        assert!(matches!(&children[1], TOut::Call(q, v, _)
+                                         if q == "remScript" && v == "x2"));
+                    }
+                    other => panic!("{other:?}"),
+                }
+                assert!(matches!(&t.rules[1].out, TOut::Var(v, _) if v == "x3"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_defs_and_asserts() {
+        let src = r#"
+            def rem_esc: HtmlE -> HtmlE := (compose remScript esc)
+            def sani: HtmlE -> HtmlE := (restrict rem_esc nodeTree)
+            def bad_inputs: HtmlE := (pre-image sani badOutput)
+            assert-true (is-empty bad_inputs)
+            assert-false (is-empty (compose a b))
+            assert-true (type-check l1 t l2)
+            assert-true a == b
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.decls.len(), 7);
+        assert!(matches!(&p.decls[3],
+            Decl::Assert(AssertDecl { expected: true, body: Assertion::IsEmptyLang(_), .. })));
+        assert!(matches!(&p.decls[4],
+            Decl::Assert(AssertDecl { expected: false, body: Assertion::IsEmptyTrans(_), .. })));
+        assert!(matches!(&p.decls[5],
+            Decl::Assert(AssertDecl { body: Assertion::TypeCheck(..), .. })));
+        assert!(matches!(&p.decls[6],
+            Decl::Assert(AssertDecl { body: Assertion::LangEq(..), .. })));
+    }
+
+    #[test]
+    fn parse_tree_and_membership() {
+        let src = r#"
+            tree t1: BT := (N [0] (L [1]) (L [2]))
+            tree t2: BT := (apply f t1)
+            tree t3: BT := (get-witness p)
+            assert-true t1 in p
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.decls.len(), 4);
+        assert!(matches!(&p.decls[3],
+            Decl::Assert(AssertDecl { body: Assertion::Member(..), .. })));
+    }
+
+    #[test]
+    fn expr_precedence() {
+        let src = r#"lang p: T { c() where a = 1 or b = 2 and a < 3 }"#;
+        let p = parse(src).unwrap();
+        let Decl::Lang(l) = &p.decls[0] else { panic!() };
+        // or(a=1, and(b=2, a<3))
+        match l.rules[0].guard.as_ref().unwrap() {
+            Expr::Bin(BinOp::Or, _, rhs, _) => {
+                assert!(matches!(**rhs, Expr::Bin(BinOp::And, ..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn expr_arith() {
+        let src = r#"lang p: T { c() where (x + 5) % 26 = 2 * 3 }"#;
+        let p = parse(src).unwrap();
+        let Decl::Lang(l) = &p.decls[0] else { panic!() };
+        match l.rules[0].guard.as_ref().unwrap() {
+            Expr::Bin(BinOp::Eq, lhs, rhs, _) => {
+                assert!(matches!(**lhs, Expr::Bin(BinOp::Mod, ..)));
+                assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, ..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefix_bool_ops() {
+        let src = r#"lang p: T { c() where (and (a = 1) (b = 2) (c = 3)) }"#;
+        let p = parse(src).unwrap();
+        let Decl::Lang(l) = &p.decls[0] else { panic!() };
+        assert!(matches!(
+            l.rules[0].guard.as_ref().unwrap(),
+            Expr::Bin(BinOp::And, ..)
+        ));
+    }
+
+    #[test]
+    fn unary_minus_and_not() {
+        let src = r#"lang p: T { c() where not (x = -5) }"#;
+        let p = parse(src).unwrap();
+        let Decl::Lang(l) = &p.decls[0] else { panic!() };
+        assert!(matches!(l.rules[0].guard.as_ref().unwrap(), Expr::Not(..)));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = parse("lang p : T {").unwrap_err();
+        assert!(err.span.start.line >= 1);
+        assert!(parse("type T {}").is_err());
+        assert!(parse("def x : := y").is_err());
+    }
+
+    #[test]
+    fn string_tests() {
+        let src = r#"lang p: T { c() where (startsWith tag "scr") }"#;
+        let p = parse(src).unwrap();
+        let Decl::Lang(l) = &p.decls[0] else { panic!() };
+        assert!(matches!(
+            l.rules[0].guard.as_ref().unwrap(),
+            Expr::StrTest(StrTestKind::StartsWith, ..)
+        ));
+    }
+}

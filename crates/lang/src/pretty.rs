@@ -1,0 +1,377 @@
+//! Pretty-printer for Fast ASTs: regenerates concrete syntax that parses
+//! back to the same tree (round-trip tested property-style).
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.decls.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Decl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decl::Type(t) => write!(f, "{t}"),
+            Decl::Lang(l) => write!(f, "{l}"),
+            Decl::Trans(t) => write!(f, "{t}"),
+            Decl::DefLang(d) => write!(f, "{d}"),
+            Decl::DefTrans(d) => write!(f, "{d}"),
+            Decl::Tree(t) => write!(f, "{t}"),
+            Decl::Assert(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+impl fmt::Display for SortName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SortName::Int => "Int",
+            SortName::Str => "String",
+            SortName::Bool => "Bool",
+            SortName::Char => "Char",
+            SortName::Real => "Real",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for TypeDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type {}", self.name)?;
+        if !self.attrs.is_empty() {
+            write!(f, "[")?;
+            for (i, (n, s)) in self.attrs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{n}: {s}")?;
+            }
+            write!(f, "]")?;
+        }
+        write!(f, " {{ ")?;
+        for (i, (n, r)) in self.ctors.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}({r})")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+impl fmt::Display for LangRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ctor)?;
+        write!(f, "(")?;
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")?;
+        if let Some(g) = &self.guard {
+            write!(f, " where ({g})")?;
+        }
+        if !self.given.is_empty() {
+            write!(f, " given")?;
+            for (lang, var) in &self.given {
+                write!(f, " ({lang} {var})")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for LangDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "lang {}: {} {{", self.name, self.ty)?;
+        for (i, r) in self.rules.iter().enumerate() {
+            writeln!(f, "{} {r}", if i == 0 { " " } else { "|" })?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for TransDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trans {}: {} -> {} {{", self.name, self.ty_in, self.ty_out)?;
+        for (i, r) in self.rules.iter().enumerate() {
+            writeln!(f, "{} {} to {}", if i == 0 { " " } else { "|" }, r.lhs, r.out)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for TOut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TOut::Var(v, _) => write!(f, "{v}"),
+            TOut::Call(q, y, _) => write!(f, "({q} {y})"),
+            TOut::Node {
+                ctor,
+                attrs,
+                children,
+                ..
+            } => {
+                write!(f, "({ctor} [")?;
+                for (i, a) in attrs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "]")?;
+                for c in children {
+                    write!(f, " {c}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for DefLangDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "def {}: {} := {}", self.name, self.ty, self.body)
+    }
+}
+
+impl fmt::Display for DefTransDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "def {}: {} -> {} := {}",
+            self.name, self.ty_in, self.ty_out, self.body
+        )
+    }
+}
+
+impl fmt::Display for TreeDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tree {}: {} := {}", self.name, self.ty, self.body)
+    }
+}
+
+impl fmt::Display for AssertDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "assert-{} {}",
+            if self.expected { "true" } else { "false" },
+            self.body
+        )
+    }
+}
+
+impl fmt::Display for LExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LExpr::Name(n, _) => write!(f, "{n}"),
+            LExpr::Intersect(a, b, _) => write!(f, "(intersect {a} {b})"),
+            LExpr::Union(a, b, _) => write!(f, "(union {a} {b})"),
+            LExpr::Complement(a, _) => write!(f, "(complement {a})"),
+            LExpr::Difference(a, b, _) => write!(f, "(difference {a} {b})"),
+            LExpr::Minimize(a, _) => write!(f, "(minimize {a})"),
+            LExpr::Domain(t, _) => write!(f, "(domain {t})"),
+            LExpr::Preimage(t, l, _) => write!(f, "(pre-image {t} {l})"),
+        }
+    }
+}
+
+impl fmt::Display for TExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TExpr::Name(n, _) => write!(f, "{n}"),
+            TExpr::Compose(a, b, _) => write!(f, "(compose {a} {b})"),
+            TExpr::Restrict(t, l, _) => write!(f, "(restrict {t} {l})"),
+            TExpr::RestrictOut(t, l, _) => write!(f, "(restrict-out {t} {l})"),
+        }
+    }
+}
+
+impl fmt::Display for TreeExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeExpr::Name(n, _) => write!(f, "{n}"),
+            TreeExpr::Node {
+                ctor,
+                attrs,
+                children,
+                ..
+            } => {
+                write!(f, "({ctor} [")?;
+                for (i, a) in attrs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "]")?;
+                for c in children {
+                    write!(f, " {c}")?;
+                }
+                write!(f, ")")
+            }
+            TreeExpr::Apply(t, tr, _) => write!(f, "(apply {t} {tr})"),
+            TreeExpr::GetWitness(l, _) => write!(f, "(get-witness {l})"),
+        }
+    }
+}
+
+impl fmt::Display for Assertion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Assertion::LangEq(a, b) => write!(f, "{a} == {b}"),
+            Assertion::IsEmptyLang(l) => write!(f, "(is-empty {l})"),
+            Assertion::IsEmptyTrans(t) => write!(f, "(is-empty {t})"),
+            Assertion::Member(tr, l) => write!(f, "{tr} in {l}"),
+            Assertion::TypeCheck(a, t, b) => write!(f, "(type-check {a} {t} {b})"),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Mod => "%",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Attr(n, _) => write!(f, "{n}"),
+            Expr::Int(n, _) => write!(f, "{n}"),
+            Expr::Str(s, _) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        '\t' => write!(f, "\\t")?,
+                        '\r' => write!(f, "\\r")?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+            Expr::Bool(b, _) => write!(f, "{b}"),
+            Expr::Char(c, _) => match c {
+                '\'' => write!(f, "'\\''"),
+                '\\' => write!(f, "'\\\\'"),
+                '\n' => write!(f, "'\\n'"),
+                c => write!(f, "'{c}'"),
+            },
+            // Fully parenthesized: precedence-safe by construction.
+            Expr::Bin(op, a, b, _) => write!(f, "({a} {op} {b})"),
+            Expr::Not(e, _) => write!(f, "(not {e})"),
+            Expr::StrTest(kind, e, lit, _) => {
+                let k = match kind {
+                    StrTestKind::StartsWith => "startsWith",
+                    StrTestKind::EndsWith => "endsWith",
+                    StrTestKind::Contains => "contains",
+                };
+                write!(f, "({k} {e} \"{}\")", lit.replace('\\', "\\\\").replace('"', "\\\""))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Strips spans so round-trip comparison ignores positions.
+    fn normalize(p: &Program) -> String {
+        // Comparing pretty-printed forms is position-independent and
+        // catches any structural difference.
+        p.to_string()
+    }
+
+    #[test]
+    fn round_trip_fig2_style_program() {
+        let src = r#"
+            type HtmlE[tag: String] { nil(0), val(1), attr(2), node(3) }
+            lang nodeTree: HtmlE {
+              node(x1, x2, x3) given (attrTree x1) (nodeTree x2) (nodeTree x3)
+            | nil() where (tag = "")
+            }
+            trans remScript: HtmlE -> HtmlE {
+              node(x1, x2, x3) where (tag != "script")
+                to (node [tag] x1 (remScript x2) (remScript x3))
+            | node(x1, x2, x3) where (tag = "script") to (remScript x3)
+            | nil() to (nil [tag])
+            }
+            def sani: HtmlE -> HtmlE := (restrict remScript nodeTree)
+            def bad: HtmlE := (pre-image sani nodeTree)
+            tree w: HtmlE := (get-witness nodeTree)
+            assert-true (is-empty bad)
+            assert-false w in nodeTree
+        "#;
+        let p1 = parse(src).unwrap();
+        let printed = p1.to_string();
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("{e}\n--- printed ---\n{printed}"));
+        assert_eq!(normalize(&p1), normalize(&p2));
+    }
+
+    #[test]
+    fn round_trip_expressions() {
+        let src = r#"
+            type T[i: Int, s: String, b: Bool, c: Char] { z(0) }
+            lang p: T {
+              z() where ((i + 5) % 26 = 2 * 3 - 1
+                         and not (s = "x\"y")
+                         or b = true and c != 'q'
+                         or (startsWith s "ab"))
+            }
+        "#;
+        let p1 = parse(src).unwrap();
+        let printed = p1.to_string();
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("{e}\n--- printed ---\n{printed}"));
+        assert_eq!(p1.to_string(), p2.to_string());
+    }
+
+    #[test]
+    fn round_trip_ops() {
+        let src = r#"
+            type T[i: Int] { z(0), s(1) }
+            lang a: T { z() }
+            lang b: T { s(x) given (a x) }
+            def u: T := (union a (intersect b (complement a)))
+            def d: T := (difference (minimize a) b)
+            trans f: T -> T { z() to (z [i]) | s(x) to (s [i] (f x)) }
+            def g: T -> T := (compose (restrict f a) (restrict-out f b))
+            def dom: T := (domain g)
+            assert-true a == (union a a)
+            assert-true (type-check a f b)
+        "#;
+        let p1 = parse(src).unwrap();
+        let p2 = parse(&p1.to_string()).unwrap();
+        assert_eq!(p1.to_string(), p2.to_string());
+    }
+}

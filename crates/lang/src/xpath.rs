@@ -1,0 +1,453 @@
+//! An XPath fragment compiled to symbolic tree automata.
+//!
+//! §7 of the paper lists "identify a fragment of XPath expressible in
+//! Fast" as future work; this module implements it for the navigational
+//! core over the paper's own HtmlE encoding (Fig. 3):
+//!
+//! ```text
+//! path  ::= ('/' | '//') step (('/' | '//') step)*
+//! step  ::= (NAME | '*') pred*
+//! pred  ::= '[' '@' NAME ('=' STRING)? ']'
+//! ```
+//!
+//! `/` is the child axis, `//` descendant-or-self, `*` any element;
+//! predicates test attribute presence or exact value. The result of
+//! [`compile_xpath`] is an STA whose language is *the documents in which
+//! the path selects at least one element* — precisely the shape needed
+//! for emptiness-style analyses ("can any input produce a node matching
+//! `//script`?"), composing freely with every other language operation.
+//!
+//! Attribute-value matching is symbolic: the value chain is checked
+//! character by character with equality guards, independent of any
+//! concrete alphabet (the §6 argument applied to XPath).
+
+use crate::diag::{Diagnostic, Pos, Span};
+use fast_automata::{Sta, StaBuilder, StateId};
+use fast_smt::{Formula, LabelAlg, Term};
+use fast_trees::{HtmlCtors, TreeType};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Axis of a location step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `/` — direct children.
+    Child,
+    /// `//` — descendant-or-self.
+    Descendant,
+}
+
+/// An attribute predicate `[@name]` or `[@name='value']`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrPred {
+    /// Attribute name.
+    pub name: String,
+    /// Required exact value, if given.
+    pub value: Option<String>,
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// The axis leading into this step.
+    pub axis: Axis,
+    /// Element name test (`None` = `*`).
+    pub name: Option<String>,
+    /// Attribute predicates (conjunctive).
+    pub preds: Vec<AttrPred>,
+}
+
+/// A parsed XPath expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPath {
+    /// The steps in order.
+    pub steps: Vec<Step>,
+}
+
+/// Parses the supported XPath fragment.
+///
+/// # Errors
+///
+/// Returns a diagnostic (with column information) on syntax errors or
+/// unsupported XPath features.
+pub fn parse_xpath(input: &str) -> Result<XPath, Diagnostic> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut p = XParser { chars, i: 0 };
+    let x = p.path()?;
+    if p.i != p.chars.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(x)
+}
+
+struct XParser {
+    chars: Vec<char>,
+    i: usize,
+}
+
+impl XParser {
+    fn err(&self, msg: &str) -> Diagnostic {
+        Diagnostic::new(
+            Span::at(Pos {
+                line: 1,
+                col: self.i as u32 + 1,
+            }),
+            format!("xpath: {msg}"),
+        )
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&mut self) -> Result<String, Diagnostic> {
+        let start = self.i;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '-' || c == '_') {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(self.chars[start..self.i].iter().collect())
+    }
+
+    fn path(&mut self) -> Result<XPath, Diagnostic> {
+        let mut steps = Vec::new();
+        loop {
+            if !self.eat('/') {
+                if steps.is_empty() {
+                    return Err(self.err("paths must start with '/' or '//'"));
+                }
+                break;
+            }
+            let axis = if self.eat('/') {
+                Axis::Descendant
+            } else {
+                Axis::Child
+            };
+            let name = if self.eat('*') {
+                None
+            } else {
+                Some(self.name()?)
+            };
+            let mut preds = Vec::new();
+            while self.eat('[') {
+                if !self.eat('@') {
+                    return Err(self.err("only attribute predicates [@a] / [@a='v'] are supported"));
+                }
+                let name = self.name()?;
+                let value = if self.eat('=') {
+                    let quote = match self.peek() {
+                        Some(q @ ('\'' | '"')) => {
+                            self.i += 1;
+                            q
+                        }
+                        _ => return Err(self.err("expected a quoted value")),
+                    };
+                    let start = self.i;
+                    while matches!(self.peek(), Some(c) if c != quote) {
+                        self.i += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.err("unterminated string"));
+                    }
+                    let v: String = self.chars[start..self.i].iter().collect();
+                    self.i += 1;
+                    Some(v)
+                } else {
+                    None
+                };
+                if !self.eat(']') {
+                    return Err(self.err("expected ']'"));
+                }
+                preds.push(AttrPred { name, value });
+            }
+            steps.push(Step { axis, name, preds });
+            if self.peek().is_none() {
+                break;
+            }
+        }
+        if steps.is_empty() {
+            return Err(self.err("empty path"));
+        }
+        Ok(XPath { steps })
+    }
+}
+
+/// Compiles an XPath expression over an `HtmlE`-shaped tree type into an
+/// STA whose designated state accepts exactly the (encoded) documents in
+/// which the path selects at least one element.
+///
+/// # Errors
+///
+/// Returns a diagnostic on parse errors.
+///
+/// # Panics
+///
+/// Panics if `ty` lacks the `nil`/`val`/`attr`/`node` constructors or a
+/// single string attribute field.
+pub fn compile_xpath(
+    ty: &Arc<TreeType>,
+    alg: &Arc<LabelAlg>,
+    expr: &str,
+) -> Result<Sta, Diagnostic> {
+    let xpath = parse_xpath(expr)?;
+    assert_eq!(ty.sig().arity(), 1, "HtmlE-shaped type expected");
+    let c = HtmlCtors::resolve(ty);
+    let tag = Term::field(0);
+    let mut b = StaBuilder::new(ty.clone(), alg.clone());
+
+    // Value-chain languages for [@a='v']: one state per remaining suffix.
+    // chain_state(s) accepts the val-chain spelling exactly s.
+    let mut chain_cache: std::collections::HashMap<String, StateId> =
+        std::collections::HashMap::new();
+    fn chain_state(
+        s: &str,
+        b: &mut StaBuilder,
+        c: &HtmlCtors,
+        cache: &mut std::collections::HashMap<String, StateId>,
+    ) -> StateId {
+        if let Some(&q) = cache.get(s) {
+            return q;
+        }
+        let q = b.state(&format!("val:{s}"));
+        cache.insert(s.to_string(), q);
+        match s.chars().next() {
+            None => {
+                b.leaf_rule(q, c.nil, Formula::True);
+            }
+            Some(ch) => {
+                let rest: String = s.chars().skip(1).collect();
+                let next = chain_state(&rest, b, c, cache);
+                b.simple_rule(
+                    q,
+                    c.val,
+                    Formula::eq(Term::field(0), Term::str(&ch.to_string())),
+                    vec![Some(next)],
+                );
+            }
+        }
+        q
+    }
+
+    // Attribute-list languages per predicate: "the list contains an
+    // attribute named `name` (whose value spells `value`, if given)".
+    let mut pred_state = |p: &AttrPred, b: &mut StaBuilder| -> StateId {
+        let q = b.state(&format!("attr:{}", p.name));
+        let name_ok = Formula::eq(tag.clone(), Term::str(&p.name));
+        match &p.value {
+            None => {
+                b.rule(
+                    q,
+                    c.attr,
+                    name_ok,
+                    vec![BTreeSet::new(), BTreeSet::new()],
+                );
+            }
+            Some(v) => {
+                let chain = chain_state(v, b, &c, &mut chain_cache);
+                b.simple_rule(q, c.attr, name_ok, vec![Some(chain), None]);
+            }
+        }
+        // Or the attribute appears later in the list.
+        b.simple_rule(q, c.attr, Formula::True, vec![None, Some(q)]);
+        q
+    };
+
+    // Per-step match languages, built back to front. match_state(i)
+    // accepts a *node list* containing (per the axis) an element matching
+    // steps[i..].
+    let mut next_state: Option<StateId> = None;
+    for (i, step) in xpath.steps.iter().enumerate().rev() {
+        let q = b.state(&format!("step{i}"));
+        let name_guard = match &step.name {
+            Some(n) => Formula::eq(tag.clone(), Term::str(n)),
+            None => Formula::True,
+        };
+        // Lookahead on the attribute child: all predicates (conjunctive —
+        // alternation in action).
+        let attr_req: BTreeSet<StateId> = step
+            .preds
+            .iter()
+            .map(|p| pred_state(p, &mut b))
+            .collect();
+        // Hit: this element matches, and the rest of the path matches in
+        // its children.
+        let child_req: BTreeSet<StateId> = next_state.into_iter().collect();
+        b.rule(
+            q,
+            c.node,
+            name_guard,
+            vec![attr_req, child_req, BTreeSet::new()],
+        );
+        // Miss: keep scanning later siblings.
+        b.simple_rule(q, c.node, Formula::True, vec![None, None, Some(q)]);
+        if step.axis == Axis::Descendant {
+            // Or descend into children.
+            b.simple_rule(q, c.node, Formula::True, vec![None, Some(q), None]);
+        }
+        next_state = Some(q);
+    }
+    Ok(b.build(next_state.expect("at least one step")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_trees::{html_type, HtmlDoc, HtmlElem};
+
+    fn setup() -> (Arc<TreeType>, Arc<LabelAlg>) {
+        let ty = html_type();
+        let alg = Arc::new(LabelAlg::new(ty.sig().clone()));
+        (ty, alg)
+    }
+
+    /// Direct DOM oracle for the supported fragment.
+    fn oracle(doc: &HtmlDoc, xp: &XPath) -> bool {
+        fn matches(e: &HtmlElem, step: &Step) -> bool {
+            if let Some(n) = &step.name {
+                if &e.tag != n {
+                    return false;
+                }
+            }
+            step.preds.iter().all(|p| {
+                e.attrs.iter().any(|(n, v)| {
+                    n == &p.name && p.value.as_ref().map(|want| v == want).unwrap_or(true)
+                })
+            })
+        }
+        fn search(list: &[HtmlElem], steps: &[Step]) -> bool {
+            let Some(step) = steps.first() else { return false };
+            for e in list {
+                if matches(e, step) {
+                    if steps.len() == 1 {
+                        return true;
+                    }
+                    if search(&e.children, &steps[1..]) {
+                        return true;
+                    }
+                }
+                if step.axis == Axis::Descendant && search(&e.children, steps) {
+                    return true;
+                }
+            }
+            false
+        }
+        search(&doc.roots, &xp.steps)
+    }
+
+    fn check(doc: &HtmlDoc, expr: &str) -> (bool, bool) {
+        let (ty, alg) = setup();
+        let sta = compile_xpath(&ty, &alg, expr).unwrap();
+        let xp = parse_xpath(expr).unwrap();
+        (sta.accepts(&doc.encode(&ty)), oracle(doc, &xp))
+    }
+
+    fn sample_doc() -> HtmlDoc {
+        HtmlDoc::new(vec![
+            HtmlElem::new("div").with_attr("id", "main").with_child(
+                HtmlElem::new("p")
+                    .with_attr("class", "x")
+                    .with_child(HtmlElem::new("script")),
+            ),
+            HtmlElem::new("br"),
+        ])
+    }
+
+    #[test]
+    fn parser_accepts_fragment() {
+        let x = parse_xpath("//div/p[@class='x']//script[@src]").unwrap();
+        assert_eq!(x.steps.len(), 3);
+        assert_eq!(x.steps[0].axis, Axis::Descendant);
+        assert_eq!(x.steps[1].axis, Axis::Child);
+        assert_eq!(x.steps[1].preds[0].value.as_deref(), Some("x"));
+        assert_eq!(x.steps[2].preds[0].value, None);
+        assert!(parse_xpath("div").is_err());
+        assert!(parse_xpath("//p[text()='x']").is_err());
+        assert!(parse_xpath("//p[@a='unterminated]").is_err());
+        assert!(parse_xpath("/*").is_ok());
+    }
+
+    #[test]
+    fn selects_match_oracle_on_sample() {
+        let doc = sample_doc();
+        for expr in [
+            "/div",
+            "/p",
+            "//p",
+            "//script",
+            "/div/p",
+            "/div/p/script",
+            "/div//script",
+            "//div[@id='main']",
+            "//div[@id='x']",
+            "//p[@class='x']",
+            "//p[@class='y']",
+            "//p[@class]",
+            "//p[@id]",
+            "/*",
+            "//*[@id]",
+            "/br",
+            "/div/script",
+        ] {
+            let (got, want) = check(&doc, expr);
+            assert_eq!(got, want, "disagree on {expr}");
+        }
+    }
+
+    #[test]
+    fn randomized_against_oracle() {
+        let (ty, alg) = setup();
+        let mut g = fast_trees::HtmlGen::new(99);
+        let exprs = [
+            "//script",
+            "//div/p",
+            "//table//td",
+            "/div",
+            "//a[@href]",
+            "//*[@id]",
+            "//span[@class='lorem ipsum']",
+            "//li",
+        ];
+        for round in 0..6 {
+            let doc = g.doc_of_size(800 + round * 400);
+            let encoded = doc.encode(&ty);
+            for expr in exprs {
+                let sta = compile_xpath(&ty, &alg, expr).unwrap();
+                let xp = parse_xpath(expr).unwrap();
+                assert_eq!(
+                    sta.accepts(&encoded),
+                    oracle(&doc, &xp),
+                    "disagree on {expr} (round {round})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn composes_with_language_operations() {
+        // "has a script" ∩ "has no div" — the kind of query the CSS/HTML
+        // analyses need.
+        let (ty, alg) = setup();
+        let scripts = compile_xpath(&ty, &alg, "//script").unwrap();
+        let divs = compile_xpath(&ty, &alg, "//div").unwrap();
+        let no_div_script =
+            fast_automata::intersect(&scripts, &fast_automata::complement(&divs).unwrap());
+        let yes = HtmlDoc::new(vec![HtmlElem::new("p").with_child(HtmlElem::new("script"))]);
+        let no = HtmlDoc::new(vec![HtmlElem::new("div").with_child(HtmlElem::new("script"))]);
+        assert!(no_div_script.accepts(&yes.encode(&ty)));
+        assert!(!no_div_script.accepts(&no.encode(&ty)));
+        // And a witness can be synthesized for the combined query.
+        let w = fast_automata::witness(&no_div_script).unwrap().unwrap();
+        assert!(no_div_script.accepts(&w));
+    }
+}

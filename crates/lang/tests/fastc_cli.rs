@@ -1,0 +1,91 @@
+//! End-to-end tests of the `fastc` binary against the sample programs in
+//! `programs/`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fastc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fastc"))
+}
+
+fn programs_dir() -> PathBuf {
+    // crates/lang -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("programs")
+}
+
+#[test]
+fn all_good_programs_pass() {
+    for entry in std::fs::read_dir(programs_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("fast") {
+            continue;
+        }
+        if path.file_name().unwrap().to_str().unwrap().contains("buggy") {
+            continue;
+        }
+        let out = fastc().arg(&path).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{} failed:\n{}{}",
+            path.display(),
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("0 failed"), "{stdout}");
+    }
+}
+
+#[test]
+fn buggy_sanitizer_fails_with_counterexample() {
+    let path = programs_dir().join("sanitizer_buggy.fast");
+    let out = fastc().arg(&path).output().unwrap();
+    assert!(!out.status.success(), "the buggy program must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    assert!(stdout.contains("counterexample"), "{stdout}");
+    assert!(stdout.contains("script"), "{stdout}");
+}
+
+#[test]
+fn quiet_mode_only_prints_failures() {
+    let ok = programs_dir().join("example2.fast");
+    let out = fastc().arg(&ok).arg("--quiet").output().unwrap();
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty(), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn stats_flag_reports_sizes() {
+    let path = programs_dir().join("deforestation.fast");
+    let out = fastc().arg(&path).arg("--stats").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trans map_caesar:"), "{stdout}");
+    assert!(stdout.contains("lang  not_emp_list:"), "{stdout}");
+    assert!(stdout.contains("tree  input:"), "{stdout}");
+}
+
+#[test]
+fn missing_file_and_bad_args() {
+    let out = fastc().arg("/nonexistent/x.fast").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = fastc().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = fastc().arg("--help").output().unwrap();
+    assert!(out.status.success());
+}
+
+#[test]
+fn syntax_error_reports_position() {
+    let dir = std::env::temp_dir().join("fastc_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.fast");
+    std::fs::write(&path, "type T { }").unwrap();
+    let out = fastc().arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error at 1:"), "{stderr}");
+}

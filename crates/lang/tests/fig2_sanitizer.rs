@@ -1,0 +1,166 @@
+//! The paper's motivating example (§2, Fig. 2): an HTML sanitizer written
+//! in Fast, analyzed via composition, restriction, and pre-image.
+//!
+//! The buggy version (rule `node … where (tag = "script") to x3`, which
+//! forgets to recurse) must be caught with a counterexample; the fixed
+//! version must verify.
+
+use fast_lang::compile;
+use fast_trees::{HtmlDoc, HtmlElem};
+
+fn fig2_program(fixed: bool) -> String {
+    let script_case = if fixed {
+        r#"| node(x1, x2, x3) where (tag = "script") to (remScript x3)"#
+    } else {
+        r#"| node(x1, x2, x3) where (tag = "script") to x3"#
+    };
+    format!(
+        r#"
+// Datatype definition for HTML encoding (Fig. 2, line 2)
+type HtmlE[tag: String] {{ nil(0), val(1), attr(2), node(3) }}
+
+// Language of well-formed HTML trees
+lang nodeTree: HtmlE {{
+  node(x1, x2, x3) given (attrTree x1) (nodeTree x2) (nodeTree x3)
+| nil() where (tag = "")
+}}
+lang attrTree: HtmlE {{
+  attr(x1, x2) given (valTree x1) (attrTree x2)
+| nil() where (tag = "")
+}}
+lang valTree: HtmlE {{
+  val(x1) where (tag != "") given (valTree x1)
+| nil() where (tag = "")
+}}
+
+// Sanitization functions
+trans remScript: HtmlE -> HtmlE {{
+  node(x1, x2, x3) where (tag != "script")
+    to (node [tag] x1 (remScript x2) (remScript x3))
+{script_case}
+| nil() to (nil [tag])
+}}
+trans esc: HtmlE -> HtmlE {{
+  node(x1, x2, x3) to (node [tag] (esc x1) (esc x2) (esc x3))
+| attr(x1, x2) to (attr [tag] (esc x1) (esc x2))
+| val(x1) where (tag = "'" or tag = "\"")
+    to (val ["\\"] (val [tag] (esc x1)))
+| val(x1) where (tag != "'" and tag != "\"")
+    to (val [tag] (esc x1))
+| nil() to (nil [tag])
+}}
+
+// Compose remScript and esc and restrict to well-formed trees
+def rem_esc: HtmlE -> HtmlE := (compose remScript esc)
+def sani: HtmlE -> HtmlE := (restrict rem_esc nodeTree)
+
+// Language of bad outputs that contain a "script" node
+lang badOutput: HtmlE {{
+  node(x1, x2, x3) where (tag = "script")
+| node(x1, x2, x3) given (badOutput x2)
+| node(x1, x2, x3) given (badOutput x3)
+}}
+
+// Check that no input produces a bad output
+def bad_inputs: HtmlE := (pre-image sani badOutput)
+assert-true (is-empty bad_inputs)
+"#
+    )
+}
+
+#[test]
+fn buggy_sanitizer_is_caught_with_counterexample() {
+    let c = compile(&fig2_program(false)).expect("program compiles");
+    let report = c.report();
+    assert_eq!(report.assertions.len(), 1);
+    let a = &report.assertions[0];
+    assert!(!a.passed(), "the bug must be detected");
+    assert!(!a.actual, "bad_inputs is non-empty for the buggy sanitizer");
+    let cx = a
+        .counterexample
+        .as_ref()
+        .expect("a counterexample witness is produced");
+    // The paper's counterexample nests a script node under a script
+    // node's next-sibling position; ours must at least be a well-formed
+    // input that sani maps to a script-containing output.
+    let ty = c.tree_type("HtmlE").unwrap();
+    let witness = fast_trees::Tree::parse(ty, cx).expect("counterexample parses");
+    assert!(c.lang("nodeTree").unwrap().accepts(&witness));
+    let bad = c.lang("badOutput").unwrap();
+    let outputs = c.apply("sani", &witness).unwrap();
+    assert!(
+        outputs.iter().any(|o| bad.accepts(o)),
+        "the witness must actually produce a bad output; witness: {cx}, outputs: {:?}",
+        outputs.iter().map(|o| o.display(ty).to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn fixed_sanitizer_verifies() {
+    let c = compile(&fig2_program(true)).expect("program compiles");
+    assert!(
+        c.report().all_passed(),
+        "fixed sanitizer must verify: {:?}",
+        c.report()
+    );
+}
+
+#[test]
+fn fixed_sanitizer_on_fig3_document() {
+    // Sanitizing Fig. 3's `<div id='e"'><script>a</script></div><br />`
+    // yields `<div id='e\"'></div><br />` per the paper.
+    let c = compile(&fig2_program(true)).unwrap();
+    let ty = c.tree_type("HtmlE").unwrap().clone();
+    let doc = HtmlDoc::new(vec![
+        HtmlElem::new("div")
+            .with_attr("id", "e\"")
+            .with_child(HtmlElem::new("script").with_text("a")),
+        HtmlElem::new("br"),
+    ]);
+    let input = doc.encode(&ty);
+    assert!(c.lang("nodeTree").unwrap().accepts(&input));
+    let outputs = c.apply("sani", &input).unwrap();
+    assert_eq!(outputs.len(), 1, "sani is deterministic");
+    let sanitized = HtmlDoc::decode(&ty, &outputs[0]).unwrap();
+    assert_eq!(
+        sanitized,
+        HtmlDoc::new(vec![
+            HtmlElem::new("div").with_attr("id", "e\\\""),
+            HtmlElem::new("br"),
+        ])
+    );
+}
+
+#[test]
+fn sanitizer_removes_nested_scripts() {
+    let c = compile(&fig2_program(true)).unwrap();
+    let ty = c.tree_type("HtmlE").unwrap().clone();
+    let doc = HtmlDoc::new(vec![HtmlElem::new("div")
+        .with_child(HtmlElem::new("script").with_child(HtmlElem::new("p")))
+        .with_child(HtmlElem::new("script"))
+        .with_child(HtmlElem::new("p").with_child(HtmlElem::new("script")))]);
+    let input = doc.encode(&ty);
+    let outputs = c.apply("sani", &input).unwrap();
+    assert_eq!(outputs.len(), 1);
+    let out = HtmlDoc::decode(&ty, &outputs[0]).unwrap();
+    fn any_script(e: &HtmlElem) -> bool {
+        e.tag == "script" || e.children.iter().any(any_script)
+    }
+    assert!(!out.roots.iter().any(any_script));
+    // The div and the trailing p survive.
+    assert_eq!(out.roots[0].tag, "div");
+    assert_eq!(out.roots[0].children.len(), 1);
+    assert_eq!(out.roots[0].children[0].tag, "p");
+}
+
+#[test]
+fn domain_of_sani_is_node_tree() {
+    // restrict cut the domain to well-formed encodings.
+    let c = compile(&fig2_program(true)).unwrap();
+    let ty = c.tree_type("HtmlE").unwrap().clone();
+    let sani = c.transducer("sani").unwrap();
+    let malformed = fast_trees::Tree::parse(&ty, r#"val["x"](nil[""])"#).unwrap();
+    assert!(sani.run(&malformed).unwrap().is_empty());
+    let ok = fast_trees::Tree::parse(&ty, r#"node["p"](nil[""], nil[""], nil[""])"#).unwrap();
+    assert_eq!(sani.run(&ok).unwrap().len(), 1);
+}

@@ -1,0 +1,252 @@
+//! The paper's inline examples, written in Fast and checked end to end.
+
+use fast_lang::compile;
+use fast_trees::Tree;
+
+/// Example 2: alternating languages over integer-labeled binary trees.
+#[test]
+fn example2_languages() {
+    let src = r#"
+        type BT[i: Int] { L(0), N(2) }
+        lang p: BT { L() where (i > 0) | N(x, y) given (p x) (p y) }
+        lang o: BT { L() where (i % 2 = 1) | N(x, y) given (o x) (o y) }
+        lang q: BT { N(x, y) given (p y) (o y) }
+        tree ok: BT := (N [0] (L [-4]) (L [3]))
+        tree bad: BT := (N [0] (L [-4]) (L [2]))
+        assert-true ok in q
+        assert-false bad in q
+        assert-false (is-empty q)
+    "#;
+    let c = compile(src).unwrap();
+    assert!(c.report().all_passed(), "{:?}", c.report());
+}
+
+/// Example 5: regular lookahead with a defined complement language.
+#[test]
+fn example5_odd_root_negation() {
+    let src = r#"
+        type BT[x: Int] { L(0), N(2) }
+        lang oddRoot: BT {
+          N(t1, t2) where (x % 2 = 1)
+        | L() where (x % 2 = 1)
+        }
+        def evenRoot: BT := (complement oddRoot)
+        trans h: BT -> BT {
+          N(t1, t2) given (oddRoot t1) to (N [0 - x] (h t1) (h t2))
+        | N(t1, t2) given (evenRoot t1) to (N [x] (h t1) (h t2))
+        | L() to (L [x])
+        }
+    "#;
+    let c = compile(src).unwrap();
+    let ty = c.tree_type("BT").unwrap().clone();
+    let h = c.transducer("h").unwrap();
+    // Left child odd → negate the node's value.
+    let t = Tree::parse(&ty, "N[5](L[3], L[2])").unwrap();
+    let out = h.run(&t).unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].display(&ty).to_string(), "N[-5](L[3], L[2])");
+    // Left child even → unchanged.
+    let t = Tree::parse(&ty, "N[5](L[2], L[3])").unwrap();
+    let out = h.run(&t).unwrap();
+    assert_eq!(out[0].display(&ty).to_string(), "N[5](L[2], L[3])");
+    // Recursion applies the rule at every level.
+    let t = Tree::parse(&ty, "N[5](N[4](L[1], L[0]), L[2])").unwrap();
+    let out = h.run(&t).unwrap();
+    assert_eq!(out[0].display(&ty).to_string(), "N[5](N[-4](L[1], L[0]), L[2])");
+    // h is deterministic thanks to the lookahead split (the paper's point:
+    // a deterministic STTR replaces a nondeterministic guessing STT).
+    assert!(h.is_deterministic().unwrap());
+}
+
+/// Fig. 8: deforestation/analysis of composed list functions.
+#[test]
+fn fig8_full_program() {
+    let src = r#"
+        type IList[i: Int] { nil(0), cons(1) }
+        trans map_caesar: IList -> IList {
+          nil() to (nil [0])
+        | cons(y) to (cons [(i + 5) % 26] (map_caesar y))
+        }
+        trans filter_ev: IList -> IList {
+          nil() to (nil [0])
+        | cons(y) where (i % 2 = 0) to (cons [i] (filter_ev y))
+        | cons(y) where not (i % 2 = 0) to (filter_ev y)
+        }
+        lang not_emp_list: IList { cons(x) }
+        def comp: IList -> IList := (compose map_caesar filter_ev)
+        def comp2: IList -> IList := (compose comp comp)
+        def restr: IList -> IList := (restrict-out comp2 not_emp_list)
+        assert-true (is-empty restr)
+    "#;
+    let c = compile(src).unwrap();
+    assert!(c.report().all_passed(), "{:?}", c.report());
+    // comp2 always outputs the empty list.
+    let ty = c.tree_type("IList").unwrap().clone();
+    let input = Tree::parse(&ty, "cons[1](cons[2](cons[3](nil[0])))").unwrap();
+    let out = c.apply("comp2", &input).unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].display(&ty).to_string(), "nil[0]");
+}
+
+/// Example 4: deletion + regular lookahead in the source language.
+#[test]
+fn example4_composition_of_deleting_transducers() {
+    let src = r#"
+        type BBT[b: Bool] { L(0), N(2) }
+        trans s1: BBT -> BBT {
+          L() where (b = true) to (L [b])
+        | N(x, y) where (b = true) to (N [b] (s1 x) (s1 y))
+        }
+        trans s2: BBT -> BBT {
+          L() to (L [true])
+        | N(x, y) to (L [true])
+        }
+        def s: BBT -> BBT := (compose s1 s2)
+        tree all_true: BBT := (N [true] (L [true]) (L [true]))
+        tree has_false: BBT := (N [true] (L [true]) (L [false]))
+        def dom_s: BBT := (domain s)
+        assert-true all_true in dom_s
+        assert-false has_false in dom_s
+    "#;
+    let c = compile(src).unwrap();
+    assert!(c.report().all_passed(), "{:?}", c.report());
+    let ty = c.tree_type("BBT").unwrap().clone();
+    let all_true = c.tree("all_true").unwrap().clone();
+    let out = c.apply("s", &all_true).unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].display(&ty).to_string(), "L[true]");
+    let has_false = c.tree("has_false").unwrap().clone();
+    assert!(c.apply("s", &has_false).unwrap().is_empty());
+}
+
+/// Language operations and assertions: union/intersect/difference/
+/// minimize/equivalence.
+#[test]
+fn language_algebra() {
+    let src = r#"
+        type BT[i: Int] { L(0), N(2) }
+        lang pos: BT { L() where (i > 0) | N(x, y) given (pos x) (pos y) }
+        lang big: BT { L() where (i > 5) | N(x, y) given (big x) (big y) }
+        def both: BT := (intersect pos big)
+        def either: BT := (union pos big)
+        assert-true both == big
+        assert-true either == pos
+        assert-false pos == big
+        assert-true (is-empty (difference big pos))
+        assert-false (is-empty (difference pos big))
+        assert-true (minimize pos) == pos
+        tree w: BT := (get-witness (difference pos big))
+        assert-true w in pos
+        assert-false w in big
+    "#;
+    let c = compile(src).unwrap();
+    assert!(c.report().all_passed(), "{:?}", c.report());
+}
+
+/// type-check assertion (§3.5): outputs of map stay in [0, 25].
+#[test]
+fn type_check_assertion() {
+    let src = r#"
+        type IList[i: Int] { nil(0), cons(1) }
+        trans map_caesar: IList -> IList {
+          nil() to (nil [0])
+        | cons(y) to (cons [(i + 5) % 26] (map_caesar y))
+        }
+        lang all_lists: IList { nil() | cons(y) given (all_lists y) }
+        lang in_range: IList {
+          nil()
+        | cons(y) where (i >= 0 and i <= 25) given (in_range y)
+        }
+        lang too_tight: IList {
+          nil()
+        | cons(y) where (i >= 0 and i <= 10) given (too_tight y)
+        }
+        assert-true (type-check all_lists map_caesar in_range)
+        assert-false (type-check all_lists map_caesar too_tight)
+    "#;
+    let c = compile(src).unwrap();
+    assert!(c.report().all_passed(), "{:?}", c.report());
+    // The failing type-check carries a counterexample input.
+    let failing = &c.report().assertions[1];
+    assert!(failing.counterexample.is_some());
+}
+
+/// apply in tree position, and assertion counterexamples for equivalence.
+#[test]
+fn apply_and_equivalence_counterexample() {
+    let src = r#"
+        type IList[i: Int] { nil(0), cons(1) }
+        trans inc: IList -> IList {
+          nil() to (nil [0])
+        | cons(y) to (cons [i + 1] (inc y))
+        }
+        tree t0: IList := (cons [1] (cons [2] (nil [0])))
+        tree t1: IList := (apply inc t0)
+        lang ones: IList { nil() | cons(y) where (i = 1) given (ones y) }
+        lang twos: IList { nil() | cons(y) where (i = 2) given (twos y) }
+        assert-false ones == twos
+    "#;
+    let c = compile(src).unwrap();
+    let ty = c.tree_type("IList").unwrap().clone();
+    assert_eq!(
+        c.tree("t1").unwrap().display(&ty).to_string(),
+        "cons[2](cons[3](nil[0]))"
+    );
+    let a = &c.report().assertions[0];
+    assert!(a.passed());
+    // Equivalence failed (as expected), so a counterexample was found.
+    assert!(a.counterexample.is_some());
+}
+
+/// Errors: the compiler reports precise diagnostics.
+#[test]
+fn diagnostics() {
+    // Unknown type.
+    assert!(compile("lang p: Nope { c() }").unwrap_err().message.contains("unknown tree type"));
+    // Real attribute sort is rejected with a pointer to DESIGN.md.
+    assert!(compile("type T[r: Real] { c(0) }").unwrap_err().message.contains("Real"));
+    // Arity mismatch.
+    let e = compile("type T[i: Int] { c(0), n(2) } lang p: T { n(x) }").unwrap_err();
+    assert!(e.message.contains("rank"), "{e}");
+    // Unknown attribute.
+    let e = compile("type T[i: Int] { c(0) } lang p: T { c() where (z = 0) }").unwrap_err();
+    assert!(e.message.contains("unknown attribute"), "{e}");
+    // Mixed types in an operation.
+    let e = compile(
+        "type A[i: Int] { a(0) } type B[i: Int] { b(0) }
+         lang pa: A { a() } lang pb: B { b() }
+         def u: A := (union pa pb)",
+    )
+    .unwrap_err();
+    assert!(e.message.contains("different tree types"), "{e}");
+    // Nondeterministic apply with no output.
+    let e = compile(
+        "type T[i: Int] { c(0) }
+         trans f: T -> T { c() where (i > 0) to (c [i]) }
+         tree t: T := (apply f (c [0]))",
+    )
+    .unwrap_err();
+    assert!(e.message.contains("no output"), "{e}");
+}
+
+/// Transformations can call previously defined transformations.
+#[test]
+fn cross_trans_calls() {
+    let src = r#"
+        type IList[i: Int] { nil(0), cons(1) }
+        trans double: IList -> IList {
+          nil() to (nil [0])
+        | cons(y) to (cons [i * 2] (double y))
+        }
+        trans double_then_inc: IList -> IList {
+          nil() to (nil [0])
+        | cons(y) to (cons [i * 2 + 1] (double y))
+        }
+    "#;
+    let c = compile(src).unwrap();
+    let ty = c.tree_type("IList").unwrap().clone();
+    let t = Tree::parse(&ty, "cons[3](cons[4](nil[0]))").unwrap();
+    let out = c.apply("double_then_inc", &t).unwrap();
+    // Head gets *2+1, tail is handled by plain double.
+    assert_eq!(out[0].display(&ty).to_string(), "cons[7](cons[8](nil[0]))");
+}

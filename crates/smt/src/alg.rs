@@ -1,0 +1,362 @@
+//! Effective Boolean algebras.
+//!
+//! The paper's results are parametric in a *label theory* that (1) is
+//! closed under the Boolean operations and equality and (2) has a decidable
+//! satisfiability problem (§3.1). [`BoolAlg`] captures exactly that
+//! interface; [`LabelAlg`] is the concrete instance over [`Formula`]s with
+//! the built-in solver, result caching, and query statistics.
+
+use crate::formula::Formula;
+use crate::solver::{solve, SatResult};
+use crate::sort::LabelSig;
+use crate::value::Label;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// An effective Boolean algebra over predicates of type [`BoolAlg::Pred`]
+/// denoting sets of elements of type [`BoolAlg::Elem`].
+///
+/// Laws expected by the automata algorithms: `and`/`or`/`not` denote set
+/// intersection/union/complement, `tt`/`ff` the full/empty set, `eval`
+/// membership, and `is_sat` non-emptiness. `is_sat` may over-approximate
+/// (answer `true` on an undecided predicate) but must never answer `false`
+/// on a non-empty one.
+pub trait BoolAlg {
+    /// Predicates (syntactic objects closed under the Boolean operations).
+    type Pred: Clone + Eq + std::hash::Hash + fmt::Debug;
+    /// Domain elements.
+    type Elem: Clone + Eq + fmt::Debug;
+
+    /// The always-true predicate.
+    fn tt(&self) -> Self::Pred;
+    /// The always-false predicate.
+    fn ff(&self) -> Self::Pred;
+    /// Conjunction.
+    fn and(&self, a: &Self::Pred, b: &Self::Pred) -> Self::Pred;
+    /// Disjunction.
+    fn or(&self, a: &Self::Pred, b: &Self::Pred) -> Self::Pred;
+    /// Negation.
+    fn not(&self, a: &Self::Pred) -> Self::Pred;
+    /// Satisfiability (non-emptiness), over-approximating on `Unknown`.
+    fn is_sat(&self, a: &Self::Pred) -> bool;
+    /// A witness element, if one can be produced.
+    fn model(&self, a: &Self::Pred) -> Option<Self::Elem>;
+    /// Membership test.
+    fn eval(&self, a: &Self::Pred, e: &Self::Elem) -> bool;
+
+    /// Conjunction of many predicates.
+    fn conj<'a>(&self, preds: impl IntoIterator<Item = &'a Self::Pred>) -> Self::Pred
+    where
+        Self::Pred: 'a,
+    {
+        preds
+            .into_iter()
+            .fold(self.tt(), |acc, p| self.and(&acc, p))
+    }
+
+    /// Disjunction of many predicates.
+    fn disj<'a>(&self, preds: impl IntoIterator<Item = &'a Self::Pred>) -> Self::Pred
+    where
+        Self::Pred: 'a,
+    {
+        preds
+            .into_iter()
+            .fold(self.ff(), |acc, p| self.or(&acc, p))
+    }
+
+    /// `a ∧ ¬b` unsatisfiable ⇒ `a ⊆ b`. Over-approximating `is_sat`
+    /// makes this *under*-approximate inclusion (sound "don't know" = no).
+    fn implies(&self, a: &Self::Pred, b: &Self::Pred) -> bool {
+        !self.is_sat(&self.and(a, &self.not(b)))
+    }
+}
+
+/// An effective Boolean algebra extended with *label functions* — the
+/// symbolic output relabelings `e : σ → σ` of symbolic transducers
+/// (Definition 4 of the paper). The composition algorithm (§4) requires
+/// substituting a function into a predicate (`φ(e(x))`) and composing
+/// functions (`e₂ ∘ e₁`), both provided here.
+pub trait TransAlg: BoolAlg {
+    /// Label-to-label functions.
+    type Fun: Clone + Eq + std::hash::Hash + fmt::Debug;
+
+    /// The identity function.
+    fn identity_fun(&self) -> Self::Fun;
+    /// `x ↦ outer(inner(x))`.
+    fn compose_fun(&self, outer: &Self::Fun, inner: &Self::Fun) -> Self::Fun;
+    /// Applies the function to a concrete element (`None` on evaluation
+    /// failure such as overflow; such outputs are simply not produced).
+    fn apply_fun(&self, f: &Self::Fun, e: &Self::Elem) -> Option<Self::Elem>;
+    /// `x ↦ p(f(x))` — predicate pre-composition with a function.
+    fn subst_pred(&self, p: &Self::Pred, f: &Self::Fun) -> Self::Pred;
+    /// True if `f` is (syntactically) the identity.
+    fn is_identity_fun(&self, f: &Self::Fun) -> bool;
+}
+
+/// Counters describing solver traffic, for benchmarks and ablations.
+#[derive(Debug, Default)]
+pub struct AlgStats {
+    /// Total satisfiability queries (including cache hits).
+    pub sat_queries: AtomicU64,
+    /// Queries answered from the cache.
+    pub cache_hits: AtomicU64,
+    /// Queries that returned `Unknown`.
+    pub unknowns: AtomicU64,
+}
+
+impl AlgStats {
+    /// Snapshot of (queries, hits, unknowns).
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.sat_queries.load(Ordering::Relaxed),
+            self.cache_hits.load(Ordering::Relaxed),
+            self.unknowns.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The standard label algebra: [`Formula`] predicates over a [`LabelSig`],
+/// decided by [`solve`], with memoized satisfiability.
+///
+/// # Examples
+///
+/// ```
+/// use fast_smt::{BoolAlg, Formula, LabelAlg, LabelSig, Sort, Term};
+/// let alg = LabelAlg::new(LabelSig::single("i", Sort::Int));
+/// let odd = Formula::eq(Term::field(0).modulo(2), Term::int(1));
+/// let even = alg.not(&odd);
+/// assert!(alg.is_sat(&odd));
+/// assert!(!alg.is_sat(&alg.and(&odd, &even)));
+/// assert!(alg.implies(&odd, &alg.tt()));
+/// ```
+#[derive(Debug)]
+pub struct LabelAlg {
+    sig: LabelSig,
+    simplify: bool,
+    cache: Mutex<std::collections::HashMap<Formula, SatResult>>,
+    stats: AlgStats,
+}
+
+impl LabelAlg {
+    /// Creates an algebra over the given signature.
+    pub fn new(sig: LabelSig) -> Self {
+        LabelAlg {
+            sig,
+            simplify: true,
+            cache: Mutex::new(std::collections::HashMap::new()),
+            stats: AlgStats::default(),
+        }
+    }
+
+    /// Disables eager simplification in `and`/`or`/`not` (ablation knob;
+    /// see DESIGN.md §6).
+    pub fn without_simplification(mut self) -> Self {
+        self.simplify = false;
+        self
+    }
+
+    /// The label signature.
+    pub fn sig(&self) -> &LabelSig {
+        &self.sig
+    }
+
+    /// Query statistics.
+    pub fn stats(&self) -> &AlgStats {
+        &self.stats
+    }
+
+    /// Full three-valued satisfiability (callers that care about the
+    /// Sat/Unknown distinction use this instead of [`BoolAlg::is_sat`]).
+    pub fn check(&self, f: &Formula) -> SatResult {
+        self.stats.sat_queries.fetch_add(1, Ordering::Relaxed);
+        if let Some(r) = self.cache.lock().unwrap().get(f) {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return r.clone();
+        }
+        let r = solve(&self.sig, f);
+        if matches!(r, SatResult::Unknown) {
+            self.stats.unknowns.fetch_add(1, Ordering::Relaxed);
+        }
+        self.cache.lock().unwrap().insert(f.clone(), r.clone());
+        r
+    }
+}
+
+impl BoolAlg for LabelAlg {
+    type Pred = Formula;
+    type Elem = Label;
+
+    fn tt(&self) -> Formula {
+        Formula::True
+    }
+    fn ff(&self) -> Formula {
+        Formula::False
+    }
+    fn and(&self, a: &Formula, b: &Formula) -> Formula {
+        if self.simplify {
+            a.clone().and(b.clone())
+        } else {
+            Formula::And(vec![a.clone(), b.clone()])
+        }
+    }
+    fn or(&self, a: &Formula, b: &Formula) -> Formula {
+        if self.simplify {
+            a.clone().or(b.clone())
+        } else {
+            Formula::Or(vec![a.clone(), b.clone()])
+        }
+    }
+    fn not(&self, a: &Formula) -> Formula {
+        if self.simplify {
+            a.clone().not()
+        } else {
+            Formula::Not(Box::new(a.clone()))
+        }
+    }
+    fn is_sat(&self, a: &Formula) -> bool {
+        self.check(a).possibly_sat()
+    }
+    fn model(&self, a: &Formula) -> Option<Label> {
+        self.check(a).model()
+    }
+    fn eval(&self, a: &Formula, e: &Label) -> bool {
+        a.eval(e)
+    }
+}
+
+impl TransAlg for LabelAlg {
+    type Fun = crate::term::LabelFn;
+
+    fn identity_fun(&self) -> Self::Fun {
+        crate::term::LabelFn::identity(self.sig.arity())
+    }
+    fn compose_fun(&self, outer: &Self::Fun, inner: &Self::Fun) -> Self::Fun {
+        outer.compose(inner)
+    }
+    fn apply_fun(&self, f: &Self::Fun, e: &Label) -> Option<Label> {
+        f.apply(e).ok()
+    }
+    fn subst_pred(&self, p: &Formula, f: &Self::Fun) -> Formula {
+        let substituted = p.subst(f.terms());
+        if self.simplify {
+            substituted.simplify()
+        } else {
+            substituted
+        }
+    }
+    fn is_identity_fun(&self, f: &Self::Fun) -> bool {
+        f.is_identity()
+    }
+}
+
+/// Computes the satisfiable *minterms* of a set of predicates: all
+/// satisfiable conjunctions choosing each `preds[i]` either positively or
+/// negatively. Returns `(signs, predicate)` pairs; the signs vector tells
+/// which polarity was chosen per input predicate.
+///
+/// Minterms partition the label space and are the work-horse of symbolic
+/// determinization. The tree-shaped expansion prunes unsatisfiable branches
+/// early, so the output is usually far smaller than `2^n`.
+pub fn minterms<A: BoolAlg>(alg: &A, preds: &[A::Pred]) -> Vec<(Vec<bool>, A::Pred)> {
+    let mut out = Vec::new();
+    let mut signs = Vec::with_capacity(preds.len());
+    go(alg, preds, 0, alg.tt(), &mut signs, &mut out);
+    return out;
+
+    fn go<A: BoolAlg>(
+        alg: &A,
+        preds: &[A::Pred],
+        i: usize,
+        acc: A::Pred,
+        signs: &mut Vec<bool>,
+        out: &mut Vec<(Vec<bool>, A::Pred)>,
+    ) {
+        if !alg.is_sat(&acc) {
+            return;
+        }
+        if i == preds.len() {
+            out.push((signs.clone(), acc));
+            return;
+        }
+        for sign in [true, false] {
+            let p = if sign {
+                preds[i].clone()
+            } else {
+                alg.not(&preds[i])
+            };
+            signs.push(sign);
+            go(alg, preds, i + 1, alg.and(&acc, &p), signs, out);
+            signs.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::CmpOp;
+    use crate::sort::Sort;
+    use crate::term::Term;
+
+    fn alg() -> LabelAlg {
+        LabelAlg::new(LabelSig::single("i", Sort::Int))
+    }
+    fn x() -> Term {
+        Term::field(0)
+    }
+
+    #[test]
+    fn algebra_laws() {
+        let a = alg();
+        let odd = Formula::eq(x().modulo(2), Term::int(1));
+        assert!(a.is_sat(&a.tt()));
+        assert!(!a.is_sat(&a.ff()));
+        assert!(!a.is_sat(&a.and(&odd, &a.not(&odd))));
+        assert!(a.is_sat(&a.or(&odd, &a.not(&odd))));
+        assert!(a.implies(&a.ff(), &odd));
+        assert!(a.implies(&odd, &a.tt()));
+        assert!(!a.implies(&a.tt(), &odd));
+    }
+
+    #[test]
+    fn cache_hits_accumulate() {
+        let a = alg();
+        let odd = Formula::eq(x().modulo(2), Term::int(1));
+        a.is_sat(&odd);
+        a.is_sat(&odd);
+        let (q, h, _) = a.stats().snapshot();
+        assert_eq!(q, 2);
+        assert_eq!(h, 1);
+    }
+
+    #[test]
+    fn minterms_partition() {
+        let a = alg();
+        let p1 = Formula::cmp(CmpOp::Gt, x(), Term::int(0));
+        let p2 = Formula::cmp(CmpOp::Gt, x(), Term::int(10));
+        let ms = minterms(&a, &[p1.clone(), p2.clone()]);
+        // p2 ⊂ p1, so (¬p1 ∧ p2) is unsat: expect 3 minterms, not 4.
+        assert_eq!(ms.len(), 3);
+        for (signs, m) in &ms {
+            let w = a.model(m).expect("minterm must have a model");
+            assert_eq!(p1.eval(&w), signs[0]);
+            assert_eq!(p2.eval(&w), signs[1]);
+        }
+    }
+
+    #[test]
+    fn minterms_of_empty() {
+        let a = alg();
+        let ms = minterms(&a, &[]);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].1, Formula::True);
+    }
+
+    #[test]
+    fn without_simplification_still_correct() {
+        let a = LabelAlg::new(LabelSig::single("i", Sort::Int)).without_simplification();
+        let odd = Formula::eq(x().modulo(2), Term::int(1));
+        assert!(!a.is_sat(&a.and(&odd, &a.not(&odd))));
+    }
+}

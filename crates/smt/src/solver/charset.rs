@@ -1,0 +1,286 @@
+//! Interval sets over Unicode scalar values — the complete decision
+//! procedure for the `Char` sort.
+
+use std::fmt;
+
+const SURROGATE_LO: u32 = 0xD800;
+const SURROGATE_HI: u32 = 0xDFFF;
+/// Largest Unicode scalar value.
+pub const CHAR_MAX: u32 = 0x10FFFF;
+
+/// A set of Unicode scalar values, kept as sorted, disjoint, non-adjacent
+/// inclusive intervals.
+///
+/// # Examples
+///
+/// ```
+/// use fast_smt::solver::CharSet;
+/// let digits = CharSet::range('0', '9');
+/// let odd = digits.intersect(&CharSet::from_chars("13579".chars()));
+/// assert!(odd.contains('3'));
+/// assert!(!odd.contains('4'));
+/// assert_eq!(odd.min_char(), Some('1'));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct CharSet {
+    ranges: Vec<(u32, u32)>,
+}
+
+impl CharSet {
+    /// The empty set.
+    pub fn empty() -> CharSet {
+        CharSet { ranges: Vec::new() }
+    }
+
+    /// All Unicode scalar values.
+    pub fn full() -> CharSet {
+        CharSet {
+            ranges: vec![(0, SURROGATE_LO - 1), (SURROGATE_HI + 1, CHAR_MAX)],
+        }
+    }
+
+    /// A single character.
+    pub fn singleton(c: char) -> CharSet {
+        CharSet {
+            ranges: vec![(c as u32, c as u32)],
+        }
+    }
+
+    /// An inclusive character range (clipped to scalar values).
+    pub fn range(lo: char, hi: char) -> CharSet {
+        CharSet::from_u32_range(lo as u32, hi as u32)
+    }
+
+    fn from_u32_range(lo: u32, hi: u32) -> CharSet {
+        if lo > hi {
+            return CharSet::empty();
+        }
+        // Remove the surrogate gap.
+        let mut out = Vec::new();
+        if lo < SURROGATE_LO {
+            out.push((lo, hi.min(SURROGATE_LO - 1)));
+        }
+        if hi > SURROGATE_HI {
+            out.push((lo.max(SURROGATE_HI + 1), hi.min(CHAR_MAX)));
+        }
+        CharSet { ranges: out }
+    }
+
+    /// Builds a set from individual characters.
+    pub fn from_chars(chars: impl IntoIterator<Item = char>) -> CharSet {
+        let mut s = CharSet::empty();
+        for c in chars {
+            s = s.union(&CharSet::singleton(c));
+        }
+        s
+    }
+
+    /// All characters strictly less than `c`.
+    pub fn less_than(c: char) -> CharSet {
+        match (c as u32).checked_sub(1) {
+            None => CharSet::empty(),
+            Some(hi) => CharSet::from_u32_range(0, hi),
+        }
+    }
+
+    /// All characters strictly greater than `c`.
+    pub fn greater_than(c: char) -> CharSet {
+        CharSet::from_u32_range(c as u32 + 1, CHAR_MAX)
+    }
+
+    /// True when the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, c: char) -> bool {
+        let x = c as u32;
+        self.ranges
+            .binary_search_by(|&(lo, hi)| {
+                if x < lo {
+                    std::cmp::Ordering::Greater
+                } else if x > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Number of characters in the set.
+    pub fn len(&self) -> u64 {
+        self.ranges
+            .iter()
+            .map(|&(lo, hi)| u64::from(hi - lo) + 1)
+            .sum()
+    }
+
+    /// The smallest character, if any.
+    pub fn min_char(&self) -> Option<char> {
+        self.ranges.first().and_then(|&(lo, _)| char::from_u32(lo))
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &CharSet) -> CharSet {
+        let mut all: Vec<(u32, u32)> = self
+            .ranges
+            .iter()
+            .chain(other.ranges.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        let mut out: Vec<(u32, u32)> = Vec::with_capacity(all.len());
+        for (lo, hi) in all {
+            match out.last_mut() {
+                Some((_, phi)) if lo <= phi.saturating_add(1) => *phi = (*phi).max(hi),
+                _ => out.push((lo, hi)),
+            }
+        }
+        CharSet { ranges: out }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &CharSet) -> CharSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let (alo, ahi) = self.ranges[i];
+            let (blo, bhi) = other.ranges[j];
+            let lo = alo.max(blo);
+            let hi = ahi.min(bhi);
+            if lo <= hi {
+                out.push((lo, hi));
+            }
+            if ahi < bhi {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        CharSet { ranges: out }
+    }
+
+    /// Complement with respect to all scalar values.
+    pub fn complement(&self) -> CharSet {
+        CharSet::full().difference(self)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &CharSet) -> CharSet {
+        let mut out = Vec::new();
+        for &(lo, hi) in &self.ranges {
+            let mut cur = lo;
+            for &(blo, bhi) in &other.ranges {
+                if bhi < cur || blo > hi {
+                    continue;
+                }
+                if blo > cur {
+                    out.push((cur, blo - 1));
+                }
+                cur = bhi.saturating_add(1);
+                if cur > hi {
+                    break;
+                }
+            }
+            if cur <= hi {
+                out.push((cur, hi));
+            }
+        }
+        CharSet { ranges: out }
+    }
+
+    /// Removes a single character.
+    pub fn remove(&self, c: char) -> CharSet {
+        self.difference(&CharSet::singleton(c))
+    }
+
+    /// Iterates over the characters (ascending). Beware: can be huge for
+    /// near-full sets; intended for small sets.
+    pub fn iter(&self) -> impl Iterator<Item = char> + '_ {
+        self.ranges
+            .iter()
+            .flat_map(|&(lo, hi)| (lo..=hi).filter_map(char::from_u32))
+    }
+}
+
+impl fmt::Display for CharSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, &(lo, hi)) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            if lo == hi {
+                write!(f, "{:?}", char::from_u32(lo).unwrap_or('\u{FFFD}'))?;
+            } else {
+                write!(
+                    f,
+                    "{:?}-{:?}",
+                    char::from_u32(lo).unwrap_or('\u{FFFD}'),
+                    char::from_u32(hi).unwrap_or('\u{FFFD}')
+                )?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let d = CharSet::range('0', '9');
+        let l = CharSet::range('a', 'z');
+        let u = d.union(&l);
+        assert!(u.contains('5') && u.contains('q'));
+        assert!(!u.contains('A'));
+        assert_eq!(d.intersect(&l), CharSet::empty());
+        assert_eq!(u.len(), 36);
+    }
+
+    #[test]
+    fn complement_excludes_surrogates() {
+        let c = CharSet::empty().complement();
+        assert_eq!(c, CharSet::full());
+        assert_eq!(c.len(), 0x110000 - 0x800);
+        let nc = CharSet::singleton('a').complement();
+        assert!(!nc.contains('a'));
+        assert!(nc.contains('b'));
+        assert_eq!(nc.complement(), CharSet::singleton('a'));
+    }
+
+    #[test]
+    fn difference_and_remove() {
+        let d = CharSet::range('0', '9');
+        let m = d.remove('5');
+        assert_eq!(m.len(), 9);
+        assert!(!m.contains('5'));
+        assert_eq!(m.min_char(), Some('0'));
+        assert_eq!(d.difference(&d), CharSet::empty());
+    }
+
+    #[test]
+    fn union_merges_adjacent() {
+        let a = CharSet::range('a', 'c').union(&CharSet::range('d', 'f'));
+        assert_eq!(a, CharSet::range('a', 'f'));
+    }
+
+    #[test]
+    fn ordering_helpers() {
+        let lt = CharSet::less_than('c');
+        assert!(lt.contains('b') && !lt.contains('c'));
+        let gt = CharSet::greater_than('c');
+        assert!(gt.contains('d') && !gt.contains('c'));
+        assert_eq!(lt.union(&gt).complement(), CharSet::singleton('c'));
+    }
+
+    #[test]
+    fn iter_small() {
+        let s = CharSet::from_chars("cab".chars());
+        assert_eq!(s.iter().collect::<String>(), "abc");
+    }
+}

@@ -1,0 +1,563 @@
+//! Complete decision procedure for single-variable integer constraints
+//! built from `{+, -, *, % constant}` — including arbitrarily *nested*
+//! `mod` (which arises naturally from transducer composition, e.g.
+//! `((x+5) % 26) % 2` in the paper's Fig. 8 analysis).
+//!
+//! Let `L` be the lcm of every mod divisor at every nesting depth. On the
+//! residue class `x = r + L·k`, every polynomial subterm `P` satisfies
+//! `P(r + L·k) ≡ P(r) (mod m)` for each divisor `m | L` (all
+//! `k`-dependent monomials carry a factor `L`), so every `mod` subterm
+//! collapses — innermost first — to a constant, and each constraint
+//! becomes a plain polynomial comparison in `k`. Polynomial comparisons
+//! are decided exactly by enumerating the window up to the Cauchy root
+//! bound and reading off tail signs from leading coefficients.
+//!
+//! The `Int` sort is i64-bounded: a `Sat` answer always carries an in-range
+//! witness, and `Unsat` is only reported when the full (mathematical)
+//! search is exhaustive — otherwise the result is `Unknown`.
+
+use crate::formula::{Atom, CmpOp, Literal};
+use crate::poly::Poly;
+use crate::term::Term;
+use crate::value::Value;
+
+/// Caps to keep the procedure predictable. Exceeding any yields `Unknown`.
+const MAX_LCM: i128 = 1 << 20;
+const MAX_WORK: i128 = 1 << 22;
+
+/// Outcome of a per-field conjunction query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldSat {
+    /// Satisfiable with this witness value.
+    Sat(Value),
+    /// Provably unsatisfiable.
+    Unsat,
+    /// Out of the complete fragment or over resource caps.
+    Unknown,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn lcm(a: i128, b: i128) -> Option<i128> {
+    if a == 0 || b == 0 {
+        return Some(0);
+    }
+    (a / gcd(a, b)).checked_mul(b).map(i128::abs)
+}
+
+/// Collects every `mod`/`div` divisor in the term (any nesting depth);
+/// returns `false` if the term falls outside the `{+,-,*,%c,/c}` fragment.
+fn collect_divisors(t: &Term, out: &mut Vec<i128>) -> bool {
+    match t {
+        Term::Field(_) | Term::Lit(Value::Int(_)) => true,
+        Term::Lit(_) => false,
+        Term::Neg(a) => collect_divisors(a, out),
+        Term::Add(a, b) | Term::Sub(a, b) | Term::Mul(a, b) => {
+            collect_divisors(a, out) && collect_divisors(b, out)
+        }
+        Term::Mod(a, m) | Term::Div(a, m) => {
+            out.push(i128::from(*m));
+            collect_divisors(a, out)
+        }
+        Term::Concat(..) | Term::StrLen(..) | Term::Ite(..) => false,
+    }
+}
+
+/// Restricts a term to the residue class `x = r + L·k`, yielding a plain
+/// polynomial in `k`. Requires every mod divisor to divide `L`: then for
+/// any polynomial subterm `P`, `P(r + L·k) ≡ P(r) (mod m)` (every
+/// `k`-dependent monomial carries a factor `L`), so each `mod` collapses
+/// to the constant `P(r) mod m` — including *nested* occurrences, by
+/// induction from the innermost mod outward.
+fn restrict_term(t: &Term, r: i128, l: i128) -> Option<Poly> {
+    match t {
+        Term::Field(_) => Some(Poly::from_coeffs(vec![r, l])),
+        Term::Lit(Value::Int(n)) => Some(Poly::constant(i128::from(*n))),
+        Term::Lit(_) => None,
+        Term::Neg(a) => restrict_term(a, r, l)?.scale(-1),
+        Term::Add(a, b) => restrict_term(a, r, l)?.add(&restrict_term(b, r, l)?),
+        Term::Sub(a, b) => restrict_term(a, r, l)?.sub(&restrict_term(b, r, l)?),
+        Term::Mul(a, b) => restrict_term(a, r, l)?.mul(&restrict_term(b, r, l)?),
+        Term::Mod(a, m) => {
+            let q = restrict_term(a, r, l)?;
+            debug_assert_eq!(l % i128::from(*m), 0);
+            let c = q.eval(0)?.rem_euclid(i128::from(*m));
+            Some(Poly::constant(c))
+        }
+        Term::Div(a, m) => {
+            // Euclidean division distributes over the residue class: with
+            // m | every k-coefficient of the inner polynomial Q (each
+            // carries a factor L), Q(k) div m = (Q(k) − Q(0) mod m) / m
+            // exactly — a polynomial with integer coefficients.
+            let q = restrict_term(a, r, l)?;
+            let m = i128::from(*m);
+            debug_assert_eq!(l % m, 0);
+            let rem = q.eval(0)?.rem_euclid(m);
+            let shifted = q.sub(&Poly::constant(rem))?;
+            let coeffs: Option<Vec<i128>> = shifted
+                .coeffs()
+                .iter()
+                .map(|c| if c % m == 0 { Some(c / m) } else { None })
+                .collect();
+            Some(Poly::from_coeffs(coeffs?))
+        }
+        Term::Concat(..) | Term::StrLen(..) | Term::Ite(..) => None,
+    }
+}
+
+/// One normalized constraint: `lhs - rhs ⋈ 0` with the original terms kept
+/// for per-class restriction.
+#[derive(Debug, Clone)]
+struct Constraint {
+    lhs: Term,
+    rhs: Term,
+    op: CmpOp,
+}
+
+/// Normalizes a literal over a single integer field. `None` = fragment
+/// violation.
+fn constraint_of_literal(lit: &Literal) -> Option<Constraint> {
+    let (op, a, b) = match &lit.atom {
+        Atom::Cmp(op, a, b) => (*op, a, b),
+        _ => return None,
+    };
+    let op = if lit.positive { op } else { op.negate() };
+    Some(Constraint {
+        lhs: a.clone(),
+        rhs: b.clone(),
+        op,
+    })
+}
+
+fn sign_matches(op: CmpOp, sign: i32) -> bool {
+    match op {
+        CmpOp::Eq => sign == 0,
+        CmpOp::Ne => sign != 0,
+        CmpOp::Lt => sign < 0,
+        CmpOp::Le => sign <= 0,
+        CmpOp::Gt => sign > 0,
+        CmpOp::Ge => sign >= 0,
+    }
+}
+
+/// Decides a conjunction of integer literals over a single field,
+/// excluding the given witness values.
+///
+/// Sound: `Sat` always carries a verified witness; `Unsat` is only
+/// returned after an exhaustive window + tail analysis.
+pub fn solve_int_conjunction(lits: &[Literal], excluded: &[i64]) -> FieldSat {
+    let mut constraints = Vec::with_capacity(lits.len());
+    let mut divisors: Vec<i128> = Vec::new();
+    for lit in lits {
+        match constraint_of_literal(lit) {
+            Some(c) => {
+                if !collect_divisors(&c.lhs, &mut divisors)
+                    || !collect_divisors(&c.rhs, &mut divisors)
+                {
+                    return FieldSat::Unknown;
+                }
+                constraints.push(c);
+            }
+            None => return FieldSat::Unknown,
+        }
+    }
+    // Overall modulus: lcm of every divisor at every nesting depth.
+    let mut l: i128 = 1;
+    for m in divisors {
+        match lcm(l, m) {
+            Some(nl) if nl <= MAX_LCM => l = nl,
+            _ => return FieldSat::Unknown,
+        }
+    }
+
+    let mut incomplete = false;
+    let mut best_unknown = false;
+
+    let mut total_work: i128 = 0;
+    for r in 0..l {
+        let mut polys: Vec<(Poly, CmpOp)> = Vec::with_capacity(constraints.len());
+        let mut class_ok = true;
+        for c in &constraints {
+            let p = restrict_term(&c.lhs, r, l)
+                .and_then(|pa| restrict_term(&c.rhs, r, l).and_then(|pb| pa.sub(&pb)));
+            match p {
+                Some(p) => polys.push((p, c.op)),
+                None => {
+                    class_ok = false;
+                    break;
+                }
+            }
+        }
+        if !class_ok {
+            best_unknown = true;
+            continue;
+        }
+        let mut bound: i128 = 1;
+        for (p, _) in &polys {
+            match p.root_bound() {
+                Some(b) => bound = bound.max(b),
+                None => {
+                    best_unknown = true;
+                    class_ok = false;
+                    break;
+                }
+            }
+        }
+        if !class_ok {
+            continue;
+        }
+        total_work += 2 * bound + 1;
+        if total_work > MAX_WORK {
+            return FieldSat::Unknown;
+        }
+
+        // Window enumeration: k ∈ [-bound, bound].
+        for k in -bound..=bound {
+            match check_point(&polys, r, l, k, excluded) {
+                PointResult::Sat(x) => return FieldSat::Sat(Value::Int(x)),
+                PointResult::No => {}
+                PointResult::Overflow => incomplete = true,
+            }
+        }
+        // Positive tail: signs fixed for k > bound.
+        if polys
+            .iter()
+            .all(|(p, op)| sign_matches(*op, p.sign_at_pos_infinity()))
+        {
+            match find_tail_witness(&polys, r, l, bound, 1, excluded) {
+                Some(x) => return FieldSat::Sat(Value::Int(x)),
+                None => incomplete = true,
+            }
+        }
+        // Negative tail.
+        if polys
+            .iter()
+            .all(|(p, op)| sign_matches(*op, p.sign_at_neg_infinity()))
+        {
+            match find_tail_witness(&polys, r, l, bound, -1, excluded) {
+                Some(x) => return FieldSat::Sat(Value::Int(x)),
+                None => incomplete = true,
+            }
+        }
+    }
+
+    if incomplete || best_unknown {
+        FieldSat::Unknown
+    } else {
+        FieldSat::Unsat
+    }
+}
+
+enum PointResult {
+    Sat(i64),
+    No,
+    Overflow,
+}
+
+fn check_point(
+    polys: &[(Poly, CmpOp)],
+    r: i128,
+    l: i128,
+    k: i128,
+    excluded: &[i64],
+) -> PointResult {
+    let x = match r.checked_add(l.checked_mul(k).unwrap_or(i128::MAX)) {
+        Some(x) => x,
+        None => return PointResult::Overflow,
+    };
+    let xv = match i64::try_from(x) {
+        Ok(v) => v,
+        Err(_) => return PointResult::Overflow,
+    };
+    if excluded.contains(&xv) {
+        return PointResult::No;
+    }
+    for (p, op) in polys {
+        match p.eval(k) {
+            Some(v) => {
+                if !sign_matches(*op, v.signum() as i32) {
+                    return PointResult::No;
+                }
+            }
+            None => return PointResult::Overflow,
+        }
+    }
+    PointResult::Sat(xv)
+}
+
+/// Looks for a concrete in-range witness just past the root bound in the
+/// given direction. Signs are already known to match; only exclusions and
+/// i64-range can force us further out.
+fn find_tail_witness(
+    polys: &[(Poly, CmpOp)],
+    r: i128,
+    l: i128,
+    bound: i128,
+    dir: i128,
+    excluded: &[i64],
+) -> Option<i64> {
+    for step in 1..=(excluded.len() as i128 + 4) {
+        let k = dir * (bound + step);
+        match check_point(polys, r, l, k, excluded) {
+            PointResult::Sat(x) => return Some(x),
+            PointResult::No | PointResult::Overflow => continue,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula;
+
+    fn lit(f: Formula) -> Literal {
+        match f {
+            Formula::Atom(a) => Literal {
+                atom: a,
+                positive: true,
+            },
+            _ => panic!("not an atom"),
+        }
+    }
+
+    fn nlit(f: Formula) -> Literal {
+        match f {
+            Formula::Atom(a) => Literal {
+                atom: a,
+                positive: false,
+            },
+            _ => panic!("not an atom"),
+        }
+    }
+
+    fn x() -> Term {
+        Term::field(0)
+    }
+
+    #[test]
+    fn linear() {
+        // x > 3 ∧ x < 5 → x = 4
+        let lits = vec![
+            lit(Formula::cmp(CmpOp::Gt, x(), Term::int(3))),
+            lit(Formula::cmp(CmpOp::Lt, x(), Term::int(5))),
+        ];
+        assert_eq!(solve_int_conjunction(&lits, &[]), FieldSat::Sat(Value::Int(4)));
+        assert_eq!(solve_int_conjunction(&lits, &[4]), FieldSat::Unsat);
+    }
+
+    #[test]
+    fn parity() {
+        // odd(x) ∧ x > 10: witness exists
+        let lits = vec![
+            lit(Formula::eq(x().modulo(2), Term::int(1))),
+            lit(Formula::cmp(CmpOp::Gt, x(), Term::int(10))),
+        ];
+        match solve_int_conjunction(&lits, &[]) {
+            FieldSat::Sat(Value::Int(n)) => {
+                assert!(n > 10 && n.rem_euclid(2) == 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_parity() {
+        // odd(x) ∧ even(x)
+        let lits = vec![
+            lit(Formula::eq(x().modulo(2), Term::int(1))),
+            lit(Formula::eq(x().modulo(2), Term::int(0))),
+        ];
+        assert_eq!(solve_int_conjunction(&lits, &[]), FieldSat::Unsat);
+    }
+
+    #[test]
+    fn cross_level_parity_example8() {
+        // The paper's Example 8: odd(x+1) ∧ odd(x-2) is unsat.
+        let lits = vec![
+            lit(Formula::eq(x().add(Term::int(1)).modulo(2), Term::int(1))),
+            lit(Formula::eq(x().sub(Term::int(2)).modulo(2), Term::int(1))),
+        ];
+        assert_eq!(solve_int_conjunction(&lits, &[]), FieldSat::Unsat);
+    }
+
+    #[test]
+    fn polynomial() {
+        // x² = 25 ∧ x < 0 → -5
+        let lits = vec![
+            lit(Formula::eq(x().mul(x()), Term::int(25))),
+            lit(Formula::cmp(CmpOp::Lt, x(), Term::int(0))),
+        ];
+        assert_eq!(
+            solve_int_conjunction(&lits, &[]),
+            FieldSat::Sat(Value::Int(-5))
+        );
+        // x² < 0 is unsat
+        let lits = vec![lit(Formula::cmp(CmpOp::Lt, x().mul(x()), Term::int(0)))];
+        assert_eq!(solve_int_conjunction(&lits, &[]), FieldSat::Unsat);
+    }
+
+    #[test]
+    fn cubic() {
+        // x³ - 100x + 3 = 0 has no integer roots.
+        let t = x().mul(x()).mul(x()).sub(Term::int(100).mul(x())).add(Term::int(3));
+        let lits = vec![lit(Formula::eq(t, Term::int(0)))];
+        assert_eq!(solve_int_conjunction(&lits, &[]), FieldSat::Unsat);
+    }
+
+    #[test]
+    fn mixed_mod_and_poly() {
+        // (x % 26) = 3 ∧ x² > 1000 ∧ x < 0
+        let lits = vec![
+            lit(Formula::eq(x().modulo(26), Term::int(3))),
+            lit(Formula::cmp(CmpOp::Gt, x().mul(x()), Term::int(1000))),
+            lit(Formula::cmp(CmpOp::Lt, x(), Term::int(0))),
+        ];
+        match solve_int_conjunction(&lits, &[]) {
+            FieldSat::Sat(Value::Int(n)) => {
+                assert!(n < 0 && n * n > 1000 && n.rem_euclid(26) == 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_literal() {
+        // ¬(x = 0) ∧ x ≥ 0 ∧ x ≤ 1 → 1
+        let lits = vec![
+            nlit(Formula::eq(x(), Term::int(0))),
+            lit(Formula::cmp(CmpOp::Ge, x(), Term::int(0))),
+            lit(Formula::cmp(CmpOp::Le, x(), Term::int(1))),
+        ];
+        assert_eq!(
+            solve_int_conjunction(&lits, &[]),
+            FieldSat::Sat(Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn nested_mod_is_decided() {
+        // ((x % 26) + 1) % 3 = 0 is satisfiable (e.g. x = 2).
+        let t = x().modulo(26).add(Term::int(1)).modulo(3);
+        let lits = vec![lit(Formula::eq(t.clone(), Term::int(0)))];
+        match solve_int_conjunction(&lits, &[]) {
+            FieldSat::Sat(Value::Int(n)) => {
+                assert_eq!((n.rem_euclid(26) + 1).rem_euclid(3), 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        // … = 5 is unsat (mod 3 results are < 3).
+        let lits = vec![lit(Formula::eq(t, Term::int(5)))];
+        assert_eq!(solve_int_conjunction(&lits, &[]), FieldSat::Unsat);
+    }
+
+    #[test]
+    fn parity_after_caesar_shift() {
+        // The Fig. 8 analysis guard: ((x+5)%26)%2 = 0 ∧ (((x+5)%26+5)%26)%2 = 0
+        // is unsatisfiable (the +5 shift flips parity mod 26).
+        let inner = x().add(Term::int(5)).modulo(26);
+        let outer = inner.clone().add(Term::int(5)).modulo(26);
+        let lits = vec![
+            lit(Formula::eq(inner.modulo(2), Term::int(0))),
+            lit(Formula::eq(outer.modulo(2), Term::int(0))),
+        ];
+        assert_eq!(solve_int_conjunction(&lits, &[]), FieldSat::Unsat);
+    }
+
+    #[test]
+    fn div_is_decided() {
+        // x div 3 = 4 ⟺ x ∈ {12, 13, 14}.
+        let lits = vec![lit(Formula::eq(x().div(3), Term::int(4)))];
+        match solve_int_conjunction(&lits, &[]) {
+            FieldSat::Sat(Value::Int(n)) => assert!((12..15).contains(&n)),
+            other => panic!("{other:?}"),
+        }
+        // Combined with a mod constraint: x div 3 = 4 ∧ x % 3 = 2 ⟺ x = 14.
+        let lits = vec![
+            lit(Formula::eq(x().div(3), Term::int(4))),
+            lit(Formula::eq(x().modulo(3), Term::int(2))),
+        ];
+        assert_eq!(
+            solve_int_conjunction(&lits, &[]),
+            FieldSat::Sat(Value::Int(14))
+        );
+        // Contradiction: x div 3 = 4 ∧ x < 12.
+        let lits = vec![
+            lit(Formula::eq(x().div(3), Term::int(4))),
+            lit(Formula::cmp(CmpOp::Lt, x(), Term::int(12))),
+        ];
+        assert_eq!(solve_int_conjunction(&lits, &[]), FieldSat::Unsat);
+        // Negative side of Euclidean division: x div 3 = -1 ⟺ x ∈ {-3,-2,-1}.
+        let lits = vec![lit(Formula::eq(x().div(3), Term::int(-1)))];
+        match solve_int_conjunction(&lits, &[]) {
+            FieldSat::Sat(Value::Int(n)) => assert!((-3..0).contains(&n)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn div_brute_force_agreement() {
+        use crate::value::Label;
+        // ((x/4) * 2 + x % 3) compared against constants, windowed check.
+        let term = x().div(4).mul(Term::int(2)).add(x().modulo(3));
+        for c in -4i64..8 {
+            let lits = vec![lit(Formula::eq(term.clone(), Term::int(c)))];
+            let brute = (-200i64..200).find(|&v| lits[0].eval(&Label::single(v)));
+            match solve_int_conjunction(&lits, &[]) {
+                FieldSat::Sat(Value::Int(n)) => {
+                    assert!(lits[0].eval(&Label::single(n)), "bad witness {n} for c={c}");
+                }
+                FieldSat::Unsat => assert_eq!(brute, None, "c={c}"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mod_equals_impossible_residue() {
+        // (x % 5) = 7 is unsat since mod is always in [0,5)
+        let lits = vec![lit(Formula::eq(x().modulo(5), Term::int(7)))];
+        assert_eq!(solve_int_conjunction(&lits, &[]), FieldSat::Unsat);
+    }
+
+    #[test]
+    fn brute_force_agreement() {
+        // Compare against brute force on a window for several systems.
+        use crate::value::Label;
+        let systems: Vec<Vec<Literal>> = vec![
+            vec![
+                lit(Formula::cmp(CmpOp::Ge, x().mul(x()), Term::int(50))),
+                lit(Formula::cmp(CmpOp::Lt, x(), Term::int(0))),
+                lit(Formula::eq(x().modulo(3), Term::int(1))),
+            ],
+            vec![
+                lit(Formula::cmp(CmpOp::Le, x(), Term::int(-100))),
+                lit(Formula::eq(x().modulo(7), Term::int(2))),
+            ],
+            vec![
+                lit(Formula::cmp(CmpOp::Gt, x().mul(Term::int(3)), Term::int(17))),
+                lit(Formula::cmp(CmpOp::Lt, x().mul(Term::int(3)), Term::int(23))),
+            ],
+        ];
+        for lits in systems {
+            let brute = (-1000i64..1000).find(|&v| {
+                lits.iter().all(|l| l.eval(&Label::single(v)))
+            });
+            match solve_int_conjunction(&lits, &[]) {
+                FieldSat::Sat(Value::Int(n)) => {
+                    assert!(lits.iter().all(|l| l.eval(&Label::single(n))), "bad witness {n}");
+                }
+                FieldSat::Unsat => assert_eq!(brute, None),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

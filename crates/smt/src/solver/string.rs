@@ -1,0 +1,504 @@
+//! Decision procedure for single-variable string constraints.
+//!
+//! Complete for the equality / disequality / length fragment; the
+//! prefix / suffix / contains fragment is decided by constructive witness
+//! search that is exhaustive whenever the induced search space is finite
+//! and small (otherwise `Unknown` — never a wrong `Unsat`).
+
+use super::int::FieldSat;
+use crate::formula::{Atom, CmpOp, Literal};
+use crate::term::Term;
+use crate::value::{Label, Value};
+use std::collections::BTreeSet;
+
+/// Length values above this make the procedure give up rather than
+/// materialize huge witnesses.
+const MAX_WITNESS_LEN: usize = 65_536;
+/// Cap on exhaustive candidate enumeration.
+const MAX_CANDIDATES: usize = 100_000;
+
+#[derive(Debug, Default)]
+struct Profile {
+    /// Positive equalities (must be a single value).
+    eq: Option<String>,
+    /// Excluded exact values.
+    ne: BTreeSet<String>,
+    /// Length constraints as (op, n).
+    len: Vec<(CmpOp, i64)>,
+    pos_prefix: Vec<String>,
+    neg_prefix: Vec<String>,
+    pos_suffix: Vec<String>,
+    neg_suffix: Vec<String>,
+    pos_contains: Vec<String>,
+    neg_contains: Vec<String>,
+    /// Whether any literal fell outside the recognized shapes.
+    fragment_ok: bool,
+    contradiction: bool,
+}
+
+fn is_field(t: &Term) -> bool {
+    matches!(t, Term::Field(_))
+}
+
+fn as_str_lit(t: &Term) -> Option<&str> {
+    match t {
+        Term::Lit(Value::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn as_int_lit(t: &Term) -> Option<i64> {
+    match t {
+        Term::Lit(Value::Int(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn classify(lits: &[Literal]) -> Profile {
+    let mut p = Profile {
+        fragment_ok: true,
+        ..Profile::default()
+    };
+    for lit in lits {
+        match &lit.atom {
+            Atom::Cmp(op, a, b) => {
+                // Normalize: field on the left.
+                let (op, a, b) = if is_field(b) && !is_field(a) {
+                    (op.flip(), b, a)
+                } else {
+                    (*op, a, b)
+                };
+                if is_field(a) && is_field(b) {
+                    // Same variable after representative rewriting.
+                    let holds = op.test(std::cmp::Ordering::Equal) == lit.positive;
+                    if !holds {
+                        p.contradiction = true;
+                    }
+                    continue;
+                }
+                if is_field(a) {
+                    if let Some(s) = as_str_lit(b) {
+                        let eff = if lit.positive { op } else { op.negate() };
+                        match eff {
+                            CmpOp::Eq => match &p.eq {
+                                Some(prev) if prev != s => p.contradiction = true,
+                                _ => p.eq = Some(s.to_string()),
+                            },
+                            CmpOp::Ne => {
+                                p.ne.insert(s.to_string());
+                            }
+                            _ => p.fragment_ok = false,
+                        }
+                        continue;
+                    }
+                    p.fragment_ok = false;
+                    continue;
+                }
+                // len(x) ⋈ n
+                if let (Term::StrLen(inner), Some(n)) = (a, as_int_lit(b)) {
+                    if is_field(inner) {
+                        let eff = if lit.positive { op } else { op.negate() };
+                        p.len.push((eff, n));
+                        continue;
+                    }
+                }
+                p.fragment_ok = false;
+            }
+            Atom::StrPrefix(t, c) if is_field(t) => {
+                if lit.positive {
+                    p.pos_prefix.push(c.clone());
+                } else {
+                    p.neg_prefix.push(c.clone());
+                }
+            }
+            Atom::StrSuffix(t, c) if is_field(t) => {
+                if lit.positive {
+                    p.pos_suffix.push(c.clone());
+                } else {
+                    p.neg_suffix.push(c.clone());
+                }
+            }
+            Atom::StrContains(t, c) if is_field(t) => {
+                if lit.positive {
+                    p.pos_contains.push(c.clone());
+                } else {
+                    p.neg_contains.push(c.clone());
+                }
+            }
+            _ => p.fragment_ok = false,
+        }
+    }
+    p
+}
+
+/// Set of allowed lengths as a sorted list of inclusive ranges in
+/// `[0, MAX_WITNESS_LEN]`, or `None` if unbounded above within cap.
+fn allowed_lengths(len_cs: &[(CmpOp, i64)]) -> Vec<(usize, usize)> {
+    let mut lo: i64 = 0;
+    let mut hi: i64 = MAX_WITNESS_LEN as i64;
+    let mut exact_ne: BTreeSet<i64> = BTreeSet::new();
+    for (op, n) in len_cs {
+        match op {
+            CmpOp::Eq => {
+                lo = lo.max(*n);
+                hi = hi.min(*n);
+            }
+            CmpOp::Ne => {
+                exact_ne.insert(*n);
+            }
+            CmpOp::Lt => hi = hi.min(n - 1),
+            CmpOp::Le => hi = hi.min(*n),
+            CmpOp::Gt => lo = lo.max(n + 1),
+            CmpOp::Ge => lo = lo.max(*n),
+        }
+    }
+    lo = lo.max(0);
+    if lo > hi {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut cur = lo;
+    for &x in exact_ne.range(lo..=hi) {
+        if x > cur {
+            out.push((cur as usize, (x - 1) as usize));
+        }
+        cur = x + 1;
+    }
+    if cur <= hi {
+        out.push((cur as usize, hi as usize));
+    }
+    out
+}
+
+fn check_all(lits: &[Literal], s: &str) -> bool {
+    let label = Label::single(s);
+    lits.iter().all(|l| l.eval(&label))
+}
+
+/// Decides a conjunction of string literals over a single field.
+pub fn solve_str_conjunction(lits: &[Literal], excluded: &[String]) -> FieldSat {
+    let mut all_lits: Vec<Literal> = lits.to_vec();
+    for e in excluded {
+        all_lits.push(Literal {
+            atom: Atom::Cmp(CmpOp::Ne, Term::Field(usize::MAX), Term::str(e)),
+            positive: true,
+        });
+    }
+    // Rewrite the sentinel field index used above to match: classify only
+    // looks at the shape, and check_all evaluates on single-field labels,
+    // so normalize every field index to 0.
+    let all_lits: Vec<Literal> = all_lits
+        .iter()
+        .map(|l| Literal {
+            atom: normalize_fields(&l.atom),
+            positive: l.positive,
+        })
+        .collect();
+
+    let p = classify(&all_lits);
+    if p.contradiction {
+        return FieldSat::Unsat;
+    }
+    if !p.fragment_ok {
+        // Still try the candidates; a verified witness is always sound.
+        return match search(&all_lits, &p) {
+            Some(s) => FieldSat::Sat(Value::Str(s)),
+            None => FieldSat::Unknown,
+        };
+    }
+    // Positive equality: everything reduces to a membership check.
+    if let Some(s) = &p.eq {
+        return if check_all(&all_lits, s) {
+            FieldSat::Sat(Value::Str(s.clone()))
+        } else {
+            FieldSat::Unsat
+        };
+    }
+    let lens = allowed_lengths(&p.len);
+    if lens.is_empty() {
+        return FieldSat::Unsat;
+    }
+    match search(&all_lits, &p) {
+        Some(s) => FieldSat::Sat(Value::Str(s)),
+        None => {
+            // Pure eq/ne/len fragment: the systematic generator below is
+            // exhaustive enough to conclude Unsat (it tries more strings
+            // than there are exclusions at a feasible length).
+            let pure = p.pos_prefix.is_empty()
+                && p.neg_prefix.is_empty()
+                && p.pos_suffix.is_empty()
+                && p.neg_suffix.is_empty()
+                && p.pos_contains.is_empty()
+                && p.neg_contains.is_empty();
+            if pure {
+                FieldSat::Unsat
+            } else {
+                FieldSat::Unknown
+            }
+        }
+    }
+}
+
+fn normalize_fields(a: &Atom) -> Atom {
+    fn norm_term(t: &Term) -> Term {
+        match t {
+            Term::Field(_) => Term::Field(0),
+            Term::StrLen(inner) => Term::StrLen(Box::new(norm_term(inner))),
+            other => other.clone(),
+        }
+    }
+    match a {
+        Atom::Cmp(op, x, y) => Atom::Cmp(*op, norm_term(x), norm_term(y)),
+        Atom::BoolTerm(t) => Atom::BoolTerm(norm_term(t)),
+        Atom::StrPrefix(t, c) => Atom::StrPrefix(norm_term(t), c.clone()),
+        Atom::StrSuffix(t, c) => Atom::StrSuffix(norm_term(t), c.clone()),
+        Atom::StrContains(t, c) => Atom::StrContains(norm_term(t), c.clone()),
+    }
+}
+
+/// Constructive witness search: skeleton candidates plus bounded
+/// exhaustive enumeration over a small constant-derived alphabet.
+fn search(lits: &[Literal], p: &Profile) -> Option<String> {
+    let lens = allowed_lengths(&p.len);
+    if lens.is_empty() {
+        return None;
+    }
+    let min_len = lens[0].0;
+
+    // Alphabet: characters from constants + *fresh* padding characters,
+    // where fresh means guaranteed absent from every constant. A string
+    // built only from fresh characters can never equal (or contain, or
+    // begin/end with) any constant, which is what makes the Unsat claim
+    // for the pure eq/ne/len fragment exhaustive: if any witness exists,
+    // a fresh-only string of an allowed length is one, and the skeleton
+    // generator below always tries those.
+    let mut const_chars: BTreeSet<char> = BTreeSet::new();
+    for s in p
+        .ne
+        .iter()
+        .map(String::as_str)
+        .chain(p.pos_prefix.iter().map(String::as_str))
+        .chain(p.neg_prefix.iter().map(String::as_str))
+        .chain(p.pos_suffix.iter().map(String::as_str))
+        .chain(p.neg_suffix.iter().map(String::as_str))
+        .chain(p.pos_contains.iter().map(String::as_str))
+        .chain(p.neg_contains.iter().map(String::as_str))
+    {
+        const_chars.extend(s.chars());
+    }
+    let fresh: Vec<char> = ('a'..='z')
+        .chain('\u{E000}'..='\u{E0FF}')
+        .filter(|c| !const_chars.contains(c))
+        .take(3)
+        .collect();
+    let mut alpha: BTreeSet<char> = const_chars.clone();
+    alpha.extend(fresh.iter().copied());
+    let alpha: Vec<char> = alpha.into_iter().collect();
+
+    let len_ok = |n: usize| lens.iter().any(|&(lo, hi)| n >= lo && n <= hi);
+
+    let tried = std::cell::Cell::new(0usize);
+    let try_candidate = |s: &str| -> Option<String> {
+        tried.set(tried.get() + 1);
+        if len_ok(s.chars().count()) && check_all(lits, s) {
+            Some(s.to_string())
+        } else {
+            None
+        }
+    };
+
+    // 1. Skeletons: prefix ++ contains… ++ padding ++ suffix, padded to the
+    //    first few allowed lengths with each padding character.
+    let prefix = p.pos_prefix.iter().max_by_key(|s| s.len()).cloned().unwrap_or_default();
+    let suffix = p.pos_suffix.iter().max_by_key(|s| s.len()).cloned().unwrap_or_default();
+    let mut middles: Vec<String> = vec![String::new()];
+    // A couple of orders of the contains-constants.
+    if !p.pos_contains.is_empty() {
+        let fwd: String = p.pos_contains.concat();
+        let rev: String = p.pos_contains.iter().rev().cloned().collect::<Vec<_>>().concat();
+        middles.push(fwd);
+        middles.push(rev);
+    }
+    let target_lens: Vec<usize> = lens
+        .iter()
+        .flat_map(|&(lo, hi)| lo..=hi.min(lo + 2))
+        .take(6)
+        .collect();
+    for mid in &middles {
+        for &pad in &fresh {
+            let skel: String = format!("{prefix}{mid}{suffix}");
+            let skel_len = skel.chars().count();
+            for &tl in &target_lens {
+                if tl >= skel_len && tl - skel_len <= MAX_WITNESS_LEN {
+                    let padding: String = std::iter::repeat_n(pad, tl - skel_len).collect();
+                    let cand = format!("{prefix}{mid}{padding}{suffix}");
+                    if let Some(s) = try_candidate(&cand) {
+                        return Some(s);
+                    }
+                }
+            }
+            // Also try the bare skeleton.
+            if let Some(s) = try_candidate(&skel) {
+                return Some(s);
+            }
+        }
+    }
+
+    // 2. Exhaustive enumeration over the alphabet for small lengths.
+    let max_exh_len = target_lens
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(min_len)
+        .min(min_len + 4)
+        .min(8);
+    let mut stack: Vec<String> = vec![String::new()];
+    while let Some(s) = stack.pop() {
+        if tried.get() > MAX_CANDIDATES {
+            return None;
+        }
+        if let Some(w) = try_candidate(&s) {
+            return Some(w);
+        }
+        if s.chars().count() < max_exh_len {
+            for &c in &alpha {
+                let mut t = s.clone();
+                t.push(c);
+                stack.push(t);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(a: Atom) -> Literal {
+        Literal { atom: a, positive: true }
+    }
+    fn neg(a: Atom) -> Literal {
+        Literal { atom: a, positive: false }
+    }
+    fn x() -> Term {
+        Term::field(0)
+    }
+    fn eq(s: &str) -> Atom {
+        Atom::Cmp(CmpOp::Eq, x(), Term::str(s))
+    }
+    fn sat_str(r: FieldSat) -> String {
+        match r {
+            FieldSat::Sat(Value::Str(s)) => s,
+            other => panic!("expected Sat(Str), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality() {
+        assert_eq!(
+            solve_str_conjunction(&[pos(eq("script"))], &[]),
+            FieldSat::Sat(Value::Str("script".into()))
+        );
+        assert_eq!(
+            solve_str_conjunction(&[pos(eq("a")), pos(eq("b"))], &[]),
+            FieldSat::Unsat
+        );
+    }
+
+    #[test]
+    fn disequalities_always_satisfiable() {
+        let lits = vec![neg(eq("script")), neg(eq("")), neg(eq("a"))];
+        let w = sat_str(solve_str_conjunction(&lits, &[]));
+        assert!(w != "script" && !w.is_empty() && w != "a");
+    }
+
+    #[test]
+    fn eq_and_ne_conflict() {
+        let lits = vec![pos(eq("x")), neg(eq("x"))];
+        assert_eq!(solve_str_conjunction(&lits, &[]), FieldSat::Unsat);
+    }
+
+    #[test]
+    fn length_constraints() {
+        let len_eq = |n| {
+            pos(Atom::Cmp(
+                CmpOp::Eq,
+                Term::StrLen(Box::new(x())),
+                Term::int(n),
+            ))
+        };
+        let w = sat_str(solve_str_conjunction(&[len_eq(3)], &[]));
+        assert_eq!(w.chars().count(), 3);
+        // len = 3 and len = 4 simultaneously: unsat
+        let lits = vec![len_eq(3), len_eq(4)];
+        assert_eq!(solve_str_conjunction(&lits, &[]), FieldSat::Unsat);
+        // negative length: unsat
+        let lits = vec![len_eq(-1)];
+        assert_eq!(solve_str_conjunction(&lits, &[]), FieldSat::Unsat);
+    }
+
+    #[test]
+    fn prefix_suffix_contains() {
+        let lits = vec![
+            pos(Atom::StrPrefix(x(), "ab".into())),
+            pos(Atom::StrSuffix(x(), "yz".into())),
+            pos(Atom::StrContains(x(), "mm".into())),
+        ];
+        let w = sat_str(solve_str_conjunction(&lits, &[]));
+        assert!(w.starts_with("ab") && w.ends_with("yz") && w.contains("mm"));
+    }
+
+    #[test]
+    fn prefix_conflicts_with_eq() {
+        let lits = vec![pos(eq("div")), pos(Atom::StrPrefix(x(), "scr".into()))];
+        assert_eq!(solve_str_conjunction(&lits, &[]), FieldSat::Unsat);
+    }
+
+    #[test]
+    fn negative_contains() {
+        let lits = vec![
+            pos(Atom::StrPrefix(x(), "aa".into())),
+            neg(Atom::StrContains(x(), "b".into())),
+        ];
+        let w = sat_str(solve_str_conjunction(&lits, &[]));
+        assert!(w.starts_with("aa") && !w.contains('b'));
+    }
+
+    #[test]
+    fn excluded_values() {
+        let w = sat_str(solve_str_conjunction(&[pos(eq("q"))], &[]));
+        assert_eq!(w, "q");
+        assert_eq!(
+            solve_str_conjunction(&[pos(eq("q"))], &["q".into()]),
+            FieldSat::Unsat
+        );
+    }
+
+    #[test]
+    fn disequalities_covering_the_old_fresh_pool() {
+        // Regression: excluding exactly the old hard-coded padding chars
+        // must not yield a bogus Unsat — plenty of other strings exist.
+        let lits: Vec<Literal> = ["a", "b", "z", "\u{E000}", "\u{E001}"]
+            .iter()
+            .map(|s| neg(eq(s)))
+            .chain([pos(Atom::Cmp(
+                CmpOp::Eq,
+                Term::StrLen(Box::new(x())),
+                Term::int(1),
+            ))])
+            .collect();
+        let w = sat_str(solve_str_conjunction(&lits, &[]));
+        assert_eq!(w.chars().count(), 1);
+        assert!(!["a", "b", "z", "\u{E000}", "\u{E001}"].contains(&w.as_str()));
+    }
+
+    #[test]
+    fn empty_conjunction() {
+        // No constraints: the empty string works.
+        assert!(matches!(
+            solve_str_conjunction(&[], &[]),
+            FieldSat::Sat(Value::Str(_))
+        ));
+    }
+}

@@ -1,0 +1,160 @@
+//! Sorts (types) of label fields and label signatures.
+//!
+//! A *label* in this library is a record of named fields, each of a base
+//! [`Sort`]. Tree nodes carry one label; symbolic predicates and output
+//! functions are expressed over the fields of a single label variable.
+
+use std::fmt;
+
+/// Base sort of a single label field.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sort {
+    /// Booleans.
+    Bool,
+    /// Mathematical integers, represented as `i64` (checked arithmetic).
+    Int,
+    /// Unicode strings.
+    Str,
+    /// Unicode scalar values.
+    Char,
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "Bool"),
+            Sort::Int => write!(f, "Int"),
+            Sort::Str => write!(f, "String"),
+            Sort::Char => write!(f, "Char"),
+        }
+    }
+}
+
+/// The record signature of a label: an ordered list of named, sorted fields.
+///
+/// Two signatures are compatible for transduction when they are equal; the
+/// paper's "combined tree type" convention (§3.3) is mirrored by using one
+/// signature for both input and output trees of a transducer.
+///
+/// # Examples
+///
+/// ```
+/// use fast_smt::{LabelSig, Sort};
+/// let sig = LabelSig::new(vec![("tag".to_string(), Sort::Str)]);
+/// assert_eq!(sig.arity(), 1);
+/// assert_eq!(sig.field_index("tag"), Some(0));
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LabelSig {
+    fields: Vec<(String, Sort)>,
+}
+
+impl LabelSig {
+    /// Creates a signature from named fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two fields share a name.
+    pub fn new(fields: Vec<(String, Sort)>) -> Self {
+        for i in 0..fields.len() {
+            for j in (i + 1)..fields.len() {
+                assert_ne!(fields[i].0, fields[j].0, "duplicate label field name");
+            }
+        }
+        LabelSig { fields }
+    }
+
+    /// The empty signature (labels carry no data; the classical case).
+    pub fn unit() -> Self {
+        LabelSig { fields: Vec::new() }
+    }
+
+    /// A single-field signature, the most common shape in practice.
+    pub fn single(name: &str, sort: Sort) -> Self {
+        LabelSig::new(vec![(name.to_string(), sort)])
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if this is the empty (unit) signature.
+    pub fn is_unit(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[(String, Sort)] {
+        &self.fields
+    }
+
+    /// Sort of field `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn sort(&self, i: usize) -> Sort {
+        self.fields[i].1
+    }
+
+    /// Name of field `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn name(&self, i: usize) -> &str {
+        &self.fields[i].0
+    }
+
+    /// Index of the field with the given name, if any.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|(n, _)| n == name)
+    }
+}
+
+impl fmt::Display for LabelSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (n, s)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}: {s}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_sig() {
+        let sig = LabelSig::new(vec![
+            ("tag".into(), Sort::Str),
+            ("n".into(), Sort::Int),
+        ]);
+        assert_eq!(sig.to_string(), "[tag: String, n: Int]");
+        assert_eq!(sig.sort(1), Sort::Int);
+        assert_eq!(sig.name(0), "tag");
+        assert_eq!(sig.field_index("n"), Some(1));
+        assert_eq!(sig.field_index("zz"), None);
+    }
+
+    #[test]
+    fn unit_sig() {
+        let sig = LabelSig::unit();
+        assert!(sig.is_unit());
+        assert_eq!(sig.arity(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_field_panics() {
+        LabelSig::new(vec![("a".into(), Sort::Int), ("a".into(), Sort::Bool)]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the solver against brute-force oracles, per
+//! sort and for multi-field labels.
+
+use fast_smt::solver::{solve, SatResult};
+use fast_smt::{Atom, BoolAlg, CmpOp, Formula, Label, LabelAlg, LabelSig, Sort, Term, Value};
+use proptest::prelude::*;
+
+fn int_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![Just(Term::field(0)), (-12i64..12).prop_map(Term::int)];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
+            (inner.clone(), 2u32..10).prop_map(|(a, m)| a.modulo(m)),
+            (inner, 2u32..10).prop_map(|(a, m)| a.div(m)),
+        ]
+    })
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn int_formula() -> impl Strategy<Value = Formula> {
+    let atom = (cmp_op(), int_term(), int_term()).prop_map(|(op, a, b)| Formula::cmp(op, a, b));
+    atom.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Formula::not),
+        ]
+    })
+}
+
+fn str_formula() -> impl Strategy<Value = Formula> {
+    let consts = prop_oneof![
+        Just("".to_string()),
+        Just("a".to_string()),
+        Just("script".to_string()),
+        Just("div".to_string()),
+        "[a-c]{0,3}",
+    ];
+    let atom = prop_oneof![
+        (cmp_op().prop_filter("str cmp is eq/ne", |o| matches!(o, CmpOp::Eq | CmpOp::Ne)), consts.clone())
+            .prop_map(|(op, s)| Formula::cmp(op, Term::field(0), Term::str(&s))),
+        consts.clone().prop_map(|s| Formula::atom(Atom::StrPrefix(Term::field(0), s))),
+        consts.clone().prop_map(|s| Formula::atom(Atom::StrSuffix(Term::field(0), s))),
+        consts.clone().prop_map(|s| Formula::atom(Atom::StrContains(Term::field(0), s))),
+        (cmp_op(), 0i64..6).prop_map(|(op, n)| Formula::cmp(
+            op,
+            Term::StrLen(Box::new(Term::field(0))),
+            Term::int(n)
+        )),
+    ];
+    atom.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Formula::not),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn int_solver_sound(f in int_formula()) {
+        let sig = LabelSig::single("i", Sort::Int);
+        match solve(&sig, &f) {
+            SatResult::Sat(m) => prop_assert!(f.eval(&m), "bad witness for {f}"),
+            SatResult::Unsat => {
+                for x in -80i64..80 {
+                    prop_assert!(!f.eval(&Label::single(x)), "Unsat but {x} ⊨ {f}");
+                }
+            }
+            SatResult::Unknown => {}
+        }
+    }
+
+    #[test]
+    fn str_solver_sound(f in str_formula()) {
+        let sig = LabelSig::single("s", Sort::Str);
+        let brute: &[&str] = &[
+            "", "a", "b", "ab", "ba", "abc", "script", "scripts", "div", "aaa", "cab",
+        ];
+        match solve(&sig, &f) {
+            SatResult::Sat(m) => prop_assert!(f.eval(&m), "bad witness for {f}"),
+            SatResult::Unsat => {
+                for s in brute {
+                    prop_assert!(!f.eval(&Label::single(*s)), "Unsat but {s:?} ⊨ {f}");
+                }
+            }
+            SatResult::Unknown => {}
+        }
+    }
+
+    /// Tautological contradictions are never satisfiable *with a
+    /// witness*. (`implies` itself may under-approximate when the solver
+    /// answers Unknown — e.g. past the polynomial degree cap — so the
+    /// sound property is "never Sat", not "implies returns true".)
+    #[test]
+    fn contradictions_never_sat(f in int_formula(), g in int_formula()) {
+        let alg = LabelAlg::new(LabelSig::single("i", Sort::Int));
+        let fg_not_f = alg.and(&alg.and(&f, &g), &alg.not(&f));
+        prop_assert!(
+            !matches!(alg.check(&fg_not_f), SatResult::Sat(_)),
+            "f ∧ g ∧ ¬f claimed satisfiable"
+        );
+        let f_not_for_g = alg.and(&f, &alg.not(&alg.or(&f, &g)));
+        prop_assert!(
+            !matches!(alg.check(&f_not_for_g), SatResult::Sat(_)),
+            "f ∧ ¬(f ∨ g) claimed satisfiable"
+        );
+    }
+
+    /// Minterms of a predicate set are pairwise disjoint and cover every
+    /// sampled point.
+    #[test]
+    fn minterms_partition_sampled_points(
+        ps in proptest::collection::vec(int_formula(), 1..4),
+        x in -50i64..50,
+    ) {
+        let alg = LabelAlg::new(LabelSig::single("i", Sort::Int));
+        let ms = fast_smt::minterms(&alg, &ps);
+        let l = Label::single(x);
+        let holding: Vec<_> = ms.iter().filter(|(_, m)| m.eval(&l)).collect();
+        prop_assert_eq!(holding.len(), 1, "each point lies in exactly one minterm");
+        // The holding minterm's signs match the predicates' truth values.
+        let (signs, _) = holding[0];
+        for (i, p) in ps.iter().enumerate() {
+            prop_assert_eq!(signs[i], p.eval(&l));
+        }
+    }
+
+    /// Multi-field labels solve componentwise-consistently.
+    #[test]
+    fn multi_field_sound(fi in int_formula(), x in -30i64..30) {
+        let sig = LabelSig::new(vec![
+            ("i".into(), Sort::Int),
+            ("s".into(), Sort::Str),
+        ]);
+        // Rebase the int formula onto field 0 and add a string constraint.
+        let f = fi.clone().and(Formula::ne(Term::Field(1), Term::str("x")));
+        match solve(&sig, &f) {
+            SatResult::Sat(m) => {
+                prop_assert!(f.eval(&m));
+                prop_assert_ne!(m.get(1).as_str(), Some("x"));
+            }
+            SatResult::Unsat => {
+                let l = Label::new(vec![Value::Int(x), Value::Str("y".into())]);
+                prop_assert!(!f.eval(&l));
+            }
+            SatResult::Unknown => {}
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! The paper's HtmlE encoding (Fig. 3): unranked HTML documents as ranked
+//! binary-style trees.
+//!
+//! * an element becomes `node[tag](attrs, first-child, next-sibling)`;
+//! * an attribute becomes `attr[name](value, next-attribute)`;
+//! * a string value becomes a `val` chain, one character per node, with the
+//!   character stored in the tag field;
+//! * `nil[""]` terminates every list.
+//!
+//! Text content is modeled as an attribute named `text`, matching the
+//! figure (the string `a` inside `<script>` hangs off a `text`-labeled
+//! `attr` node).
+
+use crate::tree::Tree;
+use crate::ty::{CtorId, TreeType};
+use fast_smt::{Label, LabelSig, Sort};
+use std::fmt;
+use std::sync::Arc;
+
+/// Returns the `HtmlE` tree type of the paper:
+/// `type HtmlE[tag: String] { nil(0), val(1), attr(2), node(3) }`.
+pub fn html_type() -> Arc<TreeType> {
+    TreeType::new(
+        "HtmlE",
+        LabelSig::single("tag", Sort::Str),
+        vec![("nil", 0), ("val", 1), ("attr", 2), ("node", 3)],
+    )
+}
+
+/// Constructor ids of the `HtmlE` type, resolved once.
+#[derive(Debug, Clone, Copy)]
+pub struct HtmlCtors {
+    /// `nil(0)` — list/string/tree terminator.
+    pub nil: CtorId,
+    /// `val(1)` — one character of a string value.
+    pub val: CtorId,
+    /// `attr(2)` — an attribute (value, next-attribute).
+    pub attr: CtorId,
+    /// `node(3)` — an element (attrs, first-child, next-sibling).
+    pub node: CtorId,
+}
+
+impl HtmlCtors {
+    /// Resolves the constructor ids from an `HtmlE`-shaped type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `nil`, `val`, `attr`, `node` is missing.
+    pub fn resolve(ty: &TreeType) -> HtmlCtors {
+        HtmlCtors {
+            nil: ty.ctor_id("nil").expect("nil ctor"),
+            val: ty.ctor_id("val").expect("val ctor"),
+            attr: ty.ctor_id("attr").expect("attr ctor"),
+            node: ty.ctor_id("node").expect("node ctor"),
+        }
+    }
+}
+
+/// An unranked HTML element (the DOM view).
+///
+/// Text content is stored in `attrs` under the reserved name `text`,
+/// mirroring Fig. 3 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HtmlElem {
+    /// Element tag, e.g. `div`.
+    pub tag: String,
+    /// Attributes in order, e.g. `[("id", "e\"")]`; text content uses the
+    /// reserved attribute name `text`.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<HtmlElem>,
+}
+
+impl HtmlElem {
+    /// Creates an element with the given tag.
+    pub fn new(tag: &str) -> HtmlElem {
+        HtmlElem {
+            tag: tag.to_string(),
+            ..HtmlElem::default()
+        }
+    }
+
+    /// Builder-style attribute addition.
+    pub fn with_attr(mut self, name: &str, value: &str) -> HtmlElem {
+        self.attrs.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Builder-style text content (reserved `text` attribute).
+    pub fn with_text(self, text: &str) -> HtmlElem {
+        self.with_attr("text", text)
+    }
+
+    /// Builder-style child addition.
+    pub fn with_child(mut self, child: HtmlElem) -> HtmlElem {
+        self.children.push(child);
+        self
+    }
+
+    /// Total number of elements in this subtree.
+    pub fn element_count(&self) -> usize {
+        1 + self.children.iter().map(HtmlElem::element_count).sum::<usize>()
+    }
+}
+
+/// An HTML document: a sequence of top-level elements.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HtmlDoc {
+    /// Top-level elements in order.
+    pub roots: Vec<HtmlElem>,
+}
+
+impl HtmlDoc {
+    /// Creates a document from top-level elements.
+    pub fn new(roots: Vec<HtmlElem>) -> HtmlDoc {
+        HtmlDoc { roots }
+    }
+
+    /// Encodes per Fig. 3 into an `HtmlE` tree (the sibling chain of the
+    /// root elements, terminated by `nil`).
+    pub fn encode(&self, ty: &TreeType) -> Tree {
+        let c = HtmlCtors::resolve(ty);
+        encode_elems(&c, &self.roots)
+    }
+
+    /// Decodes an `HtmlE` tree produced by [`HtmlDoc::encode`] (or by a
+    /// transducer run over one) back into a document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the tree is not a well-formed encoding.
+    pub fn decode(ty: &TreeType, tree: &Tree) -> Result<HtmlDoc, String> {
+        let c = HtmlCtors::resolve(ty);
+        Ok(HtmlDoc {
+            roots: decode_elems(&c, tree)?,
+        })
+    }
+
+    /// Total number of elements.
+    pub fn element_count(&self) -> usize {
+        self.roots.iter().map(HtmlElem::element_count).sum()
+    }
+
+    /// Renders to HTML text (attributes double-quoted; the reserved `text`
+    /// attribute becomes text content placed before child elements).
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for HtmlDoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.roots {
+            write_elem(f, e)?;
+        }
+        Ok(())
+    }
+}
+
+fn write_elem(f: &mut fmt::Formatter<'_>, e: &HtmlElem) -> fmt::Result {
+    write!(f, "<{}", e.tag)?;
+    for (n, v) in &e.attrs {
+        if n != "text" {
+            write!(f, " {}=\"{}\"", n, v.replace('"', "&quot;"))?;
+        }
+    }
+    if e.children.is_empty() && !e.attrs.iter().any(|(n, _)| n == "text") {
+        return write!(f, " />");
+    }
+    write!(f, ">")?;
+    for (n, v) in &e.attrs {
+        if n == "text" {
+            write!(
+                f,
+                "{}",
+                v.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+            )?;
+        }
+    }
+    for c in &e.children {
+        write_elem(f, c)?;
+    }
+    write!(f, "</{}>", e.tag)
+}
+
+fn nil(c: &HtmlCtors) -> Tree {
+    Tree::leaf(c.nil, Label::single(""))
+}
+
+fn encode_string(c: &HtmlCtors, s: &str) -> Tree {
+    let mut t = nil(c);
+    for ch in s.chars().rev() {
+        t = Tree::new(c.val, Label::single(ch.to_string()), vec![t]);
+    }
+    t
+}
+
+fn encode_attrs(c: &HtmlCtors, attrs: &[(String, String)]) -> Tree {
+    let mut t = nil(c);
+    for (name, value) in attrs.iter().rev() {
+        t = Tree::new(
+            c.attr,
+            Label::single(name.as_str()),
+            vec![encode_string(c, value), t],
+        );
+    }
+    t
+}
+
+fn encode_elems(c: &HtmlCtors, elems: &[HtmlElem]) -> Tree {
+    let mut t = nil(c);
+    for e in elems.iter().rev() {
+        t = Tree::new(
+            c.node,
+            Label::single(e.tag.as_str()),
+            vec![
+                encode_attrs(c, &e.attrs),
+                encode_elems(c, &e.children),
+                t,
+            ],
+        );
+    }
+    t
+}
+
+fn tag_of(t: &Tree) -> Result<&str, String> {
+    t.label()
+        .get(0)
+        .as_str()
+        .ok_or_else(|| "HtmlE label is not a string".to_string())
+}
+
+fn decode_string(c: &HtmlCtors, mut t: &Tree) -> Result<String, String> {
+    let mut s = String::new();
+    loop {
+        if t.ctor() == c.nil {
+            return Ok(s);
+        }
+        if t.ctor() != c.val {
+            return Err("expected val/nil in string encoding".into());
+        }
+        s.push_str(tag_of(t)?);
+        t = t.child(0);
+    }
+}
+
+fn decode_attrs(c: &HtmlCtors, mut t: &Tree) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    loop {
+        if t.ctor() == c.nil {
+            return Ok(out);
+        }
+        if t.ctor() != c.attr {
+            return Err("expected attr/nil in attribute list".into());
+        }
+        out.push((tag_of(t)?.to_string(), decode_string(c, t.child(0))?));
+        t = t.child(1);
+    }
+}
+
+fn decode_elems(c: &HtmlCtors, mut t: &Tree) -> Result<Vec<HtmlElem>, String> {
+    let mut out = Vec::new();
+    loop {
+        if t.ctor() == c.nil {
+            return Ok(out);
+        }
+        if t.ctor() != c.node {
+            return Err("expected node/nil in element list".into());
+        }
+        out.push(HtmlElem {
+            tag: tag_of(t)?.to_string(),
+            attrs: decode_attrs(c, t.child(0))?,
+            children: decode_elems(c, t.child(1))?,
+        });
+        t = t.child(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The document of Fig. 3:
+    /// `<div id='e"'><script>a</script></div><br />`.
+    fn fig3() -> HtmlDoc {
+        HtmlDoc::new(vec![
+            HtmlElem::new("div")
+                .with_attr("id", "e\"")
+                .with_child(HtmlElem::new("script").with_text("a")),
+            HtmlElem::new("br"),
+        ])
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let ty = html_type();
+        let doc = fig3();
+        let t = doc.encode(&ty);
+        assert!(t.conforms_to(&ty));
+        let back = HtmlDoc::decode(&ty, &t).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn fig3_structure() {
+        let ty = html_type();
+        let c = HtmlCtors::resolve(&ty);
+        let t = fig3().encode(&ty);
+        // Root is the div node; its third child is the br chain.
+        assert_eq!(t.ctor(), c.node);
+        assert_eq!(t.label().get(0).as_str(), Some("div"));
+        let br = t.child(2);
+        assert_eq!(br.label().get(0).as_str(), Some("br"));
+        assert_eq!(br.child(2).ctor(), c.nil);
+        // div's attrs: id attribute whose value is the two-char string e".
+        let id = t.child(0);
+        assert_eq!(id.ctor(), c.attr);
+        assert_eq!(id.label().get(0).as_str(), Some("id"));
+        let v1 = id.child(0);
+        assert_eq!(v1.ctor(), c.val);
+        assert_eq!(v1.label().get(0).as_str(), Some("e"));
+        assert_eq!(v1.child(0).label().get(0).as_str(), Some("\""));
+        // div's first child: script with text attr.
+        let script = t.child(1);
+        assert_eq!(script.label().get(0).as_str(), Some("script"));
+        let text = script.child(0);
+        assert_eq!(text.label().get(0).as_str(), Some("text"));
+    }
+
+    #[test]
+    fn render() {
+        let doc = fig3();
+        let html = doc.render();
+        assert_eq!(
+            html,
+            "<div id=\"e&quot;\"><script>a</script></div><br />"
+        );
+    }
+
+    #[test]
+    fn empty_doc() {
+        let ty = html_type();
+        let doc = HtmlDoc::default();
+        let t = doc.encode(&ty);
+        assert_eq!(t.size(), 1);
+        assert_eq!(HtmlDoc::decode(&ty, &t).unwrap(), doc);
+        assert_eq!(doc.render(), "");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let ty = html_type();
+        let c = HtmlCtors::resolve(&ty);
+        // A val node at the element level is malformed.
+        let bad = Tree::new(
+            c.val,
+            Label::single("x"),
+            vec![Tree::leaf(c.nil, Label::single(""))],
+        );
+        assert!(HtmlDoc::decode(&ty, &bad).is_err());
+    }
+
+    #[test]
+    fn element_count() {
+        assert_eq!(fig3().element_count(), 3);
+    }
+}

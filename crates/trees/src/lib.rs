@@ -1,0 +1,40 @@
+//! # fast-trees — ranked symbolic trees
+//!
+//! Tree substrate for the `fast` workspace (PLDI 2014 “Fast” reproduction):
+//!
+//! * [`TreeType`] — ranked alphabets with label signatures (`T_σ^Σ`);
+//! * [`Tree`] — immutable, structurally shared σ-labeled trees with
+//!   s-expression printing/parsing;
+//! * [`html`] — the paper's Fig. 3 encoding of unranked HTML documents
+//!   into the `HtmlE` ranked type, and its inverse;
+//! * [`TreeGen`] / [`HtmlGen`] — seeded workload generators.
+//!
+//! # Examples
+//!
+//! ```
+//! use fast_trees::{Tree, TreeType};
+//! use fast_smt::{LabelSig, Sort};
+//!
+//! let bt = TreeType::new("BT", LabelSig::single("i", Sort::Int),
+//!                        vec![("L", 0), ("N", 2)]);
+//! let t = Tree::parse(&bt, "N[1](L[2], L[3])")?;
+//! assert_eq!(t.size(), 3);
+//! assert_eq!(t.display(&bt).to_string(), "N[1](L[2], L[3])");
+//! # Ok::<(), String>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod gen;
+mod tree;
+mod ty;
+
+pub mod html;
+
+#[cfg(feature = "serde")]
+mod serde_impls;
+
+pub use gen::{HtmlGen, TreeGen};
+pub use html::{html_type, HtmlCtors, HtmlDoc, HtmlElem};
+pub use tree::{DisplayTree, Iter, Tree};
+pub use ty::{Ctor, CtorId, TreeType};

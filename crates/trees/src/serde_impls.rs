@@ -1,0 +1,99 @@
+//! Serde support (feature `serde`): trees serialize structurally as
+//! `{ctor, label, children}`; tree types revalidate their invariants on
+//! deserialization.
+
+use crate::tree::Tree;
+use crate::ty::{Ctor, CtorId, TreeType};
+use fast_smt::{Label, LabelSig};
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+#[derive(Serialize)]
+struct TreeSer<'a> {
+    ctor: CtorId,
+    label: &'a Label,
+    children: Vec<TreeSer<'a>>,
+}
+
+fn to_ser(t: &Tree) -> TreeSer<'_> {
+    TreeSer {
+        ctor: t.ctor(),
+        label: t.label(),
+        children: t.children().iter().map(to_ser).collect(),
+    }
+}
+
+impl Serialize for Tree {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        to_ser(self).serialize(serializer)
+    }
+}
+
+#[derive(Deserialize)]
+struct TreeDe {
+    ctor: CtorId,
+    label: Label,
+    children: Vec<TreeDe>,
+}
+
+fn from_de(d: TreeDe) -> Tree {
+    Tree::new(
+        d.ctor,
+        d.label,
+        d.children.into_iter().map(from_de).collect(),
+    )
+}
+
+impl<'de> Deserialize<'de> for Tree {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(from_de(TreeDe::deserialize(deserializer)?))
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct TreeTypeRepr {
+    name: String,
+    sig: LabelSig,
+    ctors: Vec<(String, usize)>,
+}
+
+impl Serialize for TreeType {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        TreeTypeRepr {
+            name: self.name().to_string(),
+            sig: self.sig().clone(),
+            ctors: self
+                .ctors()
+                .iter()
+                .map(|c| (c.name().to_string(), c.rank()))
+                .collect(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for TreeType {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = TreeTypeRepr::deserialize(deserializer)?;
+        if !repr.ctors.iter().any(|(_, r)| *r == 0) {
+            return Err(D::Error::custom(
+                "tree type needs at least one nullary constructor",
+            ));
+        }
+        for i in 0..repr.ctors.len() {
+            for j in (i + 1)..repr.ctors.len() {
+                if repr.ctors[i].0 == repr.ctors[j].0 {
+                    return Err(D::Error::custom("duplicate constructor name"));
+                }
+            }
+        }
+        Ok(TreeType::from_validated_parts(
+            repr.name,
+            repr.sig,
+            repr.ctors
+                .into_iter()
+                .map(|(n, r)| Ctor::new(&n, r))
+                .collect(),
+        ))
+    }
+}

@@ -1,0 +1,465 @@
+//! σ-labeled finite trees with cheap structural sharing.
+
+use crate::ty::{CtorId, TreeType};
+use fast_smt::{Label, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable σ-labeled tree. Cloning is O(1) (shared via `Arc`);
+/// equality, ordering and hashing are structural.
+///
+/// # Examples
+///
+/// ```
+/// use fast_trees::{Tree, TreeType};
+/// use fast_smt::{Label, LabelSig, Sort};
+///
+/// let bt = TreeType::new("BT", LabelSig::single("i", Sort::Int),
+///                        vec![("L", 0), ("N", 2)]);
+/// let leaf = |n: i64| Tree::leaf(bt.ctor_id("L").unwrap(), Label::single(n));
+/// let t = Tree::new(bt.ctor_id("N").unwrap(), Label::single(0i64),
+///                   vec![leaf(1), leaf(2)]);
+/// assert_eq!(t.size(), 3);
+/// assert_eq!(t.display(&bt).to_string(), "N[0](L[1], L[2])");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tree(Arc<Node>);
+
+#[derive(PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct Node {
+    ctor: CtorId,
+    label: Label,
+    children: Vec<Tree>,
+}
+
+impl Tree {
+    /// Creates a tree node.
+    pub fn new(ctor: CtorId, label: Label, children: Vec<Tree>) -> Tree {
+        Tree(Arc::new(Node {
+            ctor,
+            label,
+            children,
+        }))
+    }
+
+    /// Creates a leaf (nullary node).
+    pub fn leaf(ctor: CtorId, label: Label) -> Tree {
+        Tree::new(ctor, label, Vec::new())
+    }
+
+    /// The constructor at the root.
+    pub fn ctor(&self) -> CtorId {
+        self.0.ctor
+    }
+
+    /// The label at the root.
+    pub fn label(&self) -> &Label {
+        &self.0.label
+    }
+
+    /// Child subtrees.
+    pub fn children(&self) -> &[Tree] {
+        &self.0.children
+    }
+
+    /// The `i`-th child.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn child(&self, i: usize) -> &Tree {
+        &self.0.children[i]
+    }
+
+    /// Total number of nodes.
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(Tree::size).sum::<usize>()
+    }
+
+    /// Height (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children().iter().map(Tree::depth).max().unwrap_or(0)
+    }
+
+    /// Checks the tree is well-formed for `ty`: constructor ids in range
+    /// with matching ranks, labels conforming to the signature.
+    pub fn conforms_to(&self, ty: &TreeType) -> bool {
+        self.ctor().0 < ty.ctor_count()
+            && ty.rank(self.ctor()) == self.children().len()
+            && self.label().conforms_to(ty.sig())
+            && self.children().iter().all(|c| c.conforms_to(ty))
+    }
+
+    /// Pre-order iterator over all nodes.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { stack: vec![self] }
+    }
+
+    /// A stable address identifying the shared node (valid while any clone
+    /// of this tree is alive). Used for memoization keyed on subtree
+    /// identity.
+    pub fn addr(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
+    }
+
+    /// Pretty-prints using constructor names from `ty`.
+    pub fn display<'a>(&'a self, ty: &'a TreeType) -> DisplayTree<'a> {
+        DisplayTree { tree: self, ty }
+    }
+
+    /// Parses the s-expression syntax produced by [`Tree::display`]:
+    /// `ctor[label-values](child, …)`, with `[...]` omitted for unit labels
+    /// and `(...)` omitted for leaves. String values use double quotes with
+    /// `\\`-escapes; chars use single quotes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first syntax or arity error.
+    pub fn parse(ty: &TreeType, input: &str) -> Result<Tree, String> {
+        let mut p = Parser {
+            ty,
+            chars: input.chars().collect(),
+            pos: 0,
+        };
+        let t = p.tree()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(format!("trailing input at position {}", p.pos));
+        }
+        Ok(t)
+    }
+}
+
+impl fmt::Debug for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Constructor names are not known without a type; print the id.
+        write_tree(f, self, &|c| format!("c{}", c.0))
+    }
+}
+
+/// Helper for [`Tree::display`].
+pub struct DisplayTree<'a> {
+    tree: &'a Tree,
+    ty: &'a TreeType,
+}
+
+impl fmt::Display for DisplayTree<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_tree(f, self.tree, &|c| self.ty.ctor_name(c).to_string())
+    }
+}
+
+fn write_tree(
+    f: &mut fmt::Formatter<'_>,
+    t: &Tree,
+    name: &dyn Fn(CtorId) -> String,
+) -> fmt::Result {
+    write!(f, "{}", name(t.ctor()))?;
+    if t.label().arity() > 0 {
+        write!(f, "{}", t.label())?;
+    }
+    if !t.children().is_empty() {
+        write!(f, "(")?;
+        for (i, c) in t.children().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write_tree(f, c, name)?;
+        }
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+// Tree::to_string for typed display: the blanket Display above prints raw
+// constructor ids; `t.display(&ty)` prints names. Tests below cover both.
+
+/// Pre-order iterator (see [`Tree::iter`]).
+pub struct Iter<'a> {
+    stack: Vec<&'a Tree>,
+}
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = &'a Tree;
+    fn next(&mut self) -> Option<&'a Tree> {
+        let t = self.stack.pop()?;
+        for c in t.children().iter().rev() {
+            self.stack.push(c);
+        }
+        Some(t)
+    }
+}
+
+struct Parser<'a> {
+    ty: &'a TreeType,
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.bump() == Some(c) {
+            Ok(())
+        } else {
+            Err(format!("expected '{c}' at position {}", self.pos))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected identifier at position {}", self.pos));
+        }
+        Ok(self.chars[start..self.pos].iter().collect())
+    }
+
+    fn tree(&mut self) -> Result<Tree, String> {
+        let name = self.ident()?;
+        let ctor = self
+            .ty
+            .ctor_id(&name)
+            .ok_or_else(|| format!("unknown constructor '{name}'"))?;
+        self.skip_ws();
+        let label = if self.peek() == Some('[') {
+            self.bump();
+            let mut values = Vec::new();
+            self.skip_ws();
+            if self.peek() != Some(']') {
+                loop {
+                    values.push(self.value()?);
+                    self.skip_ws();
+                    if self.peek() == Some(',') {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(']')?;
+            Label::new(values)
+        } else {
+            Label::unit()
+        };
+        if !label.conforms_to(self.ty.sig()) {
+            return Err(format!(
+                "label {label} does not conform to signature {}",
+                self.ty.sig()
+            ));
+        }
+        let mut children = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('(') {
+            self.bump();
+            self.skip_ws();
+            if self.peek() != Some(')') {
+                loop {
+                    children.push(self.tree()?);
+                    self.skip_ws();
+                    if self.peek() == Some(',') {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(')')?;
+        }
+        if children.len() != self.ty.rank(ctor) {
+            return Err(format!(
+                "constructor '{name}' expects {} children, got {}",
+                self.ty.rank(ctor),
+                children.len()
+            ));
+        }
+        Ok(Tree::new(ctor, label, children))
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some('"') => break,
+                        Some('\\') => match self.bump() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some(c) => s.push(c),
+                            None => return Err("unterminated string".into()),
+                        },
+                        Some(c) => s.push(c),
+                        None => return Err("unterminated string".into()),
+                    }
+                }
+                Ok(Value::Str(s))
+            }
+            Some('\'') => {
+                self.bump();
+                let c = match self.bump() {
+                    Some('\\') => match self.bump() {
+                        Some('n') => '\n',
+                        Some('t') => '\t',
+                        Some(c) => c,
+                        None => return Err("unterminated char".into()),
+                    },
+                    Some(c) => c,
+                    None => return Err("unterminated char".into()),
+                };
+                self.expect('\'')?;
+                Ok(Value::Char(c))
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                let start = self.pos;
+                if c == '-' {
+                    self.bump();
+                }
+                while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                let text: String = self.chars[start..self.pos].iter().collect();
+                text.parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|e| e.to_string())
+            }
+            _ => {
+                let word = self.ident()?;
+                match word.as_str() {
+                    "true" => Ok(Value::Bool(true)),
+                    "false" => Ok(Value::Bool(false)),
+                    _ => Err(format!("unexpected value '{word}'")),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_smt::{LabelSig, Sort};
+
+    fn bt() -> Arc<TreeType> {
+        TreeType::new(
+            "BT",
+            LabelSig::single("i", Sort::Int),
+            vec![("L", 0), ("N", 2)],
+        )
+    }
+
+    fn html() -> Arc<TreeType> {
+        TreeType::new(
+            "HtmlE",
+            LabelSig::single("tag", Sort::Str),
+            vec![("nil", 0), ("val", 1), ("attr", 2), ("node", 3)],
+        )
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let ty = bt();
+        let l = |n: i64| Tree::leaf(ty.ctor_id("L").unwrap(), Label::single(n));
+        let t = Tree::new(
+            ty.ctor_id("N").unwrap(),
+            Label::single(0i64),
+            vec![l(1), l(2)],
+        );
+        assert_eq!(t.size(), 3);
+        assert_eq!(t.depth(), 2);
+        assert!(t.conforms_to(&ty));
+        assert_eq!(t.iter().count(), 3);
+        let labels: Vec<i64> = t.iter().map(|n| n.label().get(0).as_int().unwrap()).collect();
+        assert_eq!(labels, vec![0, 1, 2]); // pre-order
+    }
+
+    #[test]
+    fn nonconforming() {
+        let ty = bt();
+        // Wrong arity for N.
+        let t = Tree::new(ty.ctor_id("N").unwrap(), Label::single(0i64), vec![]);
+        assert!(!t.conforms_to(&ty));
+        // Wrong label sort.
+        let t = Tree::leaf(ty.ctor_id("L").unwrap(), Label::single("x"));
+        assert!(!t.conforms_to(&ty));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let ty = html();
+        let text = r#"node["script"](nil[""], nil[""], node["div"](nil[""], nil[""], nil[""]))"#;
+        let t = Tree::parse(&ty, text).unwrap();
+        assert!(t.conforms_to(&ty));
+        let printed = t.display(&ty).to_string();
+        let t2 = Tree::parse(&ty, &printed).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn parse_int_labels() {
+        let ty = bt();
+        let t = Tree::parse(&ty, "N[-5](L[1], N[2](L[3], L[4]))").unwrap();
+        assert_eq!(t.label().get(0).as_int(), Some(-5));
+        assert_eq!(t.size(), 5);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let ty = bt();
+        assert!(Tree::parse(&ty, "X[1]").is_err()); // unknown ctor
+        assert!(Tree::parse(&ty, "N[1](L[1])").is_err()); // arity
+        assert!(Tree::parse(&ty, "L[\"s\"]").is_err()); // label sort
+        assert!(Tree::parse(&ty, "L[1] L[2]").is_err()); // trailing
+    }
+
+    #[test]
+    fn structural_equality_and_sharing() {
+        let ty = bt();
+        let l = Tree::leaf(ty.ctor_id("L").unwrap(), Label::single(7i64));
+        let t1 = Tree::new(ty.ctor_id("N").unwrap(), Label::single(0i64), vec![l.clone(), l.clone()]);
+        let t2 = Tree::parse(&ty, "N[0](L[7], L[7])").unwrap();
+        assert_eq!(t1, t2);
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(t1);
+        assert!(s.contains(&t2));
+    }
+
+    #[test]
+    fn escaped_strings() {
+        let ty = html();
+        let t = Tree::parse(&ty, r#"nil["a\"b"]"#).unwrap();
+        assert_eq!(t.label().get(0).as_str(), Some("a\"b"));
+        let printed = t.display(&ty).to_string();
+        assert_eq!(Tree::parse(&ty, &printed).unwrap(), t);
+    }
+}

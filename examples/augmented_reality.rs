@@ -1,0 +1,111 @@
+//! §5.2: checking two augmented-reality taggers for conflicts with the
+//! composition → input restriction → output restriction → emptiness
+//! pipeline.
+//!
+//! Run with: `cargo run --example augmented_reality`
+
+use fast::prelude::*;
+use std::sync::Arc;
+
+/// A tagger labeling elements whose value is in a residue class: walks
+/// the element list, prepending `tag[id]` where `v % m == r`.
+fn tagger(
+    ty: &Arc<TreeType>,
+    alg: &Arc<LabelAlg>,
+    id: i64,
+    m: u32,
+    r: i64,
+) -> Sttr {
+    let nil = ty.ctor_id("nil").unwrap();
+    let tag = ty.ctor_id("tag").unwrap();
+    let elem = ty.ctor_id("elem").unwrap();
+    let mut b = SttrBuilder::new(ty.clone(), alg.clone());
+    let q = b.state("walk");
+    let copy = b.state("copy");
+    b.plain_rule(copy, nil, Formula::True, Out::node(nil, LabelFn::identity(1), vec![]));
+    b.plain_rule(
+        copy,
+        tag,
+        Formula::True,
+        Out::node(tag, LabelFn::identity(1), vec![Out::Call(copy, 0)]),
+    );
+    b.plain_rule(q, nil, Formula::True, Out::node(nil, LabelFn::identity(1), vec![]));
+    let g = Formula::eq(Term::field(0).modulo(m), Term::int(r));
+    b.plain_rule(
+        q,
+        elem,
+        g.clone(),
+        Out::node(
+            elem,
+            LabelFn::identity(1),
+            vec![
+                Out::node(tag, LabelFn::new(vec![Term::int(id)]), vec![Out::Call(copy, 0)]),
+                Out::Call(q, 1),
+            ],
+        ),
+    );
+    b.plain_rule(
+        q,
+        elem,
+        g.not(),
+        Out::node(elem, LabelFn::identity(1), vec![Out::Call(copy, 0), Out::Call(q, 1)]),
+    );
+    b.build(q)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // World: a list of elements, each with a list of tags.
+    let ty = TreeType::new(
+        "World",
+        LabelSig::single("v", Sort::Int),
+        vec![("nil", 0), ("tag", 1), ("elem", 2)],
+    );
+    let alg = Arc::new(LabelAlg::new(ty.sig().clone()));
+    let nil = ty.ctor_id("nil").unwrap();
+    let tag = ty.ctor_id("tag").unwrap();
+    let elem = ty.ctor_id("elem").unwrap();
+
+    // Input restriction: worlds without any tags.
+    let mut b = StaBuilder::new(ty.clone(), alg.clone());
+    let empty = b.state("empty");
+    let clean = b.state("noTags");
+    b.leaf_rule(empty, nil, Formula::True);
+    b.leaf_rule(clean, nil, Formula::True);
+    b.simple_rule(clean, elem, Formula::True, vec![Some(empty), Some(clean)]);
+    let no_tags = b.build(clean);
+
+    // Output restriction: some element carries two tags.
+    let mut b = StaBuilder::new(ty.clone(), alg.clone());
+    let one = b.state("one");
+    let two = b.state("two");
+    let conflict = b.state("conflict");
+    b.simple_rule(one, tag, Formula::True, vec![None]);
+    b.simple_rule(two, tag, Formula::True, vec![Some(one)]);
+    b.simple_rule(conflict, elem, Formula::True, vec![Some(two), None]);
+    b.simple_rule(conflict, elem, Formula::True, vec![None, Some(conflict)]);
+    let double_tag = b.build(conflict);
+
+    let check = |a: &Sttr, b: &Sttr| -> Result<bool, Box<dyn std::error::Error>> {
+        let composed = compose(a, b)?; // 1. composition
+        let on_clean = restrict(&composed, &no_tags)?; // 2. input restriction
+        let conflicting = restrict_out(&on_clean, &double_tag)?; // 3. output restriction
+        Ok(!fast::core::is_empty_transducer(&conflicting)?) // 4. check
+    };
+
+    // mod-6 ≡ 1 vs mod-4 ≡ 3: both hold at v = 7, 19, … → conflict.
+    let t1 = tagger(&ty, &alg, 1, 6, 1);
+    let t2 = tagger(&ty, &alg, 2, 4, 3);
+    println!("tagger1 (v%6=1) vs tagger2 (v%4=3): conflict = {}", check(&t1, &t2)?);
+
+    // Even vs odd taggers can never label the same element.
+    let even = tagger(&ty, &alg, 3, 2, 0);
+    let odd = tagger(&ty, &alg, 4, 2, 1);
+    println!("tagger3 (even)  vs tagger4 (odd):   conflict = {}", check(&even, &odd)?);
+
+    // Concrete demonstration: run both conflicting taggers in sequence.
+    let world = Tree::parse(&ty, "elem[7](nil[0], nil[0])")?;
+    let both = compose(&t1, &t2)?;
+    let tagged = both.run(&world)?.pop().unwrap();
+    println!("\nelement v=7 after both taggers: {}", tagged.display(&ty));
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! The paper's §2 walk-through: an HTML sanitizer in Fast, its analysis,
+//! the bug the analysis finds, and the verified fix — then sanitizing a
+//! real document through the Fig. 3 encoding.
+//!
+//! Run with: `cargo run --example html_sanitizer`
+
+use fast::trees::{HtmlDoc, HtmlElem};
+
+fn program(script_rule: &str) -> String {
+    format!(
+        r#"
+type HtmlE[tag: String] {{ nil(0), val(1), attr(2), node(3) }}
+lang nodeTree: HtmlE {{
+  node(x1, x2, x3) given (attrTree x1) (nodeTree x2) (nodeTree x3)
+| nil() where (tag = "")
+}}
+lang attrTree: HtmlE {{
+  attr(x1, x2) given (valTree x1) (attrTree x2)
+| nil() where (tag = "")
+}}
+lang valTree: HtmlE {{
+  val(x1) where (tag != "") given (valTree x1)
+| nil() where (tag = "")
+}}
+trans remScript: HtmlE -> HtmlE {{
+  node(x1, x2, x3) where (tag != "script")
+    to (node [tag] x1 (remScript x2) (remScript x3))
+| {script_rule}
+| nil() to (nil [tag])
+}}
+trans esc: HtmlE -> HtmlE {{
+  node(x1, x2, x3) to (node [tag] (esc x1) (esc x2) (esc x3))
+| attr(x1, x2) to (attr [tag] (esc x1) (esc x2))
+| val(x1) where (tag = "'" or tag = "\"")
+    to (val ["\\"] (val [tag] (esc x1)))
+| val(x1) where (tag != "'" and tag != "\"")
+    to (val [tag] (esc x1))
+| nil() to (nil [tag])
+}}
+def rem_esc: HtmlE -> HtmlE := (compose remScript esc)
+def sani: HtmlE -> HtmlE := (restrict rem_esc nodeTree)
+lang badOutput: HtmlE {{
+  node(x1, x2, x3) where (tag = "script")
+| node(x1, x2, x3) given (badOutput x2)
+| node(x1, x2, x3) given (badOutput x3)
+}}
+def bad_inputs: HtmlE := (pre-image sani badOutput)
+assert-true (is-empty bad_inputs)
+"#
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The buggy version from Fig. 2: `to x3` forgets to keep sanitizing
+    // the next sibling.
+    println!("=== analyzing the BUGGY sanitizer (Fig. 2 as printed) ===");
+    let buggy = fast::lang::compile(&program(
+        r#"node(x1, x2, x3) where (tag = "script") to x3"#,
+    ))?;
+    let a = &buggy.report().assertions[0];
+    println!("assert-true (is-empty bad_inputs): {}", if a.passed() { "PASS" } else { "FAIL" });
+    if let Some(cx) = &a.counterexample {
+        println!("counterexample input (a script survives sanitization!):\n  {cx}");
+    }
+
+    println!("\n=== analyzing the FIXED sanitizer ===");
+    let fixed = fast::lang::compile(&program(
+        r#"node(x1, x2, x3) where (tag = "script") to (remScript x3)"#,
+    ))?;
+    println!(
+        "assert-true (is-empty bad_inputs): {}",
+        if fixed.report().all_passed() { "PASS" } else { "FAIL" }
+    );
+
+    // Sanitize the paper's Fig. 3 document.
+    let doc = HtmlDoc::new(vec![
+        HtmlElem::new("div")
+            .with_attr("id", "e\"")
+            .with_child(HtmlElem::new("script").with_text("a")),
+        HtmlElem::new("br"),
+    ]);
+    println!("\ninput HTML:     {}", doc.render());
+    let ty = fixed.tree_type("HtmlE").unwrap();
+    let encoded = doc.encode(ty);
+    let out = fixed.apply("sani", &encoded).map_err(std::io::Error::other)?;
+    let sanitized = HtmlDoc::decode(ty, &out[0]).map_err(std::io::Error::other)?;
+    println!("sanitized HTML: {}", sanitized.render());
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Quickstart: build a symbolic tree automaton and transducer through the
+//! library API, run them, compose them, and analyze the result.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fast::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A tree type: integer-labeled binary trees.
+    let bt = TreeType::new(
+        "BT",
+        LabelSig::single("i", Sort::Int),
+        vec![("L", 0), ("N", 2)],
+    );
+    let alg = Arc::new(LabelAlg::new(bt.sig().clone()));
+    let leaf = bt.ctor_id("L").unwrap();
+    let node = bt.ctor_id("N").unwrap();
+
+    // 2. A language: trees whose leaves are all positive.
+    let mut b = StaBuilder::new(bt.clone(), alg.clone());
+    let pos = b.state("pos");
+    b.leaf_rule(
+        pos,
+        leaf,
+        Formula::cmp(CmpOp::Gt, Term::field(0), Term::int(0)),
+    );
+    b.simple_rule(pos, node, Formula::True, vec![Some(pos), Some(pos)]);
+    let all_positive = b.build(pos);
+
+    let t = Tree::parse(&bt, "N[0](L[1], N[5](L[2], L[3]))")?;
+    println!("tree: {}", t.display(&bt));
+    println!("all leaves positive? {}", all_positive.accepts(&t));
+
+    // 3. A transducer: double every label.
+    let mut b = SttrBuilder::new(bt.clone(), alg.clone());
+    let q = b.state("double");
+    b.plain_rule(
+        q,
+        leaf,
+        Formula::True,
+        Out::node(
+            leaf,
+            LabelFn::new(vec![Term::field(0).mul(Term::int(2))]),
+            vec![],
+        ),
+    );
+    b.plain_rule(
+        q,
+        node,
+        Formula::True,
+        Out::node(
+            node,
+            LabelFn::new(vec![Term::field(0).mul(Term::int(2))]),
+            vec![Out::Call(q, 0), Out::Call(q, 1)],
+        ),
+    );
+    let double = b.build(q);
+    let doubled = double.run(&t)?.pop().unwrap();
+    println!("doubled: {}", doubled.display(&bt));
+
+    // 4. Compose double with itself: one pass that multiplies by 4.
+    let quadruple = compose(&double, &double)?;
+    let quadrupled = quadruple.run(&t)?.pop().unwrap();
+    println!("quadrupled (single fused pass): {}", quadrupled.display(&bt));
+
+    // 5. Analysis: which inputs does `double` map into `all_positive`?
+    // (Exactly the positive-leaved trees, since doubling preserves sign.)
+    let pre = preimage(&double, &all_positive)?;
+    println!("pre-image accepts the tree? {}", pre.accepts(&t));
+    let neg = Tree::parse(&bt, "N[1](L[-1], L[1])")?;
+    println!(
+        "pre-image accepts a tree with a negative leaf? {}",
+        pre.accepts(&neg)
+    );
+    assert!(equivalent(&pre, &all_positive)?);
+    println!("verified: pre-image(double, all_positive) == all_positive");
+    Ok(())
+}

@@ -1,0 +1,208 @@
+//! Fig. 1 of the paper: for each application, the analyses it relies on.
+//!
+//! | application        | composition | equivalence | pre-image |
+//! |--------------------|-------------|-------------|-----------|
+//! | Augmented reality  |      ✓      |      ✓      |           |
+//! | HTML sanitization  |      ✓      |             |     ✓     |
+//! | Deforestation      |      ✓      |             |           |
+//! | Program analysis   |      ✓      |      ✓      |     ✓     |
+//! | CSS analysis       |      ✓      |      ✓      |     ✓     |
+//!
+//! Each test below exercises one row's checked cells end to end.
+
+use fast::prelude::*;
+use std::sync::Arc;
+
+type TyAlg = (Arc<TreeType>, Arc<LabelAlg>);
+
+fn ilist() -> TyAlg {
+    let ty = TreeType::new(
+        "IList",
+        LabelSig::single("i", Sort::Int),
+        vec![("nil", 0), ("cons", 1)],
+    );
+    let alg = Arc::new(LabelAlg::new(ty.sig().clone()));
+    (ty, alg)
+}
+
+fn map_add(ty: &Arc<TreeType>, alg: &Arc<LabelAlg>, k: i64) -> Sttr {
+    let nil = ty.ctor_id("nil").unwrap();
+    let cons = ty.ctor_id("cons").unwrap();
+    let mut b = SttrBuilder::new(ty.clone(), alg.clone());
+    let q = b.state("map");
+    b.plain_rule(q, nil, Formula::True, Out::node(nil, LabelFn::identity(1), vec![]));
+    b.plain_rule(
+        q,
+        cons,
+        Formula::True,
+        Out::node(
+            cons,
+            LabelFn::new(vec![Term::field(0).add(Term::int(k))]),
+            vec![Out::Call(q, 0)],
+        ),
+    );
+    b.build(q)
+}
+
+fn range_lang(ty: &Arc<TreeType>, alg: &Arc<LabelAlg>, lo: i64, hi: i64) -> Sta {
+    let nil = ty.ctor_id("nil").unwrap();
+    let cons = ty.ctor_id("cons").unwrap();
+    let mut b = StaBuilder::new(ty.clone(), alg.clone());
+    let s = b.state("range");
+    b.leaf_rule(s, nil, Formula::True);
+    b.simple_rule(
+        s,
+        cons,
+        Formula::cmp(CmpOp::Ge, Term::field(0), Term::int(lo))
+            .and(Formula::cmp(CmpOp::Le, Term::field(0), Term::int(hi))),
+        vec![Some(s)],
+    );
+    b.build(s)
+}
+
+/// Augmented reality: composition + equivalence.
+#[test]
+fn augmented_reality_row() {
+    let (ty, alg) = ilist();
+    // Composition of two relabelings…
+    let a = map_add(&ty, &alg, 2);
+    let b = map_add(&ty, &alg, 3);
+    let ab = compose(&a, &b).unwrap();
+    let ba = compose(&b, &a).unwrap();
+    // …and equivalence of their domains (both total) plus behavior:
+    // +2 then +3 ≡ +3 then +2 — checked on pre-images of a range.
+    let r = range_lang(&ty, &alg, 0, 10);
+    let pre_ab = preimage(&ab, &r).unwrap();
+    let pre_ba = preimage(&ba, &r).unwrap();
+    assert!(equivalent(&pre_ab, &pre_ba).unwrap());
+    assert!(equivalent(&ab.domain(), &ba.domain()).unwrap());
+}
+
+/// HTML sanitization: composition + pre-image (the Fig. 2 pipeline).
+#[test]
+fn html_sanitization_row() {
+    // Covered in depth by crates/lang/tests/fig2_sanitizer.rs; here the
+    // same pipeline runs through the facade crate's DSL entry point.
+    let program = r#"
+        type HtmlE[tag: String] { nil(0), val(1), attr(2), node(3) }
+        lang nodeTree: HtmlE {
+          node(x1, x2, x3) given (nodeTree x2) (nodeTree x3)
+        | nil() where (tag = "")
+        }
+        trans remScript: HtmlE -> HtmlE {
+          node(x1, x2, x3) where (tag != "script")
+            to (node [tag] x1 (remScript x2) (remScript x3))
+        | node(x1, x2, x3) where (tag = "script") to (remScript x3)
+        | nil() to (nil [tag])
+        }
+        lang badOutput: HtmlE {
+          node(x1, x2, x3) where (tag = "script")
+        | node(x1, x2, x3) given (badOutput x2)
+        | node(x1, x2, x3) given (badOutput x3)
+        }
+        def sani: HtmlE -> HtmlE := (restrict remScript nodeTree)
+        def bad_inputs: HtmlE := (pre-image sani badOutput)
+        assert-true (is-empty bad_inputs)
+    "#;
+    let compiled = fast::lang::compile(program).unwrap();
+    assert!(compiled.report().all_passed());
+}
+
+/// Deforestation: composition only.
+#[test]
+fn deforestation_row() {
+    let (ty, alg) = ilist();
+    let m = map_add(&ty, &alg, 1);
+    let fused = compose(&compose(&m, &m).unwrap(), &m).unwrap();
+    let nil = ty.ctor_id("nil").unwrap();
+    let cons = ty.ctor_id("cons").unwrap();
+    let input = Tree::new(
+        cons,
+        Label::single(0i64),
+        vec![Tree::leaf(nil, Label::single(0i64))],
+    );
+    let out = fused.run(&input).unwrap();
+    assert_eq!(out[0].label().get(0).as_int(), Some(3));
+    // Still a single state pair after fusing: one traversal.
+    assert!(fused.state_count() <= 2);
+}
+
+/// Program analysis: composition + equivalence + pre-image.
+#[test]
+fn program_analysis_row() {
+    let (ty, alg) = ilist();
+    let m = map_add(&ty, &alg, 5);
+    let id = identity(&ty, &alg);
+    let round_trip = compose(&m, &map_add(&ty, &alg, -5)).unwrap();
+    // Equivalence: (+5 then −5) has the same pre-images as the identity.
+    let r = range_lang(&ty, &alg, 2, 4);
+    let via_round_trip = preimage(&round_trip, &r).unwrap();
+    let via_id = preimage(&id, &r).unwrap();
+    assert!(equivalent(&via_round_trip, &via_id).unwrap());
+    // Pre-image shifts the range.
+    let direct = preimage(&m, &r).unwrap();
+    let shifted = range_lang(&ty, &alg, -3, -1);
+    assert!(equivalent(&direct, &shifted).unwrap());
+}
+
+/// CSS analysis: composition + equivalence + pre-image over multi-field
+/// string labels.
+#[test]
+fn css_analysis_row() {
+    let ty = TreeType::new(
+        "SHtml",
+        LabelSig::new(vec![
+            ("tag".into(), Sort::Str),
+            ("color".into(), Sort::Str),
+        ]),
+        vec![("nil", 0), ("node", 2)],
+    );
+    let alg = Arc::new(LabelAlg::new(ty.sig().clone()));
+    let nil = ty.ctor_id("nil").unwrap();
+    let node = ty.ctor_id("node").unwrap();
+
+    // Two CSS "programs": set p's color to black / to blue.
+    let rule = |value: &str| {
+        let mut b = SttrBuilder::new(ty.clone(), alg.clone());
+        let q = b.state("apply");
+        b.plain_rule(q, nil, Formula::True, Out::node(nil, LabelFn::identity(2), vec![]));
+        let is_p = Formula::eq(Term::field(0), Term::str("p"));
+        b.plain_rule(
+            q,
+            node,
+            is_p.clone(),
+            Out::node(
+                node,
+                LabelFn::new(vec![Term::field(0), Term::str(value)]),
+                vec![Out::Call(q, 0), Out::Call(q, 1)],
+            ),
+        );
+        b.plain_rule(
+            q,
+            node,
+            is_p.not(),
+            Out::node(node, LabelFn::identity(2), vec![Out::Call(q, 0), Out::Call(q, 1)]),
+        );
+        b.build(q)
+    };
+    let black = rule("black");
+    let blue = rule("blue");
+    // Composition: later rules win — black then blue ≡ blue alone on the
+    // pre-image of "some p is blue".
+    let composed = compose(&black, &blue).unwrap();
+    let mut b = StaBuilder::new(ty.clone(), alg.clone());
+    let s = b.state("some_blue_p");
+    b.rule(
+        s,
+        node,
+        Formula::eq(Term::field(0), Term::str("p"))
+            .and(Formula::eq(Term::field(1), Term::str("blue"))),
+        vec![Default::default(), Default::default()],
+    );
+    b.simple_rule(s, node, Formula::True, vec![Some(s), None]);
+    b.simple_rule(s, node, Formula::True, vec![None, Some(s)]);
+    let some_blue_p = b.build(s);
+    let p1 = preimage(&composed, &some_blue_p).unwrap();
+    let p2 = preimage(&blue, &some_blue_p).unwrap();
+    assert!(equivalent(&p1, &p2).unwrap());
+}

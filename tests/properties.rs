@@ -1,0 +1,291 @@
+//! Property-based tests over the public API: solver soundness against
+//! brute force, Boolean language operations against pointwise membership,
+//! normalization/determinization/minimization as language-preserving
+//! transformations, and composition against sequential application.
+
+use fast::prelude::*;
+use fast::smt::solver::{solve, SatResult};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------- strategies ----------
+
+fn int_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![Just(Term::field(0)), (-10i64..10).prop_map(Term::int)];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
+            (inner, 2u32..12).prop_map(|(a, m)| a.modulo(m)),
+        ]
+    })
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn formula() -> impl Strategy<Value = Formula> {
+    let atom = (cmp_op(), int_term(), int_term())
+        .prop_map(|(op, a, b)| Formula::cmp(op, a, b));
+    atom.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Formula::not),
+        ]
+    })
+}
+
+fn bt() -> (Arc<TreeType>, Arc<LabelAlg>) {
+    let ty = TreeType::new(
+        "BT",
+        LabelSig::single("i", Sort::Int),
+        vec![("L", 0), ("N", 2)],
+    );
+    let alg = Arc::new(LabelAlg::new(ty.sig().clone()));
+    (ty, alg)
+}
+
+fn bt_tree() -> impl Strategy<Value = Tree> {
+    let (ty, _) = bt();
+    let leaf_id = ty.ctor_id("L").unwrap();
+    let node_id = ty.ctor_id("N").unwrap();
+    let leaf = (-8i64..8).prop_map(move |v| Tree::leaf(leaf_id, Label::single(v)));
+    leaf.prop_recursive(4, 24, 2, move |inner| {
+        ((-8i64..8), inner.clone(), inner)
+            .prop_map(move |(v, a, b)| Tree::new(node_id, Label::single(v), vec![a, b]))
+    })
+}
+
+/// A small random STA over BT: each state has a random leaf guard and a
+/// node rule pointing at random child states.
+fn bt_sta() -> impl Strategy<Value = Sta> {
+    (1usize..4).prop_flat_map(|n| {
+        let guards = proptest::collection::vec(formula(), n);
+        let kids = proptest::collection::vec((0..n, 0..n), n);
+        (guards, kids, 0..n).prop_map(move |(guards, kids, init)| {
+            let (ty, alg) = bt();
+            let leaf = ty.ctor_id("L").unwrap();
+            let node = ty.ctor_id("N").unwrap();
+            let mut b = StaBuilder::new(ty, alg);
+            let states: Vec<StateId> = (0..n).map(|i| b.state(&format!("s{i}"))).collect();
+            for i in 0..n {
+                b.leaf_rule(states[i], leaf, guards[i].clone());
+                b.simple_rule(
+                    states[i],
+                    node,
+                    Formula::True,
+                    vec![Some(states[kids[i].0]), Some(states[kids[i].1])],
+                );
+            }
+            b.build(states[init])
+        })
+    })
+}
+
+// ---------- solver ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Solver soundness: `Sat` witnesses satisfy the formula; `Unsat`
+    /// formulas have no witness in a brute-force window.
+    #[test]
+    fn solver_sound_against_brute_force(f in formula()) {
+        let sig = LabelSig::single("i", Sort::Int);
+        match solve(&sig, &f) {
+            SatResult::Sat(model) => prop_assert!(f.eval(&model), "bad witness for {f}"),
+            SatResult::Unsat => {
+                for x in -60i64..60 {
+                    prop_assert!(!f.eval(&Label::single(x)),
+                                 "Unsat but {x} satisfies {f}");
+                }
+            }
+            SatResult::Unknown => {}
+        }
+    }
+
+    /// Simplification preserves semantics.
+    #[test]
+    fn simplify_preserves_semantics(f in formula(), x in -40i64..40) {
+        let l = Label::single(x);
+        prop_assert_eq!(f.eval(&l), f.simplify().eval(&l));
+    }
+
+    /// Substitution matches composition: φ(e(x)) evaluated directly equals
+    /// φ at e(x).
+    #[test]
+    fn subst_matches_composition(f in formula(), e in int_term(), x in -20i64..20) {
+        let l = Label::single(x);
+        if let Ok(v) = e.eval(&l) {
+            let inner = Label::new(vec![v]);
+            prop_assert_eq!(f.subst(std::slice::from_ref(&e)).eval(&l), f.eval(&inner));
+        }
+    }
+}
+
+// ---------- automata ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Union / intersection / difference are pointwise Boolean operations
+    /// on membership.
+    #[test]
+    fn boolean_ops_pointwise(a in bt_sta(), b in bt_sta(), t in bt_tree()) {
+        let (ma, mb) = (a.accepts(&t), b.accepts(&t));
+        prop_assert_eq!(union(&a, &b).accepts(&t), ma || mb);
+        prop_assert_eq!(intersect(&a, &b).accepts(&t), ma && mb);
+        if let Ok(d) = difference(&a, &b) {
+            prop_assert_eq!(d.accepts(&t), ma && !mb);
+        }
+    }
+
+    /// Complement flips membership.
+    #[test]
+    fn complement_pointwise(a in bt_sta(), t in bt_tree()) {
+        if let Ok(c) = complement(&a) {
+            prop_assert_eq!(c.accepts(&t), !a.accepts(&t));
+        }
+    }
+
+    /// Normalization and minimization preserve the designated language.
+    #[test]
+    fn normalize_minimize_preserve(a in bt_sta(), t in bt_tree()) {
+        if let Ok(n) = fast::automata::normalize(&a) {
+            prop_assert_eq!(n.accepts(&t), a.accepts(&t));
+        }
+        if let Ok(m) = minimize(&a) {
+            prop_assert_eq!(m.accepts(&t), a.accepts(&t));
+        }
+    }
+
+    /// Emptiness and witness agree; witnesses are members.
+    #[test]
+    fn emptiness_vs_witness(a in bt_sta()) {
+        let e = is_empty(&a).unwrap();
+        match witness(&a).unwrap() {
+            Some(w) => {
+                prop_assert!(!e);
+                prop_assert!(a.accepts(&w));
+            }
+            None => prop_assert!(e, "non-empty language must yield a witness"),
+        }
+    }
+
+    /// Inclusion is consistent with sampled membership.
+    #[test]
+    fn inclusion_sound(a in bt_sta(), b in bt_sta(), t in bt_tree()) {
+        if includes(&a, &b).unwrap() && a.accepts(&t) {
+            prop_assert!(b.accepts(&t));
+        }
+    }
+}
+
+// ---------- transducers ----------
+
+/// A deterministic, linear transducer over BT: relabel with one of two
+/// label functions chosen by a guard, recursing on both children.
+fn bt_relabel(g: Formula, f_then: Term, f_else: Term) -> Sttr {
+    let (ty, alg) = bt();
+    let leaf = ty.ctor_id("L").unwrap();
+    let node = ty.ctor_id("N").unwrap();
+    let mut b = SttrBuilder::new(ty, alg);
+    let q = b.state("relabel");
+    for (guard, fun) in [(g.clone(), f_then), (g.not(), f_else)] {
+        b.plain_rule(
+            q,
+            leaf,
+            guard.clone(),
+            Out::node(leaf, LabelFn::new(vec![fun.clone()]), vec![]),
+        );
+        b.plain_rule(
+            q,
+            node,
+            guard,
+            Out::node(
+                node,
+                LabelFn::new(vec![fun]),
+                vec![Out::Call(q, 0), Out::Call(q, 1)],
+            ),
+        );
+    }
+    b.build(q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Composition equals sequential application for deterministic
+    /// (single-valued) left factors — Theorem 4's exactness direction.
+    #[test]
+    fn compose_equals_sequential(
+        g1 in formula(), g2 in formula(),
+        e1 in int_term(), e2 in int_term(),
+        e3 in int_term(), e4 in int_term(),
+        t in bt_tree(),
+    ) {
+        let s = bt_relabel(g1, e1, e2);
+        let u = bt_relabel(g2, e3, e4);
+        prop_assume!(s.is_deterministic().unwrap());
+        let c = compose(&s, &u).unwrap();
+        let sequential: Vec<Tree> = s
+            .run(&t)
+            .unwrap()
+            .into_iter()
+            .flat_map(|m| u.run(&m).unwrap())
+            .collect();
+        prop_assert_eq!(c.run(&t).unwrap(), sequential);
+    }
+
+    /// Pre-image membership is existential over outputs.
+    #[test]
+    fn preimage_pointwise(
+        g in formula(), e1 in int_term(), e2 in int_term(),
+        l in bt_sta(), t in bt_tree(),
+    ) {
+        let s = bt_relabel(g, e1, e2);
+        let pre = preimage(&s, &l).unwrap();
+        let any_output_in = s.run(&t).unwrap().iter().any(|o| l.accepts(o));
+        prop_assert_eq!(pre.accepts(&t), any_output_in);
+    }
+
+    /// The domain automaton accepts exactly the inputs with an output.
+    #[test]
+    fn domain_pointwise(g in formula(), e1 in int_term(), e2 in int_term(), t in bt_tree()) {
+        let s = bt_relabel(g, e1, e2);
+        let has_output = !s.run(&t).unwrap().is_empty();
+        prop_assert_eq!(s.domain().accepts(&t), has_output);
+    }
+
+    /// restrict/restrict-out behave as input/output filters.
+    #[test]
+    fn restriction_pointwise(
+        g in formula(), e1 in int_term(), e2 in int_term(),
+        l in bt_sta(), t in bt_tree(),
+    ) {
+        let s = bt_relabel(g, e1, e2);
+        let rin = restrict(&s, &l).unwrap();
+        let expected: Vec<Tree> =
+            if l.accepts(&t) { s.run(&t).unwrap() } else { Vec::new() };
+        prop_assert_eq!(rin.run(&t).unwrap(), expected);
+
+        let rout = restrict_out(&s, &l).unwrap();
+        let expected: Vec<Tree> = s
+            .run(&t)
+            .unwrap()
+            .into_iter()
+            .filter(|o| l.accepts(o))
+            .collect();
+        prop_assert_eq!(rout.run(&t).unwrap(), expected);
+    }
+}

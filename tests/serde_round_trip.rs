@@ -1,0 +1,114 @@
+//! JSON round-trips for the serializable data structures (feature
+//! `serde`, enabled for these tests through the facade crate's
+//! dev-dependencies).
+
+use fast::prelude::*;
+use fast::trees::TreeType as TT;
+
+#[test]
+fn values_and_labels() {
+    for v in [
+        Value::Int(-42),
+        Value::Bool(true),
+        Value::Str("scr\"ipt".into()),
+        Value::Char('λ'),
+    ] {
+        let json = serde_json::to_string(&v).unwrap();
+        assert_eq!(serde_json::from_str::<Value>(&json).unwrap(), v);
+    }
+    let l = Label::new(vec![Value::Int(1), Value::Str("x".into())]);
+    let json = serde_json::to_string(&l).unwrap();
+    assert_eq!(serde_json::from_str::<Label>(&json).unwrap(), l);
+}
+
+#[test]
+fn terms_and_formulas() {
+    let t = Term::field(0).add(Term::int(5)).modulo(26).mul(Term::field(1));
+    let json = serde_json::to_string(&t).unwrap();
+    assert_eq!(serde_json::from_str::<Term>(&json).unwrap(), t);
+
+    let f = Formula::eq(Term::field(0).modulo(2), Term::int(1))
+        .and(Formula::ne(Term::field(1), Term::str("script")))
+        .or(Formula::cmp(CmpOp::Lt, Term::field(0), Term::int(-3)).not());
+    let json = serde_json::to_string(&f).unwrap();
+    let back: Formula = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, f);
+    // Semantics preserved, not just syntax.
+    let l = Label::new(vec![Value::Int(3), Value::Str("div".into())]);
+    assert_eq!(back.eval(&l), f.eval(&l));
+
+    let lf = LabelFn::new(vec![Term::field(0).add(Term::int(1)), Term::str("k")]);
+    let json = serde_json::to_string(&lf).unwrap();
+    assert_eq!(serde_json::from_str::<LabelFn>(&json).unwrap(), lf);
+}
+
+#[test]
+fn tree_types_validate_on_deserialize() {
+    let ty = TreeType::new(
+        "BT",
+        LabelSig::single("i", Sort::Int),
+        vec![("L", 0), ("N", 2)],
+    );
+    let json = serde_json::to_string(ty.as_ref()).unwrap();
+    let back: TT = serde_json::from_str(&json).unwrap();
+    assert_eq!(&back, ty.as_ref());
+    // Violated invariants are rejected.
+    let no_nullary = r#"{"name":"B","sig":{"fields":[]},"ctors":[["n",2]]}"#;
+    assert!(serde_json::from_str::<TT>(no_nullary)
+        .unwrap_err()
+        .to_string()
+        .contains("nullary"));
+    let dup = r#"{"name":"B","sig":{"fields":[]},"ctors":[["n",0],["n",1]]}"#;
+    assert!(serde_json::from_str::<TT>(dup)
+        .unwrap_err()
+        .to_string()
+        .contains("duplicate"));
+}
+
+#[test]
+fn trees_round_trip() {
+    let ty = TreeType::new(
+        "BT",
+        LabelSig::single("i", Sort::Int),
+        vec![("L", 0), ("N", 2)],
+    );
+    let t = Tree::parse(&ty, "N[1](N[2](L[3], L[4]), L[-5])").unwrap();
+    let json = serde_json::to_string(&t).unwrap();
+    let back: Tree = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, t);
+    assert!(back.conforms_to(&ty));
+}
+
+#[test]
+fn persisted_counterexample_is_usable() {
+    // The practical workflow: persist a verification counterexample,
+    // reload it, and replay it against the sanitizer.
+    let program = r#"
+        type HtmlE[tag: String] { nil(0), val(1), attr(2), node(3) }
+        trans remScript: HtmlE -> HtmlE {
+          node(x1, x2, x3) where (tag != "script")
+            to (node [tag] x1 (remScript x2) (remScript x3))
+        | node(x1, x2, x3) where (tag = "script") to x3
+        | nil() to (nil [tag])
+        }
+        lang badOutput: HtmlE {
+          node(x1, x2, x3) where (tag = "script")
+        | node(x1, x2, x3) given (badOutput x2)
+        | node(x1, x2, x3) given (badOutput x3)
+        }
+        def bad_inputs: HtmlE := (pre-image remScript badOutput)
+        assert-true (is-empty bad_inputs)
+    "#;
+    let compiled = fast::lang::compile(program).unwrap();
+    let ty = compiled.tree_type("HtmlE").unwrap().clone();
+    let cx_text = compiled.report().assertions[0]
+        .counterexample
+        .clone()
+        .expect("buggy remScript has a counterexample");
+    let cx = Tree::parse(&ty, &cx_text).unwrap();
+    let json = serde_json::to_string(&cx).unwrap();
+    let reloaded: Tree = serde_json::from_str(&json).unwrap();
+    let bad = compiled.lang("badOutput").unwrap();
+    let outputs = compiled.apply("remScript", &reloaded).unwrap();
+    assert!(outputs.iter().any(|o| bad.accepts(o)));
+}
