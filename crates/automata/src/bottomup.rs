@@ -27,8 +27,7 @@ pub const MAX_DET_STATES: usize = 1 << 12;
 /// source languages can be designated as final.
 /// Symbolic transition table: per (constructor, child-state tuple), the
 /// minterm-partitioned guarded targets.
-type TransTable<A> =
-    HashMap<(CtorId, Vec<usize>), Vec<(<A as BoolAlg>::Pred, usize)>>;
+type TransTable<A> = HashMap<(CtorId, Vec<usize>), Vec<(<A as BoolAlg>::Pred, usize)>>;
 
 /// A deterministic, complete, bottom-up symbolic tree automaton.
 ///
@@ -194,9 +193,7 @@ impl<A: BoolAlg<Elem = Label>> Dbta<A> {
                         };
                         'outer: for (pa, ta) in entries {
                             for (pb, tb) in other {
-                                if distinct[*ta][*tb]
-                                    && self.alg.is_sat(&self.alg.and(pa, pb))
-                                {
+                                if distinct[*ta][*tb] && self.alg.is_sat(&self.alg.and(pa, pb)) {
                                     distinct[pj][qj] = true;
                                     distinct[qj][pj] = true;
                                     changed = true;
@@ -280,6 +277,7 @@ pub fn determinize<A: BoolAlg<Elem = Label>>(sta: &Sta<A>) -> Result<Dbta<A>, Au
         let i = contents.len();
         subset_ids.insert(set.clone(), i);
         contents.push(set);
+        fast_obs::count!("automata.det_states");
         Ok(i)
     };
 
@@ -412,11 +410,7 @@ mod tests {
             "N[1](L[2], N[0](L[1], L[3]))",
         ] {
             let t = Tree::parse(&ty, text).unwrap();
-            assert_eq!(
-                sta.accepts_at(q, &t),
-                det.accepts(&t),
-                "disagree on {text}"
-            );
+            assert_eq!(sta.accepts_at(q, &t), det.accepts(&t), "disagree on {text}");
         }
     }
 

@@ -29,9 +29,7 @@ pub fn is_empty<A: BoolAlg<Elem = Label>>(sta: &Sta<A>) -> Result<bool, Automata
 /// # Errors
 ///
 /// Propagates state-budget errors from normalization.
-pub fn witness<A: BoolAlg<Elem = Label>>(
-    sta: &Sta<A>,
-) -> Result<Option<Tree>, AutomataError> {
+pub fn witness<A: BoolAlg<Elem = Label>>(sta: &Sta<A>) -> Result<Option<Tree>, AutomataError> {
     let norm = normalize(sta)?;
     let alg = norm.alg().clone();
     let n = norm.state_count();
@@ -50,7 +48,9 @@ pub fn witness<A: BoolAlg<Elem = Label>>(
                     .map(|s| best[s.iter().next().unwrap().0].clone())
                     .collect();
                 let Some(kids) = kids else { continue };
-                let Some(label) = alg.model(&r.guard) else { continue };
+                let Some(label) = alg.model(&r.guard) else {
+                    continue;
+                };
                 best[q.0] = Some(Tree::new(r.ctor, label, kids));
                 changed = true;
                 break;
@@ -75,10 +75,7 @@ pub fn witness<A: BoolAlg<Elem = Label>>(
 /// # Panics
 ///
 /// Panics if the automata have different tree types.
-pub fn includes<A: BoolAlg<Elem = Label>>(
-    a: &Sta<A>,
-    b: &Sta<A>,
-) -> Result<bool, AutomataError> {
+pub fn includes<A: BoolAlg<Elem = Label>>(a: &Sta<A>, b: &Sta<A>) -> Result<bool, AutomataError> {
     let diff = intersect(a, &complement(b)?);
     is_empty(&diff)
 }
@@ -92,10 +89,7 @@ pub fn includes<A: BoolAlg<Elem = Label>>(
 /// # Panics
 ///
 /// Panics if the automata have different tree types.
-pub fn equivalent<A: BoolAlg<Elem = Label>>(
-    a: &Sta<A>,
-    b: &Sta<A>,
-) -> Result<bool, AutomataError> {
+pub fn equivalent<A: BoolAlg<Elem = Label>>(a: &Sta<A>, b: &Sta<A>) -> Result<bool, AutomataError> {
     Ok(includes(a, b)? && includes(b, a)?)
 }
 
@@ -111,9 +105,9 @@ pub fn is_universal<A: BoolAlg<Elem = Label>>(sta: &Sta<A>) -> Result<bool, Auto
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ops::union;
     use crate::sta::fixtures::{bt, bt_alg, example2};
     use crate::sta::StaBuilder;
-    use crate::ops::union;
     use fast_smt::{CmpOp, Formula, Term};
 
     #[test]
@@ -136,8 +130,11 @@ mod tests {
         b.leaf_rule(
             q,
             l,
-            Formula::cmp(CmpOp::Gt, x.clone(), Term::int(0))
-                .and(Formula::cmp(CmpOp::Lt, x, Term::int(0))),
+            Formula::cmp(CmpOp::Gt, x.clone(), Term::int(0)).and(Formula::cmp(
+                CmpOp::Lt,
+                x,
+                Term::int(0),
+            )),
         );
         let sta = b.build(q);
         assert!(is_empty(&sta).unwrap());

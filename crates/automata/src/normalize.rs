@@ -109,17 +109,12 @@ pub fn normalize_rooted<A: BoolAlg<Elem = Label>>(
             // Cartesian product of per-state rule choices, with incremental
             // guard conjunction and eager unsat pruning.
             let members: Vec<StateId> = set.iter().copied().collect();
-            let mut partial: Vec<(A::Pred, Vec<BTreeSet<StateId>>)> = vec![(
-                alg.tt(),
-                (0..rank).map(|_| BTreeSet::new()).collect(),
-            )];
+            let mut partial: Vec<(A::Pred, Vec<BTreeSet<StateId>>)> =
+                vec![(alg.tt(), (0..rank).map(|_| BTreeSet::new()).collect())];
             let mut dead = false;
             for &p in &members {
-                let choices: Vec<&Rule<A>> = sta
-                    .rules(p)
-                    .iter()
-                    .filter(|r| r.ctor == ctor)
-                    .collect();
+                let choices: Vec<&Rule<A>> =
+                    sta.rules(p).iter().filter(|r| r.ctor == ctor).collect();
                 if choices.is_empty() {
                     dead = true;
                     break;
@@ -176,7 +171,10 @@ pub fn normalize_rooted<A: BoolAlg<Elem = Label>>(
 ///
 /// Panics if the automaton is not normalized.
 pub fn nonempty_states<A: BoolAlg<Elem = Label>>(sta: &Sta<A>) -> Vec<bool> {
-    assert!(sta.is_normalized(), "nonempty_states requires a normalized STA");
+    assert!(
+        sta.is_normalized(),
+        "nonempty_states requires a normalized STA"
+    );
     let alg = sta.alg();
     let n = sta.state_count();
     let mut nonempty = vec![false; n];

@@ -73,6 +73,7 @@ pub fn intersect<A: BoolAlg<Elem = Label>>(a: &Sta<A>, b: &Sta<A>) -> Sta<A> {
                         .collect()
                 })
                 .collect();
+            fast_obs::count!("automata.product_states");
             out.push_rule(
                 init,
                 Rule {
@@ -161,11 +162,7 @@ mod tests {
         (pa, ob)
     }
 
-    fn agree(
-        f: impl Fn(&Tree) -> bool,
-        sta: &Sta,
-        seed: u64,
-    ) {
+    fn agree(f: impl Fn(&Tree) -> bool, sta: &Sta, seed: u64) {
         let ty = sta.ty().clone();
         let mut g = TreeGen::new(seed).with_max_depth(4).with_int_range(-4, 4);
         for _ in 0..150 {

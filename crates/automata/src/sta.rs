@@ -80,9 +80,7 @@ impl<A: BoolAlg> Clone for Rule<A> {
 
 impl<A: BoolAlg> PartialEq for Rule<A> {
     fn eq(&self, other: &Self) -> bool {
-        self.ctor == other.ctor
-            && self.guard == other.guard
-            && self.lookahead == other.lookahead
+        self.ctor == other.ctor && self.guard == other.guard && self.lookahead == other.lookahead
     }
 }
 
@@ -152,9 +150,10 @@ impl<A: BoolAlg<Elem = Label>> Sta<A> {
     /// True if every lookahead set of every rule is a singleton
     /// (Definition 3; the output shape of [`crate::normalize`]).
     pub fn is_normalized(&self) -> bool {
-        self.rules.iter().flatten().all(|r| {
-            r.lookahead.iter().all(|s| s.len() == 1)
-        })
+        self.rules
+            .iter()
+            .flatten()
+            .all(|r| r.lookahead.iter().all(|s| s.len() == 1))
     }
 
     /// Bottom-up evaluation: for each node of `t` the set of states whose
@@ -190,10 +189,7 @@ impl<A: BoolAlg<Elem = Label>> Sta<A> {
     /// memoization: returns, for every distinct shared node (keyed by
     /// [`Tree::addr`]), the set of accepting states. Used by the
     /// transducer crate to check rule lookaheads in a single pass.
-    pub fn eval_states_map(
-        &self,
-        t: &Tree,
-    ) -> std::collections::HashMap<usize, BTreeSet<StateId>> {
+    pub fn eval_states_map(&self, t: &Tree) -> std::collections::HashMap<usize, BTreeSet<StateId>> {
         let mut memo = std::collections::HashMap::new();
         self.eval_into(t, &mut memo);
         memo
@@ -411,6 +407,10 @@ impl<A: BoolAlg<Elem = Label>> StaBuilder<A> {
 
     /// Adds a rule `(q, f, φ, ℓ̄)`.
     ///
+    /// The guard is anything convertible into the algebra's predicate
+    /// type — for [`LabelAlg`](fast_smt::LabelAlg) a plain
+    /// [`Formula`](fast_smt::Formula) works and is interned on the way in.
+    ///
     /// # Panics
     ///
     /// Panics if the lookahead arity does not match the constructor rank.
@@ -418,14 +418,14 @@ impl<A: BoolAlg<Elem = Label>> StaBuilder<A> {
         &mut self,
         q: StateId,
         ctor: CtorId,
-        guard: A::Pred,
+        guard: impl Into<A::Pred>,
         lookahead: Vec<BTreeSet<StateId>>,
     ) {
         self.sta.push_rule(
             q,
             Rule {
                 ctor,
-                guard,
+                guard: guard.into(),
                 lookahead,
             },
         );
@@ -441,7 +441,7 @@ impl<A: BoolAlg<Elem = Label>> StaBuilder<A> {
         &mut self,
         q: StateId,
         ctor: CtorId,
-        guard: A::Pred,
+        guard: impl Into<A::Pred>,
         lookahead: Vec<Option<StateId>>,
     ) {
         let la = lookahead
@@ -456,7 +456,7 @@ impl<A: BoolAlg<Elem = Label>> StaBuilder<A> {
     /// # Panics
     ///
     /// Panics if the constructor is not nullary.
-    pub fn leaf_rule(&mut self, q: StateId, ctor: CtorId, guard: A::Pred) {
+    pub fn leaf_rule(&mut self, q: StateId, ctor: CtorId, guard: impl Into<A::Pred>) {
         self.rule(q, ctor, guard, Vec::new());
     }
 

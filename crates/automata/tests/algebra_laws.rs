@@ -5,8 +5,8 @@
 //! distinct automata over integer-labeled binary trees.
 
 use fast_automata::{
-    complement, determinize, difference, equivalent, includes, intersect, is_empty,
-    is_universal, minimize, normalize, union, witness, Sta, StaBuilder,
+    complement, determinize, difference, equivalent, includes, intersect, is_empty, is_universal,
+    minimize, normalize, union, witness, Sta, StaBuilder,
 };
 use fast_smt::{CmpOp, Formula, LabelAlg, LabelSig, Sort, Term};
 use fast_trees::{Tree, TreeGen, TreeType};
@@ -56,8 +56,11 @@ fn family() -> Vec<Sta> {
     b.leaf_rule(
         q,
         l,
-        Formula::cmp(CmpOp::Ge, x.clone(), Term::int(-2))
-            .and(Formula::cmp(CmpOp::Le, x.clone(), Term::int(2))),
+        Formula::cmp(CmpOp::Ge, x.clone(), Term::int(-2)).and(Formula::cmp(
+            CmpOp::Le,
+            x.clone(),
+            Term::int(2),
+        )),
     );
     b.simple_rule(
         q,
@@ -93,11 +96,7 @@ fn commutativity() {
 fn associativity() {
     let fam = family();
     let (a, b, c) = (&fam[0], &fam[1], &fam[3]);
-    assert!(equivalent(
-        &union(&union(a, b), c),
-        &union(a, &union(b, c))
-    )
-    .unwrap());
+    assert!(equivalent(&union(&union(a, b), c), &union(a, &union(b, c))).unwrap());
     assert!(equivalent(
         &intersect(&intersect(a, b), c),
         &intersect(a, &intersect(b, c))

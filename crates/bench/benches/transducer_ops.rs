@@ -2,9 +2,7 @@
 //! (Fig. 6 pipeline phases on representative tagger pairs).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use fast_bench::taggers::{
-    double_tag_lang, generate_taggers, no_tags_lang, world_alg, world_type,
-};
+use fast_bench::taggers::{double_tag_lang, generate_taggers, no_tags_lang, world_alg, world_type};
 use fast_core::{compose, restrict, restrict_out};
 
 fn ar_ops(c: &mut Criterion) {

@@ -34,6 +34,7 @@ fn main() {
     ablation_simplify();
     ablation_normalize();
     ablation_antichain();
+    fast_bench::telemetry::emit("ablations");
 }
 
 /// Composition with vs without unsat pruning: rule counts and time.
@@ -137,9 +138,7 @@ fn ablation_antichain() {
         let anti = includes_antichain(a, b).unwrap();
         let anti_t = start.elapsed().as_secs_f64() * 1e3;
         assert_eq!(det, anti, "methods must agree");
-        println!(
-            "  {x} ⊆ {y}? {det}   determinization {det_t:.2} ms, antichain {anti_t:.2} ms"
-        );
+        println!("  {x} ⊆ {y}? {det}   determinization {det_t:.2} ms, antichain {anti_t:.2} ms");
     }
     println!();
 }
@@ -153,10 +152,8 @@ fn ablation_normalize() {
     let start = Instant::now();
     let lazy = normalize(bad).expect("fits budget");
     let lazy_t = start.elapsed().as_secs_f64() * 1e3;
-    let all_roots: Vec<BTreeSet<StateId>> = bad
-        .states()
-        .map(|q| [q].into_iter().collect())
-        .collect();
+    let all_roots: Vec<BTreeSet<StateId>> =
+        bad.states().map(|q| [q].into_iter().collect()).collect();
     let start = Instant::now();
     let eager = normalize_rooted(bad, all_roots).expect("fits budget");
     let eager_t = start.elapsed().as_secs_f64() * 1e3;

@@ -62,4 +62,5 @@ fn main() {
         "\nShape check (paper): Fast stays flat while naive grows linearly in n;\n\
          the paper reports 1,313 ms vs 4,686 ms at n = 512 for 4,096 elements."
     );
+    fast_bench::telemetry::emit("fig7_deforestation");
 }

@@ -77,4 +77,5 @@ fn main() {
          this repo's Fig. 2 program is {} lines.",
         fast_bench::sanitizer::FIG2_FIXED.lines().count()
     );
+    fast_bench::telemetry::emit("tab51_sanitizer");
 }

@@ -9,7 +9,8 @@
 //! * [`sanitizer`] — §5.1 HTML sanitization corpus and the hand-written
 //!   monolithic baseline;
 //! * [`strings6`] — §6 symbolic-vs-classical succinctness workload;
-//! * [`timing`] — the log-bucketed histogram used by Fig. 6.
+//! * [`timing`] — the log-bucketed histogram used by Fig. 6;
+//! * [`telemetry`] — `fast-obs` snapshot emission (`BENCH_*.json`).
 //!
 //! The `fig6_ar`, `fig7_deforestation`, `tab51_sanitizer`,
 //! `sec54_analysis`, `sec6_classical`, and `ablations` binaries print the
@@ -22,4 +23,5 @@ pub mod lists;
 pub mod sanitizer;
 pub mod strings6;
 pub mod taggers;
+pub mod telemetry;
 pub mod timing;

@@ -13,8 +13,7 @@
 
 use fast_automata::{Sta, StaBuilder};
 use fast_core::{
-    compose, is_empty_transducer, restrict, restrict_out, Out, Sttr, SttrBuilder,
-    TransducerError,
+    compose, is_empty_transducer, restrict, restrict_out, Out, Sttr, SttrBuilder, TransducerError,
 };
 use fast_smt::{CmpOp, Formula, LabelAlg, LabelFn, LabelSig, Sort, Term};
 use fast_trees::{Tree, TreeType};
@@ -40,12 +39,7 @@ pub fn world_alg(ty: &TreeType) -> Arc<LabelAlg> {
 /// Generates `n` random taggers with the §5.2 properties: non-empty
 /// domains (they are total on worlds), each tags a node at most once, and
 /// state counts spanning up to 95.
-pub fn generate_taggers(
-    ty: &Arc<TreeType>,
-    alg: &Arc<LabelAlg>,
-    n: usize,
-    seed: u64,
-) -> Vec<Sttr> {
+pub fn generate_taggers(ty: &Arc<TreeType>, alg: &Arc<LabelAlg>, n: usize, seed: u64) -> Vec<Sttr> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|id| random_tagger(ty, alg, id as i64 + 1, &mut rng))
@@ -68,8 +62,11 @@ fn random_guard(rng: &mut StdRng) -> Formula {
         2 => {
             // Narrow band.
             let lo = rng.gen_range(-60..55);
-            Formula::cmp(CmpOp::Ge, v.clone(), Term::int(lo))
-                .and(Formula::cmp(CmpOp::Le, v, Term::int(lo + rng.gen_range(0..3))))
+            Formula::cmp(CmpOp::Ge, v.clone(), Term::int(lo)).and(Formula::cmp(
+                CmpOp::Le,
+                v,
+                Term::int(lo + rng.gen_range(0i64..3)),
+            ))
         }
         _ => {
             // Point guard: conflicts only on an exact match.
@@ -87,12 +84,7 @@ fn random_guard(rng: &mut StdRng) -> Formula {
 /// inactive states never tag, and transitions are random — so a tagger
 /// tags a handful of nodes per typical world and tags each node at most
 /// once (§5.2's stated properties).
-pub fn random_tagger(
-    ty: &Arc<TreeType>,
-    alg: &Arc<LabelAlg>,
-    id: i64,
-    rng: &mut StdRng,
-) -> Sttr {
+pub fn random_tagger(ty: &Arc<TreeType>, alg: &Arc<LabelAlg>, id: i64, rng: &mut StdRng) -> Sttr {
     let nil = ty.ctor_id("nil").unwrap();
     let tag = ty.ctor_id("tag").unwrap();
     let elem = ty.ctor_id("elem").unwrap();
@@ -362,14 +354,24 @@ mod tests {
             let mut b = SttrBuilder::new(ty.clone(), alg.clone());
             let q = b.state("q");
             let copy = b.state("copy");
-            b.plain_rule(copy, nil, Formula::True, Out::node(nil, LabelFn::identity(1), vec![]));
+            b.plain_rule(
+                copy,
+                nil,
+                Formula::True,
+                Out::node(nil, LabelFn::identity(1), vec![]),
+            );
             b.plain_rule(
                 copy,
                 tag,
                 Formula::True,
                 Out::node(tag, LabelFn::identity(1), vec![Out::Call(copy, 0)]),
             );
-            b.plain_rule(q, nil, Formula::True, Out::node(nil, LabelFn::identity(1), vec![]));
+            b.plain_rule(
+                q,
+                nil,
+                Formula::True,
+                Out::node(nil, LabelFn::identity(1), vec![]),
+            );
             b.plain_rule(
                 q,
                 elem,
@@ -378,7 +380,11 @@ mod tests {
                     elem,
                     LabelFn::identity(1),
                     vec![
-                        Out::node(tag, LabelFn::new(vec![Term::int(id)]), vec![Out::Call(copy, 0)]),
+                        Out::node(
+                            tag,
+                            LabelFn::new(vec![Term::int(id)]),
+                            vec![Out::Call(copy, 0)],
+                        ),
                         Out::Call(q, 1),
                     ],
                 ),
@@ -393,14 +399,24 @@ mod tests {
             let mut b = SttrBuilder::new(ty.clone(), alg.clone());
             let q = b.state("q");
             let copy = b.state("copy");
-            b.plain_rule(copy, nil, Formula::True, Out::node(nil, LabelFn::identity(1), vec![]));
+            b.plain_rule(
+                copy,
+                nil,
+                Formula::True,
+                Out::node(nil, LabelFn::identity(1), vec![]),
+            );
             b.plain_rule(
                 copy,
                 tag,
                 Formula::True,
                 Out::node(tag, LabelFn::identity(1), vec![Out::Call(copy, 0)]),
             );
-            b.plain_rule(q, nil, Formula::True, Out::node(nil, LabelFn::identity(1), vec![]));
+            b.plain_rule(
+                q,
+                nil,
+                Formula::True,
+                Out::node(nil, LabelFn::identity(1), vec![]),
+            );
             let g = Formula::eq(Term::field(0).modulo(2), Term::int(want));
             b.plain_rule(
                 q,
@@ -410,7 +426,11 @@ mod tests {
                     elem,
                     LabelFn::identity(1),
                     vec![
-                        Out::node(tag, LabelFn::new(vec![Term::int(id)]), vec![Out::Call(copy, 0)]),
+                        Out::node(
+                            tag,
+                            LabelFn::new(vec![Term::int(id)]),
+                            vec![Out::Call(copy, 0)],
+                        ),
                         Out::Call(q, 1),
                     ],
                 ),

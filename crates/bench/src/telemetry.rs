@@ -1,0 +1,28 @@
+//! Telemetry emission shared by the bench binaries.
+//!
+//! Every benchmark binary finishes by calling [`emit`], which captures
+//! the process-wide [`fast_obs`] counters/timers accumulated over the run
+//! and publishes them twice:
+//!
+//! 1. as a single compact JSON line on stdout (machine-scrapable even
+//!    when the table output above it changes), and
+//! 2. as a pretty-printed `BENCH_<name>.json` file in the working
+//!    directory — the convention consumed by EXPERIMENTS.md and the
+//!    README's "Performance & telemetry" section.
+
+use fast_json::Json;
+
+/// Captures the current [`fast_obs::Snapshot`] and emits it under the
+/// given benchmark name (see the module docs for the two sinks).
+pub fn emit(bench: &str) {
+    let json = Json::obj([
+        ("bench", Json::Str(bench.to_string())),
+        ("telemetry", fast_obs::snapshot().to_json()),
+    ]);
+    let path = format!("BENCH_{bench}.json");
+    match std::fs::write(&path, format!("{}\n", json.pretty())) {
+        Ok(()) => println!("\ntelemetry snapshot written to {path}"),
+        Err(e) => eprintln!("\ntelemetry: cannot write {path}: {e}"),
+    }
+    println!("{json}");
+}

@@ -73,11 +73,7 @@ impl Histogram {
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{:>16} {:>10}", "interval (ms)", "count")?;
-        let last = self
-            .counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0);
+        let last = self.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
         for i in 0..=last {
             writeln!(
                 f,

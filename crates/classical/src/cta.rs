@@ -103,8 +103,7 @@ impl Cta {
     /// Bottom-up membership: the set of states accepting `t`, or `None`
     /// for the designated state via [`Cta::accepts`].
     fn eval_states(&self, t: &Tree) -> BTreeSet<usize> {
-        let kids: Vec<BTreeSet<usize>> =
-            t.children().iter().map(|c| self.eval_states(c)).collect();
+        let kids: Vec<BTreeSet<usize>> = t.children().iter().map(|c| self.eval_states(c)).collect();
         let Some(label) = self.label_index(t.label()) else {
             return BTreeSet::new();
         };
@@ -142,10 +141,7 @@ impl Cta {
                 if nonempty[q] {
                     continue;
                 }
-                if rules
-                    .iter()
-                    .any(|(_, cs)| cs.iter().all(|&c| nonempty[c]))
-                {
+                if rules.iter().any(|(_, cs)| cs.iter().all(|&c| nonempty[c])) {
                     nonempty[q] = true;
                     changed = true;
                 }
@@ -174,9 +170,11 @@ impl Cta {
         }
         let init = rules.len();
         let mut init_rules: Vec<(Symbol, Vec<usize>)> = self.rules[self.initial].clone();
-        init_rules.extend(other.rules[other.initial].iter().map(|(s, cs)| {
-            (s.clone(), cs.iter().map(|c| c + offset).collect::<Vec<_>>())
-        }));
+        init_rules.extend(
+            other.rules[other.initial]
+                .iter()
+                .map(|(s, cs)| (s.clone(), cs.iter().map(|c| c + offset).collect::<Vec<_>>())),
+        );
         rules.push(init_rules);
         Cta {
             labels: self.labels.clone(),
@@ -276,10 +274,7 @@ impl Cta {
             for sym in &symbols {
                 let tuples = tuples(subsets.len(), sym.rank);
                 for tuple in tuples {
-                    if det
-                        .iter()
-                        .any(|(s, t, _)| s == sym && *t == tuple)
-                    {
+                    if det.iter().any(|(s, t, _)| s == sym && *t == tuple) {
                         continue;
                     }
                     let mut target = BTreeSet::new();
@@ -376,9 +371,25 @@ mod tests {
         let cons = ty.ctor_id("cons").unwrap();
         let mut b = CtaBuilder::new(domain(4));
         let q = b.state();
-        b.rule(q, Symbol { ctor: nil, label: 0, rank: 0 }, vec![]);
+        b.rule(
+            q,
+            Symbol {
+                ctor: nil,
+                label: 0,
+                rank: 0,
+            },
+            vec![],
+        );
         for l in [0usize, 2] {
-            b.rule(q, Symbol { ctor: cons, label: l, rank: 1 }, vec![q]);
+            b.rule(
+                q,
+                Symbol {
+                    ctor: cons,
+                    label: l,
+                    rank: 1,
+                },
+                vec![q],
+            );
         }
         (b.build(q), ty)
     }
@@ -403,7 +414,15 @@ mod tests {
         let q = b.state();
         // Only a self-referential rule: empty.
         let cons = fast_trees::CtorId(1);
-        b.rule(q, Symbol { ctor: cons, label: 0, rank: 1 }, vec![q]);
+        b.rule(
+            q,
+            Symbol {
+                ctor: cons,
+                label: 0,
+                rank: 1,
+            },
+            vec![q],
+        );
         assert!(b.build(q).is_empty());
     }
 
@@ -415,9 +434,25 @@ mod tests {
         let mk = |allowed: &[usize]| {
             let mut b = CtaBuilder::new(domain(4));
             let q = b.state();
-            b.rule(q, Symbol { ctor: nil, label: 0, rank: 0 }, vec![]);
+            b.rule(
+                q,
+                Symbol {
+                    ctor: nil,
+                    label: 0,
+                    rank: 0,
+                },
+                vec![],
+            );
             for &l in allowed {
-                b.rule(q, Symbol { ctor: cons, label: l, rank: 1 }, vec![q]);
+                b.rule(
+                    q,
+                    Symbol {
+                        ctor: cons,
+                        label: l,
+                        rank: 1,
+                    },
+                    vec![q],
+                );
             }
             b.build(q)
         };
@@ -458,8 +493,24 @@ mod tests {
             .map(|&n| {
                 let mut b = CtaBuilder::new(domain(n));
                 let q = b.state();
-                b.rule(q, Symbol { ctor: nil, label: 0, rank: 0 }, vec![]);
-                b.rule(q, Symbol { ctor: cons, label: 1, rank: 1 }, vec![q]);
+                b.rule(
+                    q,
+                    Symbol {
+                        ctor: nil,
+                        label: 0,
+                        rank: 0,
+                    },
+                    vec![],
+                );
+                b.rule(
+                    q,
+                    Symbol {
+                        ctor: cons,
+                        label: 1,
+                        rank: 1,
+                    },
+                    vec![q],
+                );
                 b.build(q).complement().rule_count()
             })
             .collect();

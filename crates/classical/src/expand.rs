@@ -209,8 +209,7 @@ mod tests {
         let counts: Vec<usize> = [8i64, 16, 32]
             .iter()
             .map(|&n| {
-                let domain: Vec<Label> =
-                    (0..n).map(|i| Label::single(Value::Int(i))).collect();
+                let domain: Vec<Label> = (0..n).map(|i| Label::single(Value::Int(i))).collect();
                 expand_sta(&sta, &domain).unwrap().rule_count()
             })
             .collect();

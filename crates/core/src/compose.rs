@@ -103,10 +103,15 @@ impl<'a, A: TransAlg<Elem = Label>> PreimageBuilder<'a, A> {
                 limit: MAX_PAIR_STATES,
             });
         }
-        let name = clip_name(&format!("{}⋅{}", self.s.state_name(p), self.dt.state_name(d)));
+        let name = clip_name(&format!(
+            "{}⋅{}",
+            self.s.state_name(p),
+            self.dt.state_name(d)
+        ));
         let id = self.out.push_state(name);
         self.pairs.insert((p, d), id);
         self.queue.push_back((p, d));
+        fast_obs::count!("compose.preimage_pairs");
         Ok(id)
     }
 
@@ -269,17 +274,13 @@ impl<'a, A: TransAlg<Elem = Label>> ComposeCtx<'a, A> {
         self.rules.push(Vec::new());
         self.pair_ids.insert((p, q), id);
         self.pair_queue.push_back((p, q));
+        fast_obs::count!("compose.pair_states");
         Ok(id)
     }
 
     /// Instantiates a `t`-rule output on an `S`-output node: `x := e(x)`
     /// (label-function composition) and `ȳ := ū` (the node's children).
-    fn instantiate<'o>(
-        &self,
-        out: &Out<A>,
-        e: &A::Fun,
-        s_children: &'o [Out<A>],
-    ) -> Ext<'o, A> {
+    fn instantiate<'o>(&self, out: &Out<A>, e: &A::Fun, s_children: &'o [Out<A>]) -> Ext<'o, A> {
         match out {
             Out::Call(q2, j) => Ext::TApp(*q2, &s_children[*j]),
             Out::Node {
@@ -306,6 +307,7 @@ impl<'a, A: TransAlg<Elem = Label>> ComposeCtx<'a, A> {
         la: Vec<BTreeSet<StateId>>,
         v: &Ext<'_, A>,
     ) -> Result<Vec<Reduced<A>>, TransducerError> {
+        fast_obs::count!("compose.reduce_iterations");
         let alg = self.s.alg().clone();
         match v {
             // Case 1: q̃(p̃(yᵢ)) → p.q(yᵢ).
@@ -314,7 +316,14 @@ impl<'a, A: TransAlg<Elem = Label>> ComposeCtx<'a, A> {
                 Ok(vec![(gamma, la, Out::Call(pq, *i))])
             }
             // Case 2: q̃(g[e(x)](ū)).
-            Ext::TApp(q, Out::Node { ctor, fun, children }) => {
+            Ext::TApp(
+                q,
+                Out::Node {
+                    ctor,
+                    fun,
+                    children,
+                },
+            ) => {
                 let mut results = Vec::new();
                 let taus = self.t.rules(*q).to_vec();
                 for (ri, tau) in taus.iter().enumerate() {
@@ -355,8 +364,11 @@ impl<'a, A: TransAlg<Elem = Label>> ComposeCtx<'a, A> {
                 fun,
                 children,
             } => {
-                type Partial<A> =
-                    (<A as fast_smt::BoolAlg>::Pred, Vec<BTreeSet<StateId>>, Vec<Out<A>>);
+                type Partial<A> = (
+                    <A as fast_smt::BoolAlg>::Pred,
+                    Vec<BTreeSet<StateId>>,
+                    Vec<Out<A>>,
+                );
                 let mut acc: Vec<Partial<A>> = vec![(gamma, la, Vec::new())];
                 for child in children {
                     let mut next = Vec::new();
@@ -564,8 +576,18 @@ mod tests {
         let mut g = TreeGen::new(37).with_max_depth(8).with_int_range(-40, 40);
         for _ in 0..50 {
             let t = g.tree(&ty);
-            assert_eq!(mf.run(&t).unwrap(), sequential(&m, &f, &t), "m;f on {}", t.display(&ty));
-            assert_eq!(fm.run(&t).unwrap(), sequential(&f, &m, &t), "f;m on {}", t.display(&ty));
+            assert_eq!(
+                mf.run(&t).unwrap(),
+                sequential(&m, &f, &t),
+                "m;f on {}",
+                t.display(&ty)
+            );
+            assert_eq!(
+                fm.run(&t).unwrap(),
+                sequential(&f, &m, &t),
+                "f;m on {}",
+                t.display(&ty)
+            );
         }
     }
 
@@ -589,11 +611,22 @@ mod tests {
         // s1: identity, defined only on all-true trees.
         let mut b = SttrBuilder::new(ty.clone(), alg.clone());
         let s1q = b.state("s1");
-        b.plain_rule(s1q, l, b_true.clone(),
-                     Out::node(l, LabelFn::identity(1), vec![]));
-        b.plain_rule(s1q, n, b_true,
-                     Out::node(n, LabelFn::identity(1),
-                               vec![Out::Call(s1q, 0), Out::Call(s1q, 1)]));
+        b.plain_rule(
+            s1q,
+            l,
+            b_true.clone(),
+            Out::node(l, LabelFn::identity(1), vec![]),
+        );
+        b.plain_rule(
+            s1q,
+            n,
+            b_true,
+            Out::node(
+                n,
+                LabelFn::identity(1),
+                vec![Out::Call(s1q, 0), Out::Call(s1q, 1)],
+            ),
+        );
         let s1 = b.build(s1q);
 
         // s2: always outputs L[true], deleting all subtrees.
@@ -646,8 +679,12 @@ mod tests {
         let mut b = SttrBuilder::new(ty.clone(), alg.clone());
         let s0 = b.state("s0");
         let p = b.state("p");
-        b.plain_rule(s0, g, Formula::True,
-                     Out::node(g, zero.clone(), vec![Out::Call(p, 0)]));
+        b.plain_rule(
+            s0,
+            g,
+            Formula::True,
+            Out::node(g, zero.clone(), vec![Out::Call(p, 0)]),
+        );
         b.plain_rule(p, c, Formula::True, Out::node(a, zero.clone(), vec![]));
         b.plain_rule(p, c, Formula::True, Out::node(bb, zero.clone(), vec![]));
         let s = b.build(s0);
@@ -656,8 +693,12 @@ mod tests {
         let mut b = SttrBuilder::new(ty, alg);
         let t0 = b.state("t0");
         let q = b.state("q");
-        b.plain_rule(t0, g, Formula::True,
-                     Out::node(f, zero.clone(), vec![Out::Call(q, 0), Out::Call(q, 0)]));
+        b.plain_rule(
+            t0,
+            g,
+            Formula::True,
+            Out::node(f, zero.clone(), vec![Out::Call(q, 0), Out::Call(q, 0)]),
+        );
         b.plain_rule(q, a, Formula::True, Out::node(a, zero.clone(), vec![]));
         b.plain_rule(q, bb, Formula::True, Out::node(bb, zero, vec![]));
         let t = b.build(t0);
@@ -693,14 +734,18 @@ mod tests {
         let cons = ty.ctor_id("cons").unwrap();
         let mut b = StaBuilder::new(ty.clone(), alg);
         let ne = b.state("non_empty");
-        b.rule(ne, cons, Formula::True, vec![std::collections::BTreeSet::new()]);
+        b.rule(
+            ne,
+            cons,
+            Formula::True,
+            vec![std::collections::BTreeSet::new()],
+        );
         let non_empty = b.build(ne);
 
         let pre = preimage(&f, &non_empty).unwrap();
         let has_even = |t: &Tree| {
-            t.iter().any(|n| {
-                n.ctor() == cons && n.label().get(0).as_int().unwrap().rem_euclid(2) == 0
-            })
+            t.iter()
+                .any(|n| n.ctor() == cons && n.label().get(0).as_int().unwrap().rem_euclid(2) == 0)
         };
         let mut g = TreeGen::new(43).with_max_depth(7).with_int_range(-9, 9);
         for _ in 0..100 {

@@ -153,8 +153,7 @@ fn enumerate(
             let mut tuple_idx = vec![0usize; rank];
             'tuples: loop {
                 for l in labels {
-                    let kids: Vec<Tree> =
-                        tuple_idx.iter().map(|&i| all[i].clone()).collect();
+                    let kids: Vec<Tree> = tuple_idx.iter().map(|&i| all[i].clone()).collect();
                     let t = Tree::new(ctor, l.clone(), kids);
                     if !visit(&t) {
                         return;
@@ -194,7 +193,12 @@ mod tests {
         let cons = ty.ctor_id("cons").unwrap();
         let mut b = SttrBuilder::new(ty, alg);
         let q = b.state("map");
-        b.plain_rule(q, nil, Formula::True, Out::node(nil, LabelFn::identity(1), vec![]));
+        b.plain_rule(
+            q,
+            nil,
+            Formula::True,
+            Out::node(nil, LabelFn::identity(1), vec![]),
+        );
         b.plain_rule(
             q,
             cons,
@@ -211,7 +215,10 @@ mod tests {
     #[test]
     fn identical_transducers_no_witness() {
         let a = map_caesar();
-        assert_eq!(find_inequivalence(&a, &a, EquivConfig::default()).unwrap(), None);
+        assert_eq!(
+            find_inequivalence(&a, &a, EquivConfig::default()).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -247,10 +254,7 @@ mod tests {
             .unwrap()
             .expect("domains differ");
         // The witness is in exactly one domain.
-        assert_ne!(
-            a.run(&w).unwrap().is_empty(),
-            b.run(&w).unwrap().is_empty()
-        );
+        assert_ne!(a.run(&w).unwrap().is_empty(), b.run(&w).unwrap().is_empty());
     }
 
     #[test]
@@ -264,7 +268,12 @@ mod tests {
         let mk = |flip: bool| {
             let mut b = SttrBuilder::new(ty.clone(), alg.clone());
             let q = b.state("m");
-            b.plain_rule(q, nil, Formula::True, Out::node(nil, LabelFn::identity(1), vec![]));
+            b.plain_rule(
+                q,
+                nil,
+                Formula::True,
+                Out::node(nil, LabelFn::identity(1), vec![]),
+            );
             let big = Formula::cmp(CmpOp::Gt, Term::field(0), Term::int(100));
             let out_big = if flip { Term::int(0) } else { Term::field(0) };
             b.plain_rule(

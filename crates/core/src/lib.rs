@@ -62,7 +62,9 @@ mod ops;
 mod out;
 mod sttr;
 
-pub use compose::{compose, compose_with, preimage, ComposeOptions, MAX_COMPOSED_RULES, MAX_PAIR_STATES};
+pub use compose::{
+    compose, compose_with, preimage, ComposeOptions, MAX_COMPOSED_RULES, MAX_PAIR_STATES,
+};
 pub use equiv::{find_inequivalence, EquivConfig};
 pub use error::TransducerError;
 pub use ops::{is_empty_transducer, restrict, restrict_out, type_check};

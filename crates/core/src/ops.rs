@@ -102,8 +102,11 @@ mod tests {
         b.simple_rule(
             s,
             cons,
-            Formula::cmp(fast_smt::CmpOp::Ge, Term::field(0), Term::int(lo))
-                .and(Formula::cmp(fast_smt::CmpOp::Le, Term::field(0), Term::int(hi))),
+            Formula::cmp(fast_smt::CmpOp::Ge, Term::field(0), Term::int(lo)).and(Formula::cmp(
+                fast_smt::CmpOp::Le,
+                Term::field(0),
+                Term::int(hi),
+            )),
             vec![Some(s)],
         );
         b.build(s)

@@ -2,7 +2,7 @@
 
 use crate::error::TransducerError;
 use crate::out::Out;
-use fast_automata::{normalize_rooted, nonempty_states, Rule as StaRule, Sta, StateId};
+use fast_automata::{nonempty_states, normalize_rooted, Rule as StaRule, Sta, StateId};
 use fast_smt::{Label, LabelAlg, TransAlg};
 use fast_trees::{CtorId, Tree, TreeType};
 use std::collections::{BTreeSet, HashMap};
@@ -228,12 +228,7 @@ impl<A: TransAlg<Elem = Label>> Sttr<A> {
     /// # Errors
     ///
     /// Returns [`TransducerError::Budget`] on output-set blowup past `cap`.
-    pub fn run_at(
-        &self,
-        q: StateId,
-        t: &Tree,
-        cap: usize,
-    ) -> Result<Vec<Tree>, TransducerError> {
+    pub fn run_at(&self, q: StateId, t: &Tree, cap: usize) -> Result<Vec<Tree>, TransducerError> {
         let la_map = if self.la.state_count() > 0 {
             Some(self.la.eval_states_map(t))
         } else {
@@ -320,7 +315,10 @@ impl<A: TransAlg<Elem = Label>> Sttr<A> {
                 // Fast path for the deterministic case: exactly one
                 // alternative per child, no cartesian machinery.
                 if per_child.iter().all(|v| v.len() == 1) {
-                    let kids = per_child.into_iter().map(|mut v| v.pop().unwrap()).collect();
+                    let kids = per_child
+                        .into_iter()
+                        .map(|mut v| v.pop().unwrap())
+                        .collect();
                     return Ok(vec![Tree::new(*ctor, label, kids)]);
                 }
                 // Cartesian product over child alternatives.
@@ -391,10 +389,8 @@ impl<A: TransAlg<Elem = Label>> Sttr<A> {
             for r in self.rules(q) {
                 let lookahead = (0..r.lookahead.len())
                     .map(|i| {
-                        let mut set: BTreeSet<StateId> = r.lookahead[i]
-                            .iter()
-                            .map(|s| StateId(s.0 + n))
-                            .collect();
+                        let mut set: BTreeSet<StateId> =
+                            r.lookahead[i].iter().map(|s| StateId(s.0 + n)).collect();
                         let mut st = BTreeSet::new();
                         r.output.states_on_child(i, &mut st);
                         set.extend(st);
@@ -439,9 +435,7 @@ impl<A: TransAlg<Elem = Label>> Sttr<A> {
                     la.rules(q).iter().any(|r| {
                         r.ctor == ctor
                             && r.guard == tt
-                            && r.lookahead
-                                .iter()
-                                .all(|s| s.iter().all(|p| universal[p.0]))
+                            && r.lookahead.iter().all(|s| s.iter().all(|p| universal[p.0]))
                     })
                 });
                 if !ok {
@@ -465,12 +459,7 @@ impl<A: TransAlg<Elem = Label>> Sttr<A> {
                         lookahead: r
                             .lookahead
                             .iter()
-                            .map(|s| {
-                                s.iter()
-                                    .copied()
-                                    .filter(|p| !universal[p.0])
-                                    .collect()
-                            })
+                            .map(|s| s.iter().copied().filter(|p| !universal[p.0]).collect())
                             .collect(),
                         output: r.output.clone(),
                     })
@@ -587,10 +576,8 @@ impl<A: TransAlg<Elem = Label>> Sttr<A> {
                     }
                     let mut overlap = true;
                     for i in 0..ra.lookahead.len() {
-                        let joint: BTreeSet<StateId> = ra.lookahead[i]
-                            .union(&rb.lookahead[i])
-                            .copied()
-                            .collect();
+                        let joint: BTreeSet<StateId> =
+                            ra.lookahead[i].union(&rb.lookahead[i]).copied().collect();
                         if joint.is_empty() {
                             continue;
                         }
@@ -659,11 +646,7 @@ where
     }
 }
 
-fn fmt_out<A: TransAlg>(
-    f: &mut fmt::Formatter<'_>,
-    out: &Out<A>,
-    ty: &TreeType,
-) -> fmt::Result
+fn fmt_out<A: TransAlg>(f: &mut fmt::Formatter<'_>, out: &Out<A>, ty: &TreeType) -> fmt::Result
 where
     A::Fun: fmt::Display,
 {
@@ -726,6 +709,10 @@ impl<A: TransAlg<Elem = Label>> SttrBuilder<A> {
 
     /// Adds a rule.
     ///
+    /// The guard is anything convertible into the algebra's predicate
+    /// type — for [`LabelAlg`](fast_smt::LabelAlg) a plain
+    /// [`Formula`](fast_smt::Formula) works and is interned on the way in.
+    ///
     /// # Panics
     ///
     /// Panics if the lookahead arity differs from the constructor rank.
@@ -733,7 +720,7 @@ impl<A: TransAlg<Elem = Label>> SttrBuilder<A> {
         &mut self,
         q: StateId,
         ctor: CtorId,
-        guard: A::Pred,
+        guard: impl Into<A::Pred>,
         lookahead: Vec<BTreeSet<StateId>>,
         output: Out<A>,
     ) {
@@ -741,7 +728,7 @@ impl<A: TransAlg<Elem = Label>> SttrBuilder<A> {
             q,
             TRule {
                 ctor,
-                guard,
+                guard: guard.into(),
                 lookahead,
                 output,
             },
@@ -753,7 +740,13 @@ impl<A: TransAlg<Elem = Label>> SttrBuilder<A> {
     /// # Panics
     ///
     /// Panics if the constructor rank disagrees with the tree type.
-    pub fn plain_rule(&mut self, q: StateId, ctor: CtorId, guard: A::Pred, output: Out<A>) {
+    pub fn plain_rule(
+        &mut self,
+        q: StateId,
+        ctor: CtorId,
+        guard: impl Into<A::Pred>,
+        output: Out<A>,
+    ) {
         let rank = self.sttr.ty.rank(ctor);
         self.rule(q, ctor, guard, vec![BTreeSet::new(); rank], output);
     }
@@ -998,7 +991,12 @@ mod tests {
         let cons = ty.ctor_id("cons").unwrap();
         let mut b = SttrBuilder::new(ty, alg);
         let q = b.state("q");
-        b.plain_rule(q, nil, Formula::True, Out::node(nil, LabelFn::identity(1), vec![]));
+        b.plain_rule(
+            q,
+            nil,
+            Formula::True,
+            Out::node(nil, LabelFn::identity(1), vec![]),
+        );
         b.plain_rule(
             q,
             cons,
@@ -1009,7 +1007,11 @@ mod tests {
             q,
             cons,
             Formula::True,
-            Out::node(cons, LabelFn::new(vec![Term::int(5)]), vec![Out::Call(q, 0)]),
+            Out::node(
+                cons,
+                LabelFn::new(vec![Term::int(5)]),
+                vec![Out::Call(q, 0)],
+            ),
         );
         let nd = b.build(q);
         assert!(!nd.is_deterministic().unwrap());
@@ -1026,7 +1028,12 @@ mod tests {
         let nil = ty.ctor_id("nil").unwrap();
         let mut b = SttrBuilder::new(ty, alg);
         let q = b.state("dup");
-        b.plain_rule(q, nil, Formula::True, Out::node(nil, LabelFn::identity(1), vec![]));
+        b.plain_rule(
+            q,
+            nil,
+            Formula::True,
+            Out::node(nil, LabelFn::identity(1), vec![]),
+        );
         b.plain_rule(
             q,
             cons,
@@ -1034,11 +1041,7 @@ mod tests {
             Out::node(
                 cons,
                 LabelFn::identity(1),
-                vec![Out::node(
-                    cons,
-                    LabelFn::identity(1),
-                    vec![Out::Call(q, 0)],
-                )],
+                vec![Out::node(cons, LabelFn::identity(1), vec![Out::Call(q, 0)])],
             ),
         );
         let lin = b.build(q);
@@ -1055,11 +1058,7 @@ mod tests {
             Out::node(
                 cons,
                 LabelFn::identity(1),
-                vec![Out::node(
-                    cons,
-                    LabelFn::identity(1),
-                    vec![Out::Call(q, 0)],
-                )],
+                vec![Out::node(cons, LabelFn::identity(1), vec![Out::Call(q, 0)])],
             ),
         );
         // Use child 0 twice via a second call in the same rule.
@@ -1125,7 +1124,12 @@ mod tests {
         let cons = ty.ctor_id("cons").unwrap();
         let mut b = SttrBuilder::new(ty.clone(), alg);
         let q = b.state("q");
-        b.plain_rule(q, nil, Formula::True, Out::node(nil, LabelFn::identity(1), vec![]));
+        b.plain_rule(
+            q,
+            nil,
+            Formula::True,
+            Out::node(nil, LabelFn::identity(1), vec![]),
+        );
         b.plain_rule(
             q,
             cons,
@@ -1136,7 +1140,11 @@ mod tests {
             q,
             cons,
             Formula::True,
-            Out::node(cons, LabelFn::new(vec![Term::int(99)]), vec![Out::Call(q, 0)]),
+            Out::node(
+                cons,
+                LabelFn::new(vec![Term::int(99)]),
+                vec![Out::Call(q, 0)],
+            ),
         );
         let nd = b.build(q);
         let mut text = String::from("nil[0]");

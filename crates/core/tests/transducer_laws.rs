@@ -28,12 +28,21 @@ fn relabel(f: Term, g: Term) -> Sttr {
     let n = ty.ctor_id("N").unwrap();
     let mut b = SttrBuilder::new(ty, alg);
     let q = b.state("relabel");
-    b.plain_rule(q, l, Formula::True, Out::node(l, LabelFn::new(vec![f]), vec![]));
+    b.plain_rule(
+        q,
+        l,
+        Formula::True,
+        Out::node(l, LabelFn::new(vec![f]), vec![]),
+    );
     b.plain_rule(
         q,
         n,
         Formula::True,
-        Out::node(n, LabelFn::new(vec![g]), vec![Out::Call(q, 0), Out::Call(q, 1)]),
+        Out::node(
+            n,
+            LabelFn::new(vec![g]),
+            vec![Out::Call(q, 0), Out::Call(q, 1)],
+        ),
     );
     b.build(q)
 }
@@ -62,7 +71,10 @@ fn identity_is_neutral() {
 #[test]
 fn composition_is_associative_behaviorally() {
     let f = relabel(Term::field(0).add(Term::int(1)), Term::field(0));
-    let g = relabel(Term::field(0).mul(Term::int(2)), Term::field(0).add(Term::int(5)));
+    let g = relabel(
+        Term::field(0).mul(Term::int(2)),
+        Term::field(0).add(Term::int(5)),
+    );
     let h = relabel(Term::field(0).modulo(7), Term::field(0).sub(Term::int(2)));
     let left = compose(&compose(&f, &g).unwrap(), &h).unwrap();
     let right = compose(&f, &compose(&g, &h).unwrap()).unwrap();
@@ -114,7 +126,11 @@ fn preimage_of_domain_is_domain() {
         q,
         n,
         Formula::True,
-        Out::node(n, LabelFn::identity(1), vec![Out::Call(q, 0), Out::Call(q, 1)]),
+        Out::node(
+            n,
+            LabelFn::identity(1),
+            vec![Out::Call(q, 0), Out::Call(q, 1)],
+        ),
     );
     let f = b.build(q);
     let pre_top = preimage(&f, &top).unwrap();
@@ -221,7 +237,12 @@ fn figure5_rule() {
     );
     // Base cases so the machines are total on leaves.
     for s in [q, p] {
-        b.plain_rule(s, c, Formula::True, Out::node(c, LabelFn::identity(1), vec![]));
+        b.plain_rule(
+            s,
+            c,
+            Formula::True,
+            Out::node(c, LabelFn::identity(1), vec![]),
+        );
     }
     let sttr = b.build(q);
     // The rule is linear (each yᵢ used exactly once) — the paper's point
@@ -276,9 +297,18 @@ fn display_formats() {
         n,
         Formula::True,
         vec![[s].into_iter().collect(), Default::default()],
-        Out::node(n, LabelFn::identity(1), vec![Out::Call(q, 0), Out::Call(q, 1)]),
+        Out::node(
+            n,
+            LabelFn::identity(1),
+            vec![Out::Call(q, 0), Out::Call(q, 1)],
+        ),
     );
-    b.plain_rule(q, l, Formula::True, Out::node(l, LabelFn::identity(1), vec![]));
+    b.plain_rule(
+        q,
+        l,
+        Formula::True,
+        Out::node(l, LabelFn::identity(1), vec![]),
+    );
     let sttr = b.build(q);
     let text = sttr.to_string();
     assert!(text.contains("STTR over BT"), "{text}");
@@ -310,7 +340,12 @@ fn example7_deletion_reduction() {
         Formula::cmp(CmpOp::Gt, Term::field(0), Term::int(0)),
         Out::Call(p, 1),
     );
-    b.plain_rule(p, c, Formula::True, Out::node(c, LabelFn::identity(1), vec![]));
+    b.plain_rule(
+        p,
+        c,
+        Formula::True,
+        Out::node(c, LabelFn::identity(1), vec![]),
+    );
     let s = b.build(p);
 
     // T: identity.

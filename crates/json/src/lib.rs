@@ -1,0 +1,632 @@
+//! # fast-json — dependency-free JSON for the `fast` workspace
+//!
+//! The build environment is fully offline, so instead of `serde` +
+//! `serde_json` the workspace serializes through this small crate: a
+//! [`Json`] value type, a strict parser ([`Json::parse`]), a compact
+//! writer ([`Json::to_string`] via `Display`), and the [`ToJson`] /
+//! [`FromJson`] conversion traits that `fast-smt`, `fast-trees`, and the
+//! telemetry layer implement by hand.
+//!
+//! Objects preserve insertion order (helpful for stable telemetry
+//! snapshots and golden files); duplicate keys keep the last value on
+//! lookup, as in `serde_json`.
+//!
+//! # Examples
+//!
+//! ```
+//! use fast_json::Json;
+//! let v = Json::parse(r#"{"a": [1, 2.5, "x\n"], "b": null}"#).unwrap();
+//! assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+//! let back = Json::parse(&v.to_string()).unwrap();
+//! assert_eq!(back, v);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact; JSON numbers without `.`/`e`).
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, preserving insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+/// Error produced by [`Json::parse`] or [`FromJson`] conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input (parse errors only).
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset > 0 {
+            write!(f, "{} at byte {}", self.message, self.offset)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonError {
+    /// A structural (non-positional) error, used by [`FromJson`] impls.
+    pub fn msg(message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: 0,
+        }
+    }
+}
+
+/// Types that can serialize themselves to a [`Json`] value.
+pub trait ToJson {
+    /// Converts to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Types that can deserialize themselves from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Converts from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the value has the wrong shape.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+impl Json {
+    /// Builds an object from key–value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (impl Into<String>, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Object field lookup (last occurrence wins on duplicate keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(n) => Some(*n as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fs) => Some(fs),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (strict: exactly one value, full input).
+    ///
+    /// # Errors
+    ///
+    /// Returns a positioned [`JsonError`] on malformed input.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    /// Pretty-prints with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Array(xs) if !xs.is_empty() => {
+                out.push_str("[\n");
+                for (i, x) in xs.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    x.write_pretty(out, indent + 1);
+                    if i + 1 < xs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Object(fs) if !fs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fs.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    out.push_str(&format!("{}: ", Json::Str(k.clone())));
+                    v.write_pretty(out, indent + 1);
+                    if i + 1 < fs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(n) => write!(f, "{n}"),
+            Json::Float(x) => {
+                if x.is_finite() {
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        write!(f, "{x:.1}")
+                    } else {
+                        write!(f, "{x}")
+                    }
+                } else {
+                    // JSON has no Inf/NaN; mirror serde_json's lossy null.
+                    write!(f, "null")
+                }
+            }
+            Json::Str(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        '\r' => write!(f, "\\r")?,
+                        '\t' => write!(f, "\\t")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+            Json::Array(xs) => {
+                write!(f, "[")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Object(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}:{v}", Json::Str(k.clone()))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn lit(&mut self, s: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[', "expected '['")?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(out));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':'")?;
+            self.skip_ws();
+            let val = self.value()?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(out));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                .map_err(|_| self.err("invalid UTF-8"))?;
+            let mut chars = rest.char_indices();
+            match chars.next() {
+                None => return Err(self.err("unterminated string")),
+                Some((_, '"')) => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some((_, '\\')) => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pair?
+                            let c = if (0xD800..0xDC00).contains(&cp)
+                                && self.bytes.get(self.pos) == Some(&b'\\')
+                                && self.bytes.get(self.pos + 1) == Some(&b'u')
+                            {
+                                let hex2 = self
+                                    .bytes
+                                    .get(self.pos + 2..self.pos + 6)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or_else(|| self.err("bad surrogate"))?;
+                                let lo = u32::from_str_radix(hex2, 16)
+                                    .map_err(|_| self.err("bad surrogate"))?;
+                                self.pos += 6;
+                                0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                cp
+                            };
+                            out.push(
+                                char::from_u32(c).ok_or_else(|| self.err("invalid codepoint"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some((i, c)) => {
+                    out.push(c);
+                    self.pos += c.len_utf8() + i;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| self.err("invalid number"))
+        }
+    }
+}
+
+// ---- conversions for primitives, so hand-written impls stay short ----
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_bool().ok_or_else(|| JsonError::msg("expected bool"))
+    }
+}
+impl ToJson for i64 {
+    fn to_json(&self) -> Json {
+        Json::Int(*self)
+    }
+}
+impl FromJson for i64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_int().ok_or_else(|| JsonError::msg("expected integer"))
+    }
+}
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::Int(*self as i64)
+    }
+}
+impl FromJson for usize {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let n = v
+            .as_int()
+            .ok_or_else(|| JsonError::msg("expected integer"))?;
+        usize::try_from(n).map_err(|_| JsonError::msg("negative length"))
+    }
+}
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::Int(*self as i64)
+    }
+}
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::msg("expected string"))
+    }
+}
+impl ToJson for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+impl FromJson for char {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s = v.as_str().ok_or_else(|| JsonError::msg("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(JsonError::msg("expected single-char string")),
+        }
+    }
+}
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_array()
+            .ok_or_else(|| JsonError::msg("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_array() {
+            Some([a, b]) => Ok((A::from_json(a)?, B::from_json(b)?)),
+            _ => Err(JsonError::msg("expected 2-element array")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_values() {
+        for text in [
+            "null",
+            "true",
+            "-42",
+            r#""he\"llo\n\\""#,
+            "[1,2,[3]]",
+            r#"{"a":1,"b":[true,null],"c":{"d":"x"}}"#,
+        ] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(Json::parse(&v.to_string()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn floats_and_ints_distinct() {
+        assert_eq!(Json::parse("3").unwrap(), Json::Int(3));
+        assert_eq!(Json::parse("3.5").unwrap(), Json::Float(3.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(Json::Float(2.0).to_string(), "2.0");
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = Json::parse(r#""é😀""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "é😀");
+        let lambda = Json::Str("λ".into());
+        assert_eq!(Json::parse(&lambda.to_string()).unwrap(), lambda);
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("12 34")
+            .unwrap_err()
+            .message
+            .contains("trailing"));
+        assert!(Json::parse("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn object_get_last_wins() {
+        let v = Json::parse(r#"{"k":1,"k":2}"#).unwrap();
+        assert_eq!(v.get("k").unwrap().as_int(), Some(2));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn pretty_round_trips() {
+        let v = Json::parse(r#"{"a":[1,2],"b":{"c":null},"d":[]}"#).unwrap();
+        assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+    }
+}

@@ -4,8 +4,8 @@
 //!
 //! Compiles the program, evaluates every definition and assertion, prints
 //! the assertion report (and with `--stats` the sizes of every compiled
-//! language and transformation), and exits non-zero if compilation fails
-//! or any assertion fails.
+//! language and transformation plus the `fast-obs` telemetry snapshot as
+//! JSON), and exits non-zero if compilation fails or any assertion fails.
 
 use std::process::ExitCode;
 
@@ -95,6 +95,11 @@ fn main() -> ExitCode {
             report.assertions.len(),
             failed
         );
+    }
+    if stats {
+        // Solver/automata/compose telemetry accumulated over the whole
+        // run, as one JSON object (see ARCHITECTURE.md for the counters).
+        println!("{}", fast_obs::snapshot().to_json().pretty());
     }
     if failed == 0 {
         ExitCode::SUCCESS

@@ -265,7 +265,11 @@ impl Compiler {
         Ok(())
     }
 
-    fn get_type(&self, name: &str, span: Span) -> Result<(Arc<TreeType>, Arc<LabelAlg>), Diagnostic> {
+    fn get_type(
+        &self,
+        name: &str,
+        span: Span,
+    ) -> Result<(Arc<TreeType>, Arc<LabelAlg>), Diagnostic> {
         match (self.types.get(name), self.algs.get(name)) {
             (Some(t), Some(a)) => Ok((t.clone(), a.clone())),
             _ => Err(err(span, format!("unknown tree type '{name}'"))),
@@ -278,7 +282,10 @@ impl Compiler {
         let mut states: HashMap<&str, StateId> = HashMap::new();
         for d in decls {
             if self.langs.contains_key(&d.name) || states.contains_key(d.name.as_str()) {
-                return Err(err(d.span, format!("language '{}' is already defined", d.name)));
+                return Err(err(
+                    d.span,
+                    format!("language '{}' is already defined", d.name),
+                ));
             }
             states.insert(&d.name, b.state(&d.name));
         }
@@ -312,8 +319,14 @@ impl Compiler {
         ty: &TreeType,
         r: &LangRule,
         local: &dyn Fn(&str) -> Option<StateId>,
-    ) -> Result<(fast_trees::CtorId, Formula, Vec<std::collections::BTreeSet<StateId>>), Diagnostic>
-    {
+    ) -> Result<
+        (
+            fast_trees::CtorId,
+            Formula,
+            Vec<std::collections::BTreeSet<StateId>>,
+        ),
+        Diagnostic,
+    > {
         let ctor = ty
             .ctor_id(&r.ctor)
             .ok_or_else(|| err(r.span, format!("unknown constructor '{}'", r.ctor)))?;
@@ -339,12 +352,8 @@ impl Compiler {
                 .iter()
                 .position(|v| v == var)
                 .ok_or_else(|| err(r.span, format!("unbound variable '{var}' in given")))?;
-            let state = local(lang).ok_or_else(|| {
-                err(
-                    r.span,
-                    format!("unknown language '{lang}' in given clause"),
-                )
-            })?;
+            let state = local(lang)
+                .ok_or_else(|| err(r.span, format!("unknown language '{lang}' in given clause")))?;
             lookahead[idx].insert(state);
         }
         Ok((ctor, guard, lookahead))
@@ -358,7 +367,10 @@ impl Compiler {
             ));
         }
         if self.trans.contains_key(&t.name) {
-            return Err(err(t.span, format!("transformation '{}' is already defined", t.name)));
+            return Err(err(
+                t.span,
+                format!("transformation '{}' is already defined", t.name),
+            ));
         }
         let (ty, alg) = self.get_type(&t.ty_in, t.span)?;
         let mut b = SttrBuilder::new(ty.clone(), alg.clone());
@@ -386,12 +398,14 @@ impl Compiler {
                 if entry.ty != t.ty_in {
                     return Err(err(
                         r.lhs.span,
-                        format!("language '{lang}' is over type '{}', not '{}'", entry.ty, t.ty_in),
+                        format!(
+                            "language '{lang}' is over type '{}', not '{}'",
+                            entry.ty, t.ty_in
+                        ),
                     ));
                 }
                 let offset = b.absorb_lookahead(&entry.sta);
-                absorbed_langs
-                    .insert(lang.clone(), StateId(entry.sta.initial().0 + offset));
+                absorbed_langs.insert(lang.clone(), StateId(entry.sta.initial().0 + offset));
             }
         }
 
@@ -417,12 +431,10 @@ impl Compiler {
             };
             let mut lookahead = vec![std::collections::BTreeSet::new(); rank];
             for (lang, var) in &r.lhs.given {
-                let idx = r
-                    .lhs
-                    .vars
-                    .iter()
-                    .position(|v| v == var)
-                    .ok_or_else(|| err(r.lhs.span, format!("unbound variable '{var}' in given")))?;
+                let idx =
+                    r.lhs.vars.iter().position(|v| v == var).ok_or_else(|| {
+                        err(r.lhs.span, format!("unbound variable '{var}' in given"))
+                    })?;
                 lookahead[idx].insert(absorbed_langs[lang]);
             }
             let out = self.lower_tout(
@@ -601,13 +613,19 @@ impl Compiler {
 
     fn def_lang(&mut self, d: &DefLangDecl) -> Result<(), Diagnostic> {
         if self.langs.contains_key(&d.name) {
-            return Err(err(d.span, format!("language '{}' is already defined", d.name)));
+            return Err(err(
+                d.span,
+                format!("language '{}' is already defined", d.name),
+            ));
         }
         let (ty, sta) = self.eval_lexpr(&d.body)?;
         if ty != d.ty {
             return Err(err(
                 d.span,
-                format!("definition is over type '{ty}', but '{}' was declared", d.ty),
+                format!(
+                    "definition is over type '{ty}', but '{}' was declared",
+                    d.ty
+                ),
             ));
         }
         self.langs.insert(d.name.clone(), LangEntry { ty, sta });
@@ -622,13 +640,19 @@ impl Compiler {
             ));
         }
         if self.trans.contains_key(&d.name) {
-            return Err(err(d.span, format!("transformation '{}' is already defined", d.name)));
+            return Err(err(
+                d.span,
+                format!("transformation '{}' is already defined", d.name),
+            ));
         }
         let (ty, sttr) = self.eval_texpr(&d.body)?;
         if ty != d.ty_in {
             return Err(err(
                 d.span,
-                format!("definition is over type '{ty}', but '{}' was declared", d.ty_in),
+                format!(
+                    "definition is over type '{ty}', but '{}' was declared",
+                    d.ty_in
+                ),
             ));
         }
         self.trans.insert(d.name.clone(), TransEntry { ty, sttr });
@@ -679,7 +703,10 @@ impl Compiler {
                 let (ta, sa) = self.eval_lexpr(a)?;
                 let (tb, sb) = self.eval_lexpr(b)?;
                 same_type(&ta, &tb, *span)?;
-                Ok((ta, difference(&sa, &sb).map_err(|e| err(*span, e.to_string()))?))
+                Ok((
+                    ta,
+                    difference(&sa, &sb).map_err(|e| err(*span, e.to_string()))?,
+                ))
             }
             LExpr::Minimize(a, span) => {
                 let (ta, sa) = self.eval_lexpr(a)?;
@@ -693,7 +720,10 @@ impl Compiler {
                 let (tt, sttr) = self.eval_texpr(t)?;
                 let (tl, sta) = self.eval_lexpr(l)?;
                 same_type(&tt, &tl, *span)?;
-                Ok((tt, preimage(&sttr, &sta).map_err(|e| err(*span, e.to_string()))?))
+                Ok((
+                    tt,
+                    preimage(&sttr, &sta).map_err(|e| err(*span, e.to_string()))?,
+                ))
             }
         }
     }
@@ -709,19 +739,28 @@ impl Compiler {
                 let (ta, sa) = self.eval_texpr(a)?;
                 let (tb, sb) = self.eval_texpr(b)?;
                 same_type(&ta, &tb, *span)?;
-                Ok((ta, compose(&sa, &sb).map_err(|e| err(*span, e.to_string()))?))
+                Ok((
+                    ta,
+                    compose(&sa, &sb).map_err(|e| err(*span, e.to_string()))?,
+                ))
             }
             TExpr::Restrict(t, l, span) => {
                 let (tt, st) = self.eval_texpr(t)?;
                 let (tl, sl) = self.eval_lexpr(l)?;
                 same_type(&tt, &tl, *span)?;
-                Ok((tt, restrict(&st, &sl).map_err(|e| err(*span, e.to_string()))?))
+                Ok((
+                    tt,
+                    restrict(&st, &sl).map_err(|e| err(*span, e.to_string()))?,
+                ))
             }
             TExpr::RestrictOut(t, l, span) => {
                 let (tt, st) = self.eval_texpr(t)?;
                 let (tl, sl) = self.eval_lexpr(l)?;
                 same_type(&tt, &tl, *span)?;
-                Ok((tt, restrict_out(&st, &sl).map_err(|e| err(*span, e.to_string()))?))
+                Ok((
+                    tt,
+                    restrict_out(&st, &sl).map_err(|e| err(*span, e.to_string()))?,
+                ))
             }
         }
     }
@@ -807,10 +846,7 @@ impl Compiler {
                 for a in attrs {
                     let term = lower_term(ty.sig(), a)?;
                     if !term.is_ground() {
-                        return Err(err(
-                            a.span(),
-                            "tree attribute expressions must be constant",
-                        ));
+                        return Err(err(a.span(), "tree attribute expressions must be constant"));
                     }
                     values.push(
                         term.eval(&Label::unit())
@@ -859,8 +895,7 @@ impl Compiler {
             }
             Assertion::IsEmptyTrans(t) => {
                 let (_, sttr) = self.eval_texpr(t)?;
-                let empty =
-                    is_empty_transducer(&sttr).map_err(|e| err(a.span, e.to_string()))?;
+                let empty = is_empty_transducer(&sttr).map_err(|e| err(a.span, e.to_string()))?;
                 let cx = if !empty {
                     self.domain_witness(&sttr)
                 } else {
@@ -875,8 +910,12 @@ impl Compiler {
                 let eq = equivalent(&sx, &sy).map_err(|e| err(a.span, e.to_string()))?;
                 let cx = if !eq {
                     let ty = self.types[&tx].clone();
-                    let d1 = difference(&sx, &sy).ok().and_then(|d| witness(&d).ok().flatten());
-                    let d2 = difference(&sy, &sx).ok().and_then(|d| witness(&d).ok().flatten());
+                    let d1 = difference(&sx, &sy)
+                        .ok()
+                        .and_then(|d| witness(&d).ok().flatten());
+                    let d2 = difference(&sy, &sx)
+                        .ok()
+                        .and_then(|d| witness(&d).ok().flatten());
                     d1.or(d2).map(|t| t.display(&ty).to_string())
                 } else {
                     None
@@ -895,8 +934,7 @@ impl Compiler {
                 let (t2, s2) = self.eval_lexpr(l2)?;
                 same_type(&t1, &tt, a.span)?;
                 same_type(&tt, &t2, a.span)?;
-                let ok =
-                    type_check(&s1, &sttr, &s2).map_err(|e| err(a.span, e.to_string()))?;
+                let ok = type_check(&s1, &sttr, &s2).map_err(|e| err(a.span, e.to_string()))?;
                 let cx = if !ok {
                     // Recompute the offending-input language for a witness.
                     complement(&s2)
@@ -921,10 +959,7 @@ impl Compiler {
         Ok(())
     }
 
-    fn assert_empty_lang(
-        &self,
-        l: &LExpr,
-    ) -> Result<(bool, String, Option<String>), Diagnostic> {
+    fn assert_empty_lang(&self, l: &LExpr) -> Result<(bool, String, Option<String>), Diagnostic> {
         let (tl, sta) = self.eval_lexpr(l)?;
         let empty = is_empty(&sta).map_err(|e| err(l.span(), e.to_string()))?;
         let cx = if !empty {
@@ -984,17 +1019,16 @@ pub(crate) fn lower_term(sig: &LabelSig, e: &Expr) -> Result<Term, Diagnostic> {
                 BinOp::Sub => ta.sub(lower_term(sig, b)?),
                 BinOp::Mul => ta.mul(lower_term(sig, b)?),
                 BinOp::Mod | BinOp::Div => {
-                    let divisor = match lower_term(sig, b)?.simplify() {
-                        Term::Lit(fast_smt::Value::Int(n)) if n > 0 && n <= u32::MAX as i64 => {
-                            n as u32
-                        }
-                        _ => {
-                            return Err(err(
+                    let divisor =
+                        match lower_term(sig, b)?.simplify() {
+                            Term::Lit(fast_smt::Value::Int(n)) if n > 0 && n <= u32::MAX as i64 => {
+                                n as u32
+                            }
+                            _ => return Err(err(
                                 *span,
                                 "the divisor of '%' and '/' must be a positive integer constant",
-                            ))
-                        }
-                    };
+                            )),
+                        };
                     if *op == BinOp::Mod {
                         ta.modulo(divisor)
                     } else {
@@ -1041,9 +1075,7 @@ pub(crate) fn lower_formula(sig: &LabelSig, e: &Expr) -> Result<Formula, Diagnos
             Formula::atom(Atom::BoolTerm(Term::field(idx)))
         }
         Expr::Not(inner, _) => lower_formula(sig, inner)?.not(),
-        Expr::Bin(BinOp::And, a, b, _) => {
-            lower_formula(sig, a)?.and(lower_formula(sig, b)?)
-        }
+        Expr::Bin(BinOp::And, a, b, _) => lower_formula(sig, a)?.and(lower_formula(sig, b)?),
         Expr::Bin(BinOp::Or, a, b, _) => lower_formula(sig, a)?.or(lower_formula(sig, b)?),
         Expr::Bin(op, a, b, span) => {
             let cmp = match op {

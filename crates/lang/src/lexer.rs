@@ -187,15 +187,16 @@ impl Lexer {
             let mut word = self.ident_segment();
             // Greedy hyphenated keyword matching with backtracking.
             loop {
-                if self.peek() == Some('-')
-                    && matches!(self.peek2(), Some(n) if n.is_alphabetic())
+                if self.peek() == Some('-') && matches!(self.peek2(), Some(n) if n.is_alphabetic())
                 {
                     let save = (self.i, self.line, self.col);
                     self.bump(); // '-'
                     let seg = self.ident_segment();
                     let candidate = format!("{word}-{seg}");
                     if KEYWORDS.contains(&candidate.as_str())
-                        || KEYWORDS.iter().any(|k| k.starts_with(&format!("{candidate}-")))
+                        || KEYWORDS
+                            .iter()
+                            .any(|k| k.starts_with(&format!("{candidate}-")))
                     {
                         word = candidate;
                         continue;
@@ -366,7 +367,10 @@ mod tests {
         );
         assert_eq!(toks("assert-true"), vec![Tok::Kw("assert-true"), Tok::Eof]);
         assert_eq!(toks("pre-image"), vec![Tok::Kw("pre-image"), Tok::Eof]);
-        assert_eq!(toks("restrict-out"), vec![Tok::Kw("restrict-out"), Tok::Eof]);
+        assert_eq!(
+            toks("restrict-out"),
+            vec![Tok::Kw("restrict-out"), Tok::Eof]
+        );
         // A non-keyword hyphen splits into ident minus ident.
         assert_eq!(
             toks("foo-bar"),

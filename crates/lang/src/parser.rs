@@ -411,11 +411,7 @@ impl Parser {
                 let e = match self.peek().clone() {
                     Tok::Kw("intersect") => {
                         self.bump();
-                        LExpr::Intersect(
-                            Box::new(self.lexpr()?),
-                            Box::new(self.lexpr()?),
-                            start,
-                        )
+                        LExpr::Intersect(Box::new(self.lexpr()?), Box::new(self.lexpr()?), start)
                     }
                     Tok::Kw("union") => {
                         self.bump();
@@ -427,11 +423,7 @@ impl Parser {
                     }
                     Tok::Kw("difference") => {
                         self.bump();
-                        LExpr::Difference(
-                            Box::new(self.lexpr()?),
-                            Box::new(self.lexpr()?),
-                            start,
-                        )
+                        LExpr::Difference(Box::new(self.lexpr()?), Box::new(self.lexpr()?), start)
                     }
                     Tok::Kw("minimize") => {
                         self.bump();
@@ -446,9 +438,9 @@ impl Parser {
                         LExpr::Preimage(Box::new(self.texpr()?), Box::new(self.lexpr()?), start)
                     }
                     other => {
-                        return Err(self.err(format!(
-                            "expected a language operation, found {other}"
-                        )))
+                        return Err(
+                            self.err(format!("expected a language operation, found {other}"))
+                        )
                     }
                 };
                 self.expect_sym(")")?;
@@ -478,16 +470,12 @@ impl Parser {
                     }
                     Tok::Kw("restrict-out") => {
                         self.bump();
-                        TExpr::RestrictOut(
-                            Box::new(self.texpr()?),
-                            Box::new(self.lexpr()?),
-                            start,
-                        )
+                        TExpr::RestrictOut(Box::new(self.texpr()?), Box::new(self.lexpr()?), start)
                     }
                     other => {
-                        return Err(self.err(format!(
-                            "expected a transducer operation, found {other}"
-                        )))
+                        return Err(
+                            self.err(format!("expected a transducer operation, found {other}"))
+                        )
                     }
                 };
                 self.expect_sym(")")?;
@@ -543,9 +531,7 @@ impl Parser {
                         }
                     }
                     other => {
-                        return Err(
-                            self.err(format!("expected a tree expression, found {other}"))
-                        )
+                        return Err(self.err(format!("expected a tree expression, found {other}")))
                     }
                 };
                 self.expect_sym(")")?;
@@ -562,8 +548,8 @@ impl Parser {
                 Tok::Kw("is-empty") => {
                     self.bump(); // (
                     self.bump(); // is-empty
-                    // A parenthesized operand's head keyword decides; a
-                    // bare name is resolved by the compiler.
+                                 // A parenthesized operand's head keyword decides; a
+                                 // bare name is resolved by the compiler.
                     let a = if *self.peek() == Tok::Sym("(") {
                         match self.peek2().clone() {
                             Tok::Kw("compose") | Tok::Kw("restrict") | Tok::Kw("restrict-out") => {
@@ -840,7 +826,12 @@ mod tests {
             Decl::Trans(t) => {
                 assert_eq!(t.rules.len(), 3);
                 match &t.rules[0].out {
-                    TOut::Node { ctor, attrs, children, .. } => {
+                    TOut::Node {
+                        ctor,
+                        attrs,
+                        children,
+                        ..
+                    } => {
                         assert_eq!(ctor, "node");
                         assert_eq!(attrs.len(), 1);
                         assert_eq!(children.len(), 3);
@@ -869,14 +860,36 @@ mod tests {
         "#;
         let p = parse(src).unwrap();
         assert_eq!(p.decls.len(), 7);
-        assert!(matches!(&p.decls[3],
-            Decl::Assert(AssertDecl { expected: true, body: Assertion::IsEmptyLang(_), .. })));
-        assert!(matches!(&p.decls[4],
-            Decl::Assert(AssertDecl { expected: false, body: Assertion::IsEmptyTrans(_), .. })));
-        assert!(matches!(&p.decls[5],
-            Decl::Assert(AssertDecl { body: Assertion::TypeCheck(..), .. })));
-        assert!(matches!(&p.decls[6],
-            Decl::Assert(AssertDecl { body: Assertion::LangEq(..), .. })));
+        assert!(matches!(
+            &p.decls[3],
+            Decl::Assert(AssertDecl {
+                expected: true,
+                body: Assertion::IsEmptyLang(_),
+                ..
+            })
+        ));
+        assert!(matches!(
+            &p.decls[4],
+            Decl::Assert(AssertDecl {
+                expected: false,
+                body: Assertion::IsEmptyTrans(_),
+                ..
+            })
+        ));
+        assert!(matches!(
+            &p.decls[5],
+            Decl::Assert(AssertDecl {
+                body: Assertion::TypeCheck(..),
+                ..
+            })
+        ));
+        assert!(matches!(
+            &p.decls[6],
+            Decl::Assert(AssertDecl {
+                body: Assertion::LangEq(..),
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -889,8 +902,13 @@ mod tests {
         "#;
         let p = parse(src).unwrap();
         assert_eq!(p.decls.len(), 4);
-        assert!(matches!(&p.decls[3],
-            Decl::Assert(AssertDecl { body: Assertion::Member(..), .. })));
+        assert!(matches!(
+            &p.decls[3],
+            Decl::Assert(AssertDecl {
+                body: Assertion::Member(..),
+                ..
+            })
+        ));
     }
 
     #[test]

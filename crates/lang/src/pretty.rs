@@ -103,9 +103,19 @@ impl fmt::Display for LangDecl {
 
 impl fmt::Display for TransDecl {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "trans {}: {} -> {} {{", self.name, self.ty_in, self.ty_out)?;
+        writeln!(
+            f,
+            "trans {}: {} -> {} {{",
+            self.name, self.ty_in, self.ty_out
+        )?;
         for (i, r) in self.rules.iter().enumerate() {
-            writeln!(f, "{} {} to {}", if i == 0 { " " } else { "|" }, r.lhs, r.out)?;
+            writeln!(
+                f,
+                "{} {} to {}",
+                if i == 0 { " " } else { "|" },
+                r.lhs,
+                r.out
+            )?;
         }
         write!(f, "}}")
     }
@@ -295,7 +305,11 @@ impl fmt::Display for Expr {
                     StrTestKind::EndsWith => "endsWith",
                     StrTestKind::Contains => "contains",
                 };
-                write!(f, "({k} {e} \"{}\")", lit.replace('\\', "\\\\").replace('"', "\\\""))
+                write!(
+                    f,
+                    "({k} {e} \"{}\")",
+                    lit.replace('\\', "\\\\").replace('"', "\\\"")
+                )
             }
         }
     }

@@ -246,12 +246,7 @@ pub fn compile_xpath(
         let name_ok = Formula::eq(tag.clone(), Term::str(&p.name));
         match &p.value {
             None => {
-                b.rule(
-                    q,
-                    c.attr,
-                    name_ok,
-                    vec![BTreeSet::new(), BTreeSet::new()],
-                );
+                b.rule(q, c.attr, name_ok, vec![BTreeSet::new(), BTreeSet::new()]);
             }
             Some(v) => {
                 let chain = chain_state(v, b, &c, &mut chain_cache);
@@ -275,11 +270,8 @@ pub fn compile_xpath(
         };
         // Lookahead on the attribute child: all predicates (conjunctive —
         // alternation in action).
-        let attr_req: BTreeSet<StateId> = step
-            .preds
-            .iter()
-            .map(|p| pred_state(p, &mut b))
-            .collect();
+        let attr_req: BTreeSet<StateId> =
+            step.preds.iter().map(|p| pred_state(p, &mut b)).collect();
         // Hit: this element matches, and the rest of the path matches in
         // its children.
         let child_req: BTreeSet<StateId> = next_state.into_iter().collect();
@@ -326,7 +318,9 @@ mod tests {
             })
         }
         fn search(list: &[HtmlElem], steps: &[Step]) -> bool {
-            let Some(step) = steps.first() else { return false };
+            let Some(step) = steps.first() else {
+                return false;
+            };
             for e in list {
                 if matches(e, step) {
                     if steps.len() == 1 {
@@ -443,7 +437,9 @@ mod tests {
         let no_div_script =
             fast_automata::intersect(&scripts, &fast_automata::complement(&divs).unwrap());
         let yes = HtmlDoc::new(vec![HtmlElem::new("p").with_child(HtmlElem::new("script"))]);
-        let no = HtmlDoc::new(vec![HtmlElem::new("div").with_child(HtmlElem::new("script"))]);
+        let no = HtmlDoc::new(vec![
+            HtmlElem::new("div").with_child(HtmlElem::new("script"))
+        ]);
         assert!(no_div_script.accepts(&yes.encode(&ty)));
         assert!(!no_div_script.accepts(&no.encode(&ty)));
         // And a witness can be synthesized for the combined query.

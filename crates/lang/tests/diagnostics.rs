@@ -12,8 +12,10 @@ fn err(src: &str) -> String {
 #[test]
 fn lexical_errors() {
     assert!(err("type T { c(0) } lang p: T { c() where (x @ 1) }").contains("unexpected character"));
-    assert!(err(r#"type T[s: String] { c(0) } lang p: T { c() where (s = "oops) }"#)
-        .contains("unterminated"));
+    assert!(
+        err(r#"type T[s: String] { c(0) } lang p: T { c() where (s = "oops) }"#)
+            .contains("unterminated")
+    );
     assert!(err("type T { c(99999999999999999999) }").contains("out of range"));
 }
 
@@ -45,17 +47,18 @@ fn type_errors() {
     assert!(err("type T[i: Int] { n(2) }").contains("nullary"));
     // Duplicate definitions.
     assert!(err("type T { c(0) } type T { c(0) }").contains("already defined"));
-    assert!(err("type T { c(0) } lang p: T { c() } lang p: T { c() }")
-        .contains("already defined"));
-    assert!(
-        err("type T { c(0) } trans f: T -> T { c() to (c []) } trans f: T -> T { c() to (c []) }")
-            .contains("already defined")
-    );
+    assert!(err("type T { c(0) } lang p: T { c() } lang p: T { c() }").contains("already defined"));
+    assert!(err(
+        "type T { c(0) } trans f: T -> T { c() to (c []) } trans f: T -> T { c() to (c []) }"
+    )
+    .contains("already defined"));
     // Unknown tree type.
     assert!(err("lang p: Nope { c() }").contains("unknown tree type"));
     // Mismatched in/out types.
-    assert!(err("type A { a(0) } type B { b(0) } trans f: A -> B { a() to (a []) }")
-        .contains("combined tree type"));
+    assert!(
+        err("type A { a(0) } type B { b(0) } trans f: A -> B { a() to (a []) }")
+            .contains("combined tree type")
+    );
 }
 
 #[test]
@@ -70,56 +73,70 @@ fn rule_errors() {
     ))
     .contains("unbound variable"));
     // Unknown language in given.
-    assert!(err(&format!("{prelude} lang p: T {{ n(x, y) given (mystery x) }}"))
-        .contains("unknown language"));
+    assert!(err(&format!(
+        "{prelude} lang p: T {{ n(x, y) given (mystery x) }}"
+    ))
+    .contains("unknown language"));
     // Unknown attribute in guard.
-    assert!(err(&format!("{prelude} lang p: T {{ c() where (z = 0) }}"))
-        .contains("unknown attribute"));
+    assert!(
+        err(&format!("{prelude} lang p: T {{ c() where (z = 0) }}")).contains("unknown attribute")
+    );
     // Sort mismatch in comparison.
-    assert!(err(&format!("{prelude} lang p: T {{ c() where (i = \"x\") }}"))
-        .contains("mismatched sorts"));
+    assert!(
+        err(&format!("{prelude} lang p: T {{ c() where (i = \"x\") }}"))
+            .contains("mismatched sorts")
+    );
     // Ordering on strings.
-    assert!(err(
-        "type S[s: String] { c(0) } lang p: S { c() where (s < \"x\") }"
-    )
-    .contains("only supported for Int and Char"));
+    assert!(
+        err("type S[s: String] { c(0) } lang p: S { c() where (s < \"x\") }")
+            .contains("only supported for Int and Char")
+    );
     // Non-Bool guard.
-    assert!(err(&format!("{prelude} lang p: T {{ c() where (i + 1) }}"))
-        .contains("Bool guard"));
+    assert!(err(&format!("{prelude} lang p: T {{ c() where (i + 1) }}")).contains("Bool guard"));
     // Bool used as value.
-    assert!(err(&format!("{prelude} trans f: T -> T {{ c() to (c [i = 0]) }}"))
-        .contains("expected a value expression"));
-    assert!(err(&format!("{prelude} trans f: T -> T {{ c() to (c [not (i = 0)]) }}"))
-        .contains("cannot be used as attribute values"));
+    assert!(err(&format!(
+        "{prelude} trans f: T -> T {{ c() to (c [i = 0]) }}"
+    ))
+    .contains("expected a value expression"));
+    assert!(err(&format!(
+        "{prelude} trans f: T -> T {{ c() to (c [not (i = 0)]) }}"
+    ))
+    .contains("cannot be used as attribute values"));
     // Non-constant divisor.
-    assert!(err(&format!("{prelude} lang p: T {{ c() where (i % i = 0) }}"))
-        .contains("positive integer constant"));
-    assert!(err(&format!("{prelude} lang p: T {{ c() where (i % 0 = 0) }}"))
-        .contains("positive integer constant"));
+    assert!(
+        err(&format!("{prelude} lang p: T {{ c() where (i % i = 0) }}"))
+            .contains("positive integer constant")
+    );
+    assert!(
+        err(&format!("{prelude} lang p: T {{ c() where (i % 0 = 0) }}"))
+            .contains("positive integer constant")
+    );
 }
 
 #[test]
 fn trans_errors() {
     let prelude = "type T[i: Int] { c(0), n(2) }\n";
     // Wrong attribute count in output.
-    assert!(err(&format!("{prelude} trans f: T -> T {{ c() to (c []) }}"))
-        .contains("1 attribute(s)"));
+    assert!(
+        err(&format!("{prelude} trans f: T -> T {{ c() to (c []) }}")).contains("1 attribute(s)")
+    );
     // Wrong child count in output.
     assert!(err(&format!("{prelude} trans f: T -> T {{ c() to (n [i]) }}")).contains("rank"));
     // Attribute sort mismatch in output.
-    assert!(err(&format!("{prelude} trans f: T -> T {{ c() to (c [\"s\"]) }}"))
-        .contains("sort"));
-    // Unbound variable in output.
-    assert!(err(&format!("{prelude} trans f: T -> T {{ c() to (f z) }}"))
-        .contains("unbound variable"));
-    // Forward reference across trans blocks.
     assert!(err(&format!(
-        "{prelude} trans f: T -> T {{ c() to (g y) }}"
+        "{prelude} trans f: T -> T {{ c() to (c [\"s\"]) }}"
     ))
-    .contains("unbound variable") || err(&format!(
-        "{prelude} trans f: T -> T {{ n(x, y) to (g y) }}"
-    ))
-    .contains("unknown transformation"));
+    .contains("sort"));
+    // Unbound variable in output.
+    assert!(
+        err(&format!("{prelude} trans f: T -> T {{ c() to (f z) }}")).contains("unbound variable")
+    );
+    // Forward reference across trans blocks.
+    assert!(
+        err(&format!("{prelude} trans f: T -> T {{ c() to (g y) }}")).contains("unbound variable")
+            || err(&format!("{prelude} trans f: T -> T {{ n(x, y) to (g y) }}"))
+                .contains("unknown transformation")
+    );
 }
 
 #[test]
@@ -134,7 +151,7 @@ fn def_and_tree_errors() {
     assert!(err(&format!(
         "type U {{ u(0) }}\n{prelude} lang b: U {{ u() }} def x: T := (union b b)"
     ))
-    .contains("was declared") );
+    .contains("was declared"));
     // Mixed types in an operation.
     assert!(err(&format!(
         "type U {{ u(0) }}\n{prelude} lang b: U {{ u() }} def x: T := (union a b)"
@@ -148,10 +165,7 @@ fn def_and_tree_errors() {
     ))
     .contains("empty"));
     // Ambiguous leaf constructor across types.
-    assert!(err(
-        "type A { z(0) } type B { z(0) } tree t: A := (z [])"
-    )
-    .contains("ambiguous"));
+    assert!(err("type A { z(0) } type B { z(0) } tree t: A := (z [])").contains("ambiguous"));
 }
 
 // ---- things that must NOT be errors ----

@@ -22,7 +22,13 @@ fn all_good_programs_pass() {
         if path.extension().and_then(|e| e.to_str()) != Some("fast") {
             continue;
         }
-        if path.file_name().unwrap().to_str().unwrap().contains("buggy") {
+        if path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("buggy")
+        {
             continue;
         }
         let out = fastc().arg(&path).output().unwrap();
@@ -54,7 +60,11 @@ fn quiet_mode_only_prints_failures() {
     let ok = programs_dir().join("example2.fast");
     let out = fastc().arg(&ok).arg("--quiet").output().unwrap();
     assert!(out.status.success());
-    assert!(out.stdout.is_empty(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(
+        out.stdout.is_empty(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
 }
 
 #[test]

@@ -91,7 +91,10 @@ fn buggy_sanitizer_is_caught_with_counterexample() {
     assert!(
         outputs.iter().any(|o| bad.accepts(o)),
         "the witness must actually produce a bad output; witness: {cx}, outputs: {:?}",
-        outputs.iter().map(|o| o.display(ty).to_string()).collect::<Vec<_>>()
+        outputs
+            .iter()
+            .map(|o| o.display(ty).to_string())
+            .collect::<Vec<_>>()
     );
 }
 

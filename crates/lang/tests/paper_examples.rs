@@ -52,7 +52,10 @@ fn example5_odd_root_negation() {
     // Recursion applies the rule at every level.
     let t = Tree::parse(&ty, "N[5](N[4](L[1], L[0]), L[2])").unwrap();
     let out = h.run(&t).unwrap();
-    assert_eq!(out[0].display(&ty).to_string(), "N[5](N[-4](L[1], L[0]), L[2])");
+    assert_eq!(
+        out[0].display(&ty).to_string(),
+        "N[5](N[-4](L[1], L[0]), L[2])"
+    );
     // h is deterministic thanks to the lookahead split (the paper's point:
     // a deterministic STTR replaces a nondeterministic guessing STT).
     assert!(h.is_deterministic().unwrap());
@@ -202,9 +205,15 @@ fn apply_and_equivalence_counterexample() {
 #[test]
 fn diagnostics() {
     // Unknown type.
-    assert!(compile("lang p: Nope { c() }").unwrap_err().message.contains("unknown tree type"));
+    assert!(compile("lang p: Nope { c() }")
+        .unwrap_err()
+        .message
+        .contains("unknown tree type"));
     // Real attribute sort is rejected with a pointer to DESIGN.md.
-    assert!(compile("type T[r: Real] { c(0) }").unwrap_err().message.contains("Real"));
+    assert!(compile("type T[r: Real] { c(0) }")
+        .unwrap_err()
+        .message
+        .contains("Real"));
     // Arity mismatch.
     let e = compile("type T[i: Int] { c(0), n(2) } lang p: T { n(x) }").unwrap_err();
     assert!(e.message.contains("rank"), "{e}");

@@ -1,0 +1,295 @@
+//! # fast-obs — workspace telemetry
+//!
+//! A process-wide registry of named monotonic counters and wall-clock
+//! timers, designed so hot paths pay one relaxed atomic add and cold
+//! paths (CLI `--stats`, bench binaries) can capture everything as a
+//! [`Snapshot`] and print it as JSON.
+//!
+//! ## Counter naming
+//!
+//! Counters use dotted `subsystem.event` names. The workspace emits:
+//!
+//! | counter | incremented when |
+//! |---|---|
+//! | `smt.sat_queries` | [`LabelAlg::check`] is called |
+//! | `smt.cache_hits.shard00`..`shard15` | a solver-cache shard returns a memoized result |
+//! | `smt.cache_misses` | a formula is actually sent to the solver |
+//! | `smt.unknown_results` | the bounded solver answers *unknown* |
+//! | `smt.intern_hits` | interning returns an existing [`Interned<Formula>`] |
+//! | `smt.intern_misses` | interning allocates a new formula node |
+//! | `smt.minterms_enumerated` | a satisfiable minterm is produced |
+//! | `automata.product_states` | `intersect` emits a satisfiable product rule |
+//! | `automata.det_states` | determinization creates a subset state |
+//! | `compose.reduce_iterations` | one `Reduce` step runs during §4.1 composition |
+//! | `compose.pair_states` | a composed pair state `p.q` is discovered |
+//! | `compose.preimage_pairs` | a pre-image pair state `(p, d)` is discovered |
+//!
+//! (`LabelAlg::check` and `Interned<Formula>` live in `fast-smt`.)
+//!
+//! ## Reading a snapshot
+//!
+//! ```
+//! fast_obs::counter("demo.widgets").add(3);
+//! fast_obs::time("demo.build", || ());
+//! let snap = fast_obs::snapshot();
+//! assert_eq!(snap.get("demo.widgets"), 3);
+//! let json = snap.to_json().to_string();
+//! assert!(json.contains("\"demo.widgets\":3"));
+//! ```
+//!
+//! Counters are global and monotonic; tests that need isolation should
+//! diff two snapshots ([`Snapshot::delta_from`]) rather than reset.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use fast_json::Json;
+
+/// A single monotonic telemetry counter.
+///
+/// Obtained from [`counter`]; references are `'static` and cheap to
+/// cache in a `OnceLock` at a call site.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increments by `n` (relaxed; never blocks).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    timers: Mutex<BTreeMap<&'static str, (u64, u64)>>, // name -> (calls, total ns)
+}
+
+fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        timers: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// Looks up (or registers) the process-wide counter named `name`.
+///
+/// `name` must be a `'static` string literal; the first call for a name
+/// leaks one `Counter` for the life of the process. Hot paths should
+/// cache the returned reference:
+///
+/// ```
+/// use std::sync::OnceLock;
+/// static HITS: OnceLock<&'static fast_obs::Counter> = OnceLock::new();
+/// HITS.get_or_init(|| fast_obs::counter("example.hits")).incr();
+/// ```
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut map = registry().counters.lock().unwrap();
+    map.entry(name).or_insert_with(|| {
+        Box::leak(Box::new(Counter {
+            value: AtomicU64::new(0),
+        }))
+    })
+}
+
+/// Times `f` under the wall-clock timer `name`, recording one call and
+/// its duration in nanoseconds.
+pub fn time<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    let start = Instant::now();
+    let out = f();
+    let ns = start.elapsed().as_nanos() as u64;
+    let mut map = registry().timers.lock().unwrap();
+    let entry = map.entry(name).or_insert((0, 0));
+    entry.0 += 1;
+    entry.1 += ns;
+    out
+}
+
+/// A point-in-time copy of every registered counter and timer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Timer totals, sorted by name: `(calls, total nanoseconds)`.
+    pub timers: BTreeMap<String, (u64, u64)>,
+}
+
+/// Captures the current value of every counter and timer.
+pub fn snapshot() -> Snapshot {
+    let reg = registry();
+    let counters = reg
+        .counters
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(name, c)| (name.to_string(), c.get()))
+        .collect();
+    let timers = reg.timers.lock().unwrap().clone();
+    Snapshot {
+        counters,
+        timers: timers
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    }
+}
+
+impl Snapshot {
+    /// The value of counter `name` (0 if never registered).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sums every counter whose name starts with `prefix` — e.g.
+    /// `sum_prefix("smt.cache_hits.")` totals all sixteen shard
+    /// counters.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating), keeping
+    /// only counters that changed. Timers are differenced the same way.
+    ///
+    /// Because counters are global and monotonic, this is how a test or
+    /// bench isolates its own activity.
+    pub fn delta_from(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(k, v)| {
+                let d = v.saturating_sub(earlier.get(k));
+                (d > 0).then(|| (k.clone(), d))
+            })
+            .collect();
+        let timers = self
+            .timers
+            .iter()
+            .filter_map(|(k, (calls, ns))| {
+                let (c0, n0) = earlier.timers.get(k).copied().unwrap_or((0, 0));
+                let d = (calls.saturating_sub(c0), ns.saturating_sub(n0));
+                (d.0 > 0).then(|| (k.clone(), d))
+            })
+            .collect();
+        Snapshot { counters, timers }
+    }
+
+    /// Renders the snapshot as a JSON object:
+    ///
+    /// ```json
+    /// {"counters":{"smt.sat_queries":12,...},
+    ///  "timers":{"compose.total":{"calls":1,"total_ns":5120}}}
+    /// ```
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Object(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Int(*v as i64)))
+                .collect(),
+        );
+        let timers = Json::Object(
+            self.timers
+                .iter()
+                .map(|(k, (calls, ns))| {
+                    (
+                        k.clone(),
+                        Json::obj([
+                            ("calls", Json::Int(*calls as i64)),
+                            ("total_ns", Json::Int(*ns as i64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj([("counters", counters), ("timers", timers)])
+    }
+}
+
+/// Increments a named counter, caching the registry lookup at the call
+/// site so repeated hits cost one relaxed atomic add.
+///
+/// ```
+/// fast_obs::count!("demo.macro_hits");
+/// fast_obs::count!("demo.macro_hits", 4);
+/// assert_eq!(fast_obs::snapshot().get("demo.macro_hits"), 5);
+/// ```
+#[macro_export]
+macro_rules! count {
+    ($name:literal) => {
+        $crate::count!($name, 1)
+    };
+    ($name:literal, $n:expr) => {{
+        static __C: ::std::sync::OnceLock<&'static $crate::Counter> = ::std::sync::OnceLock::new();
+        __C.get_or_init(|| $crate::counter($name)).add($n);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        counter("test.a").add(2);
+        counter("test.a").incr();
+        assert!(snapshot().get("test.a") >= 3);
+    }
+
+    #[test]
+    fn delta_isolates_activity() {
+        let before = snapshot();
+        counter("test.delta").add(7);
+        let d = snapshot().delta_from(&before);
+        assert_eq!(d.get("test.delta"), 7);
+        assert!(!d.counters.contains_key("test.never_touched"));
+    }
+
+    #[test]
+    fn sum_prefix_totals_shards() {
+        counter("test.shard.00").add(1);
+        counter("test.shard.01").add(2);
+        assert!(snapshot().sum_prefix("test.shard.") >= 3);
+    }
+
+    #[test]
+    fn timers_record_calls() {
+        let before = snapshot();
+        let v = time("test.timer", || 41 + 1);
+        assert_eq!(v, 42);
+        let d = snapshot().delta_from(&before);
+        assert_eq!(d.timers.get("test.timer").unwrap().0, 1);
+    }
+
+    #[test]
+    fn json_shape() {
+        counter("test.json").incr();
+        let j = snapshot().to_json();
+        assert!(j.get("counters").is_some());
+        assert!(j.get("timers").is_some());
+        let text = j.to_string();
+        let parsed = fast_json::Json::parse(&text).unwrap();
+        assert!(parsed.get("counters").unwrap().get("test.json").is_some());
+    }
+}

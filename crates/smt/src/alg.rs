@@ -3,16 +3,19 @@
 //! The paper's results are parametric in a *label theory* that (1) is
 //! closed under the Boolean operations and equality and (2) has a decidable
 //! satisfiability problem (§3.1). [`BoolAlg`] captures exactly that
-//! interface; [`LabelAlg`] is the concrete instance over [`Formula`]s with
-//! the built-in solver, result caching, and query statistics.
+//! interface; [`LabelAlg`] is the concrete instance whose predicates are
+//! hash-consed [`Interned<Formula>`] handles decided by the built-in
+//! solver, with a sharded satisfiability cache and query telemetry.
 
 use crate::formula::Formula;
+use crate::intern::{intern, shard_of, Interned, SHARDS};
 use crate::solver::{solve, SatResult};
 use crate::sort::LabelSig;
 use crate::value::Label;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// An effective Boolean algebra over predicates of type [`BoolAlg::Pred`]
 /// denoting sets of elements of type [`BoolAlg::Elem`].
@@ -60,9 +63,7 @@ pub trait BoolAlg {
     where
         Self::Pred: 'a,
     {
-        preds
-            .into_iter()
-            .fold(self.ff(), |acc, p| self.or(&acc, p))
+        preds.into_iter().fold(self.ff(), |acc, p| self.or(&acc, p))
     }
 
     /// `a ∧ ¬b` unsatisfiable ⇒ `a ⊆ b`. Over-approximating `is_sat`
@@ -95,14 +96,20 @@ pub trait TransAlg: BoolAlg {
 }
 
 /// Counters describing solver traffic, for benchmarks and ablations.
+///
+/// These are *per-algebra-instance*; the process-wide equivalents (plus
+/// interning, minterm, and composition counters) live in the global
+/// [`fast_obs`] registry under `smt.*` names.
 #[derive(Debug, Default)]
 pub struct AlgStats {
     /// Total satisfiability queries (including cache hits).
     pub sat_queries: AtomicU64,
-    /// Queries answered from the cache.
+    /// Queries answered from the cache (all shards).
     pub cache_hits: AtomicU64,
     /// Queries that returned `Unknown`.
     pub unknowns: AtomicU64,
+    /// Cache hits per shard of the sharded solver cache.
+    pub shard_hits: [AtomicU64; SHARDS],
 }
 
 impl AlgStats {
@@ -114,17 +121,54 @@ impl AlgStats {
             self.unknowns.load(Ordering::Relaxed),
         )
     }
+
+    /// Per-shard cache-hit counts.
+    pub fn shard_hits(&self) -> [u64; SHARDS] {
+        std::array::from_fn(|i| self.shard_hits[i].load(Ordering::Relaxed))
+    }
 }
 
-/// The standard label algebra: [`Formula`] predicates over a [`LabelSig`],
-/// decided by [`solve`], with memoized satisfiability.
+/// Process-wide per-shard cache-hit counters (`smt.cache_hits.shardNN`),
+/// resolved once.
+fn shard_hit_counter(i: usize) -> &'static fast_obs::Counter {
+    static NAMES: [&str; SHARDS] = [
+        "smt.cache_hits.shard00",
+        "smt.cache_hits.shard01",
+        "smt.cache_hits.shard02",
+        "smt.cache_hits.shard03",
+        "smt.cache_hits.shard04",
+        "smt.cache_hits.shard05",
+        "smt.cache_hits.shard06",
+        "smt.cache_hits.shard07",
+        "smt.cache_hits.shard08",
+        "smt.cache_hits.shard09",
+        "smt.cache_hits.shard10",
+        "smt.cache_hits.shard11",
+        "smt.cache_hits.shard12",
+        "smt.cache_hits.shard13",
+        "smt.cache_hits.shard14",
+        "smt.cache_hits.shard15",
+    ];
+    static COUNTERS: OnceLock<[&'static fast_obs::Counter; SHARDS]> = OnceLock::new();
+    COUNTERS.get_or_init(|| std::array::from_fn(|k| fast_obs::counter(NAMES[k])))[i]
+}
+
+/// The standard label algebra: hash-consed [`Formula`] predicates over a
+/// [`LabelSig`], decided by [`solve`], with memoized satisfiability.
+///
+/// Satisfiability results are cached in a 16-way sharded map keyed by the
+/// interned formula's id. A miss holds its shard's lock *through* the
+/// solve, so two threads asking about the same new formula serialize and
+/// the second one hits the cache — the solver never runs twice for one
+/// formula, and `sat_queries - cache_hits` equals the number of distinct
+/// formulas solved.
 ///
 /// # Examples
 ///
 /// ```
 /// use fast_smt::{BoolAlg, Formula, LabelAlg, LabelSig, Sort, Term};
 /// let alg = LabelAlg::new(LabelSig::single("i", Sort::Int));
-/// let odd = Formula::eq(Term::field(0).modulo(2), Term::int(1));
+/// let odd = alg.pred(Formula::eq(Term::field(0).modulo(2), Term::int(1)));
 /// let even = alg.not(&odd);
 /// assert!(alg.is_sat(&odd));
 /// assert!(!alg.is_sat(&alg.and(&odd, &even)));
@@ -134,7 +178,7 @@ impl AlgStats {
 pub struct LabelAlg {
     sig: LabelSig,
     simplify: bool,
-    cache: Mutex<std::collections::HashMap<Formula, SatResult>>,
+    cache: [Mutex<HashMap<u64, SatResult>>; SHARDS],
     stats: AlgStats,
 }
 
@@ -144,13 +188,30 @@ impl LabelAlg {
         LabelAlg {
             sig,
             simplify: true,
-            cache: Mutex::new(std::collections::HashMap::new()),
+            cache: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             stats: AlgStats::default(),
         }
     }
 
     /// Disables eager simplification in `and`/`or`/`not` (ablation knob;
-    /// see DESIGN.md §6).
+    /// see DESIGN.md §6). Interning itself is unaffected: the raw
+    /// connective trees are hash-consed exactly like simplified ones.
+    ///
+    /// ```
+    /// use fast_smt::{BoolAlg, Formula, LabelAlg, LabelSig};
+    /// let plain = LabelAlg::new(LabelSig::unit()).without_simplification();
+    /// let smart = LabelAlg::new(LabelSig::unit());
+    /// let t = plain.tt();
+    /// // Without simplification ¬¬⊤ stays a syntactic double negation…
+    /// let nn = plain.not(&plain.not(&t));
+    /// assert_eq!(
+    ///     *nn.get(),
+    ///     Formula::Not(Box::new(Formula::Not(Box::new(Formula::True))))
+    /// );
+    /// // …while the simplifying algebra collapses it back to the
+    /// // canonical interned ⊤ handle.
+    /// assert!(smart.not(&smart.not(&t)).ptr_eq(&t));
+    /// ```
     pub fn without_simplification(mut self) -> Self {
         self.simplify = false;
         self
@@ -166,62 +227,100 @@ impl LabelAlg {
         &self.stats
     }
 
+    /// Interns a formula as a predicate of this algebra.
+    ///
+    /// Handles are globally hash-consed, so this is how call sites turn a
+    /// freshly built [`Formula`] into the algebra's `Pred` type:
+    ///
+    /// ```
+    /// use fast_smt::{BoolAlg, Formula, LabelAlg, LabelSig, Sort, Term};
+    /// let alg = LabelAlg::new(LabelSig::single("tag", Sort::Str));
+    /// let p = alg.pred(Formula::ne(Term::field(0), Term::str("script")));
+    /// assert!(alg.is_sat(&p));
+    /// ```
+    pub fn pred(&self, f: Formula) -> Interned<Formula> {
+        intern(f)
+    }
+
     /// Full three-valued satisfiability (callers that care about the
     /// Sat/Unknown distinction use this instead of [`BoolAlg::is_sat`]).
-    pub fn check(&self, f: &Formula) -> SatResult {
+    ///
+    /// Single entry-style path: the shard lock is taken once and held
+    /// across the solve on a miss, so concurrent queries for the same
+    /// formula cannot both miss.
+    pub fn check(&self, f: &Interned<Formula>) -> SatResult {
         self.stats.sat_queries.fetch_add(1, Ordering::Relaxed);
-        if let Some(r) = self.cache.lock().unwrap().get(f) {
+        fast_obs::count!("smt.sat_queries");
+        let shard_ix = shard_of(f.precomputed_hash());
+        let mut shard = self.cache[shard_ix].lock().unwrap();
+        if let Some(r) = shard.get(&f.id()) {
             self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.stats.shard_hits[shard_ix].fetch_add(1, Ordering::Relaxed);
+            shard_hit_counter(shard_ix).incr();
             return r.clone();
         }
-        let r = solve(&self.sig, f);
+        fast_obs::count!("smt.cache_misses");
+        let r = solve(&self.sig, f.get());
         if matches!(r, SatResult::Unknown) {
             self.stats.unknowns.fetch_add(1, Ordering::Relaxed);
+            fast_obs::count!("smt.unknown_results");
         }
-        self.cache.lock().unwrap().insert(f.clone(), r.clone());
+        shard.insert(f.id(), r.clone());
         r
+    }
+
+    /// Convenience: interns `f` and runs [`LabelAlg::check`].
+    pub fn check_formula(&self, f: &Formula) -> SatResult {
+        self.check(&intern(f.clone()))
     }
 }
 
 impl BoolAlg for LabelAlg {
-    type Pred = Formula;
+    type Pred = Interned<Formula>;
     type Elem = Label;
 
-    fn tt(&self) -> Formula {
-        Formula::True
+    fn tt(&self) -> Self::Pred {
+        intern(Formula::True)
     }
-    fn ff(&self) -> Formula {
-        Formula::False
+    fn ff(&self) -> Self::Pred {
+        intern(Formula::False)
     }
-    fn and(&self, a: &Formula, b: &Formula) -> Formula {
-        if self.simplify {
-            a.clone().and(b.clone())
-        } else {
-            Formula::And(vec![a.clone(), b.clone()])
+    fn and(&self, a: &Self::Pred, b: &Self::Pred) -> Self::Pred {
+        // Handle equality is O(1); `p ∧ p = p` needs no rebuild at all.
+        if a == b {
+            return a.clone();
         }
-    }
-    fn or(&self, a: &Formula, b: &Formula) -> Formula {
-        if self.simplify {
-            a.clone().or(b.clone())
+        intern(if self.simplify {
+            a.get().clone().and(b.get().clone())
         } else {
-            Formula::Or(vec![a.clone(), b.clone()])
-        }
+            Formula::And(vec![a.get().clone(), b.get().clone()])
+        })
     }
-    fn not(&self, a: &Formula) -> Formula {
-        if self.simplify {
-            a.clone().not()
+    fn or(&self, a: &Self::Pred, b: &Self::Pred) -> Self::Pred {
+        if a == b {
+            return a.clone();
+        }
+        intern(if self.simplify {
+            a.get().clone().or(b.get().clone())
         } else {
-            Formula::Not(Box::new(a.clone()))
-        }
+            Formula::Or(vec![a.get().clone(), b.get().clone()])
+        })
     }
-    fn is_sat(&self, a: &Formula) -> bool {
+    fn not(&self, a: &Self::Pred) -> Self::Pred {
+        intern(if self.simplify {
+            a.get().clone().not()
+        } else {
+            Formula::Not(Box::new(a.get().clone()))
+        })
+    }
+    fn is_sat(&self, a: &Self::Pred) -> bool {
         self.check(a).possibly_sat()
     }
-    fn model(&self, a: &Formula) -> Option<Label> {
+    fn model(&self, a: &Self::Pred) -> Option<Label> {
         self.check(a).model()
     }
-    fn eval(&self, a: &Formula, e: &Label) -> bool {
-        a.eval(e)
+    fn eval(&self, a: &Self::Pred, e: &Label) -> bool {
+        a.get().eval(e)
     }
 }
 
@@ -237,13 +336,13 @@ impl TransAlg for LabelAlg {
     fn apply_fun(&self, f: &Self::Fun, e: &Label) -> Option<Label> {
         f.apply(e).ok()
     }
-    fn subst_pred(&self, p: &Formula, f: &Self::Fun) -> Formula {
-        let substituted = p.subst(f.terms());
-        if self.simplify {
+    fn subst_pred(&self, p: &Self::Pred, f: &Self::Fun) -> Self::Pred {
+        let substituted = p.get().subst(f.terms());
+        intern(if self.simplify {
             substituted.simplify()
         } else {
             substituted
-        }
+        })
     }
     fn is_identity_fun(&self, f: &Self::Fun) -> bool {
         f.is_identity()
@@ -257,7 +356,8 @@ impl TransAlg for LabelAlg {
 ///
 /// Minterms partition the label space and are the work-horse of symbolic
 /// determinization. The tree-shaped expansion prunes unsatisfiable branches
-/// early, so the output is usually far smaller than `2^n`.
+/// early, so the output is usually far smaller than `2^n`. Each emitted
+/// minterm bumps the global `smt.minterms_enumerated` counter.
 pub fn minterms<A: BoolAlg>(alg: &A, preds: &[A::Pred]) -> Vec<(Vec<bool>, A::Pred)> {
     let mut out = Vec::new();
     let mut signs = Vec::with_capacity(preds.len());
@@ -276,6 +376,7 @@ pub fn minterms<A: BoolAlg>(alg: &A, preds: &[A::Pred]) -> Vec<(Vec<bool>, A::Pr
             return;
         }
         if i == preds.len() {
+            fast_obs::count!("smt.minterms_enumerated");
             out.push((signs.clone(), acc));
             return;
         }
@@ -309,7 +410,7 @@ mod tests {
     #[test]
     fn algebra_laws() {
         let a = alg();
-        let odd = Formula::eq(x().modulo(2), Term::int(1));
+        let odd = a.pred(Formula::eq(x().modulo(2), Term::int(1)));
         assert!(a.is_sat(&a.tt()));
         assert!(!a.is_sat(&a.ff()));
         assert!(!a.is_sat(&a.and(&odd, &a.not(&odd))));
@@ -322,26 +423,36 @@ mod tests {
     #[test]
     fn cache_hits_accumulate() {
         let a = alg();
-        let odd = Formula::eq(x().modulo(2), Term::int(1));
+        let odd = a.pred(Formula::eq(x().modulo(2), Term::int(1)));
         a.is_sat(&odd);
         a.is_sat(&odd);
         let (q, h, _) = a.stats().snapshot();
         assert_eq!(q, 2);
         assert_eq!(h, 1);
+        assert_eq!(a.stats().shard_hits().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn idempotent_connectives_reuse_handles() {
+        let a = alg();
+        let p = a.pred(Formula::cmp(CmpOp::Gt, x(), Term::int(3)));
+        assert!(a.and(&p, &p).ptr_eq(&p));
+        assert!(a.or(&p, &p).ptr_eq(&p));
+        assert!(a.not(&a.not(&p)).ptr_eq(&p));
     }
 
     #[test]
     fn minterms_partition() {
         let a = alg();
-        let p1 = Formula::cmp(CmpOp::Gt, x(), Term::int(0));
-        let p2 = Formula::cmp(CmpOp::Gt, x(), Term::int(10));
+        let p1 = a.pred(Formula::cmp(CmpOp::Gt, x(), Term::int(0)));
+        let p2 = a.pred(Formula::cmp(CmpOp::Gt, x(), Term::int(10)));
         let ms = minterms(&a, &[p1.clone(), p2.clone()]);
         // p2 ⊂ p1, so (¬p1 ∧ p2) is unsat: expect 3 minterms, not 4.
         assert_eq!(ms.len(), 3);
         for (signs, m) in &ms {
             let w = a.model(m).expect("minterm must have a model");
-            assert_eq!(p1.eval(&w), signs[0]);
-            assert_eq!(p2.eval(&w), signs[1]);
+            assert_eq!(p1.get().eval(&w), signs[0]);
+            assert_eq!(p2.get().eval(&w), signs[1]);
         }
     }
 
@@ -350,13 +461,47 @@ mod tests {
         let a = alg();
         let ms = minterms(&a, &[]);
         assert_eq!(ms.len(), 1);
-        assert_eq!(ms[0].1, Formula::True);
+        assert_eq!(*ms[0].1.get(), Formula::True);
     }
 
     #[test]
     fn without_simplification_still_correct() {
         let a = LabelAlg::new(LabelSig::single("i", Sort::Int)).without_simplification();
-        let odd = Formula::eq(x().modulo(2), Term::int(1));
+        let odd = a.pred(Formula::eq(x().modulo(2), Term::int(1)));
         assert!(!a.is_sat(&a.and(&odd, &a.not(&odd))));
+    }
+
+    /// The regression test for the old check-then-insert race: with the
+    /// shard lock held across the solve, `sat_queries - cache_hits` must
+    /// equal the number of *distinct* formulas even when many threads
+    /// query the same formulas simultaneously.
+    #[test]
+    fn concurrent_queries_never_solve_twice() {
+        use std::sync::Arc;
+        let a = Arc::new(alg());
+        const THREADS: u64 = 8;
+        const UNIQUE: u64 = 32;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for k in 0..UNIQUE {
+                        let p = a.pred(Formula::eq(x(), Term::int(660_000 + k as i64)));
+                        assert!(a.is_sat(&p));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (q, h, _) = a.stats().snapshot();
+        assert_eq!(q, THREADS * UNIQUE);
+        assert_eq!(
+            q - h,
+            UNIQUE,
+            "each distinct formula must be solved exactly once"
+        );
+        assert_eq!(a.stats().shard_hits().iter().sum::<u64>(), h);
     }
 }

@@ -11,7 +11,6 @@ use crate::value::{Label, Value};
 use std::fmt;
 
 /// Comparison operators for atoms.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CmpOp {
     /// Equal.
@@ -86,7 +85,6 @@ impl fmt::Display for CmpOp {
 }
 
 /// An atomic predicate.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Atom {
     /// Comparison of two terms of equal sort. Order comparisons are
@@ -220,7 +218,6 @@ impl fmt::Display for Atom {
 /// assert!(phi.eval(&Label::single("div")));
 /// assert!(!phi.eval(&Label::single("script")));
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Formula {
     /// The always-true predicate.

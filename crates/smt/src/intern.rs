@@ -1,0 +1,278 @@
+//! Hash-consed formulas.
+//!
+//! Guards flow through every layer of the workspace — automata products,
+//! determinization minterms, transducer composition — and the same
+//! [`Formula`] is rebuilt, re-hashed, and deep-compared over and over.
+//! This module *interns* formulas in a process-wide, 16-way-sharded
+//! table: each structurally distinct formula is stored once behind an
+//! [`Arc`], and the [`Interned<Formula>`] handle carries its
+//! precomputed structural hash and a unique id, making `==` and
+//! [`Hash`] O(1) regardless of formula size.
+//!
+//! Interning twice returns pointer-equal handles:
+//!
+//! ```
+//! use fast_smt::{intern::intern, Formula, Term};
+//! let a = intern(Formula::eq(Term::field(0), Term::int(1)));
+//! let b = intern(Formula::eq(Term::field(0), Term::int(1)));
+//! assert!(a.ptr_eq(&b));
+//! assert_eq!(a, b);
+//! assert_eq!(a.id(), b.id());
+//! ```
+//!
+//! Telemetry: every intern call bumps `smt.intern_hits` or
+//! `smt.intern_misses` (see [`fast_obs`]).
+
+use crate::formula::Formula;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of intern-table shards (also used by the solver cache).
+pub const SHARDS: usize = 16;
+
+/// A handle to a hash-consed value: a shared node plus its precomputed
+/// structural hash and a table-unique id.
+///
+/// Equality compares ids (O(1)); hashing writes the stored hash (O(1));
+/// [`Deref`] gives access to the underlying value. Handles are cheap to
+/// clone (one `Arc` bump).
+pub struct Interned<T> {
+    node: Arc<T>,
+    hash: u64,
+    id: u64,
+}
+
+impl<T> Interned<T> {
+    /// The underlying value.
+    pub fn get(&self) -> &T {
+        &self.node
+    }
+
+    /// The table-unique id (equal ids ⇔ structurally equal values).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The precomputed structural hash.
+    pub fn precomputed_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// True if both handles share the same allocation. For handles from
+    /// the global interner this coincides with `==`.
+    pub fn ptr_eq(&self, other: &Interned<T>) -> bool {
+        Arc::ptr_eq(&self.node, &other.node)
+    }
+}
+
+impl<T> Clone for Interned<T> {
+    fn clone(&self) -> Self {
+        Interned {
+            node: Arc::clone(&self.node),
+            hash: self.hash,
+            id: self.id,
+        }
+    }
+}
+
+impl<T> PartialEq for Interned<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+impl<T> Eq for Interned<T> {}
+
+impl<T> Hash for Interned<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl<T: Ord> PartialOrd for Interned<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: Ord> Ord for Interned<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.id == other.id {
+            std::cmp::Ordering::Equal
+        } else {
+            // Structural order keeps iteration deterministic across runs
+            // (ids depend on interning order, which threads can perturb).
+            self.node.cmp(&other.node)
+        }
+    }
+}
+
+impl<T> Deref for Interned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.node
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Interned<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.node.fmt(f)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Interned<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.node.fmt(f)
+    }
+}
+
+struct Interner {
+    shards: [Mutex<HashMap<Arc<Formula>, u64>>; SHARDS],
+    next_id: AtomicU64,
+}
+
+fn interner() -> &'static Interner {
+    static TABLE: OnceLock<Interner> = OnceLock::new();
+    TABLE.get_or_init(|| Interner {
+        shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        next_id: AtomicU64::new(0),
+    })
+}
+
+/// Deterministic structural hash (same value in every thread and run of
+/// the same binary), so it can be stored in the handle and used to pick
+/// shards consistently.
+fn structural_hash(f: &Formula) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    f.hash(&mut h);
+    h.finish()
+}
+
+/// Shard index for a structural hash — shared with the solver cache so
+/// per-shard hit counters line up across the two tables.
+#[inline]
+pub(crate) fn shard_of(hash: u64) -> usize {
+    (hash >> 60) as usize & (SHARDS - 1)
+}
+
+/// Interns a formula in the process-wide table.
+///
+/// Returns the canonical handle for this structural value: interning an
+/// equal formula again yields a pointer-equal handle ([`Interned::ptr_eq`])
+/// with the same id, and only the first call stores the formula.
+pub fn intern(f: Formula) -> Interned<Formula> {
+    let hash = structural_hash(&f);
+    let table = interner();
+    let mut shard = table.shards[shard_of(hash)].lock().unwrap();
+    if let Some((node, id)) = shard.get_key_value(&f) {
+        fast_obs::count!("smt.intern_hits");
+        return Interned {
+            node: Arc::clone(node),
+            hash,
+            id: *id,
+        };
+    }
+    fast_obs::count!("smt.intern_misses");
+    let id = table.next_id.fetch_add(1, Ordering::Relaxed);
+    let node = Arc::new(f);
+    shard.insert(Arc::clone(&node), id);
+    Interned { node, hash, id }
+}
+
+impl From<Formula> for Interned<Formula> {
+    fn from(f: Formula) -> Self {
+        intern(f)
+    }
+}
+
+impl From<&Formula> for Interned<Formula> {
+    fn from(f: &Formula) -> Self {
+        intern(f.clone())
+    }
+}
+
+/// Number of distinct formulas currently interned (all shards).
+pub fn table_len() -> usize {
+    interner()
+        .shards
+        .iter()
+        .map(|s| s.lock().unwrap().len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn intern_dedupes() {
+        let f = || Formula::eq(Term::field(0), Term::int(77001));
+        let a = intern(f());
+        let b = intern(f());
+        assert!(a.ptr_eq(&b));
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.precomputed_hash(), b.precomputed_hash());
+        let c = intern(Formula::eq(Term::field(0), Term::int(77002)));
+        assert_ne!(a, c);
+        assert!(!a.ptr_eq(&c));
+    }
+
+    #[test]
+    fn handle_behaves_like_formula() {
+        let f = Formula::eq(Term::field(0), Term::int(9090));
+        let i = intern(f.clone());
+        assert_eq!(*i.get(), f);
+        assert_eq!(i.to_string(), f.to_string());
+        assert_eq!(format!("{i:?}"), format!("{f:?}"));
+        // Deref lets Formula methods apply directly.
+        assert!(i.well_typed(&crate::sort::LabelSig::single("x", crate::sort::Sort::Int)));
+    }
+
+    #[test]
+    fn hashes_are_stored_and_equal_for_equal_values() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = intern(Formula::eq(Term::field(0), Term::int(5150)));
+        let b = intern(Formula::eq(Term::field(0), Term::int(5150)));
+        let digest = |x: &Interned<Formula>| {
+            let mut h = DefaultHasher::new();
+            x.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&a), digest(&b));
+    }
+
+    #[test]
+    fn concurrent_interning_converges() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut out = Vec::new();
+                    for k in 0..64 {
+                        // Same 64 formulas from every thread.
+                        let _ = t;
+                        out.push(intern(Formula::eq(Term::field(0), Term::int(880_000 + k))));
+                    }
+                    out
+                })
+            })
+            .collect();
+        let all: Vec<Vec<_>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for row in &all[1..] {
+            for (a, b) in all[0].iter().zip(row) {
+                assert!(a.ptr_eq(b), "same formula must intern to same node");
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_is_structural() {
+        let a = intern(Formula::True);
+        let b = intern(Formula::False);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+        assert_eq!(a.cmp(&b), Formula::True.cmp(&Formula::False));
+    }
+}

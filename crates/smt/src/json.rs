@@ -1,0 +1,357 @@
+//! JSON serialization for the label-theory types, via [`fast_json`].
+//!
+//! The encoding is externally tagged, mirroring what `serde`'s derived
+//! format would produce: unit enum variants become strings
+//! (`"Int"`, `"True"`), payload variants become single-key objects
+//! (`{"Lit":{"Int":3}}`), and structs become objects.
+//!
+//! ```
+//! use fast_json::{FromJson, Json, ToJson};
+//! use fast_smt::{Formula, Term};
+//!
+//! let f = Formula::ne(Term::field(0), Term::str("script"));
+//! let text = f.to_json().to_string();
+//! let back = Formula::from_json(&Json::parse(&text).unwrap()).unwrap();
+//! assert_eq!(back, f);
+//! ```
+
+use crate::formula::{Atom, CmpOp, Formula};
+use crate::sort::{LabelSig, Sort};
+use crate::term::{LabelFn, Term};
+use crate::value::{Label, Value};
+use fast_json::{FromJson, Json, JsonError, ToJson};
+
+fn tag(name: &str, payload: Json) -> Json {
+    Json::obj([(name, payload)])
+}
+
+/// Destructures a single-key tagged object.
+fn untag(v: &Json) -> Result<(&str, &Json), JsonError> {
+    match v.as_object() {
+        Some([(k, payload)]) => Ok((k.as_str(), payload)),
+        _ => Err(JsonError::msg("expected single-key tagged object")),
+    }
+}
+
+fn pair(v: &Json) -> Result<(&Json, &Json), JsonError> {
+    match v.as_array() {
+        Some([a, b]) => Ok((a, b)),
+        _ => Err(JsonError::msg("expected 2-element array")),
+    }
+}
+
+impl ToJson for Sort {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Sort::Bool => "Bool",
+                Sort::Int => "Int",
+                Sort::Str => "Str",
+                Sort::Char => "Char",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Sort {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("Bool") => Ok(Sort::Bool),
+            Some("Int") => Ok(Sort::Int),
+            Some("Str") => Ok(Sort::Str),
+            Some("Char") => Ok(Sort::Char),
+            _ => Err(JsonError::msg("invalid sort")),
+        }
+    }
+}
+
+impl ToJson for LabelSig {
+    fn to_json(&self) -> Json {
+        self.fields().to_vec().to_json()
+    }
+}
+
+impl FromJson for LabelSig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let fields: Vec<(String, Sort)> = FromJson::from_json(v)?;
+        for i in 0..fields.len() {
+            for j in (i + 1)..fields.len() {
+                if fields[i].0 == fields[j].0 {
+                    return Err(JsonError::msg("duplicate label field name"));
+                }
+            }
+        }
+        Ok(LabelSig::new(fields))
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Json {
+        match self {
+            Value::Bool(b) => tag("Bool", Json::Bool(*b)),
+            Value::Int(n) => tag("Int", Json::Int(*n)),
+            Value::Str(s) => tag("Str", Json::Str(s.clone())),
+            Value::Char(c) => tag("Char", c.to_json()),
+        }
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (t, p) = untag(v)?;
+        match t {
+            "Bool" => Ok(Value::Bool(bool::from_json(p)?)),
+            "Int" => Ok(Value::Int(i64::from_json(p)?)),
+            "Str" => Ok(Value::Str(String::from_json(p)?)),
+            "Char" => Ok(Value::Char(char::from_json(p)?)),
+            _ => Err(JsonError::msg("invalid value tag")),
+        }
+    }
+}
+
+impl ToJson for Label {
+    fn to_json(&self) -> Json {
+        self.values().to_vec().to_json()
+    }
+}
+
+impl FromJson for Label {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Label::new(FromJson::from_json(v)?))
+    }
+}
+
+impl ToJson for CmpOp {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                CmpOp::Eq => "Eq",
+                CmpOp::Ne => "Ne",
+                CmpOp::Lt => "Lt",
+                CmpOp::Le => "Le",
+                CmpOp::Gt => "Gt",
+                CmpOp::Ge => "Ge",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for CmpOp {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("Eq") => Ok(CmpOp::Eq),
+            Some("Ne") => Ok(CmpOp::Ne),
+            Some("Lt") => Ok(CmpOp::Lt),
+            Some("Le") => Ok(CmpOp::Le),
+            Some("Gt") => Ok(CmpOp::Gt),
+            Some("Ge") => Ok(CmpOp::Ge),
+            _ => Err(JsonError::msg("invalid comparison operator")),
+        }
+    }
+}
+
+impl ToJson for Term {
+    fn to_json(&self) -> Json {
+        match self {
+            Term::Field(i) => tag("Field", i.to_json()),
+            Term::Lit(v) => tag("Lit", v.to_json()),
+            Term::Neg(t) => tag("Neg", t.to_json()),
+            Term::Add(a, b) => tag("Add", Json::Array(vec![a.to_json(), b.to_json()])),
+            Term::Sub(a, b) => tag("Sub", Json::Array(vec![a.to_json(), b.to_json()])),
+            Term::Mul(a, b) => tag("Mul", Json::Array(vec![a.to_json(), b.to_json()])),
+            Term::Mod(t, m) => tag("Mod", Json::Array(vec![t.to_json(), Json::Int(*m as i64)])),
+            Term::Div(t, m) => tag("Div", Json::Array(vec![t.to_json(), Json::Int(*m as i64)])),
+            Term::Concat(a, b) => tag("Concat", Json::Array(vec![a.to_json(), b.to_json()])),
+            Term::StrLen(t) => tag("StrLen", t.to_json()),
+            Term::Ite(c, a, b) => tag(
+                "Ite",
+                Json::Array(vec![c.to_json(), a.to_json(), b.to_json()]),
+            ),
+        }
+    }
+}
+
+impl FromJson for Term {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (t, p) = untag(v)?;
+        let bin = |p: &Json| -> Result<(Box<Term>, Box<Term>), JsonError> {
+            let (a, b) = pair(p)?;
+            Ok((Box::new(Term::from_json(a)?), Box::new(Term::from_json(b)?)))
+        };
+        let divisor = |p: &Json| -> Result<(Box<Term>, u32), JsonError> {
+            let (a, m) = pair(p)?;
+            let m = i64::from_json(m)?;
+            let m = u32::try_from(m).map_err(|_| JsonError::msg("divisor out of range"))?;
+            if m == 0 {
+                return Err(JsonError::msg("divisor must be positive"));
+            }
+            Ok((Box::new(Term::from_json(a)?), m))
+        };
+        match t {
+            "Field" => Ok(Term::Field(usize::from_json(p)?)),
+            "Lit" => Ok(Term::Lit(Value::from_json(p)?)),
+            "Neg" => Ok(Term::Neg(Box::new(Term::from_json(p)?))),
+            "Add" => bin(p).map(|(a, b)| Term::Add(a, b)),
+            "Sub" => bin(p).map(|(a, b)| Term::Sub(a, b)),
+            "Mul" => bin(p).map(|(a, b)| Term::Mul(a, b)),
+            "Mod" => divisor(p).map(|(a, m)| Term::Mod(a, m)),
+            "Div" => divisor(p).map(|(a, m)| Term::Div(a, m)),
+            "Concat" => bin(p).map(|(a, b)| Term::Concat(a, b)),
+            "StrLen" => Ok(Term::StrLen(Box::new(Term::from_json(p)?))),
+            "Ite" => match p.as_array() {
+                Some([c, a, b]) => Ok(Term::Ite(
+                    Box::new(Formula::from_json(c)?),
+                    Box::new(Term::from_json(a)?),
+                    Box::new(Term::from_json(b)?),
+                )),
+                _ => Err(JsonError::msg("Ite expects [cond, then, else]")),
+            },
+            _ => Err(JsonError::msg("invalid term tag")),
+        }
+    }
+}
+
+impl ToJson for Atom {
+    fn to_json(&self) -> Json {
+        match self {
+            Atom::Cmp(op, a, b) => tag(
+                "Cmp",
+                Json::Array(vec![op.to_json(), a.to_json(), b.to_json()]),
+            ),
+            Atom::BoolTerm(t) => tag("BoolTerm", t.to_json()),
+            Atom::StrPrefix(t, s) => tag("StrPrefix", Json::Array(vec![t.to_json(), s.to_json()])),
+            Atom::StrSuffix(t, s) => tag("StrSuffix", Json::Array(vec![t.to_json(), s.to_json()])),
+            Atom::StrContains(t, s) => {
+                tag("StrContains", Json::Array(vec![t.to_json(), s.to_json()]))
+            }
+        }
+    }
+}
+
+impl FromJson for Atom {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (t, p) = untag(v)?;
+        let str_atom = |p: &Json| -> Result<(Term, String), JsonError> {
+            let (a, s) = pair(p)?;
+            Ok((Term::from_json(a)?, String::from_json(s)?))
+        };
+        match t {
+            "Cmp" => match p.as_array() {
+                Some([op, a, b]) => Ok(Atom::Cmp(
+                    CmpOp::from_json(op)?,
+                    Term::from_json(a)?,
+                    Term::from_json(b)?,
+                )),
+                _ => Err(JsonError::msg("Cmp expects [op, lhs, rhs]")),
+            },
+            "BoolTerm" => Ok(Atom::BoolTerm(Term::from_json(p)?)),
+            "StrPrefix" => str_atom(p).map(|(t, s)| Atom::StrPrefix(t, s)),
+            "StrSuffix" => str_atom(p).map(|(t, s)| Atom::StrSuffix(t, s)),
+            "StrContains" => str_atom(p).map(|(t, s)| Atom::StrContains(t, s)),
+            _ => Err(JsonError::msg("invalid atom tag")),
+        }
+    }
+}
+
+impl ToJson for Formula {
+    fn to_json(&self) -> Json {
+        match self {
+            Formula::True => Json::Str("True".to_string()),
+            Formula::False => Json::Str("False".to_string()),
+            Formula::Atom(a) => tag("Atom", a.to_json()),
+            Formula::Not(f) => tag("Not", f.to_json()),
+            Formula::And(fs) => tag("And", fs.to_json()),
+            Formula::Or(fs) => tag("Or", fs.to_json()),
+        }
+    }
+}
+
+impl FromJson for Formula {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("True") => return Ok(Formula::True),
+            Some("False") => return Ok(Formula::False),
+            Some(_) => return Err(JsonError::msg("invalid formula tag")),
+            None => {}
+        }
+        let (t, p) = untag(v)?;
+        match t {
+            "Atom" => Ok(Formula::Atom(Atom::from_json(p)?)),
+            "Not" => Ok(Formula::Not(Box::new(Formula::from_json(p)?))),
+            "And" => Ok(Formula::And(FromJson::from_json(p)?)),
+            "Or" => Ok(Formula::Or(FromJson::from_json(p)?)),
+            _ => Err(JsonError::msg("invalid formula tag")),
+        }
+    }
+}
+
+impl ToJson for LabelFn {
+    fn to_json(&self) -> Json {
+        self.terms().to_vec().to_json()
+    }
+}
+
+impl FromJson for LabelFn {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(LabelFn::new(FromJson::from_json(v)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(x: T) {
+        let text = x.to_json().to_string();
+        let back = T::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, x, "round-trip through {text}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(Sort::Char);
+        round_trip(Value::Str("a\"b\n".into()));
+        round_trip(Value::Char('λ'));
+        round_trip(Label::new(vec![Value::Int(-3), Value::Bool(true)]));
+        round_trip(LabelSig::new(vec![
+            ("tag".into(), Sort::Str),
+            ("n".into(), Sort::Int),
+        ]));
+    }
+
+    #[test]
+    fn terms_and_formulas_round_trip() {
+        let t = Term::field(0).add(Term::int(5)).modulo(26);
+        round_trip(t.clone());
+        round_trip(Term::Ite(
+            Box::new(Formula::cmp(CmpOp::Lt, Term::field(0), Term::int(10))),
+            Box::new(Term::str("lo").concat(Term::field(1))),
+            Box::new(Term::StrLen(Box::new(Term::field(1))).neg()),
+        ));
+        let f = Formula::ne(Term::field(0), Term::str("script"))
+            .and(Formula::Atom(Atom::StrPrefix(Term::field(0), "on".into())).not());
+        round_trip(f);
+        round_trip(Formula::True);
+        round_trip(LabelFn::new(vec![t, Term::field(1)]));
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        for text in [
+            r#"{"Cmp":["Eq"]}"#,
+            r#"{"Mod":[{"Field":0},0]}"#,
+            r#""Perhaps""#,
+            r#"{"Atom":{"Nope":1}}"#,
+        ] {
+            let v = Json::parse(text).unwrap();
+            assert!(
+                Formula::from_json(&v).is_err() && Term::from_json(&v).is_err(),
+                "{text} should be rejected"
+            );
+        }
+        let dup = Json::parse(r#"[["a","Int"],["a","Bool"]]"#).unwrap();
+        assert!(LabelSig::from_json(&dup).is_err());
+    }
+}

@@ -30,7 +30,7 @@
 //!
 //! // Labels with a single string field, as in the paper's HTML example.
 //! let alg = LabelAlg::new(LabelSig::single("tag", Sort::Str));
-//! let not_script = Formula::ne(Term::field(0), Term::str("script"));
+//! let not_script = alg.pred(Formula::ne(Term::field(0), Term::str("script")));
 //! let is_script = alg.not(&not_script);
 //! assert!(alg.is_sat(&not_script));
 //! assert!(!alg.is_sat(&alg.and(&not_script, &is_script)));
@@ -42,15 +42,18 @@
 
 mod alg;
 mod formula;
+mod json;
 mod poly;
 mod sort;
 mod term;
 mod value;
 
+pub mod intern;
 pub mod solver;
 
 pub use alg::{minterms, AlgStats, BoolAlg, LabelAlg, TransAlg};
 pub use formula::{Atom, CmpOp, Formula, Literal};
+pub use intern::{intern, Interned};
 pub use poly::{Poly, MAX_DEGREE};
 pub use sort::{LabelSig, Sort};
 pub use term::{EvalError, LabelFn, Term};

@@ -53,21 +53,42 @@ fn lcm(a: i128, b: i128) -> Option<i128> {
     (a / gcd(a, b)).checked_mul(b).map(i128::abs)
 }
 
-/// Collects every `mod`/`div` divisor in the term (any nesting depth);
-/// returns `false` if the term falls outside the `{+,-,*,%c,/c}` fragment.
-fn collect_divisors(t: &Term, out: &mut Vec<i128>) -> bool {
+/// Bottom-up period analysis. Returns `(d, req)` where `req` is a
+/// sufficient period requirement (any `L` with `req | L` makes
+/// [`restrict_term`] succeed on this term) and `d` is the *coefficient
+/// divisor loss*: over the class `x = r + L·k`, every non-constant
+/// coefficient of the restricted polynomial is divisible by `L / d`.
+///
+/// `Div(a, m)` divides the inner coefficients by `m`, so it *multiplies*
+/// the loss: an outer `mod`/`div` by `m'` then needs `m'·d | L`, not just
+/// `m' | L`. (This is why `lcm` of the raw divisors is not enough:
+/// `(x div 2) mod 4` needs period 8, not 4.) Returns `None` outside the
+/// `{+,-,*,%c,/c}` integer fragment or on overflow.
+fn period_analysis(t: &Term) -> Option<(i128, i128)> {
     match t {
-        Term::Field(_) | Term::Lit(Value::Int(_)) => true,
-        Term::Lit(_) => false,
-        Term::Neg(a) => collect_divisors(a, out),
+        Term::Field(_) | Term::Lit(Value::Int(_)) => Some((1, 1)),
+        Term::Lit(_) => None,
+        Term::Neg(a) => period_analysis(a),
         Term::Add(a, b) | Term::Sub(a, b) | Term::Mul(a, b) => {
-            collect_divisors(a, out) && collect_divisors(b, out)
+            // Sums/products of values divisible by L/da resp. L/db are
+            // divisible by gcd(L/da, L/db) = L / lcm(da, db).
+            let (da, ra) = period_analysis(a)?;
+            let (db, rb) = period_analysis(b)?;
+            Some((lcm(da, db)?, lcm(ra, rb)?))
         }
-        Term::Mod(a, m) | Term::Div(a, m) => {
-            out.push(i128::from(*m));
-            collect_divisors(a, out)
+        Term::Mod(a, m) => {
+            // Collapses to a constant iff m | L/da, i.e. m·da | L.
+            let (da, ra) = period_analysis(a)?;
+            let need = da.checked_mul(i128::from(*m))?;
+            Some((1, lcm(ra, need)?))
         }
-        Term::Concat(..) | Term::StrLen(..) | Term::Ite(..) => false,
+        Term::Div(a, m) => {
+            // Exact under the same condition; divides coefficients by m.
+            let (da, ra) = period_analysis(a)?;
+            let need = da.checked_mul(i128::from(*m))?;
+            Some((need, lcm(ra, need)?))
+        }
+        Term::Concat(..) | Term::StrLen(..) | Term::Ite(..) => None,
     }
 }
 
@@ -87,19 +108,25 @@ fn restrict_term(t: &Term, r: i128, l: i128) -> Option<Poly> {
         Term::Sub(a, b) => restrict_term(a, r, l)?.sub(&restrict_term(b, r, l)?),
         Term::Mul(a, b) => restrict_term(a, r, l)?.mul(&restrict_term(b, r, l)?),
         Term::Mod(a, m) => {
+            // Collapses to the constant Q(0) mod m only when every
+            // k-dependent coefficient of Q is divisible by m (guaranteed
+            // by `period_analysis`, but checked here so soundness never
+            // rests on the analysis).
             let q = restrict_term(a, r, l)?;
-            debug_assert_eq!(l % i128::from(*m), 0);
-            let c = q.eval(0)?.rem_euclid(i128::from(*m));
+            let m = i128::from(*m);
+            if q.coeffs().iter().skip(1).any(|c| c % m != 0) {
+                return None;
+            }
+            let c = q.eval(0)?.rem_euclid(m);
             Some(Poly::constant(c))
         }
         Term::Div(a, m) => {
             // Euclidean division distributes over the residue class: with
-            // m | every k-coefficient of the inner polynomial Q (each
-            // carries a factor L), Q(k) div m = (Q(k) − Q(0) mod m) / m
-            // exactly — a polynomial with integer coefficients.
+            // m | every k-coefficient of the inner polynomial Q, we get
+            // Q(k) div m = (Q(k) − Q(0) mod m) / m exactly — a polynomial
+            // with integer coefficients (checked below coefficient-wise).
             let q = restrict_term(a, r, l)?;
             let m = i128::from(*m);
-            debug_assert_eq!(l % m, 0);
             let rem = q.eval(0)?.rem_euclid(m);
             let shifted = q.sub(&Poly::constant(rem))?;
             let coeffs: Option<Vec<i128>> = shifted
@@ -155,26 +182,21 @@ fn sign_matches(op: CmpOp, sign: i32) -> bool {
 /// returned after an exhaustive window + tail analysis.
 pub fn solve_int_conjunction(lits: &[Literal], excluded: &[i64]) -> FieldSat {
     let mut constraints = Vec::with_capacity(lits.len());
-    let mut divisors: Vec<i128> = Vec::new();
+    // Overall modulus: lcm of every term's period requirement, which
+    // accounts for `div` nodes widening the period of enclosing `mod`s.
+    let mut l: i128 = 1;
     for lit in lits {
         match constraint_of_literal(lit) {
             Some(c) => {
-                if !collect_divisors(&c.lhs, &mut divisors)
-                    || !collect_divisors(&c.rhs, &mut divisors)
-                {
-                    return FieldSat::Unknown;
+                for side in [&c.lhs, &c.rhs] {
+                    match period_analysis(side).and_then(|(_, req)| lcm(l, req)) {
+                        Some(nl) if nl <= MAX_LCM => l = nl,
+                        _ => return FieldSat::Unknown,
+                    }
                 }
                 constraints.push(c);
             }
             None => return FieldSat::Unknown,
-        }
-    }
-    // Overall modulus: lcm of every divisor at every nesting depth.
-    let mut l: i128 = 1;
-    for m in divisors {
-        match lcm(l, m) {
-            Some(nl) if nl <= MAX_LCM => l = nl,
-            _ => return FieldSat::Unknown,
         }
     }
 
@@ -350,7 +372,10 @@ mod tests {
             lit(Formula::cmp(CmpOp::Gt, x(), Term::int(3))),
             lit(Formula::cmp(CmpOp::Lt, x(), Term::int(5))),
         ];
-        assert_eq!(solve_int_conjunction(&lits, &[]), FieldSat::Sat(Value::Int(4)));
+        assert_eq!(
+            solve_int_conjunction(&lits, &[]),
+            FieldSat::Sat(Value::Int(4))
+        );
         assert_eq!(solve_int_conjunction(&lits, &[4]), FieldSat::Unsat);
     }
 
@@ -408,7 +433,11 @@ mod tests {
     #[test]
     fn cubic() {
         // x³ - 100x + 3 = 0 has no integer roots.
-        let t = x().mul(x()).mul(x()).sub(Term::int(100).mul(x())).add(Term::int(3));
+        let t = x()
+            .mul(x())
+            .mul(x())
+            .sub(Term::int(100).mul(x()))
+            .add(Term::int(3));
         let lits = vec![lit(Formula::eq(t, Term::int(0)))];
         assert_eq!(solve_int_conjunction(&lits, &[]), FieldSat::Unsat);
     }
@@ -543,17 +572,26 @@ mod tests {
                 lit(Formula::eq(x().modulo(7), Term::int(2))),
             ],
             vec![
-                lit(Formula::cmp(CmpOp::Gt, x().mul(Term::int(3)), Term::int(17))),
-                lit(Formula::cmp(CmpOp::Lt, x().mul(Term::int(3)), Term::int(23))),
+                lit(Formula::cmp(
+                    CmpOp::Gt,
+                    x().mul(Term::int(3)),
+                    Term::int(17),
+                )),
+                lit(Formula::cmp(
+                    CmpOp::Lt,
+                    x().mul(Term::int(3)),
+                    Term::int(23),
+                )),
             ],
         ];
         for lits in systems {
-            let brute = (-1000i64..1000).find(|&v| {
-                lits.iter().all(|l| l.eval(&Label::single(v)))
-            });
+            let brute = (-1000i64..1000).find(|&v| lits.iter().all(|l| l.eval(&Label::single(v))));
             match solve_int_conjunction(&lits, &[]) {
                 FieldSat::Sat(Value::Int(n)) => {
-                    assert!(lits.iter().all(|l| l.eval(&Label::single(n))), "bad witness {n}");
+                    assert!(
+                        lits.iter().all(|l| l.eval(&Label::single(n))),
+                        "bad witness {n}"
+                    );
                 }
                 FieldSat::Unsat => assert_eq!(brute, None),
                 other => panic!("{other:?}"),

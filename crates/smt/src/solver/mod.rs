@@ -463,7 +463,10 @@ mod tests {
 
     #[test]
     fn trivia() {
-        assert!(matches!(solve(&int_sig(), &Formula::True), SatResult::Sat(_)));
+        assert!(matches!(
+            solve(&int_sig(), &Formula::True),
+            SatResult::Sat(_)
+        ));
         assert_eq!(solve(&int_sig(), &Formula::False), SatResult::Unsat);
     }
 
@@ -496,10 +499,7 @@ mod tests {
 
     #[test]
     fn multi_field_independent() {
-        let sig = LabelSig::new(vec![
-            ("i".into(), Sort::Int),
-            ("tag".into(), Sort::Str),
-        ]);
+        let sig = LabelSig::new(vec![("i".into(), Sort::Int), ("tag".into(), Sort::Str)]);
         let f = Formula::cmp(CmpOp::Gt, Term::field(0), Term::int(10))
             .and(Formula::eq(Term::field(1), Term::str("div")));
         let m = solve(&sig, &f).model().unwrap();

@@ -273,16 +273,15 @@ fn search(lits: &[Literal], p: &Profile) -> Option<String> {
     // a fresh-only string of an allowed length is one, and the skeleton
     // generator below always tries those.
     let mut const_chars: BTreeSet<char> = BTreeSet::new();
-    for s in p
-        .ne
-        .iter()
-        .map(String::as_str)
-        .chain(p.pos_prefix.iter().map(String::as_str))
-        .chain(p.neg_prefix.iter().map(String::as_str))
-        .chain(p.pos_suffix.iter().map(String::as_str))
-        .chain(p.neg_suffix.iter().map(String::as_str))
-        .chain(p.pos_contains.iter().map(String::as_str))
-        .chain(p.neg_contains.iter().map(String::as_str))
+    for s in
+        p.ne.iter()
+            .map(String::as_str)
+            .chain(p.pos_prefix.iter().map(String::as_str))
+            .chain(p.neg_prefix.iter().map(String::as_str))
+            .chain(p.pos_suffix.iter().map(String::as_str))
+            .chain(p.neg_suffix.iter().map(String::as_str))
+            .chain(p.pos_contains.iter().map(String::as_str))
+            .chain(p.neg_contains.iter().map(String::as_str))
     {
         const_chars.extend(s.chars());
     }
@@ -309,13 +308,29 @@ fn search(lits: &[Literal], p: &Profile) -> Option<String> {
 
     // 1. Skeletons: prefix ++ contains… ++ padding ++ suffix, padded to the
     //    first few allowed lengths with each padding character.
-    let prefix = p.pos_prefix.iter().max_by_key(|s| s.len()).cloned().unwrap_or_default();
-    let suffix = p.pos_suffix.iter().max_by_key(|s| s.len()).cloned().unwrap_or_default();
+    let prefix = p
+        .pos_prefix
+        .iter()
+        .max_by_key(|s| s.len())
+        .cloned()
+        .unwrap_or_default();
+    let suffix = p
+        .pos_suffix
+        .iter()
+        .max_by_key(|s| s.len())
+        .cloned()
+        .unwrap_or_default();
     let mut middles: Vec<String> = vec![String::new()];
     // A couple of orders of the contains-constants.
     if !p.pos_contains.is_empty() {
         let fwd: String = p.pos_contains.concat();
-        let rev: String = p.pos_contains.iter().rev().cloned().collect::<Vec<_>>().concat();
+        let rev: String = p
+            .pos_contains
+            .iter()
+            .rev()
+            .cloned()
+            .collect::<Vec<_>>()
+            .concat();
         middles.push(fwd);
         middles.push(rev);
     }
@@ -376,10 +391,16 @@ mod tests {
     use super::*;
 
     fn pos(a: Atom) -> Literal {
-        Literal { atom: a, positive: true }
+        Literal {
+            atom: a,
+            positive: true,
+        }
     }
     fn neg(a: Atom) -> Literal {
-        Literal { atom: a, positive: false }
+        Literal {
+            atom: a,
+            positive: false,
+        }
     }
     fn x() -> Term {
         Term::field(0)

@@ -7,7 +7,6 @@
 use std::fmt;
 
 /// Base sort of a single label field.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Sort {
     /// Booleans.
@@ -45,7 +44,6 @@ impl fmt::Display for Sort {
 /// assert_eq!(sig.arity(), 1);
 /// assert_eq!(sig.field_index("tag"), Some(0));
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LabelSig {
     fields: Vec<(String, Sort)>,
@@ -134,10 +132,7 @@ mod tests {
 
     #[test]
     fn display_sig() {
-        let sig = LabelSig::new(vec![
-            ("tag".into(), Sort::Str),
-            ("n".into(), Sort::Int),
-        ]);
+        let sig = LabelSig::new(vec![("tag".into(), Sort::Str), ("n".into(), Sort::Int)]);
         assert_eq!(sig.to_string(), "[tag: String, n: Int]");
         assert_eq!(sig.sort(1), Sort::Int);
         assert_eq!(sig.name(0), "tag");

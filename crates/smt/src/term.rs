@@ -38,7 +38,6 @@ impl std::error::Error for EvalError {}
 /// Terms are pure; all arithmetic is over `i64` with checked semantics
 /// (overflow is an evaluation error, which guards treat as *false* and
 /// which never occurs inside the solver's complete fragments).
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Term {
     /// Projection of field `i` of the label variable.
@@ -259,10 +258,7 @@ impl Term {
     /// result denotes `t(e(x))`.
     pub fn subst(&self, args: &[Term]) -> Term {
         match self {
-            Term::Field(i) => args
-                .get(*i)
-                .cloned()
-                .unwrap_or_else(|| self.clone()),
+            Term::Field(i) => args.get(*i).cloned().unwrap_or_else(|| self.clone()),
             Term::Lit(_) => self.clone(),
             Term::Neg(t) => Term::Neg(Box::new(t.subst(args))),
             Term::Add(a, b) => Term::Add(Box::new(a.subst(args)), Box::new(b.subst(args))),
@@ -270,9 +266,7 @@ impl Term {
             Term::Mul(a, b) => Term::Mul(Box::new(a.subst(args)), Box::new(b.subst(args))),
             Term::Mod(t, m) => Term::Mod(Box::new(t.subst(args)), *m),
             Term::Div(t, m) => Term::Div(Box::new(t.subst(args)), *m),
-            Term::Concat(a, b) => {
-                Term::Concat(Box::new(a.subst(args)), Box::new(b.subst(args)))
-            }
+            Term::Concat(a, b) => Term::Concat(Box::new(a.subst(args)), Box::new(b.subst(args))),
             Term::StrLen(t) => Term::StrLen(Box::new(t.subst(args))),
             Term::Ite(c, a, b) => Term::Ite(
                 Box::new(c.subst(args)),
@@ -456,7 +450,6 @@ impl fmt::Display for Term {
 /// let out = f.apply(&Label::single(30i64)).unwrap();
 /// assert_eq!(out, Label::single(9i64));
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LabelFn {
     terms: Vec<Term>,
@@ -569,8 +562,14 @@ mod tests {
     fn sorts() {
         let sig = LabelSig::new(vec![("n".into(), Sort::Int), ("s".into(), Sort::Str)]);
         assert_eq!(Term::field(0).add(Term::int(1)).sort(&sig), Some(Sort::Int));
-        assert_eq!(Term::field(1).concat(Term::str("x")).sort(&sig), Some(Sort::Str));
-        assert_eq!(Term::StrLen(Box::new(Term::field(1))).sort(&sig), Some(Sort::Int));
+        assert_eq!(
+            Term::field(1).concat(Term::str("x")).sort(&sig),
+            Some(Sort::Str)
+        );
+        assert_eq!(
+            Term::StrLen(Box::new(Term::field(1))).sort(&sig),
+            Some(Sort::Int)
+        );
         assert_eq!(Term::field(1).add(Term::int(1)).sort(&sig), None);
         assert_eq!(Term::field(7).sort(&sig), None);
     }

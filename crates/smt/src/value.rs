@@ -4,7 +4,6 @@ use crate::sort::{LabelSig, Sort};
 use std::fmt;
 
 /// A concrete value of one of the base sorts.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// A boolean.
@@ -117,7 +116,6 @@ impl fmt::Display for Value {
 /// let l = Label::new(vec![Value::Str("script".into())]);
 /// assert_eq!(l.get(0).as_str(), Some("script"));
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Label {
     values: Vec<Value>,
@@ -136,7 +134,9 @@ impl Label {
 
     /// A label with a single field.
     pub fn single(v: impl Into<Value>) -> Self {
-        Label { values: vec![v.into()] }
+        Label {
+            values: vec![v.into()],
+        }
     }
 
     /// Value of field `i`.
@@ -171,7 +171,11 @@ impl Label {
     /// A default (all-zero) label conforming to `sig`.
     pub fn default_of(sig: &LabelSig) -> Label {
         Label {
-            values: sig.fields().iter().map(|(_, s)| Value::default_of(*s)).collect(),
+            values: sig
+                .fields()
+                .iter()
+                .map(|(_, s)| Value::default_of(*s))
+                .collect(),
         }
     }
 }

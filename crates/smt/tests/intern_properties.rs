@@ -1,0 +1,114 @@
+//! Properties of hash-consed formula interning: handle equality must be
+//! exactly structural equality, and routing a formula through the
+//! interner must never change what the solver says about it.
+
+use fast_smt::solver::{solve, SatResult};
+use fast_smt::{intern, CmpOp, Formula, LabelAlg, LabelSig, Sort, Term};
+use proptest::prelude::*;
+
+fn int_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![Just(Term::field(0)), (-12i64..12).prop_map(Term::int)];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
+            (inner.clone(), 2u32..10).prop_map(|(a, m)| a.modulo(m)),
+            (inner, 2u32..10).prop_map(|(a, m)| a.div(m)),
+        ]
+    })
+}
+
+fn int_formula() -> impl Strategy<Value = Formula> {
+    let atom = (
+        prop_oneof![
+            Just(CmpOp::Eq),
+            Just(CmpOp::Ne),
+            Just(CmpOp::Lt),
+            Just(CmpOp::Ge),
+        ],
+        int_term(),
+        int_term(),
+    )
+        .prop_map(|(op, a, b)| Formula::cmp(op, a, b));
+    atom.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Formula::not),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// `Interned<Formula>` equality (an id comparison) coincides with
+    /// structural `Formula` equality, and equal formulas share one node.
+    #[test]
+    fn interned_eq_is_structural_eq(f in int_formula(), g in int_formula()) {
+        let fi = intern(f.clone());
+        let gi = intern(g.clone());
+        prop_assert_eq!(fi == gi, f == g, "handle eq must match structural eq");
+        prop_assert_eq!(fi.ptr_eq(&gi), f == g, "equal formulas are hash-consed");
+        // Re-interning is the identity on handles.
+        let fi2 = intern(f.clone());
+        prop_assert!(fi.ptr_eq(&fi2));
+        prop_assert_eq!(fi.id(), fi2.id());
+        // The handle dereferences to the original structure.
+        prop_assert_eq!(fi.get(), &f);
+    }
+
+    /// Solver answers are unchanged by interning: the cached
+    /// `LabelAlg::check` path agrees with a direct `solve` call.
+    #[test]
+    fn check_agrees_with_direct_solve(f in int_formula()) {
+        let sig = LabelSig::single("i", Sort::Int);
+        let alg = LabelAlg::new(sig.clone());
+        let direct = solve(&sig, &f);
+        let via_intern = alg.check(&alg.pred(f.clone()));
+        prop_assert_eq!(&direct, &via_intern, "interning changed the verdict for {}", f);
+        // And asking again (now a cache hit) still returns the same thing.
+        let again = alg.check_formula(&f);
+        prop_assert_eq!(&via_intern, &again);
+        if let SatResult::Sat(m) = direct {
+            prop_assert!(f.eval(&m));
+        }
+    }
+}
+
+/// The algebra-laws corpus: the connective combinations exercised by the
+/// unit tests in `fast_smt::alg` give identical results whether checked
+/// directly or through interned handles.
+#[test]
+fn algebra_laws_corpus_unchanged_by_interning() {
+    let sig = LabelSig::single("i", Sort::Int);
+    let alg = LabelAlg::new(sig.clone());
+    let x = Term::field(0);
+    let base = [
+        Formula::True,
+        Formula::False,
+        Formula::cmp(CmpOp::Gt, x.clone(), Term::int(0)),
+        Formula::eq(x.clone().modulo(2), Term::int(1)),
+        Formula::cmp(CmpOp::Le, x.clone().mul(x.clone()), Term::int(25)),
+        Formula::eq(x.clone().div(2).modulo(4), Term::int(3)),
+    ];
+    let mut corpus: Vec<Formula> = base.to_vec();
+    for a in &base {
+        corpus.push(a.clone().not());
+        for b in &base {
+            corpus.push(a.clone().and(b.clone()));
+            corpus.push(a.clone().or(b.clone()).not());
+        }
+    }
+    for f in &corpus {
+        let direct = solve(&sig, f);
+        let interned = alg.check_formula(f);
+        assert_eq!(direct, interned, "verdict changed by interning for {f}");
+    }
+    // The interned run answered every repeat from the cache: distinct
+    // formulas alone reached the solver.
+    let (queries, hits, _) = alg.stats().snapshot();
+    let distinct: std::collections::BTreeSet<&Formula> = corpus.iter().collect();
+    assert_eq!(queries as usize, corpus.len());
+    assert_eq!((queries - hits) as usize, distinct.len());
+}

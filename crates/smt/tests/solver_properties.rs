@@ -49,11 +49,20 @@ fn str_formula() -> impl Strategy<Value = Formula> {
         "[a-c]{0,3}",
     ];
     let atom = prop_oneof![
-        (cmp_op().prop_filter("str cmp is eq/ne", |o| matches!(o, CmpOp::Eq | CmpOp::Ne)), consts.clone())
+        (
+            cmp_op().prop_filter("str cmp is eq/ne", |o| matches!(o, CmpOp::Eq | CmpOp::Ne)),
+            consts.clone()
+        )
             .prop_map(|(op, s)| Formula::cmp(op, Term::field(0), Term::str(&s))),
-        consts.clone().prop_map(|s| Formula::atom(Atom::StrPrefix(Term::field(0), s))),
-        consts.clone().prop_map(|s| Formula::atom(Atom::StrSuffix(Term::field(0), s))),
-        consts.clone().prop_map(|s| Formula::atom(Atom::StrContains(Term::field(0), s))),
+        consts
+            .clone()
+            .prop_map(|s| Formula::atom(Atom::StrPrefix(Term::field(0), s))),
+        consts
+            .clone()
+            .prop_map(|s| Formula::atom(Atom::StrSuffix(Term::field(0), s))),
+        consts
+            .clone()
+            .prop_map(|s| Formula::atom(Atom::StrContains(Term::field(0), s))),
         (cmp_op(), 0i64..6).prop_map(|(op, n)| Formula::cmp(
             op,
             Term::StrLen(Box::new(Term::field(0))),
@@ -110,6 +119,8 @@ proptest! {
     #[test]
     fn contradictions_never_sat(f in int_formula(), g in int_formula()) {
         let alg = LabelAlg::new(LabelSig::single("i", Sort::Int));
+        let f = alg.pred(f);
+        let g = alg.pred(g);
         let fg_not_f = alg.and(&alg.and(&f, &g), &alg.not(&f));
         prop_assert!(
             !matches!(alg.check(&fg_not_f), SatResult::Sat(_)),
@@ -130,10 +141,17 @@ proptest! {
         x in -50i64..50,
     ) {
         let alg = LabelAlg::new(LabelSig::single("i", Sort::Int));
-        let ms = fast_smt::minterms(&alg, &ps);
+        let interned: Vec<_> = ps.iter().map(|p| alg.pred(p.clone())).collect();
+        let ms = fast_smt::minterms(&alg, &interned);
         let l = Label::single(x);
         let holding: Vec<_> = ms.iter().filter(|(_, m)| m.eval(&l)).collect();
-        prop_assert_eq!(holding.len(), 1, "each point lies in exactly one minterm");
+        prop_assert!(
+            holding.len() == 1,
+            "point {} lies in {} minterms of {:?}",
+            x,
+            holding.len(),
+            ps
+        );
         // The holding minterm's signs match the predicates' truth values.
         let (signs, _) = holding[0];
         for (i, p) in ps.iter().enumerate() {

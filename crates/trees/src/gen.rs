@@ -141,7 +141,15 @@ const TAGS: &[&str] = &[
 ];
 const ATTR_NAMES: &[&str] = &["id", "class", "href", "style", "title"];
 const WORDS: &[&str] = &[
-    "lorem", "ipsum", "dolor", "sit", "amet", "consectetur", "adipiscing", "elit", "sed'do",
+    "lorem",
+    "ipsum",
+    "dolor",
+    "sit",
+    "amet",
+    "consectetur",
+    "adipiscing",
+    "elit",
+    "sed'do",
     "eiusmod\"t",
 ];
 
@@ -166,7 +174,7 @@ impl HtmlGen {
     }
 
     fn elem(&mut self, depth: usize) -> HtmlElem {
-        let is_script = self.rng.gen_range(0..100) < self.script_percent;
+        let is_script = self.rng.gen_range(0..100u32) < self.script_percent;
         let tag = if is_script {
             "script"
         } else {

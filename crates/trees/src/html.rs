@@ -99,7 +99,11 @@ impl HtmlElem {
 
     /// Total number of elements in this subtree.
     pub fn element_count(&self) -> usize {
-        1 + self.children.iter().map(HtmlElem::element_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(HtmlElem::element_count)
+            .sum::<usize>()
     }
 }
 
@@ -173,7 +177,9 @@ fn write_elem(f: &mut fmt::Formatter<'_>, e: &HtmlElem) -> fmt::Result {
             write!(
                 f,
                 "{}",
-                v.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+                v.replace('&', "&amp;")
+                    .replace('<', "&lt;")
+                    .replace('>', "&gt;")
             )?;
         }
     }
@@ -213,11 +219,7 @@ fn encode_elems(c: &HtmlCtors, elems: &[HtmlElem]) -> Tree {
         t = Tree::new(
             c.node,
             Label::single(e.tag.as_str()),
-            vec![
-                encode_attrs(c, &e.attrs),
-                encode_elems(c, &e.children),
-                t,
-            ],
+            vec![encode_attrs(c, &e.attrs), encode_elems(c, &e.children), t],
         );
     }
     t
@@ -331,10 +333,7 @@ mod tests {
     fn render() {
         let doc = fig3();
         let html = doc.render();
-        assert_eq!(
-            html,
-            "<div id=\"e&quot;\"><script>a</script></div><br />"
-        );
+        assert_eq!(html, "<div id=\"e&quot;\"><script>a</script></div><br />");
     }
 
     #[test]

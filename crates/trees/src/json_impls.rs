@@ -1,0 +1,99 @@
+//! JSON support via [`fast_json`]: trees serialize structurally as
+//! `{ctor, label, children}`; tree types revalidate their invariants on
+//! deserialization.
+
+use crate::tree::Tree;
+use crate::ty::{Ctor, CtorId, TreeType};
+use fast_json::{FromJson, Json, JsonError, ToJson};
+
+impl ToJson for CtorId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for CtorId {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CtorId(usize::from_json(v)?))
+    }
+}
+
+impl ToJson for Tree {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("ctor", self.ctor().to_json()),
+            ("label", self.label().to_json()),
+            (
+                "children",
+                Json::Array(self.children().iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Tree {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let ctor = CtorId::from_json(
+            v.get("ctor")
+                .ok_or_else(|| JsonError::msg("missing ctor"))?,
+        )?;
+        let label = FromJson::from_json(
+            v.get("label")
+                .ok_or_else(|| JsonError::msg("missing label"))?,
+        )?;
+        let children: Vec<Tree> = FromJson::from_json(
+            v.get("children")
+                .ok_or_else(|| JsonError::msg("missing children"))?,
+        )?;
+        Ok(Tree::new(ctor, label, children))
+    }
+}
+
+impl ToJson for TreeType {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name().to_string().to_json()),
+            ("sig", self.sig().to_json()),
+            (
+                "ctors",
+                Json::Array(
+                    self.ctors()
+                        .iter()
+                        .map(|c| (c.name().to_string(), c.rank()).to_json())
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for TreeType {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let name = String::from_json(
+            v.get("name")
+                .ok_or_else(|| JsonError::msg("missing name"))?,
+        )?;
+        let sig = FromJson::from_json(v.get("sig").ok_or_else(|| JsonError::msg("missing sig"))?)?;
+        let ctors: Vec<(String, usize)> = FromJson::from_json(
+            v.get("ctors")
+                .ok_or_else(|| JsonError::msg("missing ctors"))?,
+        )?;
+        if !ctors.iter().any(|(_, r)| *r == 0) {
+            return Err(JsonError::msg(
+                "tree type needs at least one nullary constructor",
+            ));
+        }
+        for i in 0..ctors.len() {
+            for j in (i + 1)..ctors.len() {
+                if ctors[i].0 == ctors[j].0 {
+                    return Err(JsonError::msg("duplicate constructor name"));
+                }
+            }
+        }
+        Ok(TreeType::from_validated_parts(
+            name,
+            sig,
+            ctors.into_iter().map(|(n, r)| Ctor::new(&n, r)).collect(),
+        ))
+    }
+}

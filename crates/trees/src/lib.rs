@@ -31,8 +31,7 @@ mod ty;
 
 pub mod html;
 
-#[cfg(feature = "serde")]
-mod serde_impls;
+mod json_impls;
 
 pub use gen::{HtmlGen, TreeGen};
 pub use html::{html_type, HtmlCtors, HtmlDoc, HtmlElem};

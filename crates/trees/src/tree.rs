@@ -398,7 +398,10 @@ mod tests {
         assert_eq!(t.depth(), 2);
         assert!(t.conforms_to(&ty));
         assert_eq!(t.iter().count(), 3);
-        let labels: Vec<i64> = t.iter().map(|n| n.label().get(0).as_int().unwrap()).collect();
+        let labels: Vec<i64> = t
+            .iter()
+            .map(|n| n.label().get(0).as_int().unwrap())
+            .collect();
         assert_eq!(labels, vec![0, 1, 2]); // pre-order
     }
 
@@ -445,7 +448,11 @@ mod tests {
     fn structural_equality_and_sharing() {
         let ty = bt();
         let l = Tree::leaf(ty.ctor_id("L").unwrap(), Label::single(7i64));
-        let t1 = Tree::new(ty.ctor_id("N").unwrap(), Label::single(0i64), vec![l.clone(), l.clone()]);
+        let t1 = Tree::new(
+            ty.ctor_id("N").unwrap(),
+            Label::single(0i64),
+            vec![l.clone(), l.clone()],
+        );
         let t2 = Tree::parse(&ty, "N[0](L[7], L[7])").unwrap();
         assert_eq!(t1, t2);
         use std::collections::HashSet;

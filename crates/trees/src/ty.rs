@@ -6,12 +6,10 @@ use std::fmt;
 use std::sync::Arc;
 
 /// Identifier of a constructor within its [`TreeType`].
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CtorId(pub usize);
 
 /// A tree constructor: a name and a rank (number of children).
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Ctor {
     name: String,
@@ -91,7 +89,6 @@ impl TreeType {
 
     /// Internal constructor for deserialization paths that have already
     /// validated the invariants.
-    #[cfg(feature = "serde")]
     pub(crate) fn from_validated_parts(name: String, sig: LabelSig, ctors: Vec<Ctor>) -> TreeType {
         TreeType { name, sig, ctors }
     }
@@ -118,10 +115,7 @@ impl TreeType {
 
     /// Looks up a constructor by name.
     pub fn ctor_id(&self, name: &str) -> Option<CtorId> {
-        self.ctors
-            .iter()
-            .position(|c| c.name() == name)
-            .map(CtorId)
+        self.ctors.iter().position(|c| c.name() == name).map(CtorId)
     }
 
     /// The constructor for an id.

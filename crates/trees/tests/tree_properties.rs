@@ -19,11 +19,7 @@ fn mixed_type() -> Arc<TreeType> {
 }
 
 fn label() -> impl Strategy<Value = Label> {
-    (
-        -1000i64..1000,
-        "[a-z\"\\\\]{0,5}",
-        any::<bool>(),
-    )
+    (-1000i64..1000, "[a-z\"\\\\]{0,5}", any::<bool>())
         .prop_map(|(n, s, b)| Label::new(vec![Value::Int(n), Value::Str(s), Value::Bool(b)]))
 }
 
@@ -36,9 +32,8 @@ fn tree() -> impl Strategy<Value = Tree> {
     leaf.prop_recursive(5, 40, 2, move |inner| {
         prop_oneof![
             (label(), inner.clone()).prop_map(move |(l, c)| Tree::new(u, l, vec![c])),
-            (label(), inner.clone(), inner).prop_map(move |(l, a, b)| {
-                Tree::new(p, l, vec![a, b])
-            }),
+            (label(), inner.clone(), inner)
+                .prop_map(move |(l, a, b)| { Tree::new(p, l, vec![a, b]) }),
         ]
     })
 }
@@ -46,15 +41,14 @@ fn tree() -> impl Strategy<Value = Tree> {
 fn html_elem() -> impl Strategy<Value = HtmlElem> {
     let name = "[a-z]{1,6}";
     let value = "[ -~]{0,8}"; // printable ASCII incl. quotes/backslashes
-    let leaf = (name, proptest::collection::vec(("[a-z]{1,4}", value), 0..3)).prop_map(
-        |(tag, attrs)| {
+    let leaf =
+        (name, proptest::collection::vec(("[a-z]{1,4}", value), 0..3)).prop_map(|(tag, attrs)| {
             let mut e = HtmlElem::new(&tag);
             for (n, v) in attrs {
                 e = e.with_attr(&n, &v);
             }
             e
-        },
-    );
+        });
     leaf.prop_recursive(3, 12, 3, |inner| {
         ("[a-z]{1,6}", proptest::collection::vec(inner, 0..3)).prop_map(|(tag, kids)| {
             let mut e = HtmlElem::new(&tag);

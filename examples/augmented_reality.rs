@@ -9,27 +9,31 @@ use std::sync::Arc;
 
 /// A tagger labeling elements whose value is in a residue class: walks
 /// the element list, prepending `tag[id]` where `v % m == r`.
-fn tagger(
-    ty: &Arc<TreeType>,
-    alg: &Arc<LabelAlg>,
-    id: i64,
-    m: u32,
-    r: i64,
-) -> Sttr {
+fn tagger(ty: &Arc<TreeType>, alg: &Arc<LabelAlg>, id: i64, m: u32, r: i64) -> Sttr {
     let nil = ty.ctor_id("nil").unwrap();
     let tag = ty.ctor_id("tag").unwrap();
     let elem = ty.ctor_id("elem").unwrap();
     let mut b = SttrBuilder::new(ty.clone(), alg.clone());
     let q = b.state("walk");
     let copy = b.state("copy");
-    b.plain_rule(copy, nil, Formula::True, Out::node(nil, LabelFn::identity(1), vec![]));
+    b.plain_rule(
+        copy,
+        nil,
+        Formula::True,
+        Out::node(nil, LabelFn::identity(1), vec![]),
+    );
     b.plain_rule(
         copy,
         tag,
         Formula::True,
         Out::node(tag, LabelFn::identity(1), vec![Out::Call(copy, 0)]),
     );
-    b.plain_rule(q, nil, Formula::True, Out::node(nil, LabelFn::identity(1), vec![]));
+    b.plain_rule(
+        q,
+        nil,
+        Formula::True,
+        Out::node(nil, LabelFn::identity(1), vec![]),
+    );
     let g = Formula::eq(Term::field(0).modulo(m), Term::int(r));
     b.plain_rule(
         q,
@@ -39,7 +43,11 @@ fn tagger(
             elem,
             LabelFn::identity(1),
             vec![
-                Out::node(tag, LabelFn::new(vec![Term::int(id)]), vec![Out::Call(copy, 0)]),
+                Out::node(
+                    tag,
+                    LabelFn::new(vec![Term::int(id)]),
+                    vec![Out::Call(copy, 0)],
+                ),
                 Out::Call(q, 1),
             ],
         ),
@@ -48,7 +56,11 @@ fn tagger(
         q,
         elem,
         g.not(),
-        Out::node(elem, LabelFn::identity(1), vec![Out::Call(copy, 0), Out::Call(q, 1)]),
+        Out::node(
+            elem,
+            LabelFn::identity(1),
+            vec![Out::Call(copy, 0), Out::Call(q, 1)],
+        ),
     );
     b.build(q)
 }
@@ -95,12 +107,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // mod-6 ≡ 1 vs mod-4 ≡ 3: both hold at v = 7, 19, … → conflict.
     let t1 = tagger(&ty, &alg, 1, 6, 1);
     let t2 = tagger(&ty, &alg, 2, 4, 3);
-    println!("tagger1 (v%6=1) vs tagger2 (v%4=3): conflict = {}", check(&t1, &t2)?);
+    println!(
+        "tagger1 (v%6=1) vs tagger2 (v%4=3): conflict = {}",
+        check(&t1, &t2)?
+    );
 
     // Even vs odd taggers can never label the same element.
     let even = tagger(&ty, &alg, 3, 2, 0);
     let odd = tagger(&ty, &alg, 4, 2, 1);
-    println!("tagger3 (even)  vs tagger4 (odd):   conflict = {}", check(&even, &odd)?);
+    println!(
+        "tagger3 (even)  vs tagger4 (odd):   conflict = {}",
+        check(&even, &odd)?
+    );
 
     // Concrete demonstration: run both conflicting taggers in sequence.
     let world = Tree::parse(&ty, "elem[7](nil[0], nil[0])")?;

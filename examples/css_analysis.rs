@@ -36,13 +36,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let is_div = Formula::eq(tag.clone(), Term::str("div"));
     let is_p = Formula::eq(tag.clone(), Term::str("p"));
     for (state, inside) in [(top, false), (in_div, true)] {
-        b.plain_rule(state, nil, Formula::True, Out::node(nil, keep.clone(), vec![]));
+        b.plain_rule(
+            state,
+            nil,
+            Formula::True,
+            Out::node(nil, keep.clone(), vec![]),
+        );
         // Entering a div: children processed in `in_div`.
         b.plain_rule(
             state,
             node,
             is_div.clone(),
-            Out::node(node, keep.clone(), vec![Out::Call(in_div, 0), Out::Call(state, 1)]),
+            Out::node(
+                node,
+                keep.clone(),
+                vec![Out::Call(in_div, 0), Out::Call(state, 1)],
+            ),
         );
         // A p node: selected only when inside a div.
         let style = if inside { &set_black } else { &keep };
@@ -50,14 +59,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             state,
             node,
             is_p.clone(),
-            Out::node(node, style.clone(), vec![Out::Call(state, 0), Out::Call(state, 1)]),
+            Out::node(
+                node,
+                style.clone(),
+                vec![Out::Call(state, 0), Out::Call(state, 1)],
+            ),
         );
         // Everything else keeps its style.
         b.plain_rule(
             state,
             node,
             is_div.clone().not().and(is_p.clone().not()),
-            Out::node(node, keep.clone(), vec![Out::Call(state, 0), Out::Call(state, 1)]),
+            Out::node(
+                node,
+                keep.clone(),
+                vec![Out::Call(state, 0), Out::Call(state, 1)],
+            ),
         );
     }
     let css = b.build(top);

@@ -20,7 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut b = SttrBuilder::new(ty.clone(), alg.clone());
     let q = b.state("map_caesar");
-    b.plain_rule(q, nil, Formula::True, Out::node(nil, LabelFn::new(vec![Term::int(0)]), vec![]));
+    b.plain_rule(
+        q,
+        nil,
+        Formula::True,
+        Out::node(nil, LabelFn::new(vec![Term::int(0)]), vec![]),
+    );
     b.plain_rule(
         q,
         cons,

@@ -54,11 +54,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The buggy version from Fig. 2: `to x3` forgets to keep sanitizing
     // the next sibling.
     println!("=== analyzing the BUGGY sanitizer (Fig. 2 as printed) ===");
-    let buggy = fast::lang::compile(&program(
-        r#"node(x1, x2, x3) where (tag = "script") to x3"#,
-    ))?;
+    let buggy = fast::lang::compile(&program(r#"node(x1, x2, x3) where (tag = "script") to x3"#))?;
     let a = &buggy.report().assertions[0];
-    println!("assert-true (is-empty bad_inputs): {}", if a.passed() { "PASS" } else { "FAIL" });
+    println!(
+        "assert-true (is-empty bad_inputs): {}",
+        if a.passed() { "PASS" } else { "FAIL" }
+    );
     if let Some(cx) = &a.counterexample {
         println!("counterexample input (a script survives sanitization!):\n  {cx}");
     }
@@ -69,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ))?;
     println!(
         "assert-true (is-empty bad_inputs): {}",
-        if fixed.report().all_passed() { "PASS" } else { "FAIL" }
+        if fixed.report().all_passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
 
     // Sanitize the paper's Fig. 3 document.
@@ -82,7 +87,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ninput HTML:     {}", doc.render());
     let ty = fixed.tree_type("HtmlE").unwrap();
     let encoded = doc.encode(ty);
-    let out = fixed.apply("sani", &encoded).map_err(std::io::Error::other)?;
+    let out = fixed
+        .apply("sani", &encoded)
+        .map_err(std::io::Error::other)?;
     let sanitized = HtmlDoc::decode(ty, &out[0]).map_err(std::io::Error::other)?;
     println!("sanitized HTML: {}", sanitized.render());
     Ok(())

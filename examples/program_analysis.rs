@@ -52,11 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Demonstrate on a concrete list.
     let ty = compiled.tree_type("IList").unwrap();
     let input = fast::trees::Tree::parse(ty, "cons[1](cons[2](cons[3](cons[4](nil[0]))))")?;
-    let out = compiled.apply("comp2", &input).map_err(std::io::Error::other)?;
-    println!(
-        "comp2({}) = {}",
-        input.display(ty),
-        out[0].display(ty)
-    );
+    let out = compiled
+        .apply("comp2", &input)
+        .map_err(std::io::Error::other)?;
+    println!("comp2({}) = {}", input.display(ty), out[0].display(ty));
     Ok(())
 }

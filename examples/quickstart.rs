@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Compose double with itself: one pass that multiplies by 4.
     let quadruple = compose(&double, &double)?;
     let quadrupled = quadruple.run(&t)?.pop().unwrap();
-    println!("quadrupled (single fused pass): {}", quadrupled.display(&bt));
+    println!(
+        "quadrupled (single fused pass): {}",
+        quadrupled.display(&bt)
+    );
 
     // 5. Analysis: which inputs does `double` map into `all_positive`?
     // (Exactly the positive-leaved trees, since doubling preserves sign.)

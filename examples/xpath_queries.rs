@@ -16,11 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ty = html_type();
     let alg = Arc::new(LabelAlg::new(ty.sig().clone()));
 
-    let doc = HtmlDoc::new(vec![HtmlElem::new("div").with_attr("id", "main").with_child(
-        HtmlElem::new("p")
-            .with_attr("class", "x")
-            .with_child(HtmlElem::new("a").with_attr("href", "https://example.org")),
-    )]);
+    let doc =
+        HtmlDoc::new(vec![HtmlElem::new("div")
+            .with_attr("id", "main")
+            .with_child(HtmlElem::new("p").with_attr("class", "x").with_child(
+                HtmlElem::new("a").with_attr("href", "https://example.org"),
+            ))]);
     let encoded = doc.encode(&ty);
     println!("document: {}", doc.render());
 
@@ -58,13 +59,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let links = compile_xpath(&ty, &alg, "//a[@href]")?;
     let divs = compile_xpath(&ty, &alg, "//div")?;
-    let link_no_div = intersect(
-        &node_tree,
-        &intersect(&links, &complement(&divs)?),
-    );
+    let link_no_div = intersect(&node_tree, &intersect(&links, &complement(&divs)?));
     let w = witness(&link_no_div)?.expect("such documents exist");
     let example = HtmlDoc::decode(&ty, &w).map_err(std::io::Error::other)?;
-    println!("\na linked, div-free document, synthesized: {}", example.render());
+    println!(
+        "\na linked, div-free document, synthesized: {}",
+        example.render()
+    );
 
     // Queries compose with transducers too: is there an input whose
     // *sanitized* form still matches //script? (No — verified.)
@@ -86,7 +87,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dangerous_inputs = preimage(sani, &scripts)?;
     println!(
         "inputs whose sanitized output matches //script: {}",
-        if is_empty(&dangerous_inputs)? { "none (verified)" } else { "found!" }
+        if is_empty(&dangerous_inputs)? {
+            "none (verified)"
+        } else {
+            "found!"
+        }
     );
     Ok(())
 }

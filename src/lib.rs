@@ -56,12 +56,12 @@ pub use fast_trees as trees;
 /// Convenient glob import: `use fast::prelude::*;`.
 pub mod prelude {
     pub use fast_automata::{
-        complement, difference, equivalent, includes, intersect, is_empty, is_universal,
-        minimize, union, witness, Sta, StaBuilder, StateId,
+        complement, difference, equivalent, includes, intersect, is_empty, is_universal, minimize,
+        union, witness, Sta, StaBuilder, StateId,
     };
     pub use fast_core::{
-        compose, identity, identity_restricted, preimage, restrict, restrict_out, type_check,
-        Out, Sttr, SttrBuilder,
+        compose, identity, identity_restricted, preimage, restrict, restrict_out, type_check, Out,
+        Sttr, SttrBuilder,
     };
     pub use fast_lang::compile;
     pub use fast_smt::{

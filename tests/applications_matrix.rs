@@ -30,7 +30,12 @@ fn map_add(ty: &Arc<TreeType>, alg: &Arc<LabelAlg>, k: i64) -> Sttr {
     let cons = ty.ctor_id("cons").unwrap();
     let mut b = SttrBuilder::new(ty.clone(), alg.clone());
     let q = b.state("map");
-    b.plain_rule(q, nil, Formula::True, Out::node(nil, LabelFn::identity(1), vec![]));
+    b.plain_rule(
+        q,
+        nil,
+        Formula::True,
+        Out::node(nil, LabelFn::identity(1), vec![]),
+    );
     b.plain_rule(
         q,
         cons,
@@ -53,8 +58,11 @@ fn range_lang(ty: &Arc<TreeType>, alg: &Arc<LabelAlg>, lo: i64, hi: i64) -> Sta 
     b.simple_rule(
         s,
         cons,
-        Formula::cmp(CmpOp::Ge, Term::field(0), Term::int(lo))
-            .and(Formula::cmp(CmpOp::Le, Term::field(0), Term::int(hi))),
+        Formula::cmp(CmpOp::Ge, Term::field(0), Term::int(lo)).and(Formula::cmp(
+            CmpOp::Le,
+            Term::field(0),
+            Term::int(hi),
+        )),
         vec![Some(s)],
     );
     b.build(s)
@@ -151,10 +159,7 @@ fn program_analysis_row() {
 fn css_analysis_row() {
     let ty = TreeType::new(
         "SHtml",
-        LabelSig::new(vec![
-            ("tag".into(), Sort::Str),
-            ("color".into(), Sort::Str),
-        ]),
+        LabelSig::new(vec![("tag".into(), Sort::Str), ("color".into(), Sort::Str)]),
         vec![("nil", 0), ("node", 2)],
     );
     let alg = Arc::new(LabelAlg::new(ty.sig().clone()));
@@ -165,7 +170,12 @@ fn css_analysis_row() {
     let rule = |value: &str| {
         let mut b = SttrBuilder::new(ty.clone(), alg.clone());
         let q = b.state("apply");
-        b.plain_rule(q, nil, Formula::True, Out::node(nil, LabelFn::identity(2), vec![]));
+        b.plain_rule(
+            q,
+            nil,
+            Formula::True,
+            Out::node(nil, LabelFn::identity(2), vec![]),
+        );
         let is_p = Formula::eq(Term::field(0), Term::str("p"));
         b.plain_rule(
             q,
@@ -181,7 +191,11 @@ fn css_analysis_row() {
             q,
             node,
             is_p.not(),
-            Out::node(node, LabelFn::identity(2), vec![Out::Call(q, 0), Out::Call(q, 1)]),
+            Out::node(
+                node,
+                LabelFn::identity(2),
+                vec![Out::Call(q, 0), Out::Call(q, 1)],
+            ),
         );
         b.build(q)
     };

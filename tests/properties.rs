@@ -34,8 +34,7 @@ fn cmp_op() -> impl Strategy<Value = CmpOp> {
 }
 
 fn formula() -> impl Strategy<Value = Formula> {
-    let atom = (cmp_op(), int_term(), int_term())
-        .prop_map(|(op, a, b)| Formula::cmp(op, a, b));
+    let atom = (cmp_op(), int_term(), int_term()).prop_map(|(op, a, b)| Formula::cmp(op, a, b));
     atom.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),

@@ -1,9 +1,17 @@
-//! JSON round-trips for the serializable data structures (feature
-//! `serde`, enabled for these tests through the facade crate's
-//! dev-dependencies).
+//! JSON round-trips for the serializable data structures, through the
+//! workspace's dependency-free `fast-json` crate.
 
 use fast::prelude::*;
 use fast::trees::TreeType as TT;
+use fast_json::{FromJson, Json, ToJson};
+
+fn round_trip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(x: &T) -> T {
+    let text = x.to_json().to_string();
+    let v = Json::parse(&text).unwrap_or_else(|e| panic!("reparse {text}: {e}"));
+    let back = T::from_json(&v).unwrap_or_else(|e| panic!("decode {text}: {e}"));
+    assert_eq!(&back, x, "round-trip through {text}");
+    back
+}
 
 #[test]
 fn values_and_labels() {
@@ -13,33 +21,31 @@ fn values_and_labels() {
         Value::Str("scr\"ipt".into()),
         Value::Char('λ'),
     ] {
-        let json = serde_json::to_string(&v).unwrap();
-        assert_eq!(serde_json::from_str::<Value>(&json).unwrap(), v);
+        round_trip(&v);
     }
-    let l = Label::new(vec![Value::Int(1), Value::Str("x".into())]);
-    let json = serde_json::to_string(&l).unwrap();
-    assert_eq!(serde_json::from_str::<Label>(&json).unwrap(), l);
+    round_trip(&Label::new(vec![Value::Int(1), Value::Str("x".into())]));
 }
 
 #[test]
 fn terms_and_formulas() {
-    let t = Term::field(0).add(Term::int(5)).modulo(26).mul(Term::field(1));
-    let json = serde_json::to_string(&t).unwrap();
-    assert_eq!(serde_json::from_str::<Term>(&json).unwrap(), t);
+    let t = Term::field(0)
+        .add(Term::int(5))
+        .modulo(26)
+        .mul(Term::field(1));
+    round_trip(&t);
 
     let f = Formula::eq(Term::field(0).modulo(2), Term::int(1))
         .and(Formula::ne(Term::field(1), Term::str("script")))
         .or(Formula::cmp(CmpOp::Lt, Term::field(0), Term::int(-3)).not());
-    let json = serde_json::to_string(&f).unwrap();
-    let back: Formula = serde_json::from_str(&json).unwrap();
-    assert_eq!(back, f);
+    let back = round_trip(&f);
     // Semantics preserved, not just syntax.
     let l = Label::new(vec![Value::Int(3), Value::Str("div".into())]);
     assert_eq!(back.eval(&l), f.eval(&l));
 
-    let lf = LabelFn::new(vec![Term::field(0).add(Term::int(1)), Term::str("k")]);
-    let json = serde_json::to_string(&lf).unwrap();
-    assert_eq!(serde_json::from_str::<LabelFn>(&json).unwrap(), lf);
+    round_trip(&LabelFn::new(vec![
+        Term::field(0).add(Term::int(1)),
+        Term::str("k"),
+    ]));
 }
 
 #[test]
@@ -49,17 +55,15 @@ fn tree_types_validate_on_deserialize() {
         LabelSig::single("i", Sort::Int),
         vec![("L", 0), ("N", 2)],
     );
-    let json = serde_json::to_string(ty.as_ref()).unwrap();
-    let back: TT = serde_json::from_str(&json).unwrap();
-    assert_eq!(&back, ty.as_ref());
+    round_trip(ty.as_ref());
     // Violated invariants are rejected.
-    let no_nullary = r#"{"name":"B","sig":{"fields":[]},"ctors":[["n",2]]}"#;
-    assert!(serde_json::from_str::<TT>(no_nullary)
+    let no_nullary = Json::parse(r#"{"name":"B","sig":[],"ctors":[["n",2]]}"#).unwrap();
+    assert!(TT::from_json(&no_nullary)
         .unwrap_err()
         .to_string()
         .contains("nullary"));
-    let dup = r#"{"name":"B","sig":{"fields":[]},"ctors":[["n",0],["n",1]]}"#;
-    assert!(serde_json::from_str::<TT>(dup)
+    let dup = Json::parse(r#"{"name":"B","sig":[],"ctors":[["n",0],["n",1]]}"#).unwrap();
+    assert!(TT::from_json(&dup)
         .unwrap_err()
         .to_string()
         .contains("duplicate"));
@@ -73,9 +77,7 @@ fn trees_round_trip() {
         vec![("L", 0), ("N", 2)],
     );
     let t = Tree::parse(&ty, "N[1](N[2](L[3], L[4]), L[-5])").unwrap();
-    let json = serde_json::to_string(&t).unwrap();
-    let back: Tree = serde_json::from_str(&json).unwrap();
-    assert_eq!(back, t);
+    let back = round_trip(&t);
     assert!(back.conforms_to(&ty));
 }
 
@@ -106,8 +108,7 @@ fn persisted_counterexample_is_usable() {
         .clone()
         .expect("buggy remScript has a counterexample");
     let cx = Tree::parse(&ty, &cx_text).unwrap();
-    let json = serde_json::to_string(&cx).unwrap();
-    let reloaded: Tree = serde_json::from_str(&json).unwrap();
+    let reloaded = round_trip(&cx);
     let bad = compiled.lang("badOutput").unwrap();
     let outputs = compiled.apply("remScript", &reloaded).unwrap();
     assert!(outputs.iter().any(|o| bad.accepts(o)));

@@ -1,0 +1,698 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors the slice of `proptest` its test suites use:
+//!
+//! * [`Strategy`] with `prop_map`, `prop_flat_map`, `prop_filter`,
+//!   `prop_recursive`, `boxed`;
+//! * [`Just`], ranges, tuples (arity ≤ 4), `&str` mini-regexes of the
+//!   form `[class]{m,n}`, [`collection::vec`], [`any`];
+//! * the [`proptest!`] macro plus `prop_assert!`, `prop_assert_eq!`,
+//!   `prop_assume!`, `prop_oneof!`, and [`ProptestConfig`].
+//!
+//! Differences from upstream: generation is deterministic per test (the
+//! RNG is seeded from the test function's name), there is no shrinking,
+//! and failure persistence files (`*.proptest-regressions`) are ignored.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Deterministic generation context handed to strategies.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Gen {
+        Gen {
+            state: seed ^ 0xA076_1D64_78BD_642F,
+        }
+    }
+
+    /// Next 64 random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform `i128` in `[lo, hi)`.
+    pub fn in_range(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "empty range");
+        let span = (hi - lo) as u128;
+        lo + ((self.next_u64() as u128) % span) as i128
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, g: &mut Gen) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects generated values failing `pred` (regenerates, bounded).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            reason,
+        }
+    }
+
+    /// Builds recursive values: `recurse` receives the strategy for the
+    /// previous depth and returns the strategy for compound cases; `self`
+    /// generates the base cases. `_desired_size` and `_branch` are
+    /// accepted for upstream signature compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let base = self.boxed();
+        let mut cur = base.clone();
+        for _ in 0..depth {
+            let rec = recurse(cur).boxed();
+            let b = base.clone();
+            // Bias toward compound cases so structures stay interesting;
+            // the innermost level is always the base, so this terminates.
+            cur = Pick {
+                choices: vec![(1, b), (3, rec)],
+            }
+            .boxed();
+        }
+        cur
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Object-safe strategy view used by [`BoxedStrategy`].
+trait DynStrategy<V> {
+    fn dyn_generate(&self, g: &mut Gen) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, g: &mut Gen) -> S::Value {
+        self.generate(g)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Arc<dyn DynStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, g: &mut Gen) -> V {
+        self.0.dyn_generate(g)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _g: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Clone, F: Clone> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: self.f.clone(),
+        }
+    }
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, g: &mut Gen) -> U {
+        (self.f)(self.inner.generate(g))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Clone, F: Clone> Clone for FlatMap<S, F> {
+    fn clone(&self) -> Self {
+        FlatMap {
+            inner: self.inner.clone(),
+            f: self.f.clone(),
+        }
+    }
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, g: &mut Gen) -> S2::Value {
+        (self.f)(self.inner.generate(g)).generate(g)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    reason: &'static str,
+}
+
+impl<S: Clone, F: Clone> Clone for Filter<S, F> {
+    fn clone(&self) -> Self {
+        Filter {
+            inner: self.inner.clone(),
+            pred: self.pred.clone(),
+            reason: self.reason,
+        }
+    }
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, g: &mut Gen) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(g);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter gave up after 1000 rejections: {}", self.reason);
+    }
+}
+
+/// Weighted union of boxed strategies (backs [`prop_oneof!`]).
+pub struct Pick<V> {
+    /// `(weight, strategy)` choices.
+    pub choices: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V> Clone for Pick<V> {
+    fn clone(&self) -> Self {
+        Pick {
+            choices: self.choices.clone(),
+        }
+    }
+}
+
+impl<V> Strategy for Pick<V> {
+    type Value = V;
+    fn generate(&self, g: &mut Gen) -> V {
+        let total: u32 = self.choices.iter().map(|(w, _)| *w).sum();
+        let mut pick = g.below(total as usize) as u32;
+        for (w, s) in &self.choices {
+            if pick < *w {
+                return s.generate(g);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum correctly")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut Gen) -> $t {
+                g.in_range(self.start as i128, self.end as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut Gen) -> $t {
+                g.in_range(*self.start() as i128, *self.end() as i128 + 1) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, g: &mut Gen) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(g),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// `&str` strategies: a mini-regex `[class]{m,n}` (or a sequence of
+/// classes/literals, each optionally repeated) generating `String`s.
+/// Classes support ranges (`a-z`), escapes (`\\`, `\"`), and literal
+/// characters; this covers every pattern the workspace's tests use.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, g: &mut Gen) -> String {
+        let elems = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in elems {
+            let n = if lo == hi {
+                lo
+            } else {
+                g.in_range(lo as i128, hi as i128 + 1) as usize
+            };
+            for _ in 0..n {
+                out.push(chars[g.below(chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Parses the supported mini-regex into `(alternatives, min, max)` runs.
+fn parse_pattern(pat: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let mut out = Vec::new();
+    let mut it = pat.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars: Vec<char> = if c == '[' {
+            let mut set = Vec::new();
+            let mut prev: Option<char> = None;
+            loop {
+                let c = it.next().expect("unterminated char class");
+                match c {
+                    ']' => break,
+                    '\\' => {
+                        let esc = it.next().expect("dangling escape");
+                        set.push(esc);
+                        prev = Some(esc);
+                    }
+                    '-' if prev.is_some() && it.peek() != Some(&']') => {
+                        let hi = it.next().unwrap();
+                        let lo = set.pop().unwrap();
+                        for ch in lo as u32..=hi as u32 {
+                            set.push(char::from_u32(ch).unwrap());
+                        }
+                        prev = None;
+                    }
+                    other => {
+                        set.push(other);
+                        prev = Some(other);
+                    }
+                }
+            }
+            set
+        } else if c == '\\' {
+            vec![it.next().expect("dangling escape")]
+        } else {
+            vec![c]
+        };
+        let (lo, hi) = if it.peek() == Some(&'{') {
+            it.next();
+            let mut lo = String::new();
+            let mut hi = String::new();
+            let mut in_hi = false;
+            loop {
+                match it.next().expect("unterminated repetition") {
+                    '}' => break,
+                    ',' => in_hi = true,
+                    d => {
+                        if in_hi {
+                            hi.push(d)
+                        } else {
+                            lo.push(d)
+                        }
+                    }
+                }
+            }
+            let lo: usize = lo.parse().expect("repetition bound");
+            let hi: usize = if in_hi {
+                hi.parse().expect("bound")
+            } else {
+                lo
+            };
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        out.push((chars, lo, hi));
+    }
+    out
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + 'static {
+    /// The canonical strategy.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+/// Strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+struct FnStrategy<V, F: Fn(&mut Gen) -> V>(F);
+impl<V, F: Fn(&mut Gen) -> V> Strategy for FnStrategy<V, F> {
+    type Value = V;
+    fn generate(&self, g: &mut Gen) -> V {
+        (self.0)(g)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        FnStrategy(|g: &mut Gen| g.next_u64() & 1 == 1).boxed()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                FnStrategy(|g: &mut Gen| g.next_u64() as $t).boxed()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Gen, Strategy};
+
+    /// Length specification for [`vec`]: a fixed length or a half-open
+    /// range of lengths.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy {
+                element: self.element.clone(),
+                size: self.size,
+            }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, g: &mut Gen) -> Vec<S::Value> {
+            let n = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                g.in_range(self.size.lo as i128, self.size.hi as i128) as usize
+            };
+            (0..n).map(|_| self.element.generate(g)).collect()
+        }
+    }
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// FNV-1a, used to derive per-test deterministic seeds from test names.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Everything tests conventionally glob-import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Uniform (or weighted, via `w => strat`) choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Pick { choices: vec![$(($weight, $crate::Strategy::boxed($strat))),+] }
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Pick { choices: vec![$((1u32, $crate::Strategy::boxed($strat))),+] }
+    };
+}
+
+/// Asserts inside a property (upstream: fails the case; here: panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@inner ($cfg); $($rest)*);
+    };
+    (@inner ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut gen = $crate::Gen::new($crate::seed_from_name(stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut gen);)*
+                    // One closure per case so `prop_assume!` can skip via
+                    // early return. (`mut` is only needed when the body
+                    // mutates a capture, hence the allow.)
+                    #[allow(unused_mut)]
+                    let mut case = move || $body;
+                    case();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@inner ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps() {
+        let s = (0i64..10).prop_map(|x| x * 2);
+        let mut g = crate::Gen::new(1);
+        for _ in 0..100 {
+            let v = s.generate(&mut g);
+            assert!(v % 2 == 0 && (0..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn mini_regex() {
+        let mut g = crate::Gen::new(2);
+        for _ in 0..100 {
+            let s = "[a-c]{0,3}".generate(&mut g);
+            assert!(s.len() <= 3 && s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = r#"[a-z"\\]{0,5}"#.generate(&mut g);
+            assert!(t.len() <= 5);
+            let u = "[ -~]{0,8}".generate(&mut g);
+            assert!(u.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf(i64),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 1,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        fn leaves_in_range(t: &T) -> bool {
+            match t {
+                T::Leaf(n) => (0..5).contains(n),
+                T::Node(a, b) => leaves_in_range(a) && leaves_in_range(b),
+            }
+        }
+        let leaf = (0i64..5).prop_map(T::Leaf);
+        let s = leaf.prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut g = crate::Gen::new(3);
+        for _ in 0..200 {
+            let t = s.generate(&mut g);
+            assert!(depth(&t) <= 4);
+            assert!(leaves_in_range(&t));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_works(a in 0i64..5, b in prop_oneof![Just(1i64), Just(2i64)]) {
+            prop_assume!(a != 4);
+            prop_assert!(a < 4);
+            prop_assert_eq!(b * 2, b + b);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn collections(v in collection::vec(0u8..4, 0..6), b in any::<bool>()) {
+            prop_assert!(v.len() < 6);
+            prop_assert!(u8::from(b) <= 1);
+        }
+    }
+}
