@@ -1,0 +1,219 @@
+//! `fastc` — compile, run, and statically check Fast programs.
+//!
+//! Two modes:
+//!
+//! - **run** (default): `fastc <file.fast> [--quiet|-q] [--stats|-s]`
+//!   compiles the program, evaluates every definition and assertion,
+//!   prints the assertion report (and with `--stats` the sizes of every
+//!   compiled language and transformation plus the `fast-obs` telemetry
+//!   snapshot as JSON). Exits 1 if compilation fails or any assertion
+//!   fails.
+//! - **check**: `fastc check <file.fast> [--json] [--deny-warnings]
+//!   [--stats|-s]` runs the `fast-analysis` semantic checks (dead rules,
+//!   guard overlap, exhaustiveness, reachability, vacuous lookahead,
+//!   contract typechecking) and renders every diagnostic with a source
+//!   excerpt; `--json` emits the machine-readable form on stdout instead.
+//!
+//! Exit codes: 0 clean; 1 run-mode failure, or check-mode warnings under
+//! `--deny-warnings`; 2 usage/IO errors, or check-mode error diagnostics
+//! (including compile errors).
+
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fastc <file.fast> [--quiet|-q] [--stats|-s]
+       fastc check <file.fast> [--json] [--deny-warnings] [--stats|-s]
+       fastc --help
+
+modes:
+  (default)        compile, evaluate definitions, and run assertions
+  check            run semantic analysis (FA001-FA100) without failing
+                   on assertions; see --json for machine-readable output
+
+exit codes:
+  0  clean (run: all assertions passed; check: no errors, and no
+     warnings when --deny-warnings is set)
+  1  run: compile error or failed assertion; check: warnings present
+     under --deny-warnings
+  2  usage or I/O error; check: error diagnostics (e.g. FA100 contract
+     violations or compile errors)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("check") {
+        return check_mode(&args[1..]);
+    }
+    run_mode(&args)
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("fastc: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn read_source(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("fastc: cannot read '{path}': {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn run_mode(args: &[String]) -> ExitCode {
+    let mut quiet = false;
+    let mut stats = false;
+    let mut path: Option<String> = None;
+    for a in args {
+        match a.as_str() {
+            "--quiet" | "-q" => quiet = true,
+            "--stats" | "-s" => stats = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => return usage_error(&format!("unexpected argument '{other}'")),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let src = match read_source(&path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let compiled = match fast_lang::compile(&src) {
+        Ok(c) => c,
+        Err(d) => {
+            eprintln!("{path}:{d}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if stats {
+        for name in compiled.lang_names() {
+            let sta = compiled.lang(name).unwrap();
+            println!(
+                "lang  {name}: {} states, {} rules",
+                sta.state_count(),
+                sta.rule_count()
+            );
+        }
+        for name in compiled.transducer_names() {
+            let t = compiled.transducer(name).unwrap();
+            println!(
+                "trans {name}: {} states, {} rules, {} lookahead states",
+                t.state_count(),
+                t.rule_count(),
+                t.lookahead_sta().state_count()
+            );
+        }
+        for name in compiled.tree_names() {
+            let t = compiled.tree(name).unwrap();
+            println!("tree  {name}: {} nodes", t.size());
+        }
+    }
+    let report = compiled.report();
+    let mut failed = 0usize;
+    for a in &report.assertions {
+        let status = if a.passed() { "PASS" } else { "FAIL" };
+        if !quiet || !a.passed() {
+            println!(
+                "{status} {path}:{} assert-{} {}",
+                a.span.start,
+                if a.expected { "true" } else { "false" },
+                a.description
+            );
+            if let Some(cx) = &a.counterexample {
+                println!("     counterexample: {cx}");
+            }
+        }
+        if !a.passed() {
+            failed += 1;
+        }
+    }
+    if !quiet {
+        println!(
+            "{} assertion(s), {} failed",
+            report.assertions.len(),
+            failed
+        );
+    }
+    if stats {
+        // Solver/automata/compose telemetry accumulated over the whole
+        // run, as one JSON object (see ARCHITECTURE.md for the counters).
+        println!("{}", fast_obs::snapshot().to_json().pretty());
+    }
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn check_mode(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut stats = false;
+    let mut path: Option<String> = None;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--stats" | "-s" => stats = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => return usage_error(&format!("unexpected argument '{other}'")),
+        }
+    }
+    let Some(path) = path else {
+        return usage_error("check mode needs a <file.fast> argument");
+    };
+    let src = match read_source(&path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+
+    // Collecting compile: every compile error is reported, not just the
+    // first; analysis runs only when compilation succeeded.
+    let mut sink = fast_lang::DiagSink::new();
+    let mut diags = Vec::new();
+    match fast_lang::parse(&src) {
+        Err(d) => sink.push(d),
+        Ok(program) => {
+            if let Some(compiled) = fast_lang::compile_ast(&program, &mut sink) {
+                diags = fast_obs::time("analysis.total", || {
+                    fast_analysis::analyze(&program, &compiled)
+                });
+            }
+        }
+    }
+    let mut all = sink.into_vec();
+    all.extend(diags);
+    let errors = all.iter().filter(|d| d.is_error()).count();
+    let warnings = all.len() - errors;
+
+    if json {
+        println!(
+            "{}",
+            fast_analysis::diagnostics_to_json(&path, &all).pretty()
+        );
+    } else {
+        for d in &all {
+            eprint!("{path}:{}", fast_lang::render_diagnostic(&src, d));
+        }
+        eprintln!("fastc check: {path}: {errors} error(s), {warnings} warning(s)");
+    }
+    if stats {
+        println!("{}", fast_obs::snapshot().to_json().pretty());
+    }
+    if errors > 0 {
+        ExitCode::from(2)
+    } else if deny_warnings && warnings > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,99 @@
+//! Property test: the solver-backed FA003 exhaustiveness verdict from
+//! [`fast_analysis::guards_exhaustive`] agrees with brute-force guard
+//! evaluation over a small integer grid.
+//!
+//! The analyzer decides exhaustiveness over *all* labels, so the two
+//! directions are asymmetric:
+//!
+//! * analyzer says exhaustive  ⇒ every grid label satisfies some guard;
+//! * analyzer returns a witness ⇒ the witness evades every guard;
+//! * some grid label is uncovered ⇒ the analyzer must say non-exhaustive.
+
+use fast_analysis::guards_exhaustive;
+use fast_smt::{CmpOp, Formula, Label, LabelAlg, LabelSig, Sort, Term};
+use proptest::prelude::*;
+
+const GRID: std::ops::Range<i64> = -8..9;
+
+fn int_alg() -> LabelAlg {
+    LabelAlg::new(LabelSig::single("i", Sort::Int))
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// Shallow guard formulas over the single Int field, with constants
+/// inside the grid so coverage boundaries land on tested labels.
+fn guard() -> impl Strategy<Value = Formula> {
+    let atom =
+        (cmp_op(), -8i64..9).prop_map(|(op, k)| Formula::cmp(op, Term::field(0), Term::int(k)));
+    atom.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Formula::not),
+        ]
+    })
+}
+
+fn covered(guards: &[Formula], label: &Label) -> bool {
+    guards.iter().any(|g| g.eval(label))
+}
+
+proptest! {
+    #[test]
+    fn analyzer_agrees_with_brute_force(guards in proptest::collection::vec(guard(), 1..5)) {
+        let alg = int_alg();
+        let (exhaustive, witness) = guards_exhaustive(&alg, &guards);
+        let uncovered: Vec<i64> = GRID
+            .filter(|&i| !covered(&guards, &Label::single(i)))
+            .collect();
+        if exhaustive {
+            prop_assert!(
+                uncovered.is_empty(),
+                "analyzer claims exhaustive but {uncovered:?} evade all of {guards:?}"
+            );
+            prop_assert!(witness.is_none());
+        } else {
+            let w = witness.expect("non-exhaustive verdict must carry a witness");
+            prop_assert!(
+                !covered(&guards, &w),
+                "witness {w:?} is covered by {guards:?}"
+            );
+        }
+        if !uncovered.is_empty() {
+            prop_assert!(
+                !exhaustive,
+                "label {} evades all of {guards:?} but analyzer claims exhaustive",
+                uncovered[0]
+            );
+        }
+    }
+
+    /// A guard set completed with the negation of its disjunction is
+    /// always exhaustive, whatever the original guards were.
+    #[test]
+    fn completed_guard_sets_are_exhaustive(guards in proptest::collection::vec(guard(), 1..4)) {
+        let alg = int_alg();
+        let rest = Formula::not(
+            guards
+                .iter()
+                .cloned()
+                .reduce(|a, b| a.or(b))
+                .expect("at least one guard"),
+        );
+        let mut completed = guards;
+        completed.push(rest);
+        let (exhaustive, witness) = guards_exhaustive(&alg, &completed);
+        prop_assert!(exhaustive, "completed set is not exhaustive: {completed:?}");
+        prop_assert!(witness.is_none());
+    }
+}

@@ -1,0 +1,247 @@
+//! End-to-end tests of the `fastc` binary against the sample programs in
+//! `programs/`: the classic run mode (compile + evaluate + assertions) and
+//! the `fastc check` analysis mode (FA001-FA100 diagnostics, JSON output,
+//! and the documented exit-code contract).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fastc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fastc"))
+}
+
+fn programs_dir() -> PathBuf {
+    // crates/analysis -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("programs")
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("fastc_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+// ---------------------------------------------------------------- run mode
+
+#[test]
+fn all_good_programs_pass() {
+    for entry in std::fs::read_dir(programs_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("fast") {
+            continue;
+        }
+        if path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("buggy")
+        {
+            continue;
+        }
+        let out = fastc().arg(&path).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{} failed:\n{}{}",
+            path.display(),
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("0 failed"), "{stdout}");
+    }
+}
+
+#[test]
+fn buggy_sanitizer_fails_with_counterexample() {
+    let path = programs_dir().join("sanitizer_buggy.fast");
+    let out = fastc().arg(&path).output().unwrap();
+    assert!(!out.status.success(), "the buggy program must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    assert!(stdout.contains("counterexample"), "{stdout}");
+    assert!(stdout.contains("script"), "{stdout}");
+}
+
+#[test]
+fn quiet_mode_only_prints_failures() {
+    let ok = programs_dir().join("example2.fast");
+    let out = fastc().arg(&ok).arg("--quiet").output().unwrap();
+    assert!(out.status.success());
+    assert!(
+        out.stdout.is_empty(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn stats_flag_reports_sizes() {
+    let path = programs_dir().join("deforestation.fast");
+    let out = fastc().arg(&path).arg("--stats").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trans map_caesar:"), "{stdout}");
+    assert!(stdout.contains("lang  not_emp_list:"), "{stdout}");
+    assert!(stdout.contains("tree  input:"), "{stdout}");
+}
+
+#[test]
+fn missing_file_and_bad_args() {
+    let out = fastc().arg("/nonexistent/x.fast").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = fastc().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = fastc().arg("--help").output().unwrap();
+    assert!(out.status.success());
+}
+
+#[test]
+fn syntax_error_reports_position() {
+    let path = write_temp("broken.fast", "type T { }");
+    let out = fastc().arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error at 1:"), "{stderr}");
+}
+
+// -------------------------------------------------------------- check mode
+
+/// `fastc check --deny-warnings` over every shipped program: the
+/// "buggy"-named fixtures must be flagged, everything else must be clean.
+#[test]
+fn check_all_shipped_programs() {
+    for entry in std::fs::read_dir(programs_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("fast") {
+            continue;
+        }
+        let buggy = path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("buggy");
+        let out = fastc()
+            .arg("check")
+            .arg(&path)
+            .arg("--deny-warnings")
+            .output()
+            .unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        if buggy {
+            assert!(
+                !out.status.success(),
+                "{} should be flagged by `fastc check`:\n{stderr}",
+                path.display()
+            );
+        } else {
+            assert!(
+                out.status.success(),
+                "{} should be clean under `fastc check --deny-warnings`:\n{stderr}",
+                path.display()
+            );
+            assert!(stderr.contains("0 error(s), 0 warning(s)"), "{stderr}");
+        }
+    }
+}
+
+#[test]
+fn check_buggy_sanitizer_reports_fa100_with_counterexample() {
+    let path = programs_dir().join("sanitizer_buggy.fast");
+    let out = fastc().arg("check").arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "FA100 is an error diagnostic");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("FA100"), "{stderr}");
+    assert!(stderr.contains("counterexample input:"), "{stderr}");
+    assert!(stderr.contains("script"), "{stderr}");
+}
+
+#[test]
+fn check_json_output_is_machine_readable() {
+    let path = programs_dir().join("sanitizer_buggy.fast");
+    let out = fastc()
+        .arg("check")
+        .arg(&path)
+        .arg("--json")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json = fast_json::Json::parse(&stdout).expect("valid JSON on stdout");
+    assert!(
+        json.get("errors")
+            .and_then(fast_json::Json::as_int)
+            .unwrap()
+            >= 1
+    );
+    let diags = json
+        .get("diagnostics")
+        .and_then(fast_json::Json::as_array)
+        .unwrap();
+    let fa100 = diags
+        .iter()
+        .find(|d| d.get("code").and_then(fast_json::Json::as_str) == Some("FA100"))
+        .expect("an FA100 diagnostic in the JSON output");
+    assert_eq!(
+        fa100.get("severity").and_then(fast_json::Json::as_str),
+        Some("error")
+    );
+    assert!(fa100.get("line").and_then(fast_json::Json::as_int).unwrap() >= 1);
+    assert!(fa100.get("col").and_then(fast_json::Json::as_int).unwrap() >= 1);
+}
+
+#[test]
+fn check_deny_warnings_controls_exit_code() {
+    // A program whose only defect is a warning: two overlapping guards on
+    // the same (state, constructor) pair (FA002).
+    let src = "type T[x: Int] { a(2), n(0) }\n\
+               trans overlap: T -> T {\n\
+                 a(l, r) where (x > 0) to (n [1])\n\
+               | a(l, r) where (x > 5) to (n [2])\n\
+               }\n";
+    let path = write_temp("warn_only.fast", src);
+    let out = fastc().arg("check").arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "warnings alone exit 0");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("FA002"), "{stderr}");
+
+    let out = fastc()
+        .arg("check")
+        .arg(&path)
+        .arg("--deny-warnings")
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "--deny-warnings promotes warnings to a failing exit"
+    );
+}
+
+#[test]
+fn check_syntax_error_exits_2() {
+    let path = write_temp("broken_check.fast", "type T { }");
+    let out = fastc().arg("check").arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error at 1:"), "{stderr}");
+}
+
+#[test]
+fn check_missing_file_and_bad_args() {
+    let out = fastc()
+        .arg("check")
+        .arg("/nonexistent/x.fast")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = fastc().arg("check").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = fastc().arg("check").arg("--help").output().unwrap();
+    assert!(out.status.success());
+}

@@ -56,3 +56,48 @@ fn interning_reduces_sat_query_work_on_deforestation() {
         "repeated formulas were interned once"
     );
 }
+
+/// The `fast-analysis` pass reports its own work through the same global
+/// telemetry: rule counts, solver calls, emitted diagnostics, and
+/// per-check timers all move when a defective program is analyzed.
+#[test]
+fn analysis_counters_move_when_the_checker_runs() {
+    let before = fast_obs::snapshot();
+    let src = r#"
+        type T[i: Int] { z(0), s(1) }
+        lang all: T { z() | s(x) given (all x) }
+        trans f: T -> T {
+          z() where (i < 0 and i > 0) to (z [i])
+        | s(x) where (i > 0) to (s [i] (f x))
+        | s(x) where (i > 5) to (s [i + 1] (f x))
+        }
+        def g: all -> all := f
+    "#;
+    let program = fast_lang::parse(src).expect("valid syntax");
+    let mut sink = fast_lang::DiagSink::new();
+    let compiled = fast_lang::compile_ast(&program, &mut sink).expect("compiles");
+    let diags = fast_analysis::analyze(&program, &compiled);
+    assert!(!diags.is_empty(), "the program has deliberate defects");
+
+    let d = fast_obs::snapshot().delta_from(&before);
+    assert!(d.get("analysis.rules_checked") > 0, "rules were visited");
+    assert!(
+        d.get("analysis.solver_calls") > 0,
+        "the solver was consulted"
+    );
+    assert!(
+        d.get("analysis.diags_emitted") as usize >= diags.len(),
+        "every emitted diagnostic is counted"
+    );
+    for timer in [
+        "analysis.check.fa001",
+        "analysis.check.fa002",
+        "analysis.check.fa003",
+        "analysis.check.fa100",
+    ] {
+        assert!(
+            d.timers.keys().any(|k| k == timer),
+            "per-check timer {timer} missing from the snapshot"
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Algebraic laws of the transducer operations, checked behaviorally on
 //! enumerated inputs and structurally where exact procedures exist.
 
-use fast_automata::{equivalent, StaBuilder};
+use fast_automata::{equivalent, Sta, StaBuilder, StateId};
 use fast_core::{
     compose, identity, identity_restricted, preimage, restrict, restrict_out, Out, Sttr,
     SttrBuilder,
@@ -314,6 +314,160 @@ fn display_formats() {
     assert!(text.contains("STTR over BT"), "{text}");
     assert!(text.contains("given"), "{text}");
     assert!(text.contains("lookahead states"), "{text}");
+}
+
+/// Lookahead automaton over BT with two disjoint per-state languages:
+/// `pos` (every leaf label > 0) and `neg` (every leaf label ≤ 0). Any
+/// tree has at least one leaf, so L(pos) ∩ L(neg) = ∅.
+fn pos_neg_lookahead() -> (Sta, StateId, StateId) {
+    let (ty, alg) = bt();
+    let l = ty.ctor_id("L").unwrap();
+    let n = ty.ctor_id("N").unwrap();
+    let mut sb = StaBuilder::new(ty, alg);
+    let pos = sb.state("pos");
+    let neg = sb.state("neg");
+    sb.leaf_rule(
+        pos,
+        l,
+        Formula::cmp(CmpOp::Gt, Term::field(0), Term::int(0)),
+    );
+    sb.simple_rule(pos, n, Formula::True, vec![Some(pos), Some(pos)]);
+    sb.leaf_rule(
+        neg,
+        l,
+        Formula::cmp(CmpOp::Le, Term::field(0), Term::int(0)),
+    );
+    sb.simple_rule(neg, n, Formula::True, vec![Some(neg), Some(neg)]);
+    (sb.build(pos), pos, neg)
+}
+
+/// Two rules on the same (state, constructor) with jointly satisfiable
+/// guards and different outputs, built with an optional lookahead set
+/// per rule on child 0.
+fn guard_overlap_sttr(la_a: Option<StateId>, la_b: Option<StateId>) -> Sttr {
+    let (ty, alg) = bt();
+    let l = ty.ctor_id("L").unwrap();
+    let n = ty.ctor_id("N").unwrap();
+    let (la, _, _) = pos_neg_lookahead();
+    let mut b = SttrBuilder::new(ty, alg).with_lookahead(la);
+    let q = b.state("q");
+    let set = |s: Option<StateId>| s.into_iter().collect::<std::collections::BTreeSet<_>>();
+    b.rule(
+        q,
+        n,
+        Formula::cmp(CmpOp::Gt, Term::field(0), Term::int(0)),
+        vec![set(la_a), Default::default()],
+        Out::node(l, LabelFn::new(vec![Term::int(1)]), vec![]),
+    );
+    b.rule(
+        q,
+        n,
+        Formula::cmp(CmpOp::Gt, Term::field(0), Term::int(5)),
+        vec![set(la_b), Default::default()],
+        Out::node(l, LabelFn::new(vec![Term::int(2)]), vec![]),
+    );
+    b.build(q)
+}
+
+/// Definition 9: overlapping guards on the same (state, constructor) with
+/// different outputs break determinism when nothing disambiguates them.
+#[test]
+fn overlapping_guards_break_determinism() {
+    let sttr = guard_overlap_sttr(None, None);
+    assert!(!sttr.is_deterministic().unwrap());
+    // But overlap does not affect linearity: each rule uses no child twice.
+    assert!(sttr.is_linear());
+    // Behaviorally: both rules fire where the guards overlap (x > 5).
+    let (ty, _) = bt();
+    let t = Tree::parse(&ty, "N[7](L[1], L[1])").unwrap();
+    assert_eq!(sttr.run(&t).unwrap().len(), 2);
+}
+
+/// Disjoint lookahead languages on a shared child restore determinism
+/// even though the guards overlap: the joint lookahead L(pos) ∩ L(neg)
+/// is empty, so the two rules can never fire on the same input.
+#[test]
+fn disjoint_lookahead_restores_determinism() {
+    let (_, pos, neg) = pos_neg_lookahead();
+    let sttr = guard_overlap_sttr(Some(pos), Some(neg));
+    assert!(sttr.is_deterministic().unwrap());
+    assert!(sttr.is_linear());
+    let (ty, _) = bt();
+    for src in ["N[7](L[1], L[1])", "N[7](L[-1], L[1])", "N[1](L[0], L[0])"] {
+        let t = Tree::parse(&ty, src).unwrap();
+        assert!(
+            sttr.run(&t).unwrap().len() <= 1,
+            "nondeterministic on {src}"
+        );
+    }
+}
+
+/// Identical lookahead on both rules does NOT disambiguate: the joint
+/// language is just L(pos), which is non-empty.
+#[test]
+fn shared_lookahead_does_not_disambiguate() {
+    let (_, pos, _) = pos_neg_lookahead();
+    let sttr = guard_overlap_sttr(Some(pos), Some(pos));
+    assert!(!sttr.is_deterministic().unwrap());
+}
+
+/// Rules with identical outputs never count as a determinism conflict,
+/// whatever their guards (they produce the same result anyway).
+#[test]
+fn identical_outputs_preserve_determinism() {
+    let (ty, alg) = bt();
+    let l = ty.ctor_id("L").unwrap();
+    let n = ty.ctor_id("N").unwrap();
+    let mut b = SttrBuilder::new(ty, alg);
+    let q = b.state("q");
+    let out = || Out::node(l, LabelFn::new(vec![Term::int(0)]), vec![]);
+    b.plain_rule(
+        q,
+        n,
+        Formula::cmp(CmpOp::Gt, Term::field(0), Term::int(0)),
+        out(),
+    );
+    b.plain_rule(
+        q,
+        n,
+        Formula::cmp(CmpOp::Gt, Term::field(0), Term::int(5)),
+        out(),
+    );
+    let sttr = b.build(q);
+    assert!(sttr.is_deterministic().unwrap());
+}
+
+/// Copying a subtree variable into two output positions breaks linearity
+/// (Definition 5), independently of guards and lookahead.
+#[test]
+fn copying_output_is_nonlinear() {
+    let (ty, alg) = bt();
+    let l = ty.ctor_id("L").unwrap();
+    let n = ty.ctor_id("N").unwrap();
+    let (la, pos, _) = pos_neg_lookahead();
+    let mut b = SttrBuilder::new(ty, alg).with_lookahead(la);
+    let q = b.state("copy");
+    b.rule(
+        q,
+        n,
+        Formula::True,
+        vec![[pos].into_iter().collect(), Default::default()],
+        Out::node(
+            n,
+            LabelFn::identity(1),
+            vec![Out::Call(q, 0), Out::Call(q, 0)],
+        ),
+    );
+    b.plain_rule(
+        q,
+        l,
+        Formula::True,
+        Out::node(l, LabelFn::identity(1), vec![]),
+    );
+    let sttr = b.build(q);
+    assert!(!sttr.is_linear());
+    // Copying alone does not break determinism: one rule per constructor.
+    assert!(sttr.is_deterministic().unwrap());
 }
 
 /// Example 7 of the paper: composing through a rule that deletes a child

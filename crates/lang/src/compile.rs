@@ -13,7 +13,7 @@
 //!    `tree`s, and `assert`s.
 
 use crate::ast::*;
-use crate::diag::{Diagnostic, Span};
+use crate::diag::{DiagSink, Diagnostic, Span};
 use fast_automata::{
     complement, difference, equivalent, intersect, is_empty, minimize, union, witness, Sta,
     StaBuilder, StateId,
@@ -78,6 +78,27 @@ struct TransEntry {
     sttr: Sttr,
 }
 
+/// A declared input/output contract of a transformation.
+///
+/// `trans f : X -> Y` (and `def f : X -> Y := …`) accept either tree
+/// *type* names or previously declared *language* names for `X` and `Y`.
+/// A language name pins the transformation to a contract — every input in
+/// `L(X)` must map only to outputs in `L(Y)` — which the static analyzer
+/// (`fast-analysis`, check FA100) verifies by pre-image emptiness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Contract {
+    /// Name of the transformation the contract is attached to.
+    pub trans: String,
+    /// Underlying tree type (shared by input and output).
+    pub ty: String,
+    /// Input language name, when `X` named a language.
+    pub input: Option<String>,
+    /// Output language name, when `Y` named a language.
+    pub output: Option<String>,
+    /// Source location of the declaration.
+    pub span: Span,
+}
+
 /// A compiled Fast program: all named artifacts plus the assertion report.
 #[derive(Debug)]
 pub struct Compiled {
@@ -86,6 +107,7 @@ pub struct Compiled {
     langs: HashMap<String, LangEntry>,
     trans: HashMap<String, TransEntry>,
     trees: HashMap<String, (String, Tree)>,
+    contracts: Vec<Contract>,
     report: Report,
 }
 
@@ -118,6 +140,21 @@ impl Compiled {
     /// Looks up a named tree.
     pub fn tree(&self, name: &str) -> Option<&Tree> {
         self.trees.get(name).map(|(_, t)| t)
+    }
+
+    /// The tree type a transformation runs over.
+    pub fn transducer_type(&self, name: &str) -> Option<&str> {
+        self.trans.get(name).map(|e| e.ty.as_str())
+    }
+
+    /// The tree type a language is over.
+    pub fn lang_type(&self, name: &str) -> Option<&str> {
+        self.langs.get(name).map(|e| e.ty.as_str())
+    }
+
+    /// Declared input/output contracts, in source order.
+    pub fn contracts(&self) -> &[Contract] {
+        &self.contracts
     }
 
     /// Names of all defined languages (from `lang` and `def`), sorted.
@@ -164,15 +201,46 @@ impl Compiled {
 /// Failed assertions are *not* errors; they are recorded in the
 /// [`Report`].
 pub fn compile(src: &str) -> Result<Compiled, Diagnostic> {
-    let program = crate::parser::parse(src)?;
+    let mut sink = DiagSink::new();
+    let compiled = compile_collect(src, &mut sink);
+    match sink.first_error() {
+        Some(d) => Err(d),
+        None => Ok(compiled.expect("no errors implies a compiled program")),
+    }
+}
+
+/// Compiles and evaluates a Fast program, recording *every* diagnostic
+/// into `sink` instead of stopping at the first error. A declaration
+/// that fails to compile is skipped; later declarations still compile
+/// (possibly producing follow-on "unknown name" errors).
+///
+/// Returns `Some` iff no error-severity diagnostic was recorded.
+pub fn compile_collect(src: &str, sink: &mut DiagSink) -> Option<Compiled> {
+    let program = match crate::parser::parse(src) {
+        Ok(p) => p,
+        Err(d) => {
+            sink.push(d);
+            return None;
+        }
+    };
+    compile_ast(&program, sink)
+}
+
+/// Compiles an already-parsed program, collecting diagnostics (see
+/// [`compile_collect`]).
+pub fn compile_ast(program: &Program, sink: &mut DiagSink) -> Option<Compiled> {
     let mut c = Compiler::default();
-    c.run(&program)?;
-    Ok(Compiled {
+    c.run(program, sink);
+    if sink.has_errors() {
+        return None;
+    }
+    Some(Compiled {
         types: c.types,
         algs: c.algs,
         langs: c.langs,
         trans: c.trans,
         trees: c.trees,
+        contracts: c.contracts,
         report: c.report,
     })
 }
@@ -184,6 +252,7 @@ struct Compiler {
     langs: HashMap<String, LangEntry>,
     trans: HashMap<String, TransEntry>,
     trees: HashMap<String, (String, Tree)>,
+    contracts: Vec<Contract>,
     report: Report,
 }
 
@@ -192,11 +261,13 @@ fn err(span: Span, msg: impl Into<String>) -> Diagnostic {
 }
 
 impl Compiler {
-    fn run(&mut self, program: &Program) -> Result<(), Diagnostic> {
+    fn run(&mut self, program: &Program, sink: &mut DiagSink) {
         // Pass 1: types.
         for d in &program.decls {
             if let Decl::Type(t) = d {
-                self.type_decl(t)?;
+                if let Err(e) = self.type_decl(t) {
+                    sink.push(e);
+                }
             }
         }
         // Pass 2: lang blocks, grouped per tree type.
@@ -210,20 +281,26 @@ impl Compiler {
             }
         }
         for (ty, decls) in by_ty {
-            self.lang_group(&ty, &decls)?;
-        }
-        // Pass 3: the rest, in source order.
-        for d in &program.decls {
-            match d {
-                Decl::Type(_) | Decl::Lang(_) => {}
-                Decl::Trans(t) => self.trans_decl(t)?,
-                Decl::DefLang(d) => self.def_lang(d)?,
-                Decl::DefTrans(d) => self.def_trans(d)?,
-                Decl::Tree(t) => self.tree_decl(t)?,
-                Decl::Assert(a) => self.assert_decl(a)?,
+            if let Err(e) = self.lang_group(&ty, &decls) {
+                sink.push(e);
             }
         }
-        Ok(())
+        // Pass 3: the rest, in source order. A declaration that fails is
+        // skipped (its name stays undefined); later declarations still
+        // compile so every independent error is reported.
+        for d in &program.decls {
+            let r = match d {
+                Decl::Type(_) | Decl::Lang(_) => Ok(()),
+                Decl::Trans(t) => self.trans_decl(t),
+                Decl::DefLang(d) => self.def_lang(d),
+                Decl::DefTrans(d) => self.def_trans(d),
+                Decl::Tree(t) => self.tree_decl(t),
+                Decl::Assert(a) => self.assert_decl(a),
+            };
+            if let Err(e) = r {
+                sink.push(e);
+            }
+        }
     }
 
     fn type_decl(&mut self, t: &TypeDecl) -> Result<(), Diagnostic> {
@@ -359,20 +436,55 @@ impl Compiler {
         Ok((ctor, guard, lookahead))
     }
 
-    fn trans_decl(&mut self, t: &TransDecl) -> Result<(), Diagnostic> {
-        if t.ty_in != t.ty_out {
-            return Err(err(
-                t.span,
-                "input and output tree types must coincide (use a combined tree type, §3.3)",
-            ));
+    /// Resolves the `X` of `trans f : X -> Y` (or `def f : X -> Y`) to
+    /// its underlying tree type. Tree type names take precedence; a
+    /// previously declared language name pins the transformation to a
+    /// [`Contract`] over the language's tree type.
+    fn resolve_io(&self, name: &str, span: Span) -> Result<(String, Option<String>), Diagnostic> {
+        if self.types.contains_key(name) {
+            return Ok((name.to_string(), None));
         }
+        if let Some(entry) = self.langs.get(name) {
+            return Ok((entry.ty.clone(), Some(name.to_string())));
+        }
+        Err(err(span, format!("unknown tree type '{name}'")))
+    }
+
+    fn record_contract(
+        &mut self,
+        name: &str,
+        ty: &str,
+        lang_in: Option<String>,
+        lang_out: Option<String>,
+        span: Span,
+    ) {
+        if lang_in.is_some() || lang_out.is_some() {
+            self.contracts.push(Contract {
+                trans: name.to_string(),
+                ty: ty.to_string(),
+                input: lang_in,
+                output: lang_out,
+                span,
+            });
+        }
+    }
+
+    fn trans_decl(&mut self, t: &TransDecl) -> Result<(), Diagnostic> {
         if self.trans.contains_key(&t.name) {
             return Err(err(
                 t.span,
                 format!("transformation '{}' is already defined", t.name),
             ));
         }
-        let (ty, alg) = self.get_type(&t.ty_in, t.span)?;
+        let (ty_name, lang_in) = self.resolve_io(&t.ty_in, t.span)?;
+        let (ty_out_name, lang_out) = self.resolve_io(&t.ty_out, t.span)?;
+        if ty_name != ty_out_name {
+            return Err(err(
+                t.span,
+                "input and output tree types must coincide (use a combined tree type, §3.3)",
+            ));
+        }
+        let (ty, alg) = self.get_type(&ty_name, t.span)?;
         let mut b = SttrBuilder::new(ty.clone(), alg.clone());
         let me = b.state(&t.name);
         // Lazily created helpers.
@@ -395,12 +507,12 @@ impl Compiler {
                         ),
                     )
                 })?;
-                if entry.ty != t.ty_in {
+                if entry.ty != ty_name {
                     return Err(err(
                         r.lhs.span,
                         format!(
                             "language '{lang}' is over type '{}', not '{}'",
-                            entry.ty, t.ty_in
+                            entry.ty, ty_name
                         ),
                     ));
                 }
@@ -456,10 +568,11 @@ impl Compiler {
         self.trans.insert(
             t.name.clone(),
             TransEntry {
-                ty: t.ty_in.clone(),
+                ty: ty_name.clone(),
                 sttr,
             },
         );
+        self.record_contract(&t.name, &ty_name, lang_in, lang_out, t.span);
         Ok(())
     }
 
@@ -633,29 +746,29 @@ impl Compiler {
     }
 
     fn def_trans(&mut self, d: &DefTransDecl) -> Result<(), Diagnostic> {
-        if d.ty_in != d.ty_out {
-            return Err(err(
-                d.span,
-                "input and output tree types must coincide (combined tree type, §3.3)",
-            ));
-        }
         if self.trans.contains_key(&d.name) {
             return Err(err(
                 d.span,
                 format!("transformation '{}' is already defined", d.name),
             ));
         }
-        let (ty, sttr) = self.eval_texpr(&d.body)?;
-        if ty != d.ty_in {
+        let (ty_name, lang_in) = self.resolve_io(&d.ty_in, d.span)?;
+        let (ty_out_name, lang_out) = self.resolve_io(&d.ty_out, d.span)?;
+        if ty_name != ty_out_name {
             return Err(err(
                 d.span,
-                format!(
-                    "definition is over type '{ty}', but '{}' was declared",
-                    d.ty_in
-                ),
+                "input and output tree types must coincide (combined tree type, §3.3)",
+            ));
+        }
+        let (ty, sttr) = self.eval_texpr(&d.body)?;
+        if ty != ty_name {
+            return Err(err(
+                d.span,
+                format!("definition is over type '{ty}', but '{ty_name}' was declared"),
             ));
         }
         self.trans.insert(d.name.clone(), TransEntry { ty, sttr });
+        self.record_contract(&d.name, &ty_name, lang_in, lang_out, d.span);
         Ok(())
     }
 

@@ -46,7 +46,10 @@ mod pretty;
 pub mod xpath;
 
 pub use ast::*;
-pub use compile::{compile, AssertionResult, Compiled, Report};
-pub use diag::{Diagnostic, Pos, Span};
+pub use compile::{
+    compile, compile_ast, compile_collect, AssertionResult, Compiled, Contract, Report,
+};
+pub use diag::{DiagSink, Diagnostic, Label, Pos, Severity, Span};
 pub use lexer::{lex, Spanned, Tok};
 pub use parser::parse;
+pub use pretty::render_diagnostic;

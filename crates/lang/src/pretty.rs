@@ -1,8 +1,59 @@
 //! Pretty-printer for Fast ASTs: regenerates concrete syntax that parses
-//! back to the same tree (round-trip tested property-style).
+//! back to the same tree (round-trip tested property-style). Also renders
+//! diagnostics with source excerpts for the CLI.
 
 use crate::ast::*;
+use crate::diag::{Diagnostic, Span};
 use std::fmt;
+
+/// Renders a diagnostic with a source excerpt and caret underline,
+/// followed by its secondary labels and notes — the human-readable form
+/// printed by `fastc check`:
+///
+/// ```text
+/// warning[FA001] at 4:3: rule guard is unsatisfiable
+///   |
+/// 4 |   nil() where (i < 0 and i > 0)
+///   |   ^
+///   = note: no label satisfies the guard
+/// ```
+pub fn render_diagnostic(src: &str, d: &Diagnostic) -> String {
+    let mut out = d.to_string();
+    out.push('\n');
+    excerpt(src, d.span, None, &mut out);
+    for l in &d.labels {
+        excerpt(src, l.span, Some(&l.message), &mut out);
+    }
+    for n in &d.notes {
+        out.push_str("  = note: ");
+        out.push_str(n);
+        out.push('\n');
+    }
+    out
+}
+
+fn excerpt(src: &str, span: Span, label: Option<&str>, out: &mut String) {
+    let line_no = span.start.line as usize;
+    let Some(line) = src.lines().nth(line_no.saturating_sub(1)) else {
+        return;
+    };
+    let gutter = line_no.to_string();
+    let pad = " ".repeat(gutter.len());
+    out.push_str(&format!("{pad} |\n{gutter} | {line}\n{pad} | "));
+    let col = span.start.col.max(1) as usize;
+    let width = if span.end.line == span.start.line && span.end.col > span.start.col {
+        (span.end.col - span.start.col) as usize
+    } else {
+        1
+    };
+    out.push_str(&" ".repeat(col - 1));
+    out.push_str(&"^".repeat(width));
+    if let Some(msg) = label {
+        out.push(' ');
+        out.push_str(msg);
+    }
+    out.push('\n');
+}
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -319,6 +370,30 @@ impl fmt::Display for Expr {
 mod tests {
     use super::*;
     use crate::parser::parse;
+
+    #[test]
+    fn render_diagnostic_excerpt() {
+        let src = "line one\nlang p: T {\nthird";
+        let d = Diagnostic::warning(
+            Span::at(crate::diag::Pos { line: 2, col: 6 }),
+            "something odd",
+        )
+        .with_code("FA001")
+        .with_label(Span::at(crate::diag::Pos { line: 3, col: 1 }), "see also")
+        .with_note("a note");
+        let text = render_diagnostic(src, &d);
+        assert!(text.starts_with("warning[FA001] at 2:6: something odd\n"));
+        assert!(text.contains("2 | lang p: T {\n  |      ^\n"));
+        assert!(text.contains("3 | third\n  | ^ see also\n"));
+        assert!(text.contains("  = note: a note\n"));
+    }
+
+    #[test]
+    fn render_diagnostic_out_of_range_line() {
+        let d = Diagnostic::new(Span::at(crate::diag::Pos { line: 99, col: 1 }), "eof");
+        let text = render_diagnostic("short", &d);
+        assert_eq!(text, "error at 99:1: eof\n");
+    }
 
     /// Strips spans so round-trip comparison ignores positions.
     fn normalize(p: &Program) -> String {

@@ -23,8 +23,15 @@
 //! | `compose.reduce_iterations` | one `Reduce` step runs during §4.1 composition |
 //! | `compose.pair_states` | a composed pair state `p.q` is discovered |
 //! | `compose.preimage_pairs` | a pre-image pair state `(p, d)` is discovered |
+//! | `analysis.rules_checked` | `fastc check` visits a rule |
+//! | `analysis.solver_calls` | the analyzer issues a satisfiability/model query |
+//! | `analysis.diags_emitted` | one `fast_analysis::analyze` run emits diagnostics |
 //!
 //! (`LabelAlg::check` and `Interned<Formula>` live in `fast-smt`.)
+//!
+//! The analyzer additionally records wall-clock timers per diagnostic
+//! family (`analysis.check.fa001` … `analysis.check.fa100`) and
+//! `analysis.total` for a whole `fastc check` pass.
 //!
 //! ## Reading a snapshot
 //!
