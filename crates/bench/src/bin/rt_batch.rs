@@ -1,0 +1,127 @@
+//! Batch-evaluation throughput: the Fig. 2 sanitizer over the §5.1
+//! corpus, repeated as a service workload would see it, in three modes:
+//!
+//! 1. `sequential` — the reference interpreter, one `Sttr::run` per item;
+//! 2. `plan` — compiled dispatch plan + shared memo, one worker;
+//! 3. `plan+pool` — the same plan across the work-stealing pool.
+//!
+//! Repeats in the batch are `Arc` clones, so the plan's `(state, addr)`
+//! memo answers them without re-evaluating — the speedup is memoization
+//! first, parallelism on top where cores exist. Writes
+//! `BENCH_rt_batch.json` with timings, speedups, and `rt.*` telemetry.
+//!
+//! Usage: `rt_batch [--seed S] [--reps N]`
+
+use fast_bench::sanitizer::{compile_fig2, corpus, encoded_batch, plan_fig2};
+use fast_json::Json;
+use fast_rt::RunOptions;
+use std::time::Instant;
+
+fn main() {
+    let mut seed = 51u64;
+    let mut reps = 3usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = args[i + 1].parse().expect("--seed S");
+                i += 2;
+            }
+            "--reps" => {
+                reps = args[i + 1].parse().expect("--reps N");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("compiling the Fig. 2 sanitizer…");
+    let compiled = compile_fig2();
+    let ty = compiled.tree_type("HtmlE").unwrap().clone();
+    let sani = compiled.transducer("sani").unwrap();
+    let plan = plan_fig2(&compiled);
+
+    let docs = corpus(seed);
+    let batch = encoded_batch(&ty, &docs, reps);
+    println!(
+        "batch: {} items ({} distinct pages × {reps} reps), {cores} core(s)\n",
+        batch.len(),
+        docs.len()
+    );
+
+    // Mode 1: reference interpreter, item by item.
+    let start = Instant::now();
+    let sequential: Vec<_> = batch
+        .iter()
+        .map(|t| sani.run(t).expect("in budget"))
+        .collect();
+    let seq_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Mode 2: compiled plan + shared memo, single worker.
+    let opts1 = RunOptions {
+        workers: 1,
+        ..RunOptions::default()
+    };
+    let start = Instant::now();
+    let (plan_results, plan_stats) = plan.run_batch_with(&batch, &opts1);
+    let plan_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Mode 3: plan across the pool (worker count from the OS).
+    let opts_pool = RunOptions::default();
+    let start = Instant::now();
+    let (pool_results, pool_stats) = plan.run_batch_with(&batch, &opts_pool);
+    let pool_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // All three modes must agree item-for-item.
+    for ((s, p), w) in sequential.iter().zip(&plan_results).zip(&pool_results) {
+        assert_eq!(s, p.as_ref().expect("plan in budget"));
+        assert_eq!(s, w.as_ref().expect("pool in budget"));
+    }
+
+    let speedup_plan = seq_ms / plan_ms.max(1e-9);
+    let speedup_pool = seq_ms / pool_ms.max(1e-9);
+    println!("{:>12} {:>12} {:>10}", "mode", "time (ms)", "speedup");
+    println!("{:>12} {:>12.1} {:>10}", "sequential", seq_ms, "1.0x");
+    println!("{:>12} {:>12.1} {:>9.1}x", "plan", plan_ms, speedup_plan);
+    println!(
+        "{:>12} {:>12.1} {:>9.1}x",
+        "plan+pool", pool_ms, speedup_pool
+    );
+    println!(
+        "\nmemo (plan mode): {} hits / {} misses ({:.1}% hit rate), {} evictions",
+        plan_stats.memo_hits,
+        plan_stats.memo_misses,
+        plan_stats.memo_hit_rate() * 100.0,
+        plan_stats.memo_evictions,
+    );
+    println!(
+        "pool mode: {} workers, {} steals, memo hit rate {:.1}%",
+        pool_stats.workers,
+        pool_stats.steals,
+        pool_stats.memo_hit_rate() * 100.0,
+    );
+
+    fast_bench::telemetry::emit_with(
+        "rt_batch",
+        vec![
+            ("cores", Json::Int(cores as i64)),
+            ("batch_items", Json::Int(batch.len() as i64)),
+            ("distinct_pages", Json::Int(docs.len() as i64)),
+            ("reps", Json::Int(reps as i64)),
+            ("sequential_ms", Json::Float(seq_ms)),
+            ("plan_ms", Json::Float(plan_ms)),
+            ("plan_pool_ms", Json::Float(pool_ms)),
+            ("speedup_plan", Json::Float(speedup_plan)),
+            ("speedup_plan_pool", Json::Float(speedup_pool)),
+            ("memo_hits", Json::Int(plan_stats.memo_hits as i64)),
+            ("memo_misses", Json::Int(plan_stats.memo_misses as i64)),
+            ("memo_hit_rate", Json::Float(plan_stats.memo_hit_rate())),
+            ("pool_workers", Json::Int(pool_stats.workers as i64)),
+            ("pool_steals", Json::Int(pool_stats.steals as i64)),
+        ],
+    );
+}

@@ -3,7 +3,8 @@
 //! paper's HTML Purifier comparison point.
 
 use fast_lang::Compiled;
-use fast_trees::{HtmlDoc, HtmlElem, HtmlGen};
+use fast_rt::Plan;
+use fast_trees::{HtmlDoc, HtmlElem, HtmlGen, Tree, TreeType};
 
 /// The fixed Fig. 2 sanitizer program.
 pub const FIG2_FIXED: &str = r#"
@@ -69,6 +70,29 @@ pub fn corpus(seed: u64) -> Vec<HtmlDoc> {
         .enumerate()
         .map(|(i, &s)| HtmlGen::new(seed.wrapping_add(i as u64)).doc_of_size(s))
         .collect()
+}
+
+/// Compiles the Fig. 2 `sani` transducer into a `fast-rt` evaluation
+/// plan — the batch-mode entry point for the sanitizer workload.
+///
+/// # Panics
+///
+/// Panics if the embedded program stops exposing `sani` (a library bug).
+pub fn plan_fig2(compiled: &Compiled) -> Plan {
+    Plan::compile(compiled.transducer("sani").expect("sani is defined"))
+}
+
+/// Encodes the corpus and repeats it `reps` times. The repeats are
+/// `Tree` clones of the first round — `Arc`-shared, same `Tree::addr` —
+/// modeling a sanitization service that sees the same pages over and
+/// over (the batch runtime's memo answers repeats without re-running).
+pub fn encoded_batch(ty: &TreeType, docs: &[HtmlDoc], reps: usize) -> Vec<Tree> {
+    let encoded: Vec<Tree> = docs.iter().map(|d| d.encode(ty)).collect();
+    let mut batch = Vec::with_capacity(encoded.len() * reps.max(1));
+    for _ in 0..reps.max(1) {
+        batch.extend(encoded.iter().cloned());
+    }
+    batch
 }
 
 /// The hand-written "monolithic" sanitizer baseline: removes `script`

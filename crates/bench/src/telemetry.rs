@@ -15,10 +15,16 @@ use fast_json::Json;
 /// Captures the current [`fast_obs::Snapshot`] and emits it under the
 /// given benchmark name (see the module docs for the two sinks).
 pub fn emit(bench: &str) {
-    let json = Json::obj([
-        ("bench", Json::Str(bench.to_string())),
-        ("telemetry", fast_obs::snapshot().to_json()),
-    ]);
+    emit_with(bench, Vec::new());
+}
+
+/// [`emit`] with benchmark-specific fields (timings, derived ratios…)
+/// spliced into the JSON object ahead of the telemetry snapshot.
+pub fn emit_with(bench: &str, extra: Vec<(&str, Json)>) {
+    let mut fields = vec![("bench", Json::Str(bench.to_string()))];
+    fields.extend(extra);
+    fields.push(("telemetry", fast_obs::snapshot().to_json()));
+    let json = Json::obj(fields);
     let path = format!("BENCH_{bench}.json");
     match std::fs::write(&path, format!("{}\n", json.pretty())) {
         Ok(()) => println!("\ntelemetry snapshot written to {path}"),

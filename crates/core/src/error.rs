@@ -15,6 +15,13 @@ pub enum TransducerError {
         /// The configured limit.
         limit: usize,
     },
+    /// A run exceeded its wall-clock deadline (used by the batch runtime's
+    /// per-item timeouts; the single-tree [`crate::Sttr::run`] never
+    /// raises this).
+    Timeout {
+        /// The configured per-item budget, in milliseconds.
+        limit_ms: u64,
+    },
 }
 
 impl fmt::Display for TransducerError {
@@ -24,6 +31,9 @@ impl fmt::Display for TransducerError {
             TransducerError::Budget { context, limit } => {
                 write!(f, "{context} exceeded its budget of {limit}")
             }
+            TransducerError::Timeout { limit_ms } => {
+                write!(f, "run exceeded its deadline of {limit_ms} ms")
+            }
         }
     }
 }
@@ -32,7 +42,7 @@ impl std::error::Error for TransducerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TransducerError::Automata(e) => Some(e),
-            TransducerError::Budget { .. } => None,
+            TransducerError::Budget { .. } | TransducerError::Timeout { .. } => None,
         }
     }
 }

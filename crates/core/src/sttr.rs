@@ -215,6 +215,16 @@ impl<A: TransAlg<Elem = Label>> Sttr<A> {
     /// Runs the transduction at the initial state with an explicit output
     /// cap.
     ///
+    /// # Cap contract
+    ///
+    /// `cap` bounds the size of every intermediate and final output set.
+    /// Hitting the cap **errors — it never truncates**: a run either
+    /// returns the complete output set (of size ≤ `cap`) or fails with
+    /// [`TransducerError::Budget`]. In particular `cap == 0` means "no
+    /// outputs allowed": inputs outside the domain still return
+    /// `Ok(vec![])`, while any input that would produce an output errors.
+    /// `fast-rt`'s `Plan::run_batch` honors the same contract per item.
+    ///
     /// # Errors
     ///
     /// Returns [`TransducerError::Budget`] if the intermediate or final

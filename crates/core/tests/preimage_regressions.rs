@@ -1,0 +1,171 @@
+//! Deterministic pins of past property-test failures involving
+//! `preimage`.
+//!
+//! The shrunken counterexamples proptest found historically lived in the
+//! root suite's `tests/properties.proptest-regressions`; the vendored
+//! proptest stand-in does not replay regression files, so each entry is
+//! reconstructed here as a plain test (and the seed line itself moved to
+//! `properties.proptest-regressions` next to this file, keeping the
+//! upstream-proptest format in case the real crate is ever dropped in).
+
+use fast_core::{preimage, Out, Sttr, SttrBuilder};
+use fast_smt::{CmpOp, Formula, LabelAlg, LabelFn, LabelSig, Sort, Term};
+use fast_trees::{Tree, TreeType};
+use std::sync::Arc;
+
+fn bt() -> (Arc<TreeType>, Arc<LabelAlg>) {
+    let ty = TreeType::new(
+        "BT",
+        LabelSig::single("i", Sort::Int),
+        vec![("L", 0), ("N", 2)],
+    );
+    let alg = Arc::new(LabelAlg::new(ty.sig().clone()));
+    (ty, alg)
+}
+
+/// Same shape as the root suite's `bt_relabel`: guard-split relabeler.
+fn bt_relabel(g: Formula, f_then: Term, f_else: Term) -> Sttr {
+    let (ty, alg) = bt();
+    let leaf = ty.ctor_id("L").unwrap();
+    let node = ty.ctor_id("N").unwrap();
+    let mut b = SttrBuilder::new(ty, alg);
+    let q = b.state("relabel");
+    for (guard, fun) in [(g.clone(), f_then), (g.not(), f_else)] {
+        b.plain_rule(
+            q,
+            leaf,
+            guard.clone(),
+            Out::node(leaf, LabelFn::new(vec![fun.clone()]), vec![]),
+        );
+        b.plain_rule(
+            q,
+            node,
+            guard,
+            Out::node(
+                node,
+                LabelFn::new(vec![fun]),
+                vec![Out::Call(q, 0), Out::Call(q, 1)],
+            ),
+        );
+    }
+    b.build(q)
+}
+
+fn f0() -> Term {
+    Term::field(0)
+}
+
+/// `cc 6dd774f3…` — the shrink of `preimage_pointwise`: a three-state
+/// lookahead STA whose initial state requires different states on each
+/// child, paired with a guard whose `mod` arithmetic needs exact
+/// euclidean semantics. Pre-image membership must equal "some output is
+/// accepted".
+#[test]
+fn cc_6dd774f3_preimage_pointwise() {
+    let g = Formula::cmp(CmpOp::Ne, f0(), f0().add(f0().modulo(2)))
+        .and(Formula::cmp(
+            CmpOp::Gt,
+            Term::int(4).sub(f0()).mul(f0()),
+            f0().mul(Term::int(3)).add(Term::int(-1).mul(f0())),
+        ))
+        .and(Formula::cmp(
+            CmpOp::Ne,
+            f0().mul(Term::int(7)).modulo(6).modulo(11),
+            f0().add(Term::int(-6))
+                .sub(f0())
+                .add(Term::int(9).add(f0())),
+        ));
+    let e1 = Term::int(5).sub(f0()).mul(Term::int(1)).modulo(5);
+    let e2 = f0().mul(f0()).add(f0());
+    let s = bt_relabel(g, e1, e2);
+
+    let (ty, alg) = bt();
+    let leaf = ty.ctor_id("L").unwrap();
+    let node = ty.ctor_id("N").unwrap();
+    let mut b = fast_automata::StaBuilder::new(ty.clone(), alg);
+    let s0 = b.state("s0");
+    let s1 = b.state("s1");
+    let s2 = b.state("s2");
+    b.leaf_rule(
+        s0,
+        leaf,
+        Formula::cmp(
+            CmpOp::Eq,
+            Term::int(-6).sub(Term::int(-4)).add(f0().add(Term::int(3))),
+            Term::int(-2).mul(f0()).sub(f0().modulo(3)),
+        )
+        .or(Formula::cmp(
+            CmpOp::Le,
+            Term::int(4).add(f0()).modulo(2),
+            Term::int(-10).sub(f0()).modulo(6),
+        )
+        .and(Formula::cmp(
+            CmpOp::Le,
+            f0().sub(f0().mul(f0())),
+            Term::int(-7).add(f0()).mul(f0().modulo(2)),
+        )))
+        .or(Formula::cmp(
+            CmpOp::Lt,
+            f0().mul(f0().mul(f0())),
+            f0().sub(Term::int(-9).modulo(8)),
+        )),
+    );
+    b.simple_rule(s0, node, Formula::True, vec![Some(s1), Some(s1)]);
+    b.leaf_rule(
+        s1,
+        leaf,
+        Formula::cmp(
+            CmpOp::Eq,
+            Term::int(-2).mul(f0().mul(f0())),
+            f0().modulo(9).mul(Term::int(0)),
+        )
+        .and(Formula::cmp(
+            CmpOp::Gt,
+            f0(),
+            Term::int(-8).sub(Term::int(-2)).modulo(7),
+        ))
+        .and(
+            Formula::cmp(
+                CmpOp::Eq,
+                Term::int(-8).modulo(7).add(Term::int(1).modulo(6)),
+                f0().mul(Term::int(9))
+                    .mul(Term::int(1))
+                    .mul(Term::int(5).mul(f0())),
+            )
+            .or(Formula::cmp(
+                CmpOp::Ge,
+                f0().sub(f0()).add(f0()),
+                f0().add(Term::int(1))
+                    .mul(Term::int(-7).sub(Term::int(5)).mul(Term::int(-5))),
+            )),
+        ),
+    );
+    b.simple_rule(s1, node, Formula::True, vec![Some(s0), Some(s2)]);
+    b.leaf_rule(
+        s2,
+        leaf,
+        Formula::cmp(
+            CmpOp::Gt,
+            Term::int(2).modulo(5).add(f0().add(f0())),
+            f0().sub(Term::int(5)).sub(Term::int(8).mul(Term::int(-10))),
+        )
+        .and(Formula::cmp(
+            CmpOp::Le,
+            Term::int(3).modulo(5).sub(Term::int(6)).mul(f0().sub(f0())),
+            Term::int(9).sub(f0().add(Term::int(0))).sub(f0().mul(f0())),
+        ))
+        .and(Formula::cmp(
+            CmpOp::Ne,
+            f0().sub(f0()).sub(f0()),
+            Term::int(0).sub(Term::int(-7).modulo(3)),
+        )),
+    );
+    b.simple_rule(s2, node, Formula::True, vec![Some(s0), Some(s2)]);
+    let l = b.build(s2);
+
+    let t = Tree::parse(&ty, "N[-4](N[1](N[-4](L[-1], L[-3]), L[7]), L[5])").unwrap();
+
+    let pre = preimage(&s, &l).unwrap();
+    let any_output_in = s.run(&t).unwrap().iter().any(|o| l.accepts(o));
+    assert_eq!(pre.accepts(&t), any_output_in);
+}

@@ -1,0 +1,133 @@
+//! Pins the `run_bounded` cap contract: hitting the cap errors — it
+//! never truncates — and `cap == 0` forbids outputs without forbidding
+//! empty (outside-the-domain) results. `fast-rt`'s `Plan::run_batch`
+//! honors the same contract per item; its own test suite cross-checks
+//! against these semantics.
+
+use fast_core::{Out, Sttr, SttrBuilder, TransducerError, DEFAULT_RUN_CAP};
+use fast_smt::{Formula, LabelAlg, LabelFn, LabelSig, Sort, Term};
+use fast_trees::{Tree, TreeType};
+use std::sync::Arc;
+
+fn ilist() -> (Arc<TreeType>, Arc<LabelAlg>) {
+    let ty = TreeType::new(
+        "IList",
+        LabelSig::single("i", Sort::Int),
+        vec![("nil", 0), ("cons", 1)],
+    );
+    let alg = Arc::new(LabelAlg::new(ty.sig().clone()));
+    (ty, alg)
+}
+
+/// A nondeterministic transducer with 2^n outputs on a list of length n:
+/// each element either keeps its label or is relabeled to 99.
+fn stay_or_99() -> Sttr {
+    let (ty, alg) = ilist();
+    let nil = ty.ctor_id("nil").unwrap();
+    let cons = ty.ctor_id("cons").unwrap();
+    let mut b = SttrBuilder::new(ty, alg);
+    let q = b.state("q");
+    b.plain_rule(
+        q,
+        nil,
+        Formula::True,
+        Out::node(nil, LabelFn::identity(1), vec![]),
+    );
+    b.plain_rule(
+        q,
+        cons,
+        Formula::True,
+        Out::node(cons, LabelFn::identity(1), vec![Out::Call(q, 0)]),
+    );
+    b.plain_rule(
+        q,
+        cons,
+        Formula::True,
+        Out::node(
+            cons,
+            LabelFn::new(vec![Term::int(99)]),
+            vec![Out::Call(q, 0)],
+        ),
+    );
+    b.build(q)
+}
+
+/// A partial transducer: defined only on lists whose head is even.
+fn evens_only() -> Sttr {
+    let (ty, alg) = ilist();
+    let nil = ty.ctor_id("nil").unwrap();
+    let cons = ty.ctor_id("cons").unwrap();
+    let even = Formula::eq(Term::field(0).modulo(2), Term::int(0));
+    let mut b = SttrBuilder::new(ty, alg);
+    let q = b.state("evens");
+    b.plain_rule(
+        q,
+        nil,
+        Formula::True,
+        Out::node(nil, LabelFn::identity(1), vec![]),
+    );
+    b.plain_rule(
+        q,
+        cons,
+        even,
+        Out::node(cons, LabelFn::identity(1), vec![Out::Call(q, 0)]),
+    );
+    b.build(q)
+}
+
+fn list(ty: &TreeType, items: &[i64]) -> Tree {
+    let mut text = String::from("nil[0]");
+    for i in items.iter().rev() {
+        text = format!("cons[{i}]({text})");
+    }
+    Tree::parse(ty, &text).unwrap()
+}
+
+#[test]
+fn hitting_the_cap_errors_rather_than_truncating() {
+    let nd = stay_or_99();
+    let t = list(nd.ty(), &[1, 2, 3, 4]); // 2^4 = 16 outputs
+    assert_eq!(nd.run_bounded(&t, 16).unwrap().len(), 16);
+    // One less than the true output count: the whole run fails — no
+    // silently shortened output set.
+    let err = nd.run_bounded(&t, 15).unwrap_err();
+    assert_eq!(
+        err,
+        TransducerError::Budget {
+            context: "run",
+            limit: 15
+        }
+    );
+}
+
+#[test]
+fn cap_zero_allows_empty_results_only() {
+    let f = evens_only();
+    let ty = f.ty().clone();
+    // Outside the domain: zero outputs fit under cap == 0.
+    let odd = list(&ty, &[3]);
+    assert_eq!(f.run_bounded(&odd, 0).unwrap(), Vec::<Tree>::new());
+    // Inside the domain: the single output exceeds cap == 0 and errors.
+    let even = list(&ty, &[2]);
+    assert!(matches!(
+        f.run_bounded(&even, 0),
+        Err(TransducerError::Budget { limit: 0, .. })
+    ));
+}
+
+#[test]
+fn cap_binds_intermediate_sets_too() {
+    // The blowup happens in the middle of the list; a root-level cap
+    // still catches it because intermediate sets are bounded as well.
+    let nd = stay_or_99();
+    let t = list(nd.ty(), &[1, 2, 3, 4, 5, 6, 7, 8]); // 2^8 outputs
+    assert!(nd.run_bounded(&t, 20).is_err());
+}
+
+#[test]
+fn default_run_uses_default_cap() {
+    let nd = stay_or_99();
+    let t = list(nd.ty(), &[1, 2]);
+    assert_eq!(nd.run(&t).unwrap().len(), 4);
+    assert_eq!(nd.run_bounded(&t, DEFAULT_RUN_CAP).unwrap().len(), 4);
+}

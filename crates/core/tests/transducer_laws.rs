@@ -470,6 +470,54 @@ fn copying_output_is_nonlinear() {
     assert!(sttr.is_deterministic().unwrap());
 }
 
+/// Theorem 4 through the batch runtime: evaluating a composed transducer
+/// over a whole sample batch with `fast_rt::Plan` (shared memo, compiled
+/// dispatch) matches running the factors sequentially per tree — i.e.
+/// the composition law survives the plan path, not just `Sttr::run`.
+#[test]
+fn composition_law_holds_on_the_batch_path() {
+    let f = relabel(Term::field(0).add(Term::int(1)), Term::field(0));
+    let g = relabel(
+        Term::field(0).mul(Term::int(2)),
+        Term::field(0).sub(Term::int(3)),
+    );
+    let composed = compose(&f, &g).unwrap();
+    let plan = fast_rt::Plan::compile(&composed);
+
+    // Repeat the sample set: the clones share `Arc` addresses with the
+    // originals, so the batch exercises cross-item memo reuse while
+    // checking the law.
+    let mut batch = samples(8);
+    let clones: Vec<Tree> = batch.iter().take(20).cloned().collect();
+    batch.extend(clones);
+
+    let opts = fast_rt::RunOptions::default();
+    let (results, stats) = plan.run_batch_with(&batch, &opts);
+    assert_eq!(results.len(), batch.len());
+    for (t, got) in batch.iter().zip(results) {
+        let sequential: Vec<Tree> = f
+            .run(t)
+            .unwrap()
+            .into_iter()
+            .flat_map(|m| g.run(&m).unwrap())
+            .collect();
+        assert_eq!(got.unwrap(), sequential, "law broken on {t:?}");
+    }
+    assert!(
+        stats.memo_hits > 0,
+        "cloned samples must hit the shared memo: {stats:?}"
+    );
+
+    // Staged evaluation through two plans agrees with the fused plan.
+    let plan_f = fast_rt::Plan::compile(&f);
+    let plan_g = fast_rt::Plan::compile(&g);
+    for t in samples(9) {
+        let mid = plan_f.run(&t).unwrap();
+        let staged: Vec<Tree> = mid.iter().flat_map(|m| plan_g.run(m).unwrap()).collect();
+        assert_eq!(plan.run(&t).unwrap(), staged);
+    }
+}
+
 /// Example 7 of the paper: composing through a rule that deletes a child
 /// (`p̃(f[x](y1,y2)) --x>0--> p̃(y2)`) yields the reduced pair rule
 /// `p.q(f[x](y1,y2)) --x>0--> p.q(y2)` — the deleted child's pair

@@ -26,12 +26,24 @@
 //! | `analysis.rules_checked` | `fastc check` visits a rule |
 //! | `analysis.solver_calls` | the analyzer issues a satisfiability/model query |
 //! | `analysis.diags_emitted` | one `fast_analysis::analyze` run emits diagnostics |
+//! | `rt.batch_runs` | a `Plan::run_batch` (or stream) invocation starts |
+//! | `rt.batch_items` | — bumped by the batch size, one per input tree |
+//! | `rt.memo_hits` | a batch memo lookup reuses a finished sub-transduction |
+//! | `rt.memo_misses` | a batch memo lookup finds nothing |
+//! | `rt.memo_evictions` | a full memo shard evicts an entry |
+//! | `rt.la_cache_hits` | a shared lookahead state-set is reused |
+//! | `rt.pool_steals` | a pool worker steals a job from a sibling's deque |
+//! | `rt.pool_fallbacks` | a worker thread fails to spawn and the batch degrades |
+//! | `rt.timeouts` | a batch item exceeds its per-item deadline |
 //!
-//! (`LabelAlg::check` and `Interned<Formula>` live in `fast-smt`.)
+//! (`LabelAlg::check` and `Interned<Formula>` live in `fast-smt`; the
+//! `rt.*` family is emitted by `fast-rt`, which also mirrors the same
+//! numbers per batch in its `BatchStats`.)
 //!
 //! The analyzer additionally records wall-clock timers per diagnostic
 //! family (`analysis.check.fa001` … `analysis.check.fa100`) and
-//! `analysis.total` for a whole `fastc check` pass.
+//! `analysis.total` for a whole `fastc check` pass; `fast-rt` records
+//! `rt.run_batch` around each batch.
 //!
 //! ## Reading a snapshot
 //!

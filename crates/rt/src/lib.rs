@@ -1,0 +1,52 @@
+//! # fast-rt — parallel batch evaluation for STTRs
+//!
+//! The core interpreter ([`fast_core::Sttr::run`]) evaluates one tree at
+//! a time with a per-run memo. Real workloads (the paper's §6 HTML
+//! sanitization case study) evaluate the *same* transducer over *many*
+//! documents that share structure — templates, cloned fragments,
+//! repeated boilerplate. This crate exploits that:
+//!
+//! * [`Plan::compile`] turns an [`Sttr`](fast_core::Sttr) into a
+//!   **compiled evaluation plan**: rules grouped into per
+//!   `(state, constructor)` dispatch tables, guard-ordered so trivially
+//!   true guards skip label evaluation, with the lookahead STA
+//!   pre-indexed by constructor. Compilation is done once; the plan is
+//!   immutable and shared by every worker.
+//! * [`Plan::run_batch`] evaluates a whole batch against a **shared memo
+//!   table** keyed on `(state, Tree::addr)`. Because trees are
+//!   `Arc`-shared, a subtree reachable from several batch items has one
+//!   address — its transduction (and its lookahead state set) is
+//!   computed once per batch, not once per item. The table is
+//!   capacity-bounded with eviction, and hit/miss/eviction counters
+//!   surface both per batch ([`BatchStats`]) and globally (`rt.*`
+//!   counters in `fast-obs`).
+//! * Work is spread over a dependency-free **work-stealing pool** of
+//!   scoped threads; [`Plan::run_stream`] is the bounded-channel
+//!   streaming variant with per-item timeouts. Both degrade gracefully:
+//!   if the OS refuses to spawn threads, the batch completes
+//!   sequentially on the calling thread.
+//!
+//! Per item, results are **identical** to [`fast_core::Sttr::run`] —
+//! `crates/rt/tests/plan_oracle.rs` enforces this differentially against
+//! randomly generated transducers, and the cap contract (exceeding the
+//! output budget errors, never truncates) carries over unchanged.
+
+mod memo;
+mod plan;
+mod pool;
+
+pub use plan::{BatchStats, Plan, RunOptions};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn plan_is_send_and_sync() {
+        assert_send_sync::<Plan>();
+        assert_send_sync::<RunOptions>();
+        assert_send_sync::<BatchStats>();
+    }
+}

@@ -1,0 +1,121 @@
+//! Sharded concurrent maps backing the per-batch caches.
+//!
+//! Both caches key on [`Tree::addr`](fast_trees::Tree::addr) — the stable
+//! address of an `Arc`-shared node — so a subtree that appears in many
+//! batch items (cloned templates, repeated documents) is looked up by
+//! pointer, not by structural comparison:
+//!
+//! * the **result memo** maps `(transformation state, subtree address)`
+//!   to the finished output set of that sub-transduction;
+//! * the **lookahead cache** maps `subtree address` to the set of
+//!   lookahead-STA states accepting that subtree.
+//!
+//! Addresses are only meaningful while the batch's input trees are alive,
+//! which is why both caches live for a single `run_batch`/`run_stream`
+//! invocation and are dropped with it.
+//!
+//! Sharding mirrors `fast-smt`'s solver cache: 16 mutex-guarded shards
+//! selected by key hash, so concurrent workers rarely contend. Each shard
+//! enforces a capacity; insertion into a full shard evicts one resident
+//! entry (cheap random-ish choice — the first key of the shard's current
+//! iteration order) and bumps `rt.memo_evictions`.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of shards (matches `fast_smt::intern::SHARDS`).
+pub(crate) const SHARDS: usize = 16;
+
+/// Local (per-batch) cache statistics, mirrored into the global
+/// `fast_obs` registry by the callers.
+#[derive(Debug, Default)]
+pub(crate) struct CacheStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub evictions: AtomicU64,
+}
+
+/// A sharded, capacity-bounded concurrent hash map.
+pub(crate) struct Sharded<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+    per_shard_cap: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Sharded<K, V> {
+    /// A map holding at most (roughly) `capacity` entries across shards.
+    pub fn new(capacity: usize) -> Self {
+        let per_shard_cap = (capacity / SHARDS).max(1);
+        Sharded {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_cap,
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Looks up `key`, recording a hit or miss in `stats`.
+    pub fn get(&self, key: &K, stats: &CacheStats) -> Option<V> {
+        let found = self.shard(key).lock().unwrap().get(key).cloned();
+        match &found {
+            Some(_) => stats.hits.fetch_add(1, Ordering::Relaxed),
+            None => stats.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts `key → value`, evicting one entry if the shard is full.
+    pub fn insert(&self, key: K, value: V, stats: &CacheStats) {
+        let mut shard = self.shard(&key).lock().unwrap();
+        if shard.len() >= self.per_shard_cap && !shard.contains_key(&key) {
+            if let Some(victim) = shard.keys().next().cloned() {
+                shard.remove(&victim);
+                stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.insert(key, value);
+    }
+
+    /// Total entries across shards (test/diagnostic use).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_misses_and_eviction() {
+        let stats = CacheStats::default();
+        let m: Sharded<(usize, usize), u64> = Sharded::new(16); // 1 entry/shard
+        assert_eq!(m.get(&(0, 0), &stats), None);
+        m.insert((0, 0), 7, &stats);
+        assert_eq!(m.get(&(0, 0), &stats), Some(7));
+        assert_eq!(stats.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.misses.load(Ordering::Relaxed), 1);
+        // Flood one shard far past its capacity: size stays bounded.
+        for i in 0..1000 {
+            m.insert((i, i), i as u64, &stats);
+        }
+        assert!(m.len() <= SHARDS * 2);
+        assert!(stats.evictions.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn reinserting_same_key_does_not_evict() {
+        let stats = CacheStats::default();
+        let m: Sharded<usize, u64> = Sharded::new(16);
+        m.insert(1, 1, &stats);
+        m.insert(1, 2, &stats);
+        assert_eq!(stats.evictions.load(Ordering::Relaxed), 0);
+        assert_eq!(m.get(&1, &stats), Some(2));
+    }
+}

@@ -1,0 +1,609 @@
+//! Compiled evaluation plans and the batch evaluator.
+
+use crate::memo::{CacheStats, Sharded};
+use crate::pool::{self, PoolStats};
+use fast_automata::StateId;
+use fast_core::{Out, Sttr, TransducerError, DEFAULT_RUN_CAP};
+use fast_smt::{BoolAlg, TransAlg};
+use fast_trees::Tree;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A rule reference inside a dispatch group: the index into the owning
+/// state's rule list plus precomputed fast-path flags.
+#[derive(Debug, Clone, Copy)]
+struct CRule {
+    idx: usize,
+    /// Guard is syntactically ⊤ — skip label evaluation entirely.
+    trivial_guard: bool,
+    /// At least one child carries a non-empty lookahead set.
+    needs_la: bool,
+}
+
+/// A lookahead-STA rule reference, pre-indexed by constructor.
+#[derive(Debug, Clone, Copy)]
+struct LaRule {
+    state: StateId,
+    idx: usize,
+    trivial_guard: bool,
+}
+
+/// Options controlling one batch run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Output-set budget per item — same contract as
+    /// [`Sttr::run_bounded`]: exceeding it **errors, never truncates**,
+    /// and `cap == 0` allows only empty (outside-the-domain) results.
+    pub cap: usize,
+    /// Share transduction results across the batch via the
+    /// `(state, Tree::addr)` memo table.
+    pub memo: bool,
+    /// Capacity (entries) of the shared memo table; full shards evict.
+    pub memo_capacity: usize,
+    /// Worker threads, the calling thread included. `0` asks the OS via
+    /// [`std::thread::available_parallelism`].
+    pub workers: usize,
+    /// Per-item wall-clock deadline; an item that exceeds it fails with
+    /// [`TransducerError::Timeout`] without poisoning its batch-mates.
+    pub timeout: Option<Duration>,
+    /// Bound of the `run_stream` result channel (backpressure window).
+    pub channel_bound: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            cap: DEFAULT_RUN_CAP,
+            memo: true,
+            memo_capacity: 1 << 20,
+            workers: 0,
+            timeout: None,
+            channel_bound: 64,
+        }
+    }
+}
+
+/// Counters describing one batch run (also mirrored into the global
+/// `fast_obs` registry under `rt.*`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Items evaluated.
+    pub items: usize,
+    /// Worker threads used (1 = sequential).
+    pub workers: usize,
+    /// Memo-table hits — sub-transductions answered without evaluation.
+    pub memo_hits: u64,
+    /// Memo-table misses.
+    pub memo_misses: u64,
+    /// Entries evicted from full memo shards.
+    pub memo_evictions: u64,
+    /// Lookahead-cache hits (shared subtree lookahead sets reused).
+    pub la_hits: u64,
+    /// Jobs stolen across worker deques.
+    pub steals: u64,
+    /// Worker spawn failures absorbed by degrading to fewer threads.
+    pub spawn_fallbacks: u64,
+}
+
+impl BatchStats {
+    /// Memo hit rate in `[0, 1]` (0 when the memo was never consulted).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Shared memo table: `(state, Tree::addr) → finished output set`.
+type OutMemo = Sharded<(usize, usize), Arc<Vec<Tree>>>;
+
+/// Per-batch shared state: the caches and their counters.
+struct BatchCtx<'p> {
+    plan: &'p Plan,
+    cap: usize,
+    timeout: Option<Duration>,
+    /// `None` = shared memo off (items fall back to a private table).
+    memo: Option<OutMemo>,
+    memo_stats: CacheStats,
+    /// `Tree::addr → accepting lookahead states`.
+    la: Sharded<usize, Arc<BTreeSet<StateId>>>,
+    la_stats: CacheStats,
+}
+
+fn empty_states() -> &'static Arc<BTreeSet<StateId>> {
+    static EMPTY: OnceLock<Arc<BTreeSet<StateId>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(BTreeSet::new()))
+}
+
+/// One item's evaluation state: deadline bookkeeping plus the private
+/// fallback memo used when the shared table is disabled (mirroring the
+/// per-run memo of [`Sttr::run`], which guards against re-evaluating
+/// shared or repeatedly-called subtrees *within* one item).
+struct ItemRun<'b, 'p> {
+    cx: &'b BatchCtx<'p>,
+    deadline: Option<Instant>,
+    timeout_ms: u64,
+    ticks: u32,
+    local_memo: HashMap<(usize, usize), Arc<Vec<Tree>>>,
+}
+
+/// A compiled evaluation plan for one [`Sttr`].
+///
+/// `Plan::compile` groups the transducer's rules into per
+/// `(state, constructor)` dispatch tables (guard-ordered: syntactically
+/// trivial guards first, so the common unguarded rules skip label
+/// evaluation) and pre-indexes the lookahead STA's rules by constructor.
+/// The plan is immutable and `Sync`; one plan serves any number of
+/// concurrent batches.
+///
+/// # Examples
+///
+/// ```
+/// use fast_core::{Out, SttrBuilder};
+/// use fast_rt::Plan;
+/// use fast_smt::{Formula, LabelAlg, LabelFn, LabelSig, Sort, Term};
+/// use fast_trees::{Tree, TreeType};
+/// use std::sync::Arc;
+///
+/// let ilist = TreeType::new("IList", LabelSig::single("i", Sort::Int),
+///                           vec![("nil", 0), ("cons", 1)]);
+/// let alg = Arc::new(LabelAlg::new(ilist.sig().clone()));
+/// let (nil, cons) = (ilist.ctor_id("nil").unwrap(), ilist.ctor_id("cons").unwrap());
+/// let mut b = SttrBuilder::new(ilist.clone(), alg);
+/// let q = b.state("inc");
+/// b.plain_rule(q, nil, Formula::True,
+///              Out::node(nil, LabelFn::new(vec![Term::int(0)]), vec![]));
+/// b.plain_rule(q, cons, Formula::True,
+///              Out::node(cons, LabelFn::new(vec![Term::field(0).add(Term::int(1))]),
+///                        vec![Out::Call(q, 0)]));
+/// let plan = Plan::compile(&b.build(q));
+///
+/// let t = Tree::parse(&ilist, "cons[1](nil[0])").unwrap();
+/// let batch = vec![t.clone(), t.clone(), t]; // clones share subtrees
+/// let results = plan.run_batch(&batch);
+/// assert_eq!(results.len(), 3);
+/// assert_eq!(results[0].as_ref().unwrap()[0].display(&ilist).to_string(),
+///            "cons[2](nil[0])");
+/// ```
+#[derive(Debug)]
+pub struct Plan {
+    sttr: Sttr,
+    /// `dispatch[state][ctor]` — rule group, guard-ordered.
+    dispatch: Vec<Vec<Vec<CRule>>>,
+    /// `la_dispatch[ctor]` — lookahead rules reading that constructor.
+    la_dispatch: Vec<Vec<LaRule>>,
+    la_state_count: usize,
+}
+
+impl Plan {
+    /// Compiles `sttr` into dispatch tables. The transducer is cloned
+    /// (cheap: `Arc`-shared type/algebra, rule vectors copied once).
+    pub fn compile(sttr: &Sttr) -> Plan {
+        let sttr = sttr.clone();
+        let tt = sttr.alg().tt();
+        let ctors = sttr.ty().ctor_count();
+        let mut dispatch: Vec<Vec<Vec<CRule>>> = Vec::with_capacity(sttr.state_count());
+        for q in sttr.states() {
+            let mut by_ctor: Vec<Vec<CRule>> = vec![Vec::new(); ctors];
+            for (idx, r) in sttr.rules(q).iter().enumerate() {
+                by_ctor[r.ctor.0].push(CRule {
+                    idx,
+                    trivial_guard: r.guard == tt,
+                    needs_la: r.lookahead.iter().any(|s| !s.is_empty()),
+                });
+            }
+            for group in &mut by_ctor {
+                // Guard order: trivially-true guards first (stable on the
+                // original index). The output set is a union over enabled
+                // rules, so reordering is semantics-preserving.
+                group.sort_by_key(|c| (!c.trivial_guard, c.idx));
+            }
+            dispatch.push(by_ctor);
+        }
+        let la = sttr.lookahead_sta();
+        let mut la_dispatch: Vec<Vec<LaRule>> = vec![Vec::new(); ctors];
+        for s in la.states() {
+            for (idx, r) in la.rules(s).iter().enumerate() {
+                la_dispatch[r.ctor.0].push(LaRule {
+                    state: s,
+                    idx,
+                    trivial_guard: r.guard == tt,
+                });
+            }
+        }
+        for group in &mut la_dispatch {
+            group.sort_by_key(|c| (c.state.0, !c.trivial_guard, c.idx));
+        }
+        let la_state_count = la.state_count();
+        Plan {
+            sttr,
+            dispatch,
+            la_dispatch,
+            la_state_count,
+        }
+    }
+
+    /// The compiled transducer.
+    pub fn sttr(&self) -> &Sttr {
+        &self.sttr
+    }
+
+    /// Runs a single tree through the plan with default options
+    /// (equivalent to [`Sttr::run`], using the compiled dispatch tables).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransducerError::Budget`] past [`DEFAULT_RUN_CAP`]
+    /// outputs.
+    pub fn run(&self, t: &Tree) -> Result<Vec<Tree>, TransducerError> {
+        self.run_batch(std::slice::from_ref(t)).pop().unwrap()
+    }
+
+    /// Evaluates every tree in `items`, in parallel, sharing one memo
+    /// table across the batch. Results are in input order; each item
+    /// fails independently (a budget error on one tree does not affect
+    /// the others).
+    pub fn run_batch(&self, items: &[Tree]) -> Vec<Result<Vec<Tree>, TransducerError>> {
+        self.run_batch_with(items, &RunOptions::default()).0
+    }
+
+    /// [`Plan::run_batch`] with explicit options, also returning the
+    /// batch's cache/pool statistics.
+    pub fn run_batch_with(
+        &self,
+        items: &[Tree],
+        opts: &RunOptions,
+    ) -> (Vec<Result<Vec<Tree>, TransducerError>>, BatchStats) {
+        fast_obs::count!("rt.batch_runs");
+        fast_obs::count!("rt.batch_items", items.len() as u64);
+        fast_obs::time("rt.run_batch", || {
+            let cx = self.batch_ctx(opts);
+            let workers = pool::resolve_workers(opts.workers);
+            let pool_stats = PoolStats::default();
+            let results = pool::run_indexed(workers, items.len(), &pool_stats, |i| {
+                run_item(&cx, &items[i])
+            });
+            (
+                results,
+                finish_stats(&cx, &pool_stats, items.len(), workers),
+            )
+        })
+    }
+
+    /// Streaming variant: evaluates `items` on a detached worker pool and
+    /// yields `(index, result)` pairs through a **bounded** channel as
+    /// they finish (out of input order). The channel bound
+    /// ([`RunOptions::channel_bound`]) gives backpressure: workers pause
+    /// when the consumer lags that far behind. Set
+    /// [`RunOptions::timeout`] to bound each item's wall-clock time.
+    ///
+    /// If no worker thread can be spawned, the batch is evaluated
+    /// sequentially before this call returns (the channel is widened so
+    /// nothing blocks) — degraded, never wedged.
+    pub fn run_stream(
+        self: Arc<Self>,
+        items: Vec<Tree>,
+        opts: RunOptions,
+    ) -> Receiver<(usize, Result<Vec<Tree>, TransducerError>)> {
+        let bound = opts.channel_bound.max(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel(bound);
+        let coordinator = std::thread::Builder::new().name("fast-rt-stream".into());
+        let plan = Arc::clone(&self);
+        let spawn_opts = opts.clone();
+        let items = Arc::new(items);
+        let moved = Arc::clone(&items);
+        let spawned = coordinator.spawn(move || {
+            stream_batch(&plan, &moved, &spawn_opts, &tx);
+        });
+        if let Err(_e) = spawned {
+            // Coordinator refused: evaluate inline on a channel wide
+            // enough to hold everything, so the caller never deadlocks.
+            fast_obs::count!("rt.pool_fallbacks");
+            let (tx, rx) = std::sync::mpsc::sync_channel(items.len().max(1));
+            let cx = self.batch_ctx(&opts);
+            for (i, t) in items.iter().enumerate() {
+                let _ = tx.send((i, run_item(&cx, t)));
+            }
+            return rx;
+        }
+        rx
+    }
+
+    fn batch_ctx<'p>(&'p self, opts: &RunOptions) -> BatchCtx<'p> {
+        BatchCtx {
+            plan: self,
+            cap: opts.cap,
+            timeout: opts.timeout,
+            memo: opts
+                .memo
+                .then(|| Sharded::new(opts.memo_capacity.max(crate::memo::SHARDS))),
+            memo_stats: CacheStats::default(),
+            la: Sharded::new(opts.memo_capacity.max(crate::memo::SHARDS)),
+            la_stats: CacheStats::default(),
+        }
+    }
+}
+
+/// Worker loop of [`Plan::run_stream`]: scoped workers claim items from
+/// an atomic cursor and send results as soon as they are ready.
+fn stream_batch(
+    plan: &Plan,
+    items: &[Tree],
+    opts: &RunOptions,
+    tx: &SyncSender<(usize, Result<Vec<Tree>, TransducerError>)>,
+) {
+    let cx = plan.batch_ctx(opts);
+    let workers = pool::resolve_workers(opts.workers).min(items.len()).max(1);
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let work = |tx: SyncSender<(usize, Result<Vec<Tree>, TransducerError>)>| {
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    return;
+                }
+                // A send error means the consumer hung up; stop quietly.
+                if tx.send((i, run_item(&cx, &items[i]))).is_err() {
+                    cursor.store(items.len(), Ordering::Relaxed);
+                    return;
+                }
+            }
+        };
+        for w in 1..workers {
+            let builder = std::thread::Builder::new().name(format!("fast-rt-stream-{w}"));
+            let tx = tx.clone();
+            if builder.spawn_scoped(scope, move || work(tx)).is_err() {
+                fast_obs::count!("rt.pool_fallbacks");
+            }
+        }
+        work(tx.clone());
+    });
+    let stats = finish_stats(&cx, &PoolStats::default(), items.len(), workers);
+    let _ = stats; // mirrored to fast_obs inside finish_stats
+}
+
+/// Evaluates one item under the batch context.
+fn run_item(cx: &BatchCtx<'_>, t: &Tree) -> Result<Vec<Tree>, TransducerError> {
+    let timeout_ms = cx
+        .timeout
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0);
+    let mut item = ItemRun {
+        cx,
+        deadline: cx.timeout.map(|d| Instant::now() + d),
+        timeout_ms,
+        ticks: 0,
+        local_memo: HashMap::new(),
+    };
+    let out = item.transduce(cx.plan.sttr.initial(), t)?;
+    Ok(out.as_ref().clone())
+}
+
+/// Publishes the batch's local counters into `fast_obs` and folds them
+/// into a [`BatchStats`].
+fn finish_stats(
+    cx: &BatchCtx<'_>,
+    pool_stats: &PoolStats,
+    items: usize,
+    workers: usize,
+) -> BatchStats {
+    let stats = BatchStats {
+        items,
+        workers,
+        memo_hits: cx.memo_stats.hits.load(Ordering::Relaxed),
+        memo_misses: cx.memo_stats.misses.load(Ordering::Relaxed),
+        memo_evictions: cx.memo_stats.evictions.load(Ordering::Relaxed),
+        la_hits: cx.la_stats.hits.load(Ordering::Relaxed),
+        steals: pool_stats.steals.load(Ordering::Relaxed),
+        spawn_fallbacks: pool_stats.fallbacks.load(Ordering::Relaxed),
+    };
+    fast_obs::count!("rt.memo_hits", stats.memo_hits);
+    fast_obs::count!("rt.memo_misses", stats.memo_misses);
+    fast_obs::count!("rt.memo_evictions", stats.memo_evictions);
+    fast_obs::count!("rt.la_cache_hits", stats.la_hits);
+    stats
+}
+
+impl<'b, 'p> ItemRun<'b, 'p> {
+    /// Cooperative deadline check, amortized over 256 evaluation steps.
+    fn tick(&mut self) -> Result<(), TransducerError> {
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks.is_multiple_of(256) {
+            if let Some(d) = self.deadline {
+                if Instant::now() > d {
+                    fast_obs::count!("rt.timeouts");
+                    return Err(TransducerError::Timeout {
+                        limit_ms: self.timeout_ms,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn memo_get(&mut self, key: &(usize, usize)) -> Option<Arc<Vec<Tree>>> {
+        match &self.cx.memo {
+            Some(shared) => shared.get(key, &self.cx.memo_stats),
+            None => self.local_memo.get(key).cloned(),
+        }
+    }
+
+    fn memo_put(&mut self, key: (usize, usize), value: Arc<Vec<Tree>>) {
+        match &self.cx.memo {
+            Some(shared) => shared.insert(key, value, &self.cx.memo_stats),
+            None => {
+                self.local_memo.insert(key, value);
+            }
+        }
+    }
+
+    /// The set of lookahead-STA states accepting `t`, from the shared
+    /// cache, computing (and caching) missing subtrees iteratively.
+    fn la_states(&mut self, t: &Tree) -> Result<Arc<BTreeSet<StateId>>, TransducerError> {
+        if self.cx.plan.la_state_count == 0 {
+            return Ok(empty_states().clone());
+        }
+        if let Some(s) = self.cx.la.get(&t.addr(), &self.cx.la_stats) {
+            return Ok(s);
+        }
+        // Explicit post-order stack (deep documents must not overflow),
+        // skipping every subtree already in the shared cache.
+        let plan = self.cx.plan;
+        let la = plan.sttr.lookahead_sta();
+        let alg = plan.sttr.alg();
+        let mut stack: Vec<(&Tree, bool)> = vec![(t, false)];
+        let mut computed: HashMap<usize, Arc<BTreeSet<StateId>>> = HashMap::new();
+        while let Some((node, expanded)) = stack.pop() {
+            self.tick()?;
+            if computed.contains_key(&node.addr()) {
+                continue;
+            }
+            if !expanded {
+                // Only probe the shared cache on first visit.
+                if let Some(s) = self.cx.la.get(&node.addr(), &self.cx.la_stats) {
+                    computed.insert(node.addr(), s);
+                    continue;
+                }
+                stack.push((node, true));
+                for c in node.children() {
+                    stack.push((c, false));
+                }
+                continue;
+            }
+            let mut accept = BTreeSet::new();
+            for lr in &plan.la_dispatch[node.ctor().0] {
+                if accept.contains(&lr.state) {
+                    continue;
+                }
+                let r = &la.rules(lr.state)[lr.idx];
+                if !lr.trivial_guard && !alg.eval(&r.guard, node.label()) {
+                    continue;
+                }
+                let ok = r.lookahead.iter().enumerate().all(|(i, set)| {
+                    set.is_empty() || set.is_subset(&computed[&node.child(i).addr()])
+                });
+                if ok {
+                    accept.insert(lr.state);
+                }
+            }
+            let rc = Arc::new(accept);
+            self.cx
+                .la
+                .insert(node.addr(), rc.clone(), &self.cx.la_stats);
+            computed.insert(node.addr(), rc);
+        }
+        Ok(computed.remove(&t.addr()).expect("root computed"))
+    }
+
+    /// `T_q(t)` under the plan's dispatch tables (Definition 7), memoized
+    /// on `(q, Tree::addr)`.
+    fn transduce(&mut self, q: StateId, t: &Tree) -> Result<Arc<Vec<Tree>>, TransducerError> {
+        self.tick()?;
+        let key = (q.0, t.addr());
+        if let Some(hit) = self.memo_get(&key) {
+            return Ok(hit);
+        }
+        let plan = self.cx.plan;
+        let alg = plan.sttr.alg();
+        let rules = plan.sttr.rules(q);
+        let mut out: Vec<Tree> = Vec::new();
+        for cr in &plan.dispatch[q.0][t.ctor().0] {
+            let r = &rules[cr.idx];
+            if !cr.trivial_guard && !alg.eval(&r.guard, t.label()) {
+                continue;
+            }
+            if cr.needs_la {
+                let mut ok = true;
+                for (i, set) in r.lookahead.iter().enumerate() {
+                    if set.is_empty() {
+                        continue;
+                    }
+                    let child_states = self.la_states(t.child(i))?;
+                    if !set.is_subset(&child_states) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+            }
+            out.extend(self.eval_out(&r.output, t)?);
+            if out.len() > self.cx.cap {
+                return Err(TransducerError::Budget {
+                    context: "run",
+                    limit: self.cx.cap,
+                });
+            }
+        }
+        if out.len() > 1 {
+            let set: BTreeSet<Tree> = out.into_iter().collect();
+            out = set.into_iter().collect();
+        }
+        let rc = Arc::new(out);
+        self.memo_put(key, rc.clone());
+        Ok(rc)
+    }
+
+    fn eval_out(
+        &mut self,
+        out: &Out<fast_smt::LabelAlg>,
+        t: &Tree,
+    ) -> Result<Vec<Tree>, TransducerError> {
+        let plan = self.cx.plan;
+        let alg = plan.sttr.alg();
+        match out {
+            Out::Call(q, i) => Ok(self.transduce(*q, t.child(*i))?.as_ref().clone()),
+            Out::Node {
+                ctor,
+                fun,
+                children,
+            } => {
+                let Some(label) = alg.apply_fun(fun, t.label()) else {
+                    return Ok(Vec::new());
+                };
+                let mut per_child: Vec<Vec<Tree>> = Vec::with_capacity(children.len());
+                for c in children {
+                    per_child.push(self.eval_out(c, t)?);
+                }
+                if per_child.iter().all(|v| v.len() == 1) {
+                    let kids = per_child
+                        .into_iter()
+                        .map(|mut v| v.pop().unwrap())
+                        .collect();
+                    return Ok(vec![Tree::new(*ctor, label, kids)]);
+                }
+                // Cartesian product over child alternatives, bounded by
+                // the batch cap exactly like `Sttr::run_bounded`.
+                let mut acc: Vec<Vec<Tree>> = vec![Vec::with_capacity(children.len())];
+                for opts in &per_child {
+                    let mut next = Vec::with_capacity(acc.len() * opts.len().max(1));
+                    for partial in &acc {
+                        for o in opts {
+                            let mut p = partial.clone();
+                            p.push(o.clone());
+                            next.push(p);
+                            if next.len() > self.cx.cap {
+                                return Err(TransducerError::Budget {
+                                    context: "run",
+                                    limit: self.cx.cap,
+                                });
+                            }
+                        }
+                    }
+                    acc = next;
+                }
+                Ok(acc
+                    .into_iter()
+                    .map(|kids| Tree::new(*ctor, label.clone(), kids))
+                    .collect())
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! A dependency-free work-stealing pool for batch workloads.
+//!
+//! The pool is *scoped*: workers are spawned inside
+//! [`std::thread::scope`] for the duration of one batch, so jobs may
+//! borrow the plan and the input trees without `'static` gymnastics or
+//! unsafe code. Work distribution follows the classic deque scheme
+//! (divvunspell's worker pool has the same shape): every worker owns a
+//! deque seeded round-robin with job indices, pops its own work from the
+//! front, and — when empty — steals from the *back* of a sibling's deque,
+//! minimizing contention on the hot end.
+//!
+//! Degradation is graceful twice over: a batch smaller than two jobs (or
+//! `workers <= 1`) runs inline with no threads at all, and if the OS
+//! refuses to spawn a worker (`std::thread::Builder::spawn` failure) the
+//! batch still completes — the calling thread doubles as worker 0 and
+//! drains every deque itself. `rt.pool_fallbacks` counts such events.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Outcome counters for one pooled batch.
+#[derive(Debug, Default)]
+pub(crate) struct PoolStats {
+    /// Jobs executed by a worker other than the one originally assigned.
+    pub steals: AtomicU64,
+    /// 1 if a worker thread failed to spawn and the batch degraded.
+    pub fallbacks: AtomicU64,
+}
+
+/// Runs `exec(0..n)` across `workers` threads (the calling thread
+/// included), returning results in index order.
+///
+/// `workers` is the *total* parallelism: `workers <= 1` runs inline.
+pub(crate) fn run_indexed<R, F>(workers: usize, n: usize, stats: &PoolStats, exec: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(&exec).collect();
+    }
+    let lanes = workers.min(n);
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..lanes)
+        .map(|w| {
+            // Round-robin seeding: lane w gets jobs w, w+lanes, w+2·lanes…
+            Mutex::new((w..n).step_by(lanes).collect())
+        })
+        .collect();
+
+    let work = |me: usize| -> Vec<(usize, R)> {
+        let mut out = Vec::new();
+        loop {
+            // Own work first (front), then steal from siblings (back).
+            let mut job = deques[me].lock().unwrap().pop_front();
+            if job.is_none() {
+                for other in (0..lanes).filter(|&o| o != me) {
+                    if let Some(stolen) = deques[other].lock().unwrap().pop_back() {
+                        stats.steals.fetch_add(1, Ordering::Relaxed);
+                        fast_obs::count!("rt.pool_steals");
+                        job = Some(stolen);
+                        break;
+                    }
+                }
+            }
+            match job {
+                Some(i) => out.push((i, exec(i))),
+                // Every deque was empty; jobs never spawn jobs, so the
+                // batch is drained.
+                None => return out,
+            }
+        }
+    };
+
+    let mut gathered: Vec<(usize, R)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 1..lanes {
+            let builder = std::thread::Builder::new().name(format!("fast-rt-{w}"));
+            match builder.spawn_scoped(scope, move || work(w)) {
+                Ok(h) => handles.push(h),
+                Err(_) => {
+                    // Spawn refused: the jobs seeded into lane w stay in
+                    // its deque and are stolen by whoever drains last.
+                    stats.fallbacks.fetch_add(1, Ordering::Relaxed);
+                    fast_obs::count!("rt.pool_fallbacks");
+                }
+            }
+        }
+        // The calling thread is worker 0.
+        gathered.extend(work(0));
+        for h in handles {
+            gathered.extend(h.join().expect("fast-rt worker panicked"));
+        }
+    });
+
+    debug_assert_eq!(gathered.len(), n);
+    gathered.sort_unstable_by_key(|(i, _)| *i);
+    gathered.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Resolves a worker-count request: `0` means "ask the OS", anything
+/// else is taken literally. Falls back to 1 when parallelism cannot be
+/// determined.
+pub(crate) fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let stats = PoolStats::default();
+        let out = run_indexed(4, 100, &stats, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inline_when_single_worker() {
+        let stats = PoolStats::default();
+        let out = run_indexed(1, 10, &stats, |i| i);
+        assert_eq!(out.len(), 10);
+        assert_eq!(stats.steals.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn uneven_work_gets_stolen() {
+        // Lane 0's jobs are slow; with several lanes the fast workers
+        // drain their own deques and steal the stragglers. (Timing-free:
+        // we only assert completion and order, steals are best-effort.)
+        let stats = PoolStats::default();
+        let out = run_indexed(4, 32, &stats, |i| {
+            if i % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_workers_than_jobs() {
+        let stats = PoolStats::default();
+        let out = run_indexed(16, 3, &stats, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+}

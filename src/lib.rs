@@ -16,6 +16,7 @@
 //! | [`trees`] | `fast-trees` | ranked tree types, trees, the Fig. 3 HTML encoding, generators |
 //! | [`automata`] | `fast-automata` | alternating STAs: Boolean operations and decision procedures |
 //! | [`core`] | `fast-core` | STTRs: run, domain, restriction, pre-image, **composition** |
+//! | [`rt`] | `fast-rt` | batch evaluation: compiled plans, shared memo, work-stealing pool |
 //! | [`lang`] | `fast-lang` | the Fast DSL: parser, compiler, evaluator, `fastc` CLI |
 //! | [`classical`] | `fast-classical` | finite-alphabet baseline (§6) |
 //!
@@ -50,6 +51,7 @@ pub use fast_automata as automata;
 pub use fast_classical as classical;
 pub use fast_core as core;
 pub use fast_lang as lang;
+pub use fast_rt as rt;
 pub use fast_smt as smt;
 pub use fast_trees as trees;
 
@@ -64,6 +66,7 @@ pub mod prelude {
         Sttr, SttrBuilder,
     };
     pub use fast_lang::compile;
+    pub use fast_rt::Plan;
     pub use fast_smt::{
         Atom, BoolAlg, CmpOp, Formula, Label, LabelAlg, LabelFn, LabelSig, Sort, Term, TransAlg,
         Value,

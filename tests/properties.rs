@@ -2,6 +2,12 @@
 //! brute force, Boolean language operations against pointwise membership,
 //! normalization/determinization/minimization as language-preserving
 //! transformations, and composition against sequential application.
+//!
+//! Shrunken counterexamples are not kept here: each historical failure
+//! is pinned as a deterministic test in the crate that owns the buggy
+//! operation (e.g. `crates/core/tests/preimage_regressions.rs`, with the
+//! original proptest seed line in the `properties.proptest-regressions`
+//! file beside it).
 
 use fast::prelude::*;
 use fast::smt::solver::{solve, SatResult};
