@@ -1,18 +1,31 @@
-//! `fastc` — compile, run, and statically check Fast programs.
+//! `fastc` — compile, run, profile, and statically check Fast programs.
 //!
-//! Two modes:
+//! Three modes:
 //!
-//! - **run** (default): `fastc <file.fast> [--quiet|-q] [--stats|-s]`
-//!   compiles the program, evaluates every definition and assertion,
-//!   prints the assertion report (and with `--stats` the sizes of every
-//!   compiled language and transformation plus the `fast-obs` telemetry
-//!   snapshot as JSON). Exits 1 if compilation fails or any assertion
-//!   fails.
+//! - **run** (default): `fastc <file.fast> [--quiet|-q] [--stats|-s]
+//!   [--trace FILE]` compiles the program, evaluates every definition
+//!   and assertion, prints the assertion report (and with `--stats` the
+//!   sizes of every compiled language and transformation plus the
+//!   `fast-obs` telemetry snapshot as JSON). Exits 1 if compilation
+//!   fails or any assertion fails.
 //! - **check**: `fastc check <file.fast> [--json] [--deny-warnings]
-//!   [--stats|-s]` runs the `fast-analysis` semantic checks (dead rules,
-//!   guard overlap, exhaustiveness, reachability, vacuous lookahead,
-//!   contract typechecking) and renders every diagnostic with a source
-//!   excerpt; `--json` emits the machine-readable form on stdout instead.
+//!   [--stats|-s] [--trace FILE]` runs the `fast-analysis` semantic
+//!   checks (dead rules, guard overlap, exhaustiveness, reachability,
+//!   vacuous lookahead, contract typechecking) and renders every
+//!   diagnostic with a source excerpt; `--json` emits the
+//!   machine-readable form on stdout instead.
+//! - **profile**: `fastc profile <file.fast> [--trees N] [--seed S]
+//!   [--top K] [--trans NAME] [--trace FILE] [--jsonl FILE]` compiles
+//!   the program with tracing on, generates `N` random input trees for
+//!   one transducer (the largest by states/rules unless `--trans` picks
+//!   one), runs them through a compiled `fast-rt` plan with per-rule
+//!   profiling, and prints a phase-time tree plus the hot-rules table.
+//!   `--trace` exports the span buffer as Chrome `trace_event` JSON
+//!   (loadable in Perfetto / `chrome://tracing`), `--jsonl` as
+//!   line-delimited JSON.
+//!
+//! `--trace FILE` on any mode enables span tracing for the whole
+//! invocation and writes the Chrome trace on exit.
 //!
 //! Exit codes: 0 clean; 1 run-mode failure, or check-mode warnings under
 //! `--deny-warnings`; 2 usage/IO errors, or check-mode error diagnostics
@@ -20,14 +33,27 @@
 
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: fastc <file.fast> [--quiet|-q] [--stats|-s]
-       fastc check <file.fast> [--json] [--deny-warnings] [--stats|-s]
+const USAGE: &str = "usage: fastc <file.fast> [--quiet|-q] [--stats|-s] [--trace FILE]
+       fastc check <file.fast> [--json] [--deny-warnings] [--stats|-s] [--trace FILE]
+       fastc profile <file.fast> [--trees N] [--seed S] [--top K] [--trans NAME]
+                     [--trace FILE] [--jsonl FILE] [--stats|-s]
        fastc --help
 
 modes:
   (default)        compile, evaluate definitions, and run assertions
   check            run semantic analysis (FA001-FA100) without failing
                    on assertions; see --json for machine-readable output
+  profile          batch-run one transducer over generated trees and
+                   report phase times and the hottest rules
+
+options:
+  --trace FILE     record hierarchical spans and write a Chrome
+                   trace_event JSON file (open in Perfetto)
+  --jsonl FILE     (profile) write the span buffer as JSON lines
+  --trees N        (profile) number of generated input trees [200]
+  --seed S         (profile) tree-generator seed [42]
+  --top K          (profile) rows in the hot-rules table [10]
+  --trans NAME     (profile) transducer to profile [largest]
 
 exit codes:
   0  clean (run: all assertions passed; check: no errors, and no
@@ -39,10 +65,11 @@ exit codes:
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("check") {
-        return check_mode(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("check") => check_mode(&args[1..]),
+        Some("profile") => profile_mode(&args[1..]),
+        _ => run_mode(&args),
     }
-    run_mode(&args)
 }
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -58,14 +85,42 @@ fn read_source(path: &str) -> Result<String, ExitCode> {
     })
 }
 
+/// Drains the span buffer and writes it to `path` as Chrome
+/// `trace_event` JSON. Returns exit code 2 on I/O failure.
+fn write_trace(path: &str) -> Result<(), ExitCode> {
+    let events = fast_obs::drain_events();
+    let json = fast_obs::trace::chrome_trace(&events).pretty();
+    std::fs::write(path, json).map_err(|e| {
+        eprintln!("fastc: cannot write trace '{path}': {e}");
+        ExitCode::from(2)
+    })
+}
+
+/// Parses a value-taking flag; `args[i]` is the flag itself.
+fn flag_value(args: &[String], i: usize) -> Result<String, ExitCode> {
+    args.get(i + 1).cloned().ok_or_else(|| {
+        eprintln!("fastc: '{}' needs a value", args[i]);
+        ExitCode::from(2)
+    })
+}
+
 fn run_mode(args: &[String]) -> ExitCode {
     let mut quiet = false;
     let mut stats = false;
+    let mut trace: Option<String> = None;
     let mut path: Option<String> = None;
-    for a in args {
-        match a.as_str() {
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--quiet" | "-q" => quiet = true,
             "--stats" | "-s" => stats = true,
+            "--trace" => {
+                match flag_value(args, i) {
+                    Ok(v) => trace = Some(v),
+                    Err(code) => return code,
+                }
+                i += 1;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -73,11 +128,15 @@ fn run_mode(args: &[String]) -> ExitCode {
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             other => return usage_error(&format!("unexpected argument '{other}'")),
         }
+        i += 1;
     }
     let Some(path) = path else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    if trace.is_some() {
+        fast_obs::set_tracing(true);
+    }
     let src = match read_source(&path) {
         Ok(s) => s,
         Err(code) => return code,
@@ -143,6 +202,11 @@ fn run_mode(args: &[String]) -> ExitCode {
         // run, as one JSON object (see ARCHITECTURE.md for the counters).
         println!("{}", fast_obs::snapshot().to_json().pretty());
     }
+    if let Some(out) = &trace {
+        if let Err(code) = write_trace(out) {
+            return code;
+        }
+    }
     if failed == 0 {
         ExitCode::SUCCESS
     } else {
@@ -154,12 +218,21 @@ fn check_mode(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut deny_warnings = false;
     let mut stats = false;
+    let mut trace: Option<String> = None;
     let mut path: Option<String> = None;
-    for a in args {
-        match a.as_str() {
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--json" => json = true,
             "--deny-warnings" => deny_warnings = true,
             "--stats" | "-s" => stats = true,
+            "--trace" => {
+                match flag_value(args, i) {
+                    Ok(v) => trace = Some(v),
+                    Err(code) => return code,
+                }
+                i += 1;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -167,6 +240,7 @@ fn check_mode(args: &[String]) -> ExitCode {
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             other => return usage_error(&format!("unexpected argument '{other}'")),
         }
+        i += 1;
     }
     let Some(path) = path else {
         return usage_error("check mode needs a <file.fast> argument");
@@ -175,6 +249,9 @@ fn check_mode(args: &[String]) -> ExitCode {
         Ok(s) => s,
         Err(code) => return code,
     };
+    if trace.is_some() {
+        fast_obs::set_tracing(true);
+    }
 
     // Collecting compile: every compile error is reported, not just the
     // first; analysis runs only when compilation succeeded.
@@ -209,6 +286,11 @@ fn check_mode(args: &[String]) -> ExitCode {
     if stats {
         println!("{}", fast_obs::snapshot().to_json().pretty());
     }
+    if let Some(out) = &trace {
+        if let Err(code) = write_trace(out) {
+            return code;
+        }
+    }
     if errors > 0 {
         ExitCode::from(2)
     } else if deny_warnings && warnings > 0 {
@@ -216,4 +298,160 @@ fn check_mode(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn profile_mode(args: &[String]) -> ExitCode {
+    let mut trees = 200usize;
+    let mut seed = 42u64;
+    let mut top = 10usize;
+    let mut trans: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut jsonl: Option<String> = None;
+    let mut stats = false;
+    let mut path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trees" | "--seed" | "--top" | "--trans" | "--trace" | "--jsonl" => {
+                let v = match flag_value(args, i) {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                match args[i].as_str() {
+                    "--trans" => trans = Some(v),
+                    "--trace" => trace = Some(v),
+                    "--jsonl" => jsonl = Some(v),
+                    flag => {
+                        let Ok(n) = v.parse::<u64>() else {
+                            return usage_error(&format!("'{flag}' needs a number, got '{v}'"));
+                        };
+                        match flag {
+                            "--trees" => trees = n as usize,
+                            "--seed" => seed = n,
+                            _ => top = n as usize,
+                        }
+                    }
+                }
+                i += 1;
+            }
+            "--stats" | "-s" => stats = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => return usage_error(&format!("unexpected argument '{other}'")),
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        return usage_error("profile mode needs a <file.fast> argument");
+    };
+    let src = match read_source(&path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+
+    // Tracing is always on in profile mode: the phase tree printed at
+    // the end is reconstructed from the span buffer.
+    fast_obs::set_tracing(true);
+
+    let compiled = {
+        let _span = fast_obs::span!("profile.compile");
+        match fast_lang::compile(&src) {
+            Ok(c) => c,
+            Err(d) => {
+                eprintln!("{path}:{d}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    // Pick the transducer to profile: --trans, or the largest by
+    // (states, rules) with the name as a deterministic tie-break.
+    let name = match &trans {
+        Some(n) => {
+            if compiled.transducer(n).is_none() {
+                eprintln!(
+                    "fastc: no transducer '{n}' in '{path}' (have: {})",
+                    compiled.transducer_names().join(", ")
+                );
+                return ExitCode::from(2);
+            }
+            n.clone()
+        }
+        None => {
+            let mut names = compiled.transducer_names();
+            names.sort_by_key(|n| {
+                let t = compiled.transducer(n).unwrap();
+                (
+                    std::cmp::Reverse(t.state_count()),
+                    std::cmp::Reverse(t.rule_count()),
+                    n.to_string(),
+                )
+            });
+            let Some(first) = names.first() else {
+                eprintln!("fastc: '{path}' defines no transducers to profile");
+                return ExitCode::from(2);
+            };
+            first.to_string()
+        }
+    };
+    let sttr = compiled.transducer(&name).unwrap();
+    let ty_name = compiled.transducer_type(&name).unwrap_or_default();
+    let Some(ty) = compiled.tree_type(ty_name) else {
+        eprintln!("fastc: cannot resolve input type '{ty_name}' of transducer '{name}'");
+        return ExitCode::from(2);
+    };
+
+    let inputs = fast_trees::TreeGen::new(seed).trees(ty, trees);
+    let plan = {
+        let _span = fast_obs::span!("profile.plan_compile");
+        fast_rt::Plan::compile(sttr)
+    };
+    let opts = fast_rt::RunOptions::default();
+    let (results, batch, profile) = {
+        let _span = fast_obs::span!("profile.run");
+        plan.run_batch_profiled(&inputs, &opts)
+    };
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+
+    println!(
+        "profile {path}: transducer '{name}' ({} states, {} rules), {} trees (seed {seed}), \
+         {ok} ok / {} err",
+        sttr.state_count(),
+        sttr.rule_count(),
+        inputs.len(),
+        results.len() - ok,
+    );
+    println!(
+        "batch: {} workers, memo {} hits / {} misses / {} evictions",
+        batch.workers, batch.memo_hits, batch.memo_misses, batch.memo_evictions
+    );
+
+    let events = fast_obs::drain_events();
+    let phases = fast_obs::trace::phase_tree(&events);
+    println!("\nphase times ({} spans):", events.len());
+    print!("{}", fast_obs::trace::render_tree(&phases));
+    println!("\nhot rules (top {top}):");
+    print!("{}", profile.render_hot(top));
+
+    if let Some(out) = &trace {
+        let json = fast_obs::trace::chrome_trace(&events).pretty();
+        if let Err(e) = std::fs::write(out, json) {
+            eprintln!("fastc: cannot write trace '{out}': {e}");
+            return ExitCode::from(2);
+        }
+        println!("\ntrace: {} events -> {out}", events.len());
+    }
+    if let Some(out) = &jsonl {
+        if let Err(e) = std::fs::write(out, fast_obs::trace::jsonl(&events)) {
+            eprintln!("fastc: cannot write jsonl '{out}': {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if stats {
+        println!("{}", fast_obs::snapshot().to_json().pretty());
+    }
+    ExitCode::SUCCESS
 }

@@ -109,6 +109,72 @@ fn syntax_error_reports_position() {
     assert!(stderr.contains("error at 1:"), "{stderr}");
 }
 
+/// `--stats` must end stdout with one machine-readable JSON object
+/// carrying the documented counter/histogram/timer keys, with every map
+/// deterministically sorted by name.
+#[test]
+fn stats_json_is_parseable_and_sorted() {
+    let path = programs_dir().join("sanitizer.fast");
+    let out = fastc().arg(&path).arg("--stats").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json_text = stats_json(&stdout);
+    let json = fast_json::Json::parse(json_text).expect("valid snapshot JSON");
+
+    let counters = json.get("counters").expect("counters key");
+    assert!(
+        counters
+            .get("smt.sat_queries")
+            .and_then(fast_json::Json::as_int)
+            .unwrap()
+            > 0
+    );
+    assert!(
+        counters
+            .get("compose.pair_states")
+            .and_then(fast_json::Json::as_int)
+            .unwrap()
+            > 0
+    );
+    // The sanitizer run exercises the solver, so its latency histogram
+    // must be populated with the documented percentile fields.
+    let smt_check = json.get("hists").and_then(|h| h.get("smt.check")).unwrap();
+    assert!(
+        smt_check
+            .get("count")
+            .and_then(fast_json::Json::as_int)
+            .unwrap()
+            > 0
+    );
+    for key in [
+        "p50_ns", "p90_ns", "p99_ns", "max_ns", "mean_ns", "total_ns",
+    ] {
+        assert!(smt_check.get(key).is_some(), "missing hists key {key}");
+    }
+    // Deterministic output: object keys arrive sorted.
+    for section in ["counters", "hists", "timers"] {
+        let fast_json::Json::Object(entries) = json.get(section).unwrap() else {
+            panic!("{section} is not an object");
+        };
+        let keys: Vec<&String> = entries.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "{section} keys are not sorted");
+    }
+}
+
+/// The telemetry snapshot is the pretty-printed JSON object that closes
+/// stdout; it starts at the last line that is exactly `{`.
+fn stats_json(stdout: &str) -> &str {
+    let start = stdout
+        .lines()
+        .rev()
+        .find(|l| *l == "{")
+        .map(|l| l.as_ptr() as usize - stdout.as_ptr() as usize)
+        .expect("a JSON object on stdout");
+    &stdout[start..]
+}
+
 // -------------------------------------------------------------- check mode
 
 /// `fastc check --deny-warnings` over every shipped program: the
@@ -244,4 +310,92 @@ fn check_missing_file_and_bad_args() {
     assert_eq!(out.status.code(), Some(2));
     let out = fastc().arg("check").arg("--help").output().unwrap();
     assert!(out.status.success());
+}
+
+// ------------------------------------------------------------ profile mode
+
+/// End-to-end `fastc profile`: phase tree and hot-rule table on stdout,
+/// and a well-formed Chrome trace on disk with spans from the smt,
+/// compose, and rt subsystems.
+#[test]
+fn profile_sanitizer_emits_phase_tree_hot_rules_and_chrome_trace() {
+    let dir = std::env::temp_dir().join("fastc_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("profile_trace.json");
+    let jsonl = dir.join("profile_trace.jsonl");
+    let out = fastc()
+        .arg("profile")
+        .arg(programs_dir().join("sanitizer.fast"))
+        .args(["--trees", "50", "--seed", "7", "--top", "5"])
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--jsonl")
+        .arg(&jsonl)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "profile failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("phase times"), "{stdout}");
+    assert!(stdout.contains("hot rules"), "{stdout}");
+    assert!(stdout.contains("rt.run_batch"), "{stdout}");
+    assert!(stdout.contains("profile.compile"), "{stdout}");
+
+    // The Chrome trace round-trips through fast-json and carries spans
+    // from each pipeline stage, nested via depth.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let json = fast_json::Json::parse(&text).expect("valid Chrome trace JSON");
+    let events = json
+        .get("traceEvents")
+        .and_then(fast_json::Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(fast_json::Json::as_str))
+        .collect();
+    for expected in ["smt.solve", "compose.total", "rt.run_batch", "rt.item"] {
+        assert!(names.contains(&expected), "no '{expected}' span in trace");
+    }
+    assert!(events.iter().any(|e| {
+        e.get("args")
+            .and_then(|a| a.get("depth"))
+            .and_then(fast_json::Json::as_int)
+            .is_some_and(|d| d > 0)
+    }));
+
+    // The JSONL export has one JSON object per line.
+    let lines = std::fs::read_to_string(&jsonl).unwrap();
+    assert!(!lines.trim().is_empty());
+    for line in lines.lines() {
+        fast_json::Json::parse(line).expect("each jsonl line parses");
+    }
+}
+
+#[test]
+fn profile_rejects_unknown_transducer_and_bad_args() {
+    let path = programs_dir().join("sanitizer.fast");
+    let out = fastc()
+        .arg("profile")
+        .arg(&path)
+        .args(["--trans", "nope"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no transducer 'nope'"), "{stderr}");
+
+    let out = fastc()
+        .arg("profile")
+        .arg(&path)
+        .args(["--trees", "many"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = fastc().arg("profile").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
 }

@@ -255,6 +255,7 @@ impl<A: BoolAlg<Elem = Label>> Dbta<A> {
 /// states.
 pub fn determinize<A: BoolAlg<Elem = Label>>(sta: &Sta<A>) -> Result<Dbta<A>, AutomataError> {
     assert!(sta.is_normalized(), "determinize requires a normalized STA");
+    let _span = fast_obs::span!("automata.determinize");
     let alg = sta.alg().clone();
     let ty = sta.ty().clone();
 

@@ -49,6 +49,7 @@ pub fn union<A: BoolAlg<Elem = Label>>(a: &Sta<A>, b: &Sta<A>) -> Sta<A> {
 ///
 /// Panics if the automata have different tree types.
 pub fn intersect<A: BoolAlg<Elem = Label>>(a: &Sta<A>, b: &Sta<A>) -> Sta<A> {
+    let _span = fast_obs::span!("automata.intersect");
     let alg = a.alg().clone();
     let mut out = a.clone();
     let offset = out.absorb(b);

@@ -61,14 +61,23 @@ fn main() {
         .collect();
     let seq_ms = start.elapsed().as_secs_f64() * 1e3;
 
-    // Mode 2: compiled plan + shared memo, single worker.
+    // Mode 2: compiled plan + shared memo, single worker. The snapshot
+    // delta around the run isolates this batch's `rt.item` histogram,
+    // giving per-item latency percentiles.
     let opts1 = RunOptions {
         workers: 1,
         ..RunOptions::default()
     };
+    let before = fast_obs::snapshot();
     let start = Instant::now();
     let (plan_results, plan_stats) = plan.run_batch_with(&batch, &opts1);
     let plan_ms = start.elapsed().as_secs_f64() * 1e3;
+    let item_hist = fast_obs::snapshot()
+        .delta_from(&before)
+        .hists
+        .get("rt.item")
+        .cloned()
+        .unwrap_or_else(fast_obs::HistSnapshot::empty);
 
     // Mode 3: plan across the pool (worker count from the OS).
     let opts_pool = RunOptions::default();
@@ -104,6 +113,31 @@ fn main() {
         pool_stats.steals,
         pool_stats.memo_hit_rate() * 100.0,
     );
+    println!(
+        "per-item latency (plan mode): p50 {:.1}µs  p99 {:.1}µs  max {:.1}µs",
+        item_hist.quantile(0.5) as f64 / 1e3,
+        item_hist.quantile(0.99) as f64 / 1e3,
+        item_hist.max_ns as f64 / 1e3,
+    );
+
+    // Tracing-overhead probe: re-run plan mode twice with the subscriber
+    // off (the second run bounds run-to-run noise), then once with it
+    // on. Span recording should cost within noise of an untraced run.
+    let start = Instant::now();
+    let _ = plan.run_batch_with(&batch, &opts1);
+    let repeat_ms = start.elapsed().as_secs_f64() * 1e3;
+    fast_obs::set_tracing(true);
+    let start = Instant::now();
+    let _ = plan.run_batch_with(&batch, &opts1);
+    let traced_ms = start.elapsed().as_secs_f64() * 1e3;
+    fast_obs::set_tracing(false);
+    let trace_events = fast_obs::drain_events().len();
+    let noise_pct = (repeat_ms - plan_ms).abs() / plan_ms.max(1e-9) * 100.0;
+    let overhead_pct = (traced_ms - repeat_ms) / repeat_ms.max(1e-9) * 100.0;
+    println!(
+        "tracing overhead: untraced {repeat_ms:.1} ms (noise ±{noise_pct:.1}%), \
+         traced {traced_ms:.1} ms ({overhead_pct:+.1}%, {trace_events} events)",
+    );
 
     fast_bench::telemetry::emit_with(
         "rt_batch",
@@ -122,6 +156,14 @@ fn main() {
             ("memo_hit_rate", Json::Float(plan_stats.memo_hit_rate())),
             ("pool_workers", Json::Int(pool_stats.workers as i64)),
             ("pool_steals", Json::Int(pool_stats.steals as i64)),
+            ("item_p50_ns", Json::Int(item_hist.quantile(0.5) as i64)),
+            ("item_p99_ns", Json::Int(item_hist.quantile(0.99) as i64)),
+            ("item_max_ns", Json::Int(item_hist.max_ns as i64)),
+            ("plan_repeat_ms", Json::Float(repeat_ms)),
+            ("traced_ms", Json::Float(traced_ms)),
+            ("trace_noise_pct", Json::Float(noise_pct)),
+            ("trace_overhead_pct", Json::Float(overhead_pct)),
+            ("trace_events", Json::Int(trace_events as i64)),
         ],
     );
 }

@@ -226,6 +226,7 @@ pub fn preimage<A: TransAlg<Elem = Label>>(
     target: &Sta<A>,
 ) -> Result<Sta<A>, TransducerError> {
     assert_eq!(sttr.ty(), target.ty(), "tree type mismatch");
+    let _span = fast_obs::span!("compose.preimage");
     let norm = clean(&normalize(target)?);
     let mut b = PreimageBuilder::new(sttr, &norm, ComposeOptions::default());
     let root = b.pair(sttr.initial(), norm.initial())?;
@@ -308,6 +309,7 @@ impl<'a, A: TransAlg<Elem = Label>> ComposeCtx<'a, A> {
         v: &Ext<'_, A>,
     ) -> Result<Vec<Reduced<A>>, TransducerError> {
         fast_obs::count!("compose.reduce_iterations");
+        let _span = fast_obs::span!("compose.reduce");
         let alg = self.s.alg().clone();
         match v {
             // Case 1: q̃(p̃(yᵢ)) → p.q(yᵢ).
@@ -439,6 +441,7 @@ pub fn compose_with<A: TransAlg<Elem = Label>>(
     opts: ComposeOptions,
 ) -> Result<Sttr<A>, TransducerError> {
     assert_eq!(s.ty(), t.ty(), "tree type mismatch");
+    let _span = fast_obs::span!("compose.total");
     let alg = s.alg().clone();
 
     // Normalized domain automaton of t, rooted at every per-rule child

@@ -1,0 +1,268 @@
+//! Log-bucketed latency histograms.
+//!
+//! A [`Hist`] is a fixed array of 64 power-of-two nanosecond buckets
+//! (bucket 0 holds exact zeros, bucket *i* ≥ 1 holds durations in
+//! `[2^(i-1), 2^i)` ns) plus count/sum/max, all relaxed atomics — so a
+//! hot path records a sample with four lock-free adds and no allocation.
+//! Histograms with the same bucketing merge exactly (bucket-wise
+//! addition), which is what makes per-shard / per-run snapshots
+//! composable, and quantiles are answered from the bucket boundaries
+//! (an upper bound, clamped to the observed maximum).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fast_json::Json;
+
+/// Number of power-of-two nanosecond buckets in a [`Hist`].
+pub const HIST_BUCKETS: usize = 64;
+
+/// Index of the bucket holding a `ns` sample: 0 for an exact zero,
+/// otherwise `floor(log2(ns)) + 1` clamped to the last bucket.
+#[inline]
+fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        (64 - ns.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Upper bound (inclusive representative) of bucket `i` in nanoseconds.
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A lock-free log-bucketed histogram of nanosecond durations.
+///
+/// Obtained from [`crate::histogram`]; references are `'static` and
+/// cheap to cache at a call site. Recording is wait-free (relaxed
+/// atomics only), so it is safe on paths as hot as the solver cache.
+#[derive(Debug)]
+pub struct Hist {
+    pub(crate) buckets: [AtomicU64; HIST_BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    pub(crate) max: AtomicU64,
+}
+
+impl Hist {
+    pub(crate) fn new() -> Hist {
+        Hist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration sample of `ns` nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] sample.
+    #[inline]
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Captures the current bucket counts as a mergeable snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum.load(Ordering::Relaxed),
+            max_ns: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Hist`]: bucket counts plus summary
+/// statistics, with exact merge and (bucket-wise) delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts ([`HIST_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples in nanoseconds.
+    pub sum_ns: u64,
+    /// Largest sample in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl HistSnapshot {
+    /// An empty histogram snapshot (zero samples).
+    pub fn empty() -> HistSnapshot {
+        HistSnapshot {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket **upper bound** in
+    /// nanoseconds, clamped to [`HistSnapshot::max_ns`]. Log-bucketing
+    /// means the answer is within 2× of the true quantile. Returns 0 on
+    /// an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Exact bucket-wise merge of two snapshots.
+    pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .map(|(a, b)| a + b)
+                .collect(),
+            count: self.count + other.count,
+            sum_ns: self.sum_ns + other.sum_ns,
+            max_ns: self.max_ns.max(other.max_ns),
+        }
+    }
+
+    /// Bucket-wise difference `self - earlier` (saturating). Because a
+    /// maximum cannot be differenced, `max_ns` keeps the **later**
+    /// snapshot's value — an upper bound on the interval's maximum.
+    pub fn delta_from(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum_ns: self.sum_ns.saturating_sub(earlier.sum_ns),
+            max_ns: self.max_ns,
+        }
+    }
+
+    /// Renders the summary statistics (count, total, mean, max, and the
+    /// p50/p90/p99 quantiles, all in nanoseconds) as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::Int(self.count as i64)),
+            ("total_ns", Json::Int(self.sum_ns as i64)),
+            ("mean_ns", Json::Int(self.mean_ns() as i64)),
+            ("p50_ns", Json::Int(self.quantile(0.50) as i64)),
+            ("p90_ns", Json::Int(self.quantile(0.90) as i64)),
+            ("p99_ns", Json::Int(self.quantile(0.99) as i64)),
+            ("max_ns", Json::Int(self.max_ns as i64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_cover_distribution() {
+        let h = Hist::new();
+        for _ in 0..90 {
+            h.record_ns(100); // bucket [64,128)
+        }
+        for _ in 0..10 {
+            h.record_ns(10_000); // bucket [8192,16384)
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert!(s.quantile(0.5) >= 100 && s.quantile(0.5) < 128);
+        assert!(s.quantile(0.99) >= 10_000);
+        assert_eq!(s.quantile(0.99).max(s.max_ns), s.max_ns);
+        assert_eq!(s.mean_ns(), (90 * 100 + 10 * 10_000) / 100);
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        let s = HistSnapshot::empty();
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean_ns(), 0);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let a = Hist::new();
+        let b = Hist::new();
+        a.record_ns(5);
+        a.record_ns(500);
+        b.record_ns(50_000);
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.sum_ns, 5 + 500 + 50_000);
+        assert_eq!(m.max_ns, 50_000);
+        assert_eq!(m.buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn delta_subtracts_buckets() {
+        let h = Hist::new();
+        h.record_ns(10);
+        let before = h.snapshot();
+        h.record_ns(1_000);
+        h.record_ns(1_000);
+        let d = h.snapshot().delta_from(&before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum_ns, 2_000);
+        assert_eq!(d.buckets.iter().sum::<u64>(), 2);
+        // Delta against an empty snapshot is the identity.
+        let id = h.snapshot().delta_from(&HistSnapshot::empty());
+        assert_eq!(id, h.snapshot());
+    }
+
+    #[test]
+    fn json_has_percentiles() {
+        let h = Hist::new();
+        h.record_ns(42);
+        let j = h.snapshot().to_json();
+        for key in ["count", "total_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+    }
+}

@@ -1,9 +1,22 @@
-//! # fast-obs — workspace telemetry
+//! # fast-obs — workspace observability
 //!
-//! A process-wide registry of named monotonic counters and wall-clock
-//! timers, designed so hot paths pay one relaxed atomic add and cold
-//! paths (CLI `--stats`, bench binaries) can capture everything as a
-//! [`Snapshot`] and print it as JSON.
+//! Three layers, cheapest first:
+//!
+//! 1. **Counters** — process-wide named monotonic counters; hot paths
+//!    pay one relaxed atomic add ([`count!`], [`counter`]).
+//! 2. **Histograms** — log-bucketed latency histograms ([`histogram`],
+//!    [`Hist`]): 64 power-of-two nanosecond buckets recorded lock-free,
+//!    merged exactly, summarized as p50/p90/p99/max. [`time`] feeds both
+//!    the legacy `(calls, total_ns)` timer table and the histogram of
+//!    the same name.
+//! 3. **Spans** — hierarchical wall-clock spans ([`span!`],
+//!    [`SpanGuard`]) recorded into a lock-sharded buffer when the global
+//!    subscriber is on ([`set_tracing`]) and costing one relaxed load
+//!    when it is off. Exported as Chrome `trace_event` JSON, JSON lines,
+//!    or an aggregated phase tree (see [`trace`]).
+//!
+//! Cold paths (CLI `--stats`, bench binaries, `fastc profile`) capture
+//! everything as a [`Snapshot`] and print it as JSON.
 //!
 //! ## Counter naming
 //!
@@ -35,15 +48,29 @@
 //! | `rt.pool_steals` | a pool worker steals a job from a sibling's deque |
 //! | `rt.pool_fallbacks` | a worker thread fails to spawn and the batch degrades |
 //! | `rt.timeouts` | a batch item exceeds its per-item deadline |
+//! | `obs.trace_dropped` | the span buffer is full and an event is discarded |
+//!
+//! This table is load-bearing: it must list exactly the names in
+//! [`DOCUMENTED_COUNTERS`], and `tests/doc_consistency.rs` greps the
+//! workspace to ensure every emitted counter appears here — the table
+//! cannot silently drift from the code.
 //!
 //! (`LabelAlg::check` and `Interned<Formula>` live in `fast-smt`; the
 //! `rt.*` family is emitted by `fast-rt`, which also mirrors the same
 //! numbers per batch in its `BatchStats`.)
 //!
-//! The analyzer additionally records wall-clock timers per diagnostic
-//! family (`analysis.check.fa001` … `analysis.check.fa100`) and
-//! `analysis.total` for a whole `fastc check` pass; `fast-rt` records
-//! `rt.run_batch` around each batch.
+//! ## Duration naming
+//!
+//! Wall-clock durations (timers, histograms, spans) share one dotted
+//! namespace, listed in [`DOCUMENTED_DURATIONS`]: per-family analyzer
+//! timers (`analysis.check.fa001` … `analysis.check.fa100`,
+//! `analysis.total`), solver latency (`smt.check` per query, `smt.solve`
+//! spans around actual solver misses), composition phases
+//! (`compose.total`, `compose.reduce`, `compose.preimage`), automata
+//! algorithms (`automata.intersect`, `automata.determinize`), runtime
+//! phases (`rt.run_batch` per batch, `rt.item` per input tree,
+//! `plan.dispatch` per memoized dispatch), and the `fastc profile`
+//! phases (`profile.compile`, `profile.plan_compile`, `profile.run`).
 //!
 //! ## Reading a snapshot
 //!
@@ -52,6 +79,7 @@
 //! fast_obs::time("demo.build", || ());
 //! let snap = fast_obs::snapshot();
 //! assert_eq!(snap.get("demo.widgets"), 3);
+//! assert_eq!(snap.hists.get("demo.build").unwrap().count, 1);
 //! let json = snap.to_json().to_string();
 //! assert!(json.contains("\"demo.widgets\":3"));
 //! ```
@@ -67,6 +95,74 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use fast_json::Json;
+
+mod hist;
+pub mod span;
+pub mod trace;
+
+pub use hist::{Hist, HistSnapshot, HIST_BUCKETS};
+pub use span::{
+    drain_events, events_len, set_tracing, tracing_enabled, SpanEvent, SpanGuard, MAX_EVENTS,
+};
+
+/// Every counter name the workspace emits, mirrored by the doc table in
+/// the crate docs (kept in sync by `tests/doc_consistency.rs`). Shard
+/// families are covered by [`DOCUMENTED_COUNTER_PREFIXES`].
+pub const DOCUMENTED_COUNTERS: &[&str] = &[
+    "smt.sat_queries",
+    "smt.cache_misses",
+    "smt.unknown_results",
+    "smt.intern_hits",
+    "smt.intern_misses",
+    "smt.minterms_enumerated",
+    "automata.product_states",
+    "automata.det_states",
+    "compose.reduce_iterations",
+    "compose.pair_states",
+    "compose.preimage_pairs",
+    "analysis.rules_checked",
+    "analysis.solver_calls",
+    "analysis.diags_emitted",
+    "rt.batch_runs",
+    "rt.batch_items",
+    "rt.memo_hits",
+    "rt.memo_misses",
+    "rt.memo_evictions",
+    "rt.la_cache_hits",
+    "rt.pool_steals",
+    "rt.pool_fallbacks",
+    "rt.timeouts",
+    "obs.trace_dropped",
+];
+
+/// Counter-name prefixes expanding to indexed families (the 16 solver
+/// cache shards).
+pub const DOCUMENTED_COUNTER_PREFIXES: &[&str] = &["smt.cache_hits.shard"];
+
+/// Every wall-clock duration name the workspace emits — as a timer
+/// ([`time`]), a histogram ([`histogram`]), or a span ([`span!`]).
+pub const DOCUMENTED_DURATIONS: &[&str] = &[
+    "analysis.check.fa001",
+    "analysis.check.fa002",
+    "analysis.check.fa003",
+    "analysis.check.fa004",
+    "analysis.check.fa005",
+    "analysis.check.fa100",
+    "analysis.total",
+    "smt.check",
+    "smt.solve",
+    "compose.total",
+    "compose.reduce",
+    "compose.preimage",
+    "automata.intersect",
+    "automata.determinize",
+    "rt.run_batch",
+    "rt.item",
+    "plan.dispatch",
+    "profile.compile",
+    "profile.plan_compile",
+    "profile.run",
+];
 
 /// A single monotonic telemetry counter.
 ///
@@ -100,6 +196,7 @@ impl Counter {
 struct Registry {
     counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
     timers: Mutex<BTreeMap<&'static str, (u64, u64)>>, // name -> (calls, total ns)
+    hists: Mutex<BTreeMap<&'static str, &'static Hist>>,
 }
 
 fn registry() -> &'static Registry {
@@ -107,6 +204,7 @@ fn registry() -> &'static Registry {
     REG.get_or_init(|| Registry {
         counters: Mutex::new(BTreeMap::new()),
         timers: Mutex::new(BTreeMap::new()),
+        hists: Mutex::new(BTreeMap::new()),
     })
 }
 
@@ -130,12 +228,25 @@ pub fn counter(name: &'static str) -> &'static Counter {
     })
 }
 
-/// Times `f` under the wall-clock timer `name`, recording one call and
-/// its duration in nanoseconds.
+/// Looks up (or registers) the process-wide latency histogram named
+/// `name`. Like [`counter`], the reference is `'static`; hot paths cache
+/// it and pay only relaxed atomic adds per [`Hist::record_ns`].
+pub fn histogram(name: &'static str) -> &'static Hist {
+    let mut map = registry().hists.lock().unwrap();
+    map.entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Hist::new())))
+}
+
+/// Times `f` under the wall-clock duration `name`: records one call and
+/// its total in the timer table **and** a sample in the histogram of the
+/// same name, and (when the subscriber is on) emits a span, so the call
+/// shows up in traces with its children correctly parented.
 pub fn time<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    let _span = span::SpanGuard::enter(name);
     let start = Instant::now();
     let out = f();
     let ns = start.elapsed().as_nanos() as u64;
+    histogram(name).record_ns(ns);
     let mut map = registry().timers.lock().unwrap();
     let entry = map.entry(name).or_insert((0, 0));
     entry.0 += 1;
@@ -143,16 +254,19 @@ pub fn time<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
     out
 }
 
-/// A point-in-time copy of every registered counter and timer.
+/// A point-in-time copy of every registered counter, timer, and
+/// histogram.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Snapshot {
     /// Counter values, sorted by name.
     pub counters: BTreeMap<String, u64>,
     /// Timer totals, sorted by name: `(calls, total nanoseconds)`.
     pub timers: BTreeMap<String, (u64, u64)>,
+    /// Latency histograms, sorted by name.
+    pub hists: BTreeMap<String, HistSnapshot>,
 }
 
-/// Captures the current value of every counter and timer.
+/// Captures the current value of every counter, timer, and histogram.
 pub fn snapshot() -> Snapshot {
     let reg = registry();
     let counters = reg
@@ -162,17 +276,38 @@ pub fn snapshot() -> Snapshot {
         .iter()
         .map(|(name, c)| (name.to_string(), c.get()))
         .collect();
-    let timers = reg.timers.lock().unwrap().clone();
+    let timers = reg
+        .timers
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect();
+    let hists = reg
+        .hists
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, h)| (k.to_string(), h.snapshot()))
+        .collect();
     Snapshot {
         counters,
-        timers: timers
-            .into_iter()
-            .map(|(k, v)| (k.to_string(), v))
-            .collect(),
+        timers,
+        hists,
     }
 }
 
 impl Snapshot {
+    /// An empty snapshot (no counters, timers, or histograms) — the
+    /// identity for [`Snapshot::merge`] and [`Snapshot::delta_from`].
+    pub fn empty() -> Snapshot {
+        Snapshot {
+            counters: BTreeMap::new(),
+            timers: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+
     /// The value of counter `name` (0 if never registered).
     pub fn get(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -189,11 +324,15 @@ impl Snapshot {
             .sum()
     }
 
-    /// Counter-wise difference `self - earlier` (saturating), keeping
-    /// only counters that changed. Timers are differenced the same way.
+    /// Difference `self - earlier` (saturating), keeping only entries
+    /// that changed: counter-wise for counters, `(calls, ns)`-wise for
+    /// timers, and bucket-wise for histograms
+    /// ([`HistSnapshot::delta_from`]; the delta's `max_ns` keeps the
+    /// later snapshot's maximum, an upper bound for the interval).
     ///
     /// Because counters are global and monotonic, this is how a test or
-    /// bench isolates its own activity.
+    /// bench isolates its own activity. Differencing against
+    /// [`Snapshot::empty`] returns the changed entries unchanged.
     pub fn delta_from(&self, earlier: &Snapshot) -> Snapshot {
         let counters = self
             .counters
@@ -212,13 +351,61 @@ impl Snapshot {
                 (d.0 > 0).then(|| (k.clone(), d))
             })
             .collect();
-        Snapshot { counters, timers }
+        let hists = self
+            .hists
+            .iter()
+            .filter_map(|(k, h)| {
+                let d = match earlier.hists.get(k) {
+                    Some(h0) => h.delta_from(h0),
+                    None => h.clone(),
+                };
+                (d.count > 0).then(|| (k.clone(), d))
+            })
+            .collect();
+        Snapshot {
+            counters,
+            timers,
+            hists,
+        }
     }
 
-    /// Renders the snapshot as a JSON object:
+    /// Entry-wise sum of two snapshots: counters add, timers add both
+    /// calls and nanoseconds, histograms merge exactly
+    /// ([`HistSnapshot::merge`]). [`Snapshot::empty`] is the identity.
+    /// This is how per-process `BENCH_*.json` snapshots roll up into a
+    /// fleet-wide view.
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        let mut counters = self.counters.clone();
+        for (k, v) in &other.counters {
+            *counters.entry(k.clone()).or_insert(0) += v;
+        }
+        let mut timers = self.timers.clone();
+        for (k, (c, n)) in &other.timers {
+            let e = timers.entry(k.clone()).or_insert((0, 0));
+            e.0 += c;
+            e.1 += n;
+        }
+        let mut hists = self.hists.clone();
+        for (k, h) in &other.hists {
+            let merged = match hists.get(k) {
+                Some(mine) => mine.merge(h),
+                None => h.clone(),
+            };
+            hists.insert(k.clone(), merged);
+        }
+        Snapshot {
+            counters,
+            timers,
+            hists,
+        }
+    }
+
+    /// Renders the snapshot as a JSON object with deterministically
+    /// sorted keys (every map is a `BTreeMap`):
     ///
     /// ```json
     /// {"counters":{"smt.sat_queries":12,...},
+    ///  "hists":{"smt.check":{"count":12,"p50_ns":310,...}},
     ///  "timers":{"compose.total":{"calls":1,"total_ns":5120}}}
     /// ```
     pub fn to_json(&self) -> Json {
@@ -226,6 +413,12 @@ impl Snapshot {
             self.counters
                 .iter()
                 .map(|(k, v)| (k.clone(), Json::Int(*v as i64)))
+                .collect(),
+        );
+        let hists = Json::Object(
+            self.hists
+                .iter()
+                .map(|(k, h)| (k.clone(), h.to_json()))
                 .collect(),
         );
         let timers = Json::Object(
@@ -242,7 +435,7 @@ impl Snapshot {
                 })
                 .collect(),
         );
-        Json::obj([("counters", counters), ("timers", timers)])
+        Json::obj([("counters", counters), ("hists", hists), ("timers", timers)])
     }
 }
 
@@ -262,6 +455,22 @@ macro_rules! count {
     ($name:literal, $n:expr) => {{
         static __C: ::std::sync::OnceLock<&'static $crate::Counter> = ::std::sync::OnceLock::new();
         __C.get_or_init(|| $crate::counter($name)).add($n);
+    }};
+}
+
+/// Records a nanosecond sample into a named histogram, caching the
+/// registry lookup at the call site (the histogram analogue of
+/// [`count!`]).
+///
+/// ```
+/// fast_obs::observe!("demo.latency", 1500);
+/// assert!(fast_obs::snapshot().hists.get("demo.latency").unwrap().count >= 1);
+/// ```
+#[macro_export]
+macro_rules! observe {
+    ($name:literal, $ns:expr) => {{
+        static __H: ::std::sync::OnceLock<&'static $crate::Hist> = ::std::sync::OnceLock::new();
+        __H.get_or_init(|| $crate::histogram($name)).record_ns($ns);
     }};
 }
 
@@ -293,22 +502,70 @@ mod tests {
     }
 
     #[test]
-    fn timers_record_calls() {
+    fn timers_record_calls_and_histograms() {
         let before = snapshot();
         let v = time("test.timer", || 41 + 1);
         assert_eq!(v, 42);
         let d = snapshot().delta_from(&before);
         assert_eq!(d.timers.get("test.timer").unwrap().0, 1);
+        assert_eq!(d.hists.get("test.timer").unwrap().count, 1);
+    }
+
+    #[test]
+    fn hist_delta_and_merge_through_snapshot() {
+        let before = snapshot();
+        observe!("test.hist_roundtrip", 100);
+        observe!("test.hist_roundtrip", 200_000);
+        let d = snapshot().delta_from(&before);
+        let h = d.hists.get("test.hist_roundtrip").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum_ns, 200_100);
+        // Merging the delta with itself doubles counts exactly.
+        let m = d.merge(&d);
+        assert_eq!(m.hists.get("test.hist_roundtrip").unwrap().count, 4);
+        assert_eq!(
+            m.hists.get("test.hist_roundtrip").unwrap().sum_ns,
+            2 * 200_100
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_is_identity() {
+        counter("test.empty_edge").incr();
+        observe!("test.empty_edge_hist", 10);
+        let s = snapshot();
+        let empty = Snapshot::empty();
+        // delta against empty keeps everything …
+        let d = s.delta_from(&empty);
+        assert_eq!(d.get("test.empty_edge"), s.get("test.empty_edge"));
+        assert_eq!(
+            d.hists.get("test.empty_edge_hist"),
+            s.hists.get("test.empty_edge_hist")
+        );
+        // … merge with empty changes nothing …
+        assert_eq!(s.merge(&empty), s);
+        assert_eq!(empty.merge(&s), s);
+        // … and delta of empty from anything is empty.
+        let nothing = empty.delta_from(&s);
+        assert!(nothing.counters.is_empty());
+        assert!(nothing.timers.is_empty());
+        assert!(nothing.hists.is_empty());
     }
 
     #[test]
     fn json_shape() {
         counter("test.json").incr();
+        time("test.json_timer", || ());
         let j = snapshot().to_json();
         assert!(j.get("counters").is_some());
         assert!(j.get("timers").is_some());
+        assert!(j.get("hists").is_some());
         let text = j.to_string();
         let parsed = fast_json::Json::parse(&text).unwrap();
         assert!(parsed.get("counters").unwrap().get("test.json").is_some());
+        let h = parsed.get("hists").unwrap().get("test.json_timer").unwrap();
+        for key in ["count", "p50_ns", "p90_ns", "p99_ns", "max_ns"] {
+            assert!(h.get(key).is_some(), "missing {key}");
+        }
     }
 }

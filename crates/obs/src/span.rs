@@ -1,0 +1,266 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A span is an RAII guard ([`SpanGuard`], usually created through the
+//! [`crate::span!`] macro) that measures the wall-clock interval between
+//! its creation and its drop. Spans nest: each thread keeps a depth
+//! counter and a monotonically increasing sequence number, so the
+//! recorded events reconstruct the exact enter-order tree per thread
+//! (see [`crate::trace::phase_tree`]).
+//!
+//! Recording is **off by default**. When the global subscriber is off
+//! ([`tracing_enabled`] is `false`), entering a span is one relaxed
+//! atomic load and nothing else — no clock read, no allocation, no
+//! buffer traffic — so instrumentation can stay in hot paths
+//! permanently. Enabling the subscriber ([`set_tracing`]) fixes the
+//! trace epoch; from then on each span costs two `Instant::now` calls
+//! and one push into a lock-sharded event buffer.
+//!
+//! The buffer is bounded ([`MAX_EVENTS`]); once full, further events are
+//! dropped and counted under the `obs.trace_dropped` counter rather than
+//! growing without bound. [`drain_events`] hands the accumulated events
+//! to an exporter ([`crate::trace`]) and clears the buffer.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed span interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (dotted `subsystem.phase` convention).
+    pub name: &'static str,
+    /// Recording thread (small sequential id, not the OS tid).
+    pub tid: u64,
+    /// Per-thread enter order; sorting by `(tid, seq)` yields a
+    /// pre-order traversal of each thread's span tree.
+    pub seq: u64,
+    /// Nesting depth at enter time (0 = thread-top-level).
+    pub depth: u32,
+    /// Start offset from the trace epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Capacity of the global event buffer; past it, events are dropped and
+/// `obs.trace_dropped` counts them.
+pub const MAX_EVENTS: usize = 1 << 20;
+
+const BUF_SHARDS: usize = 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn buffer() -> &'static [Mutex<Vec<SpanEvent>>; BUF_SHARDS] {
+    static BUF: OnceLock<[Mutex<Vec<SpanEvent>>; BUF_SHARDS]> = OnceLock::new();
+    BUF.get_or_init(|| std::array::from_fn(|_| Mutex::new(Vec::new())))
+}
+
+thread_local! {
+    static TID: Cell<u64> = const { Cell::new(0) };
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    static SEQ: Cell<u64> = const { Cell::new(0) };
+}
+
+fn this_tid() -> u64 {
+    TID.with(|t| {
+        let mut id = t.get();
+        if id == 0 {
+            id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(id);
+        }
+        id
+    })
+}
+
+/// Turns span recording on or off process-wide. The first enable fixes
+/// the trace epoch (timestamp zero of every exported trace).
+pub fn set_tracing(on: bool) {
+    if on {
+        EPOCH.get_or_init(Instant::now);
+    }
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether the global span subscriber is currently on.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Number of events currently buffered.
+pub fn events_len() -> usize {
+    buffer().iter().map(|s| s.lock().unwrap().len()).sum()
+}
+
+/// Removes and returns every buffered event, sorted by `(tid, seq)` —
+/// i.e. a pre-order traversal of each thread's span tree.
+pub fn drain_events() -> Vec<SpanEvent> {
+    let mut out = Vec::new();
+    for shard in buffer() {
+        out.append(&mut shard.lock().unwrap());
+    }
+    out.sort_by_key(|e| (e.tid, e.seq));
+    out
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    tid: u64,
+    seq: u64,
+    depth: u32,
+    start: Instant,
+    start_ns: u64,
+}
+
+/// RAII guard measuring one span; see the module docs. Create with
+/// [`SpanGuard::enter`] or the [`crate::span!`] macro and keep it alive
+/// for the duration of the phase:
+///
+/// ```
+/// fast_obs::set_tracing(true);
+/// {
+///     let _outer = fast_obs::span!("demo.outer");
+///     let _inner = fast_obs::span!("demo.inner");
+/// }
+/// fast_obs::set_tracing(false);
+/// let events = fast_obs::drain_events();
+/// assert!(events.iter().any(|e| e.name == "demo.inner" && e.depth == 1));
+/// ```
+#[must_use = "a span measures the lifetime of this guard; binding it to _ drops it immediately"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Enters a span named `name`. When tracing is off this is a single
+    /// relaxed atomic load and the guard is inert.
+    #[inline]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if !tracing_enabled() {
+            return SpanGuard { active: None };
+        }
+        SpanGuard {
+            active: Some(Self::enter_slow(name)),
+        }
+    }
+
+    #[cold]
+    fn enter_slow(name: &'static str) -> ActiveSpan {
+        let tid = this_tid();
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        let seq = SEQ.with(|s| {
+            let v = s.get();
+            s.set(v + 1);
+            v
+        });
+        let epoch = *EPOCH.get().expect("set_tracing(true) fixes the epoch");
+        let start = Instant::now();
+        ActiveSpan {
+            name,
+            tid,
+            seq,
+            depth,
+            start,
+            start_ns: start.duration_since(epoch).as_nanos() as u64,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else {
+            return;
+        };
+        let dur_ns = span.start.elapsed().as_nanos() as u64;
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let shard = &buffer()[(span.tid as usize) % BUF_SHARDS];
+        let mut buf = shard.lock().unwrap();
+        if buf.len() >= MAX_EVENTS / BUF_SHARDS {
+            drop(buf);
+            crate::count!("obs.trace_dropped");
+            return;
+        }
+        buf.push(SpanEvent {
+            name: span.name,
+            tid: span.tid,
+            seq: span.seq,
+            depth: span.depth,
+            start_ns: span.start_ns,
+            dur_ns,
+        });
+    }
+}
+
+/// Enters a named span, returning the RAII [`SpanGuard`]:
+///
+/// ```
+/// let _span = fast_obs::span!("compose.reduce");
+/// ```
+///
+/// When the subscriber is off ([`set_tracing`]) this costs one relaxed
+/// atomic load; binding the guard to a named `_`-prefixed local keeps it
+/// alive to the end of the scope.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::SpanGuard::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span tests share process-global state (the subscriber flag and the
+    // event buffer), so they run under one lock to avoid interleaving.
+    pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _l = test_lock();
+        set_tracing(false);
+        drain_events();
+        {
+            let _a = crate::span!("tspan.noop");
+        }
+        assert_eq!(events_len(), 0);
+    }
+
+    #[test]
+    fn nesting_depth_and_order() {
+        let _l = test_lock();
+        set_tracing(true);
+        drain_events();
+        {
+            let _outer = crate::span!("tspan.outer");
+            {
+                let _inner = crate::span!("tspan.inner");
+            }
+            let _sibling = crate::span!("tspan.sibling");
+        }
+        set_tracing(false);
+        let ev: Vec<SpanEvent> = drain_events()
+            .into_iter()
+            .filter(|e| e.name.starts_with("tspan."))
+            .collect();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].name, "tspan.outer");
+        assert_eq!(ev[0].depth, 0);
+        assert_eq!(ev[1].name, "tspan.inner");
+        assert_eq!(ev[1].depth, 1);
+        assert_eq!(ev[2].name, "tspan.sibling");
+        assert_eq!(ev[2].depth, 1);
+        assert!(ev[0].dur_ns >= ev[1].dur_ns);
+        assert!(ev[0].start_ns <= ev[1].start_ns);
+    }
+}

@@ -34,8 +34,10 @@
 mod memo;
 mod plan;
 mod pool;
+mod profile;
 
 pub use plan::{BatchStats, Plan, RunOptions};
+pub use profile::{RuleProfile, RuleProfileEntry};
 
 #[cfg(test)]
 mod tests {

@@ -2,6 +2,7 @@
 
 use crate::memo::{CacheStats, Sharded};
 use crate::pool::{self, PoolStats};
+use crate::profile::{self, ProfileData, RuleProfile, RuleProfileEntry};
 use fast_automata::StateId;
 use fast_core::{Out, Sttr, TransducerError, DEFAULT_RUN_CAP};
 use fast_smt::{BoolAlg, TransAlg};
@@ -51,6 +52,10 @@ pub struct RunOptions {
     pub timeout: Option<Duration>,
     /// Bound of the `run_stream` result channel (backpressure window).
     pub channel_bound: usize,
+    /// Collect a per-rule [`RuleProfile`] for the batch (see
+    /// [`Plan::run_batch_profiled`]). Off by default: profiling adds two
+    /// clock reads per dispatched rule.
+    pub profile: bool,
 }
 
 impl Default for RunOptions {
@@ -62,6 +67,7 @@ impl Default for RunOptions {
             workers: 0,
             timeout: None,
             channel_bound: 64,
+            profile: false,
         }
     }
 }
@@ -114,6 +120,8 @@ struct BatchCtx<'p> {
     /// `Tree::addr → accepting lookahead states`.
     la: Sharded<usize, Arc<BTreeSet<StateId>>>,
     la_stats: CacheStats,
+    /// Per-rule attribution, present when [`RunOptions::profile`] is set.
+    profile: Option<ProfileData>,
 }
 
 fn empty_states() -> &'static Arc<BTreeSet<StateId>> {
@@ -179,6 +187,10 @@ pub struct Plan {
     /// `la_dispatch[ctor]` — lookahead rules reading that constructor.
     la_dispatch: Vec<Vec<LaRule>>,
     la_state_count: usize,
+    /// Prefix sums of per-state rule counts: the flat profile index of
+    /// `(state q, rule idx)` is `rule_offsets[q.0] + idx`.
+    rule_offsets: Vec<usize>,
+    total_rules: usize,
 }
 
 impl Plan {
@@ -221,11 +233,19 @@ impl Plan {
             group.sort_by_key(|c| (c.state.0, !c.trivial_guard, c.idx));
         }
         let la_state_count = la.state_count();
+        let mut rule_offsets = Vec::with_capacity(sttr.state_count());
+        let mut total_rules = 0;
+        for q in sttr.states() {
+            rule_offsets.push(total_rules);
+            total_rules += sttr.rules(q).len();
+        }
         Plan {
             sttr,
             dispatch,
             la_dispatch,
             la_state_count,
+            rule_offsets,
+            total_rules,
         }
     }
 
@@ -326,7 +346,71 @@ impl Plan {
             memo_stats: CacheStats::default(),
             la: Sharded::new(opts.memo_capacity.max(crate::memo::SHARDS)),
             la_stats: CacheStats::default(),
+            profile: opts
+                .profile
+                .then(|| ProfileData::new(self.total_rules, self.sttr.state_count())),
         }
+    }
+
+    /// [`Plan::run_batch_with`] plus a per-rule [`RuleProfile`]:
+    /// firings, guard evaluations, per-state memo hits, and cumulative
+    /// inclusive nanoseconds for every `(state, ctor, rule-index)` —
+    /// the data behind the `fastc profile` hot-rules table.
+    /// `opts.profile` is treated as set.
+    pub fn run_batch_profiled(
+        &self,
+        items: &[Tree],
+        opts: &RunOptions,
+    ) -> (
+        Vec<Result<Vec<Tree>, TransducerError>>,
+        BatchStats,
+        RuleProfile,
+    ) {
+        fast_obs::count!("rt.batch_runs");
+        fast_obs::count!("rt.batch_items", items.len() as u64);
+        let opts = RunOptions {
+            profile: true,
+            ..opts.clone()
+        };
+        fast_obs::time("rt.run_batch", || {
+            let cx = self.batch_ctx(&opts);
+            let workers = pool::resolve_workers(opts.workers);
+            let pool_stats = PoolStats::default();
+            let results = pool::run_indexed(workers, items.len(), &pool_stats, |i| {
+                run_item(&cx, &items[i])
+            });
+            let profile = self.collect_profile(cx.profile.as_ref().expect("profiling on"));
+            (
+                results,
+                finish_stats(&cx, &pool_stats, items.len(), workers),
+                profile,
+            )
+        })
+    }
+
+    /// Folds a batch's raw profile counters into a [`RuleProfile`] with
+    /// resolved state and constructor names.
+    fn collect_profile(&self, data: &ProfileData) -> RuleProfile {
+        let ty = self.sttr.ty();
+        let mut entries = Vec::with_capacity(self.total_rules);
+        for q in self.sttr.states() {
+            let memo_hits = data.state_memo_hits[q.0].load(Ordering::Relaxed);
+            for (idx, r) in self.sttr.rules(q).iter().enumerate() {
+                let (fired, guard_evals, ns) = profile::load(data, self.rule_offsets[q.0] + idx);
+                entries.push(RuleProfileEntry {
+                    state: q.0,
+                    state_name: self.sttr.state_name(q).to_string(),
+                    ctor: r.ctor.0,
+                    ctor_name: ty.ctor_name(r.ctor).to_string(),
+                    rule_idx: idx,
+                    fired,
+                    guard_evals,
+                    state_memo_hits: memo_hits,
+                    ns,
+                });
+            }
+        }
+        RuleProfile { entries }
     }
 }
 
@@ -368,8 +452,14 @@ fn stream_batch(
     let _ = stats; // mirrored to fast_obs inside finish_stats
 }
 
-/// Evaluates one item under the batch context.
+/// Evaluates one item under the batch context, recording its latency in
+/// the `rt.item` histogram (and, when tracing is on, an `rt.item` span
+/// wrapping a `plan.dispatch` span around the root dispatch).
 fn run_item(cx: &BatchCtx<'_>, t: &Tree) -> Result<Vec<Tree>, TransducerError> {
+    static ITEM_HIST: OnceLock<&'static fast_obs::Hist> = OnceLock::new();
+    let hist = *ITEM_HIST.get_or_init(|| fast_obs::histogram("rt.item"));
+    let _span = fast_obs::span!("rt.item");
+    let start = Instant::now();
     let timeout_ms = cx
         .timeout
         .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
@@ -381,8 +471,12 @@ fn run_item(cx: &BatchCtx<'_>, t: &Tree) -> Result<Vec<Tree>, TransducerError> {
         ticks: 0,
         local_memo: HashMap::new(),
     };
-    let out = item.transduce(cx.plan.sttr.initial(), t)?;
-    Ok(out.as_ref().clone())
+    let out = {
+        let _dispatch = fast_obs::span!("plan.dispatch");
+        item.transduce(cx.plan.sttr.initial(), t)
+    };
+    hist.record_ns(start.elapsed().as_nanos() as u64);
+    Ok(out?.as_ref().clone())
 }
 
 /// Publishes the batch's local counters into `fast_obs` and folds them
@@ -502,11 +596,17 @@ impl<'b, 'p> ItemRun<'b, 'p> {
     }
 
     /// `T_q(t)` under the plan's dispatch tables (Definition 7), memoized
-    /// on `(q, Tree::addr)`.
+    /// on `(q, Tree::addr)`. With [`RunOptions::profile`] set, the loop
+    /// charges guard evaluations, firings, and inclusive time to each
+    /// dispatched rule and memo hits to the state.
     fn transduce(&mut self, q: StateId, t: &Tree) -> Result<Arc<Vec<Tree>>, TransducerError> {
         self.tick()?;
+        let profile = self.cx.profile.as_ref();
         let key = (q.0, t.addr());
         if let Some(hit) = self.memo_get(&key) {
+            if let Some(p) = self.cx.profile.as_ref() {
+                p.state_memo_hits[q.0].fetch_add(1, Ordering::Relaxed);
+            }
             return Ok(hit);
         }
         let plan = self.cx.plan;
@@ -515,8 +615,21 @@ impl<'b, 'p> ItemRun<'b, 'p> {
         let mut out: Vec<Tree> = Vec::new();
         for cr in &plan.dispatch[q.0][t.ctor().0] {
             let r = &rules[cr.idx];
-            if !cr.trivial_guard && !alg.eval(&r.guard, t.label()) {
-                continue;
+            let prof_idx = plan.rule_offsets[q.0] + cr.idx;
+            let rule_start = profile.map(|_| Instant::now());
+            let charge = move || {
+                if let (Some(p), Some(s)) = (profile, rule_start) {
+                    p.ns[prof_idx].fetch_add(s.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+            };
+            if !cr.trivial_guard {
+                if let Some(p) = profile {
+                    p.guard_evals[prof_idx].fetch_add(1, Ordering::Relaxed);
+                }
+                if !alg.eval(&r.guard, t.label()) {
+                    charge();
+                    continue;
+                }
             }
             if cr.needs_la {
                 let mut ok = true;
@@ -531,10 +644,15 @@ impl<'b, 'p> ItemRun<'b, 'p> {
                     }
                 }
                 if !ok {
+                    charge();
                     continue;
                 }
             }
             out.extend(self.eval_out(&r.output, t)?);
+            if let Some(p) = profile {
+                p.fired[prof_idx].fetch_add(1, Ordering::Relaxed);
+            }
+            charge();
             if out.len() > self.cx.cap {
                 return Err(TransducerError::Budget {
                     context: "run",

@@ -247,8 +247,20 @@ impl LabelAlg {
     ///
     /// Single entry-style path: the shard lock is taken once and held
     /// across the solve on a miss, so concurrent queries for the same
-    /// formula cannot both miss.
+    /// formula cannot both miss. Every query's latency (hit or miss)
+    /// lands in the `smt.check` histogram; a miss additionally runs the
+    /// solver under an `smt.solve` span, so traces show actual solver
+    /// work rather than cache traffic.
     pub fn check(&self, f: &Interned<Formula>) -> SatResult {
+        static CHECK_HIST: OnceLock<&'static fast_obs::Hist> = OnceLock::new();
+        let hist = *CHECK_HIST.get_or_init(|| fast_obs::histogram("smt.check"));
+        let start = std::time::Instant::now();
+        let r = self.check_uncounted(f);
+        hist.record_ns(start.elapsed().as_nanos() as u64);
+        r
+    }
+
+    fn check_uncounted(&self, f: &Interned<Formula>) -> SatResult {
         self.stats.sat_queries.fetch_add(1, Ordering::Relaxed);
         fast_obs::count!("smt.sat_queries");
         let shard_ix = shard_of(f.precomputed_hash());
@@ -260,6 +272,7 @@ impl LabelAlg {
             return r.clone();
         }
         fast_obs::count!("smt.cache_misses");
+        let _span = fast_obs::span!("smt.solve");
         let r = solve(&self.sig, f.get());
         if matches!(r, SatResult::Unknown) {
             self.stats.unknowns.fetch_add(1, Ordering::Relaxed);
