@@ -7,7 +7,11 @@
 //!   and assertion, prints the assertion report (and with `--stats` the
 //!   sizes of every compiled language and transformation plus the
 //!   `fast-obs` telemetry snapshot as JSON). Exits 1 if compilation
-//!   fails or any assertion fails.
+//!   fails or any assertion fails. With `--pipeline t1,t2,...` the
+//!   named transformations are chained into a `fast_rt::Pipeline`
+//!   instead: the per-boundary fusion report is printed (which
+//!   boundaries fused via Theorem 4, which cascade, and why), then
+//!   `--trees N` random inputs are evaluated through the chain.
 //! - **check**: `fastc check <file.fast> [--json] [--deny-warnings]
 //!   [--stats|-s] [--trace FILE]` runs the `fast-analysis` semantic
 //!   checks (dead rules, guard overlap, exhaustiveness, reachability,
@@ -34,6 +38,7 @@
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: fastc <file.fast> [--quiet|-q] [--stats|-s] [--trace FILE]
+                     [--pipeline t1,t2,... [--trees N] [--seed S]]
        fastc check <file.fast> [--json] [--deny-warnings] [--stats|-s] [--trace FILE]
        fastc profile <file.fast> [--trees N] [--seed S] [--top K] [--trans NAME]
                      [--trace FILE] [--jsonl FILE] [--stats|-s]
@@ -49,9 +54,14 @@ modes:
 options:
   --trace FILE     record hierarchical spans and write a Chrome
                    trace_event JSON file (open in Perfetto)
+  --pipeline LIST  (run) chain the comma-separated transformations into
+                   a fast-rt pipeline: print the fusion report (fused vs
+                   cascaded boundaries, Theorem 4 verdicts) and evaluate
+                   generated inputs through the chain
   --jsonl FILE     (profile) write the span buffer as JSON lines
-  --trees N        (profile) number of generated input trees [200]
-  --seed S         (profile) tree-generator seed [42]
+  --trees N        (profile/pipeline) number of generated input trees
+                   [200 / 100]
+  --seed S         (profile/pipeline) tree-generator seed [42]
   --top K          (profile) rows in the hot-rules table [10]
   --trans NAME     (profile) transducer to profile [largest]
 
@@ -108,6 +118,9 @@ fn run_mode(args: &[String]) -> ExitCode {
     let mut quiet = false;
     let mut stats = false;
     let mut trace: Option<String> = None;
+    let mut pipeline: Option<String> = None;
+    let mut trees = 100usize;
+    let mut seed = 42u64;
     let mut path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -118,6 +131,28 @@ fn run_mode(args: &[String]) -> ExitCode {
                 match flag_value(args, i) {
                     Ok(v) => trace = Some(v),
                     Err(code) => return code,
+                }
+                i += 1;
+            }
+            "--pipeline" => {
+                match flag_value(args, i) {
+                    Ok(v) => pipeline = Some(v),
+                    Err(code) => return code,
+                }
+                i += 1;
+            }
+            flag @ ("--trees" | "--seed") => {
+                let v = match flag_value(args, i) {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                let Ok(n) = v.parse::<u64>() else {
+                    return usage_error(&format!("'{flag}' needs a number, got '{v}'"));
+                };
+                if flag == "--trees" {
+                    trees = n as usize;
+                } else {
+                    seed = n;
                 }
                 i += 1;
             }
@@ -148,6 +183,18 @@ fn run_mode(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(list) = &pipeline {
+        let code = pipeline_run(&compiled, &path, list, trees, seed, quiet);
+        if stats {
+            println!("{}", fast_obs::snapshot().to_json().pretty());
+        }
+        if let Some(out) = &trace {
+            if let Err(code) = write_trace(out) {
+                return code;
+            }
+        }
+        return code;
+    }
     if stats {
         for name in compiled.lang_names() {
             let sta = compiled.lang(name).unwrap();
@@ -212,6 +259,88 @@ fn run_mode(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// `fastc <file> --pipeline t1,t2,...`: chains the named transformations
+/// into a [`fast_rt::Pipeline`], prints the fusion report, and evaluates
+/// generated input trees through the chain.
+fn pipeline_run(
+    compiled: &fast_lang::Compiled,
+    path: &str,
+    list: &str,
+    trees: usize,
+    seed: u64,
+    quiet: bool,
+) -> ExitCode {
+    let names: Vec<&str> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if names.is_empty() {
+        return usage_error("'--pipeline' needs a comma-separated list of transformation names");
+    }
+    let mut stages = Vec::with_capacity(names.len());
+    let mut ty_name: Option<&str> = None;
+    for n in &names {
+        let Some(sttr) = compiled.transducer(n) else {
+            eprintln!(
+                "fastc: no transformation '{n}' in '{path}' (have: {})",
+                compiled.transducer_names().join(", ")
+            );
+            return ExitCode::from(2);
+        };
+        let t = compiled.transducer_type(n).unwrap_or_default();
+        match ty_name {
+            None => ty_name = Some(t),
+            Some(prev) if prev != t => {
+                eprintln!(
+                    "fastc: pipeline stages disagree on tree type: '{}' is over '{prev}' \
+                     but '{n}' is over '{t}'",
+                    names[0]
+                );
+                return ExitCode::from(2);
+            }
+            Some(_) => {}
+        }
+        stages.push(std::sync::Arc::new(sttr.clone()));
+    }
+    let Some(ty) = ty_name.and_then(|t| compiled.tree_type(t)) else {
+        eprintln!("fastc: cannot resolve the pipeline's tree type");
+        return ExitCode::from(2);
+    };
+
+    let p = fast_rt::Pipeline::compile(&stages);
+    print!("{}", p.report());
+
+    let inputs = fast_trees::TreeGen::new(seed).trees(ty, trees);
+    let opts = fast_rt::RunOptions::default();
+    let (results, seg_stats) = p.run_batch_with(&inputs, &opts);
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    let outputs: usize = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok().map(Vec::len))
+        .sum();
+    println!(
+        "ran {} trees (seed {seed}): {ok} ok / {} err, {outputs} output trees",
+        inputs.len(),
+        results.len() - ok,
+    );
+    if !quiet {
+        for (si, s) in seg_stats.iter().enumerate() {
+            let (plan, first, last) = p.segment(si);
+            println!(
+                "segment {si} (stages {first}..={last}, {} states): {} items, memo {} hits / {} \
+                 misses / {} evictions",
+                plan.sttr().state_count(),
+                s.items,
+                s.memo_hits,
+                s.memo_misses,
+                s.memo_evictions,
+            );
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn check_mode(args: &[String]) -> ExitCode {

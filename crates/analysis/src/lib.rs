@@ -15,6 +15,7 @@
 //! | `FA003` | warning | non-exhaustive match: the disjunction of a constructor's guards is not valid; the witness label from the solver model is reported |
 //! | `FA004` | warning | a `lang` accepts no trees, a `trans` has an empty domain, or transducer states are unreachable from the initial state |
 //! | `FA005` | warning | vacuous lookahead: a `given` clause names a language that accepts *every* tree |
+//! | `FA006` | warning | pipeline boundary not fusable: in a `(compose S T)`, `S` is not single-valued **and** `T` is not linear, so the composed transducer over-approximates `T_T ∘ T_S` (Theorem 4); the witness rules are reported |
 //! | `FA100` | error | contract violation: for `trans f : L1 -> L2` over languages, `L(L1) ∩ preimage(f, ¬L(L2)) ≠ ∅`; a concrete counterexample input tree is reported |
 //!
 //! Contract checking (`FA100`) is the pre-image-based typechecking
@@ -53,9 +54,11 @@ use fast_automata::{
     complement, intersect, is_empty, is_universal, nonempty_states, normalize_rooted, witness, Sta,
     StaBuilder, StateId,
 };
-use fast_core::{preimage, type_check, Sttr};
+use fast_core::{compose_exactness, preimage, type_check, Exactness, Sttr};
 use fast_json::Json;
-use fast_lang::{Compiled, Decl, Diagnostic, LangDecl, LangRule, Program, TransDecl};
+use fast_lang::{
+    Compiled, Decl, DefTransDecl, Diagnostic, LangDecl, LangRule, Program, TExpr, TransDecl,
+};
 use fast_obs::count;
 use fast_smt::{BoolAlg, Formula, Label, LabelAlg, LabelSig};
 use fast_trees::TreeType;
@@ -80,6 +83,7 @@ pub fn analyze(program: &Program, compiled: &Compiled) -> Vec<Diagnostic> {
         match d {
             Decl::Lang(l) => a.check_lang(l),
             Decl::Trans(t) => a.check_trans(t),
+            Decl::DefTrans(dt) => a.check_deftrans(dt),
             _ => {}
         }
     }
@@ -468,6 +472,62 @@ impl Analyzer<'_> {
         }
     }
 
+    /// FA006: every `(compose S T)` boundary in a `def` transformation
+    /// body is checked against Theorem 4's exactness precondition —
+    /// fusable iff `S` is single-valued or `T` is linear. Boundaries
+    /// whose factors are not plain names are skipped (their products are
+    /// not registered in `Compiled`), but nested expressions are still
+    /// walked, so every named pair gets a verdict.
+    fn check_deftrans(&mut self, d: &DefTransDecl) {
+        fast_obs::time("analysis.check.fa006", || self.boundary_check(&d.body));
+    }
+
+    fn boundary_check(&mut self, e: &TExpr) {
+        match e {
+            TExpr::Name(..) => {}
+            TExpr::Compose(l, r, span) => {
+                self.boundary_check(l);
+                self.boundary_check(r);
+                let (Some(ls), Some(rs)) = (self.resolve_texpr(l), self.resolve_texpr(r)) else {
+                    return;
+                };
+                count!("analysis.solver_calls");
+                if let Exactness::Overapproximate {
+                    left_witness,
+                    right_witness,
+                } = compose_exactness(ls, rs)
+                {
+                    self.diags.push(
+                        Diagnostic::warning(
+                            *span,
+                            "pipeline boundary not fusable: the composed transformation \
+                             over-approximates the staged chain (Theorem 4)",
+                        )
+                        .with_code("FA006")
+                        .with_note(format!("left factor is not single-valued: {left_witness}"))
+                        .with_note(format!("right factor is not linear: {right_witness}"))
+                        .with_note(
+                            "the composition accepts every staged output and possibly more; \
+                             run the stages separately (fast-rt cascades such boundaries) if \
+                             exact semantics matter",
+                        ),
+                    );
+                }
+            }
+            TExpr::Restrict(t, _, _) | TExpr::RestrictOut(t, _, _) => self.boundary_check(t),
+        }
+    }
+
+    /// Resolves a transducer expression to its compiled STTR when it is
+    /// a plain name; composite sub-expressions return `None` (their
+    /// products are anonymous).
+    fn resolve_texpr(&self, e: &TExpr) -> Option<&Sttr> {
+        match e {
+            TExpr::Name(n, _) => self.compiled.transducer(n),
+            _ => None,
+        }
+    }
+
     /// FA005: a `given` clause naming a language that accepts every tree
     /// constrains nothing. Reported once per language name.
     fn vacuous_lookahead_check(&mut self, r: &LangRule) {
@@ -788,6 +848,62 @@ mod tests {
         // Reported once per language name even though `any` appears in
         // its own lang block too.
         assert_eq!(fa005.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn fa006_unfusable_compose_boundary() {
+        // `amb` is not single-valued (two overlapping z-rules with
+        // different outputs) and `dup` is not linear (x used twice), so
+        // the (compose amb dup) boundary over-approximates.
+        let diags = check(
+            r#"
+            type T[i: Int] { z(0), n(2) }
+            trans dup: T -> T {
+              z() to (z [i])
+            | n(x, y) to (n [i] (dup x) (dup x))
+            }
+            trans amb: T -> T {
+              z() to (z [i])
+            | z() to (z [i + 1])
+            | n(x, y) to (n [i] (amb x) (amb y))
+            }
+            def chain: T -> T := (compose amb dup)
+            "#,
+        );
+        let d = diags
+            .iter()
+            .find(|d| d.code == Some("FA006"))
+            .unwrap_or_else(|| panic!("{diags:?}"));
+        assert!(!d.is_error());
+        assert!(
+            d.notes.iter().any(|n| n.contains("not single-valued")),
+            "{d:?}"
+        );
+        assert!(d.notes.iter().any(|n| n.contains("not linear")), "{d:?}");
+    }
+
+    #[test]
+    fn fa006_silent_when_left_single_valued() {
+        // Same factors, flipped: `dup` is deterministic, so the
+        // boundary is exact regardless of `amb`'s non-linearity…
+        // (`amb` *is* linear here, but `dup` being single-valued alone
+        // suffices; FA002 still fires on amb's own overlap).
+        let diags = check(
+            r#"
+            type T[i: Int] { z(0), n(2) }
+            trans dup: T -> T {
+              z() to (z [i])
+            | n(x, y) to (n [i] (dup x) (dup x))
+            }
+            trans amb: T -> T {
+              z() to (z [i])
+            | z() to (z [i + 1])
+            | n(x, y) to (n [i] (amb x) (amb y))
+            }
+            def chain: T -> T := (compose dup amb)
+            "#,
+        );
+        assert!(!codes(&diags).contains(&"FA006"), "{diags:?}");
     }
 
     #[test]

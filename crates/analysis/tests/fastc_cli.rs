@@ -399,3 +399,89 @@ fn profile_rejects_unknown_transducer_and_bad_args() {
     let out = fastc().arg("profile").output().unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
+
+// ---------------------------------------------------------- pipeline mode
+
+#[test]
+fn pipeline_mode_fuses_deforestation_chain() {
+    let path = programs_dir().join("deforestation.fast");
+    let out = fastc()
+        .arg(&path)
+        .args([
+            "--pipeline",
+            "map_caesar,filter_ev,map_caesar",
+            "--trees",
+            "40",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3 stages -> 1 segment"), "{stdout}");
+    assert!(stdout.contains("fused"), "{stdout}");
+    assert!(stdout.contains("left factor is single-valued"), "{stdout}");
+    assert!(stdout.contains("40 ok / 0 err"), "{stdout}");
+    assert!(stdout.contains("segment 0"), "{stdout}");
+}
+
+#[test]
+fn pipeline_mode_cascades_unfusable_boundary() {
+    // `amb` is not single-valued, `dup` is not linear: the boundary
+    // must cascade into two segments and still evaluate cleanly.
+    let path = write_temp(
+        "pipeline_cascade.fast",
+        r#"
+        type T[i: Int] { z(0), n(2) }
+        trans dup: T -> T {
+          z() to (z [i])
+        | n(x, y) to (n [i] (dup x) (dup x))
+        }
+        trans amb: T -> T {
+          z() to (z [i])
+        | z() to (z [i + 1])
+        | n(x, y) to (n [i] (amb x) (amb y))
+        }
+        "#,
+    );
+    let out = fastc()
+        .arg(&path)
+        .args(["--pipeline", "amb,dup", "--trees", "20"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 stages -> 2 segments"), "{stdout}");
+    assert!(stdout.contains("cascaded"), "{stdout}");
+    assert!(stdout.contains("not single-valued"), "{stdout}");
+    assert!(stdout.contains("segment 1"), "{stdout}");
+}
+
+#[test]
+fn pipeline_mode_rejects_unknown_stage_and_empty_list() {
+    let path = programs_dir().join("deforestation.fast");
+    let out = fastc()
+        .arg(&path)
+        .args(["--pipeline", "map_caesar,nope"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no transformation 'nope'"), "{stderr}");
+
+    let out = fastc()
+        .arg(&path)
+        .args(["--pipeline", ","])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -18,7 +18,7 @@ fn ar_ops(c: &mut Criterion) {
     g.bench_function("compose_pair", |b| {
         b.iter(|| compose(t1, t2).unwrap());
     });
-    let composed = compose(t1, t2).unwrap();
+    let composed = compose(t1, t2).unwrap().sttr;
     g.bench_function("input_restrict", |b| {
         b.iter(|| restrict(&composed, &no_tags).unwrap());
     });

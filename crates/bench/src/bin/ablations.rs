@@ -64,8 +64,8 @@ fn ablation_pruning(pairs: usize) {
             );
             time_off += start.elapsed().as_secs_f64();
             if let (Ok(w), Ok(wo)) = (with, without) {
-                rules_on += w.rule_count();
-                rules_off += wo.rule_count();
+                rules_on += w.sttr.rule_count();
+                rules_off += wo.sttr.rule_count();
             }
             done += 1;
             if done >= pairs {
@@ -100,7 +100,7 @@ fn ablation_simplify() {
         let start = Instant::now();
         let mut fused = m.clone();
         for _ in 0..6 {
-            fused = fast_core::compose(&fused, &m).expect("fits budget");
+            fused = fast_core::compose(&fused, &m).expect("fits budget").sttr;
         }
         let t = start.elapsed().as_secs_f64() * 1e3;
         let guard_size: usize = fused

@@ -97,7 +97,7 @@ pub fn fused_maps(
     let m = map_caesar(ty, alg);
     let mut fused = m.clone();
     for _ in 1..n {
-        fused = compose(&fused, &m)?;
+        fused = compose(&fused, &m)?.sttr;
     }
     Ok(fused)
 }

@@ -224,7 +224,7 @@ pub fn conflict_check(
     double: &Sta,
 ) -> Result<ConflictTimings, TransducerError> {
     let start = Instant::now();
-    let p = compose(t1, t2)?;
+    let p = compose(t1, t2)?.sttr;
     let compose_t = start.elapsed();
 
     let start = Instant::now();

@@ -18,9 +18,9 @@ fn interning_reduces_sat_query_work_on_deforestation() {
 
     let m = map_caesar(&ty, &alg);
     let f = filter_ev(&ty, &alg);
-    let mut fused = compose(&m, &f).expect("fits budget");
+    let mut fused = compose(&m, &f).expect("fits budget").sttr;
     for _ in 0..4 {
-        fused = compose(&fused, &m).expect("fits budget");
+        fused = compose(&fused, &m).expect("fits budget").sttr;
     }
     let fused_direct = fused_maps(&ty, &alg, 8).expect("fits budget");
     let input = random_list(&ty, 64, 7);

@@ -40,6 +40,99 @@ impl Default for ComposeOptions {
 /// Budget on composed pair states (transformation or lookahead).
 pub const MAX_PAIR_STATES: usize = 1 << 13;
 
+/// The exactness verdict of a composition — *why* `T_{S∘T} = T_T ∘ T_S`
+/// holds, or the Theorem 4 witnesses showing it may not.
+///
+/// [`compose`] always returns `T_{S∘T} ⊇ T_T ∘ T_S`; equality is
+/// guaranteed only under one of the first two variants. The verdict is
+/// part of [`Composed`], so no caller can silently treat an
+/// over-approximation as exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Exactness {
+    /// The left factor is single-valued (proven via determinism,
+    /// Definition 9), so composition is exact.
+    LeftSingleValued,
+    /// The right factor is linear (Definition 5), so composition is
+    /// exact.
+    RightLinear,
+    /// Neither precondition holds: the composed transduction is a
+    /// (possibly strict) over-approximation of `T_T ∘ T_S`.
+    Overapproximate {
+        /// Why the left factor is not (provably) single-valued: the
+        /// overlapping rule pair, or the undecided-check error.
+        left_witness: String,
+        /// The right-factor rule whose output duplicates an input child.
+        right_witness: String,
+    },
+}
+
+impl Exactness {
+    /// `true` iff the composed transduction equals `T_T ∘ T_S`.
+    pub fn is_exact(&self) -> bool {
+        !matches!(self, Exactness::Overapproximate { .. })
+    }
+}
+
+impl std::fmt::Display for Exactness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Exactness::LeftSingleValued => write!(f, "exact: left factor is single-valued"),
+            Exactness::RightLinear => write!(f, "exact: right factor is linear"),
+            Exactness::Overapproximate {
+                left_witness,
+                right_witness,
+            } => write!(
+                f,
+                "over-approximate: left not single-valued ({left_witness}), \
+                 right not linear ({right_witness})"
+            ),
+        }
+    }
+}
+
+/// A composed transducer together with its exactness verdict.
+#[derive(Debug)]
+pub struct Composed<A: TransAlg<Elem = Label> = fast_smt::LabelAlg> {
+    /// The composed STTR (`T_{sttr} ⊇ T_t ∘ T_s`, `=` iff
+    /// `exactness.is_exact()`).
+    pub sttr: Sttr<A>,
+    /// Whether (and why) the composition is exact.
+    pub exactness: Exactness,
+}
+
+impl<A: TransAlg<Elem = Label>> Composed<A> {
+    /// Unwraps the transducer, discarding the verdict. Use only where
+    /// exactness was already established (or over-approximation is the
+    /// intended semantics, as in pre-image-style analyses).
+    pub fn into_sttr(self) -> Sttr<A> {
+        self.sttr
+    }
+}
+
+/// Decides the Theorem 4 exactness verdict for `compose(s, t)` without
+/// building the composition.
+pub fn compose_exactness<A: TransAlg<Elem = Label>>(s: &Sttr<A>, t: &Sttr<A>) -> Exactness {
+    let nd = s.nondeterministic_rules();
+    if matches!(nd, Ok(None)) {
+        return Exactness::LeftSingleValued;
+    }
+    match t.nonlinear_rule() {
+        None => Exactness::RightLinear,
+        Some((q, idx)) => Exactness::Overapproximate {
+            left_witness: match nd {
+                Ok(Some((p, a, b))) => format!(
+                    "overlapping rules {} / {}",
+                    s.describe_rule(p, a),
+                    s.describe_rule(p, b)
+                ),
+                Err(e) => format!("single-valuedness undecided: {e}"),
+                Ok(None) => unreachable!("handled above"),
+            },
+            right_witness: format!("rule {} uses an input child twice", t.describe_rule(q, idx)),
+        },
+    }
+}
+
 /// Guard–lookahead pairs produced by `Look`.
 type Looked<A> = Vec<(<A as fast_smt::BoolAlg>::Pred, Vec<BTreeSet<StateId>>)>;
 
@@ -405,10 +498,17 @@ impl<'a, A: TransAlg<Elem = Label>> ComposeCtx<'a, A> {
     }
 }
 
-/// Composes two STTRs: `T_{compose(s, t)} ⊇ T_t ∘ T_s`, with equality when
+/// Composes two STTRs: `T_{composed} ⊇ T_t ∘ T_s`, with equality when
 /// `s` is single-valued or `t` is linear (Theorem 4). Note the
 /// application order: `compose(s, t)` first runs `s`, then `t`, matching
 /// the paper's `(compose s t)`.
+///
+/// The result carries its [`Exactness`] verdict; when neither Theorem 4
+/// precondition holds the caller sees `Exactness::Overapproximate` with
+/// the violating rules and must decide whether the over-approximation is
+/// acceptable (it is for pre-image-style analyses, it is not for fused
+/// evaluation). Use [`try_compose_exact`] to turn inexactness into an
+/// error instead.
 ///
 /// # Errors
 ///
@@ -422,8 +522,39 @@ impl<'a, A: TransAlg<Elem = Label>> ComposeCtx<'a, A> {
 pub fn compose<A: TransAlg<Elem = Label>>(
     s: &Sttr<A>,
     t: &Sttr<A>,
-) -> Result<Sttr<A>, TransducerError> {
+) -> Result<Composed<A>, TransducerError> {
     compose_with(s, t, ComposeOptions::default())
+}
+
+/// Exact composition or nothing: composes `s` then `t` and returns the
+/// fused transducer only when one of the Theorem 4 preconditions holds.
+///
+/// # Errors
+///
+/// Returns [`TransducerError::InexactComposition`] (carrying the
+/// violating rules of both factors) when `s` is not single-valued and
+/// `t` is not linear — checked *before* building the composition, so the
+/// failure is cheap. Otherwise propagates the same budget errors as
+/// [`compose`].
+///
+/// # Panics
+///
+/// Panics if the transducers have different tree types.
+pub fn try_compose_exact<A: TransAlg<Elem = Label>>(
+    s: &Sttr<A>,
+    t: &Sttr<A>,
+) -> Result<Sttr<A>, TransducerError> {
+    if let Exactness::Overapproximate {
+        left_witness,
+        right_witness,
+    } = compose_exactness(s, t)
+    {
+        return Err(TransducerError::InexactComposition {
+            left_witness,
+            right_witness,
+        });
+    }
+    Ok(compose(s, t)?.sttr)
 }
 
 /// [`compose`] with explicit [`ComposeOptions`].
@@ -439,8 +570,9 @@ pub fn compose_with<A: TransAlg<Elem = Label>>(
     s: &Sttr<A>,
     t: &Sttr<A>,
     opts: ComposeOptions,
-) -> Result<Sttr<A>, TransducerError> {
+) -> Result<Composed<A>, TransducerError> {
     assert_eq!(s.ty(), t.ty(), "tree type mismatch");
+    let exactness = compose_exactness(s, t);
     let _span = fast_obs::span!("compose.total");
     let alg = s.alg().clone();
 
@@ -534,7 +666,10 @@ pub fn compose_with<A: TransAlg<Elem = Label>>(
     );
     // Trivial lookahead accumulates one pair per composition layer; prune
     // it so deeply fused transducers run as fast as shallow ones (§5.3).
-    Ok(composed.prune_lookahead())
+    Ok(Composed {
+        sttr: composed.prune_lookahead(),
+        exactness,
+    })
 }
 
 #[cfg(test)]
@@ -561,6 +696,8 @@ mod tests {
     fn compose_map_with_map() {
         let m = map_caesar();
         let c = compose(&m, &m).unwrap();
+        assert_eq!(c.exactness, Exactness::LeftSingleValued);
+        let c = c.sttr;
         let ty = m.ty().clone();
         let mut g = TreeGen::new(31).with_max_depth(8).with_int_range(-40, 40);
         for _ in 0..50 {
@@ -573,8 +710,8 @@ mod tests {
     fn compose_map_with_filter_both_orders() {
         let m = map_caesar();
         let f = filter_ev();
-        let mf = compose(&m, &f).unwrap();
-        let fm = compose(&f, &m).unwrap();
+        let mf = compose(&m, &f).unwrap().sttr;
+        let fm = compose(&f, &m).unwrap().sttr;
         let ty = m.ty().clone();
         let mut g = TreeGen::new(37).with_max_depth(8).with_int_range(-40, 40);
         for _ in 0..50 {
@@ -647,6 +784,8 @@ mod tests {
         let (s1, s2) = example4();
         assert!(s2.is_linear()); // right factor linear ⇒ exact composition
         let c = compose(&s1, &s2).unwrap();
+        assert!(c.exactness.is_exact());
+        let c = c.sttr;
         let ty = s1.ty().clone();
         let all_true = Tree::parse(&ty, "N[true](L[true], L[true])").unwrap();
         let has_false = Tree::parse(&ty, "N[true](L[true], L[false])").unwrap();
@@ -714,6 +853,22 @@ mod tests {
         assert!(!t.is_linear()); // duplication
         assert!(!s.is_deterministic().unwrap()); // nondeterminism
         let c = compose(&s, &t).unwrap();
+        assert!(
+            matches!(c.exactness, Exactness::Overapproximate { .. }),
+            "verdict must flag the over-approximation: {}",
+            c.exactness
+        );
+        match try_compose_exact(&s, &t) {
+            Err(TransducerError::InexactComposition {
+                left_witness,
+                right_witness,
+            }) => {
+                assert!(left_witness.contains("overlapping rules"), "{left_witness}");
+                assert!(right_witness.contains("twice"), "{right_witness}");
+            }
+            other => panic!("expected InexactComposition, got {other:?}"),
+        }
+        let c = c.sttr;
         let ty = s.ty().clone();
         let input = Tree::parse(&ty, "g[0](c[0])").unwrap();
         let exact: Vec<Tree> = sequential(&s, &t, &input);
@@ -764,7 +919,7 @@ mod tests {
         let m = map_caesar();
         let mut fused = m.clone();
         for _ in 0..4 {
-            fused = compose(&fused, &m).unwrap();
+            fused = compose(&fused, &m).unwrap().sttr;
         }
         let ty = m.ty().clone();
         let t = Tree::parse(&ty, "cons[0](cons[13](nil[0]))").unwrap();

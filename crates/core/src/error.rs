@@ -22,6 +22,17 @@ pub enum TransducerError {
         /// The configured per-item budget, in milliseconds.
         limit_ms: u64,
     },
+    /// [`crate::try_compose_exact`] was asked for an exact composition
+    /// but neither exactness precondition of Theorem 4 holds: the left
+    /// factor is not single-valued *and* the right factor is not linear.
+    InexactComposition {
+        /// Witness of non-single-valuedness on the left factor: a pair
+        /// of overlapping rules, rendered as `state#i/#j on ctor`.
+        left_witness: String,
+        /// Witness of non-linearity on the right factor: a rule whose
+        /// output uses some input child more than once.
+        right_witness: String,
+    },
 }
 
 impl fmt::Display for TransducerError {
@@ -34,6 +45,16 @@ impl fmt::Display for TransducerError {
             TransducerError::Timeout { limit_ms } => {
                 write!(f, "run exceeded its deadline of {limit_ms} ms")
             }
+            TransducerError::InexactComposition {
+                left_witness,
+                right_witness,
+            } => {
+                write!(
+                    f,
+                    "composition is not exact: left factor is not single-valued \
+                     ({left_witness}) and right factor is not linear ({right_witness})"
+                )
+            }
         }
     }
 }
@@ -42,7 +63,9 @@ impl std::error::Error for TransducerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TransducerError::Automata(e) => Some(e),
-            TransducerError::Budget { .. } | TransducerError::Timeout { .. } => None,
+            TransducerError::Budget { .. }
+            | TransducerError::Timeout { .. }
+            | TransducerError::InexactComposition { .. } => None,
         }
     }
 }

@@ -46,7 +46,7 @@
 //!                        vec![Out::Call(q, 0)]));
 //! let map = b.build(q);
 //!
-//! let fused = compose(&map, &map)?; // map twice in a single pass
+//! let fused = compose(&map, &map)?.sttr; // map twice in a single pass
 //! let input = Tree::parse(&ilist, "cons[0](nil[0])").unwrap();
 //! assert_eq!(fused.run(&input)?[0].display(&ilist).to_string(),
 //!            "cons[10](nil[0])");
@@ -63,7 +63,8 @@ mod out;
 mod sttr;
 
 pub use compose::{
-    compose, compose_with, preimage, ComposeOptions, MAX_COMPOSED_RULES, MAX_PAIR_STATES,
+    compose, compose_exactness, compose_with, preimage, try_compose_exact, ComposeOptions,
+    Composed, Exactness, MAX_COMPOSED_RULES, MAX_PAIR_STATES,
 };
 pub use equiv::{find_inequivalence, EquivConfig};
 pub use error::TransducerError;

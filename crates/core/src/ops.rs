@@ -3,7 +3,7 @@
 //! restricted identity transducer, which is single-valued *and* linear, so
 //! they are always exact (Theorem 4).
 
-use crate::compose::{compose, preimage};
+use crate::compose::{preimage, try_compose_exact};
 use crate::error::TransducerError;
 use crate::sttr::{identity_restricted, Sttr};
 use fast_automata::{complement, intersect, is_empty, Sta};
@@ -24,7 +24,8 @@ pub fn restrict<A: TransAlg<Elem = Label>>(
     l: &Sta<A>,
 ) -> Result<Sttr<A>, TransducerError> {
     let id = identity_restricted(l)?;
-    compose(&id, t)
+    // The restricted identity is single-valued, so this is always exact.
+    try_compose_exact(&id, t)
 }
 
 /// `restrict-out t l`: behaves like `t` but only produces outputs in the
@@ -43,7 +44,8 @@ pub fn restrict_out<A: TransAlg<Elem = Label>>(
     l: &Sta<A>,
 ) -> Result<Sttr<A>, TransducerError> {
     let id = identity_restricted(l)?;
-    compose(t, &id)
+    // The restricted identity is linear, so this is always exact.
+    try_compose_exact(t, &id)
 }
 
 /// Is the transduction empty — i.e. does `t` produce no output on any

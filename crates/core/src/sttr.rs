@@ -555,11 +555,23 @@ impl<A: TransAlg<Elem = Label>> Sttr<A> {
     /// at most once. Linear transducers compose exactly on the right
     /// (Theorem 4).
     pub fn is_linear(&self) -> bool {
-        self.rules.iter().flatten().all(|r| {
-            let mut counts = Vec::new();
-            r.output.child_use_counts(&mut counts);
-            counts.iter().all(|&c| c <= 1)
-        })
+        self.nonlinear_rule().is_none()
+    }
+
+    /// The first rule whose output uses some input child more than once —
+    /// the witness that the transducer is *not* linear — as
+    /// `(state, rule index)`. `None` iff [`Sttr::is_linear`].
+    pub fn nonlinear_rule(&self) -> Option<(StateId, usize)> {
+        for q in self.states() {
+            for (idx, r) in self.rules(q).iter().enumerate() {
+                let mut counts = Vec::new();
+                r.output.child_use_counts(&mut counts);
+                if counts.iter().any(|&c| c > 1) {
+                    return Some((q, idx));
+                }
+            }
+        }
+        None
     }
 
     /// Determinism (Definition 9): no two distinct rules of the same state
@@ -573,6 +585,21 @@ impl<A: TransAlg<Elem = Label>> Sttr<A> {
     /// Propagates automata state-budget errors from the lookahead
     /// intersection tests.
     pub fn is_deterministic(&self) -> Result<bool, TransducerError> {
+        Ok(self.nondeterministic_rules()?.is_none())
+    }
+
+    /// The first pair of simultaneously-enabled rules with different
+    /// outputs — the witness that the transducer is *not* deterministic —
+    /// as `(state, rule index a, rule index b)`. `None` iff
+    /// [`Sttr::is_deterministic`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates automata state-budget errors from the lookahead
+    /// intersection tests.
+    pub fn nondeterministic_rules(
+        &self,
+    ) -> Result<Option<(StateId, usize, usize)>, TransducerError> {
         for q in self.states() {
             let rs = self.rules(q);
             for a in 0..rs.len() {
@@ -599,12 +626,36 @@ impl<A: TransAlg<Elem = Label>> Sttr<A> {
                         }
                     }
                     if overlap {
-                        return Ok(false);
+                        return Ok(Some((q, a, b)));
                     }
                 }
             }
         }
-        Ok(true)
+        Ok(None)
+    }
+
+    /// Conservative single-valuedness check — the left-composability
+    /// precondition of Theorem 4 (`|T_q(t)| ≤ 1` for every input).
+    ///
+    /// Determinism (Definition 9) is a decidable sufficient condition, so
+    /// this returns `true` only for transducers proven deterministic;
+    /// single-valued-but-nondeterministic transducers (two overlapping
+    /// rules with semantically equal outputs) answer `false`, and a
+    /// lookahead state-budget overflow during the check also answers
+    /// `false`. Callers gating composition exactness on this therefore
+    /// never treat an inexact fusion as exact.
+    pub fn is_single_valued(&self) -> bool {
+        matches!(self.nondeterministic_rules(), Ok(None))
+    }
+
+    /// Renders one rule as `state#idx: ctor` for witness messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` or `idx` is out of range.
+    pub fn describe_rule(&self, q: StateId, idx: usize) -> String {
+        let r = &self.rules[q.0][idx];
+        format!("{}#{idx}: {}", self.names[q.0], self.ty.ctor_name(r.ctor))
     }
 }
 

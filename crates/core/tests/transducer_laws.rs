@@ -64,8 +64,8 @@ fn identity_is_neutral() {
     let (ty, alg) = bt();
     let id = identity(&ty, &alg);
     let f = relabel(Term::field(0).add(Term::int(3)), Term::field(0).neg());
-    behaviorally_equal(&compose(&id, &f).unwrap(), &f, 1);
-    behaviorally_equal(&compose(&f, &id).unwrap(), &f, 2);
+    behaviorally_equal(&compose(&id, &f).unwrap().sttr, &f, 1);
+    behaviorally_equal(&compose(&f, &id).unwrap().sttr, &f, 2);
 }
 
 #[test]
@@ -76,8 +76,8 @@ fn composition_is_associative_behaviorally() {
         Term::field(0).add(Term::int(5)),
     );
     let h = relabel(Term::field(0).modulo(7), Term::field(0).sub(Term::int(2)));
-    let left = compose(&compose(&f, &g).unwrap(), &h).unwrap();
-    let right = compose(&f, &compose(&g, &h).unwrap()).unwrap();
+    let left = compose(&compose(&f, &g).unwrap().sttr, &h).unwrap().sttr;
+    let right = compose(&f, &compose(&g, &h).unwrap().sttr).unwrap().sttr;
     behaviorally_equal(&left, &right, 3);
 }
 
@@ -185,7 +185,7 @@ fn identity_restricted_is_identity_on_language() {
 fn prune_lookahead_preserves_behavior() {
     let f = relabel(Term::field(0).add(Term::int(1)), Term::field(0));
     let g = relabel(Term::field(0).mul(Term::int(3)), Term::field(0));
-    let fused = compose(&f, &g).unwrap();
+    let fused = compose(&f, &g).unwrap().sttr;
     let repruned = fused.prune_lookahead();
     behaviorally_equal(&fused, &repruned, 6);
     assert!(repruned.lookahead_sta().state_count() <= fused.lookahead_sta().state_count());
@@ -196,7 +196,7 @@ fn composition_preserves_determinism_observationally() {
     // Deterministic ∘ deterministic yields at most one output per input.
     let f = relabel(Term::field(0).add(Term::int(2)), Term::field(0));
     let g = relabel(Term::field(0).modulo(5), Term::field(0).add(Term::int(1)));
-    let c = compose(&f, &g).unwrap();
+    let c = compose(&f, &g).unwrap().sttr;
     for t in samples(7) {
         assert!(c.run(&t).unwrap().len() <= 1);
     }
@@ -481,7 +481,7 @@ fn composition_law_holds_on_the_batch_path() {
         Term::field(0).mul(Term::int(2)),
         Term::field(0).sub(Term::int(3)),
     );
-    let composed = compose(&f, &g).unwrap();
+    let composed = compose(&f, &g).unwrap().sttr;
     let plan = fast_rt::Plan::compile(&composed);
 
     // Repeat the sample set: the clones share `Arc` addresses with the
@@ -552,7 +552,7 @@ fn example7_deletion_reduction() {
 
     // T: identity.
     let t = identity(&ty, &alg);
-    let composed = compose(&s, &t).unwrap();
+    let composed = compose(&s, &t).unwrap().sttr;
 
     // Behaviour: drop left spines while x > 0.
     let input = Tree::parse(&ty, "f[3](c[9], f[1](c[8], c[7]))").unwrap();

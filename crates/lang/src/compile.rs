@@ -854,7 +854,12 @@ impl Compiler {
                 same_type(&ta, &tb, *span)?;
                 Ok((
                     ta,
-                    compose(&sa, &sb).map_err(|e| err(*span, e.to_string()))?,
+                    // Exactness is surfaced by `fastc check` (FA006), so
+                    // the paper's over-approximating semantics stays
+                    // available to programs that want it.
+                    compose(&sa, &sb)
+                        .map_err(|e| err(*span, e.to_string()))?
+                        .sttr,
                 ))
             }
             TExpr::Restrict(t, l, span) => {

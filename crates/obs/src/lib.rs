@@ -48,6 +48,12 @@
 //! | `rt.pool_steals` | a pool worker steals a job from a sibling's deque |
 //! | `rt.pool_fallbacks` | a worker thread fails to spawn and the batch degrades |
 //! | `rt.timeouts` | a batch item exceeds its per-item deadline |
+//! | `rt.pipeline.compiles` | a `Pipeline::compile` invocation starts |
+//! | `rt.pipeline.fused_boundaries` | a stage boundary is fused via composition |
+//! | `rt.pipeline.cascaded_boundaries` | a stage boundary falls back to cascading |
+//! | `rt.pipeline.fuse_cache_hits` | a boundary verdict is served from the fusion cache |
+//! | `rt.pipeline.runs` | a `Pipeline::run_batch` invocation starts |
+//! | `rt.pipeline.items` | — bumped by the pipeline batch size, one per input tree |
 //! | `obs.trace_dropped` | the span buffer is full and an event is discarded |
 //!
 //! This table is load-bearing: it must list exactly the names in
@@ -69,8 +75,11 @@
 //! (`compose.total`, `compose.reduce`, `compose.preimage`), automata
 //! algorithms (`automata.intersect`, `automata.determinize`), runtime
 //! phases (`rt.run_batch` per batch, `rt.item` per input tree,
-//! `plan.dispatch` per memoized dispatch), and the `fastc profile`
-//! phases (`profile.compile`, `profile.plan_compile`, `profile.run`).
+//! `plan.dispatch` per memoized dispatch), pipeline phases
+//! (`rt.pipeline.compile` per chain compilation, `rt.pipeline.run` per
+//! pipeline batch, `rt.pipeline.stage` per segment pass — also a span
+//! and a histogram), and the `fastc profile` phases
+//! (`profile.compile`, `profile.plan_compile`, `profile.run`).
 //!
 //! ## Reading a snapshot
 //!
@@ -132,6 +141,12 @@ pub const DOCUMENTED_COUNTERS: &[&str] = &[
     "rt.pool_steals",
     "rt.pool_fallbacks",
     "rt.timeouts",
+    "rt.pipeline.compiles",
+    "rt.pipeline.fused_boundaries",
+    "rt.pipeline.cascaded_boundaries",
+    "rt.pipeline.fuse_cache_hits",
+    "rt.pipeline.runs",
+    "rt.pipeline.items",
     "obs.trace_dropped",
 ];
 
@@ -147,6 +162,7 @@ pub const DOCUMENTED_DURATIONS: &[&str] = &[
     "analysis.check.fa003",
     "analysis.check.fa004",
     "analysis.check.fa005",
+    "analysis.check.fa006",
     "analysis.check.fa100",
     "analysis.total",
     "smt.check",
@@ -158,6 +174,9 @@ pub const DOCUMENTED_DURATIONS: &[&str] = &[
     "automata.determinize",
     "rt.run_batch",
     "rt.item",
+    "rt.pipeline.compile",
+    "rt.pipeline.run",
+    "rt.pipeline.stage",
     "plan.dispatch",
     "profile.compile",
     "profile.plan_compile",

@@ -32,11 +32,13 @@
 //! output budget errors, never truncates) carries over unchanged.
 
 mod memo;
+mod pipeline;
 mod plan;
 mod pool;
 mod profile;
 
-pub use plan::{BatchStats, Plan, RunOptions};
+pub use pipeline::{BoundaryDecision, FusionStrategy, Pipeline, PipelineOptions, PipelineReport};
+pub use plan::{BatchMemo, BatchStats, Plan, RunOptions};
 pub use profile::{RuleProfile, RuleProfileEntry};
 
 #[cfg(test)]

@@ -10,15 +10,31 @@
 //! * the **lookahead cache** maps `subtree address` to the set of
 //!   lookahead-STA states accepting that subtree.
 //!
-//! Addresses are only meaningful while the batch's input trees are alive,
-//! which is why both caches live for a single `run_batch`/`run_stream`
-//! invocation and are dropped with it.
+//! An address only identifies a subtree while that allocation is alive;
+//! a dropped tree's address can be handed to an unrelated new tree by
+//! the allocator. Both caches therefore **retain a strong [`Tree`]
+//! clone inside every entry** (see the value types in `plan.rs`):
+//! while an entry is resident, its subtree cannot be freed, so its
+//! address can never be reused by another tree. This is what makes it
+//! sound for a memo to outlive one batch (`Plan::run_batch_shared`,
+//! cascaded pipelines) even when callers drop intermediate trees
+//! between runs.
 //!
 //! Sharding mirrors `fast-smt`'s solver cache: 16 mutex-guarded shards
-//! selected by key hash, so concurrent workers rarely contend. Each shard
-//! enforces a capacity; insertion into a full shard evicts one resident
-//! entry (cheap random-ish choice — the first key of the shard's current
+//! selected by key hash, so concurrent workers rarely contend.
+//!
+//! # Capacity accounting
+//!
+//! `capacity` bounds the **whole table**, not each shard: every shard
+//! holds at most `capacity / SHARDS` entries (so the table never
+//! exceeds `capacity` when `capacity ≥ SHARDS`; smaller capacities are
+//! rounded up to one entry per shard, i.e. `SHARDS` total — callers in
+//! `plan.rs` clamp with `.max(SHARDS)` so this rounding never applies
+//! there). Insertion into a full shard evicts one resident entry
+//! (cheap random-ish choice — the first key of the shard's current
 //! iteration order) and bumps `rt.memo_evictions`.
+//!
+//! [`Tree`]: fast_trees::Tree
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -44,7 +60,9 @@ pub(crate) struct Sharded<K, V> {
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> Sharded<K, V> {
-    /// A map holding at most (roughly) `capacity` entries across shards.
+    /// A map holding at most `capacity` entries across **all** shards
+    /// (each shard is capped at `capacity / SHARDS`; capacities below
+    /// `SHARDS` round up to one entry per shard).
     pub fn new(capacity: usize) -> Self {
         let per_shard_cap = (capacity / SHARDS).max(1);
         Sharded {
@@ -107,6 +125,34 @@ mod tests {
         }
         assert!(m.len() <= SHARDS * 2);
         assert!(stats.evictions.load(Ordering::Relaxed) > 0);
+    }
+
+    /// Pins the eviction-cap accounting: `capacity` bounds the whole
+    /// table (÷ SHARDS per shard), it is **not** multiplied 16× across
+    /// shards. `cap` insertions stay within `cap`; the `cap + 1`-st
+    /// insertion evicts rather than grow.
+    #[test]
+    fn capacity_bounds_whole_table_not_per_shard() {
+        let stats = CacheStats::default();
+        let cap = 64; // 4 entries per shard
+        let m: Sharded<usize, usize> = Sharded::new(cap);
+        for i in 0..cap {
+            m.insert(i, i, &stats);
+        }
+        assert!(m.len() <= cap, "cap insertions exceeded cap: {}", m.len());
+        let before = m.len();
+        m.insert(cap, cap, &stats);
+        assert!(m.len() <= cap, "cap+1 insertions exceeded cap");
+        // The boundary insert never grows the table past its pre-insert
+        // size by more than the one slot a non-full shard may still have.
+        assert!(m.len() <= before + 1);
+        // Sub-SHARDS capacities round *up* to one entry per shard — the
+        // documented floor, not a 16× multiplication of the request.
+        let tiny: Sharded<usize, usize> = Sharded::new(4);
+        for i in 0..1000 {
+            tiny.insert(i, i, &stats);
+        }
+        assert!(tiny.len() <= SHARDS);
     }
 
     #[test]

@@ -107,7 +107,54 @@ impl BatchStats {
 }
 
 /// Shared memo table: `(state, Tree::addr) → finished output set`.
-type OutMemo = Sharded<(usize, usize), Arc<Vec<Tree>>>;
+///
+/// Every entry retains a strong [`Tree`] clone of the subtree it
+/// describes. That pin keeps the keyed address allocated for as long as
+/// the entry is resident, so a caller dropping input trees between runs
+/// (as cascaded pipelines do with intermediate trees) can never observe
+/// a freshly-allocated tree aliasing a stale entry.
+type OutMemo = Sharded<(usize, usize), (Tree, Arc<Vec<Tree>>)>;
+
+/// Lookahead cache: `Tree::addr → accepting lookahead states`, with the
+/// same address-pinning `Tree` clone as [`OutMemo`].
+type LaMemo = Sharded<usize, (Tree, Arc<BTreeSet<StateId>>)>;
+
+/// A result memo plus lookahead cache that **outlives a single batch**:
+/// pass it to [`Plan::run_batch_shared`] to reuse sub-transduction
+/// results across successive `run_batch` calls (cascaded pipeline
+/// stages, repeated queries over a mutating corpus).
+///
+/// Entries pin a strong clone of their subtree, so dropping input trees
+/// between runs is safe — a new tree can never be allocated at a
+/// memoized address while this table holds it (see the `memo` module
+/// docs for the aliasing hazard this prevents).
+///
+/// The memo keys on the plan's state ids: share one `BatchMemo` only
+/// across runs of the **same** [`Plan`]. Cloning is cheap and yields a
+/// handle to the same underlying tables.
+#[derive(Clone)]
+pub struct BatchMemo {
+    out: Arc<OutMemo>,
+    la: Arc<LaMemo>,
+}
+
+impl BatchMemo {
+    /// A memo bounded at `capacity` entries total (minimum one entry per
+    /// shard, exactly like [`RunOptions::memo_capacity`]).
+    pub fn new(capacity: usize) -> BatchMemo {
+        let cap = capacity.max(crate::memo::SHARDS);
+        BatchMemo {
+            out: Arc::new(Sharded::new(cap)),
+            la: Arc::new(Sharded::new(cap)),
+        }
+    }
+}
+
+impl std::fmt::Debug for BatchMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchMemo").finish_non_exhaustive()
+    }
+}
 
 /// Per-batch shared state: the caches and their counters.
 struct BatchCtx<'p> {
@@ -115,10 +162,10 @@ struct BatchCtx<'p> {
     cap: usize,
     timeout: Option<Duration>,
     /// `None` = shared memo off (items fall back to a private table).
-    memo: Option<OutMemo>,
+    memo: Option<Arc<OutMemo>>,
     memo_stats: CacheStats,
     /// `Tree::addr → accepting lookahead states`.
-    la: Sharded<usize, Arc<BTreeSet<StateId>>>,
+    la: Arc<LaMemo>,
     la_stats: CacheStats,
     /// Per-rule attribution, present when [`RunOptions::profile`] is set.
     profile: Option<ProfileData>,
@@ -342,14 +389,59 @@ impl Plan {
             timeout: opts.timeout,
             memo: opts
                 .memo
-                .then(|| Sharded::new(opts.memo_capacity.max(crate::memo::SHARDS))),
+                .then(|| Arc::new(Sharded::new(opts.memo_capacity.max(crate::memo::SHARDS)))),
             memo_stats: CacheStats::default(),
-            la: Sharded::new(opts.memo_capacity.max(crate::memo::SHARDS)),
+            la: Arc::new(Sharded::new(opts.memo_capacity.max(crate::memo::SHARDS))),
             la_stats: CacheStats::default(),
             profile: opts
                 .profile
                 .then(|| ProfileData::new(self.total_rules, self.sttr.state_count())),
         }
+    }
+
+    /// Builds a batch context around a caller-owned [`BatchMemo`]
+    /// (overriding [`RunOptions::memo`]/`memo_capacity`).
+    fn batch_ctx_with_memo<'p>(&'p self, opts: &RunOptions, memo: &BatchMemo) -> BatchCtx<'p> {
+        BatchCtx {
+            plan: self,
+            cap: opts.cap,
+            timeout: opts.timeout,
+            memo: Some(Arc::clone(&memo.out)),
+            memo_stats: CacheStats::default(),
+            la: Arc::clone(&memo.la),
+            la_stats: CacheStats::default(),
+            profile: opts
+                .profile
+                .then(|| ProfileData::new(self.total_rules, self.sttr.state_count())),
+        }
+    }
+
+    /// [`Plan::run_batch_with`] against a caller-owned [`BatchMemo`], so
+    /// sub-transduction results and lookahead sets persist across
+    /// batches. It is safe to drop the input trees of one call before
+    /// the next: resident entries pin their subtrees alive, so addresses
+    /// cannot be recycled into aliases (the memo-aliasing bugfix this
+    /// API exists to exercise).
+    pub fn run_batch_shared(
+        &self,
+        items: &[Tree],
+        opts: &RunOptions,
+        memo: &BatchMemo,
+    ) -> (Vec<Result<Vec<Tree>, TransducerError>>, BatchStats) {
+        fast_obs::count!("rt.batch_runs");
+        fast_obs::count!("rt.batch_items", items.len() as u64);
+        fast_obs::time("rt.run_batch", || {
+            let cx = self.batch_ctx_with_memo(opts, memo);
+            let workers = pool::resolve_workers(opts.workers);
+            let pool_stats = PoolStats::default();
+            let results = pool::run_indexed(workers, items.len(), &pool_stats, |i| {
+                run_item(&cx, &items[i])
+            });
+            (
+                results,
+                finish_stats(&cx, &pool_stats, items.len(), workers),
+            )
+        })
     }
 
     /// [`Plan::run_batch_with`] plus a per-rule [`RuleProfile`]:
@@ -523,14 +615,18 @@ impl<'b, 'p> ItemRun<'b, 'p> {
 
     fn memo_get(&mut self, key: &(usize, usize)) -> Option<Arc<Vec<Tree>>> {
         match &self.cx.memo {
-            Some(shared) => shared.get(key, &self.cx.memo_stats),
+            Some(shared) => shared.get(key, &self.cx.memo_stats).map(|(_pin, v)| v),
             None => self.local_memo.get(key).cloned(),
         }
     }
 
-    fn memo_put(&mut self, key: (usize, usize), value: Arc<Vec<Tree>>) {
+    /// `t` is the subtree whose address `key` carries: the shared table
+    /// stores a clone of it so the address stays pinned (see [`OutMemo`]).
+    /// The private per-item table needs no pin — its keys are subtrees of
+    /// the item, which outlives it.
+    fn memo_put(&mut self, key: (usize, usize), t: &Tree, value: Arc<Vec<Tree>>) {
         match &self.cx.memo {
-            Some(shared) => shared.insert(key, value, &self.cx.memo_stats),
+            Some(shared) => shared.insert(key, (t.clone(), value), &self.cx.memo_stats),
             None => {
                 self.local_memo.insert(key, value);
             }
@@ -543,7 +639,7 @@ impl<'b, 'p> ItemRun<'b, 'p> {
         if self.cx.plan.la_state_count == 0 {
             return Ok(empty_states().clone());
         }
-        if let Some(s) = self.cx.la.get(&t.addr(), &self.cx.la_stats) {
+        if let Some((_pin, s)) = self.cx.la.get(&t.addr(), &self.cx.la_stats) {
             return Ok(s);
         }
         // Explicit post-order stack (deep documents must not overflow),
@@ -560,7 +656,7 @@ impl<'b, 'p> ItemRun<'b, 'p> {
             }
             if !expanded {
                 // Only probe the shared cache on first visit.
-                if let Some(s) = self.cx.la.get(&node.addr(), &self.cx.la_stats) {
+                if let Some((_pin, s)) = self.cx.la.get(&node.addr(), &self.cx.la_stats) {
                     computed.insert(node.addr(), s);
                     continue;
                 }
@@ -589,7 +685,7 @@ impl<'b, 'p> ItemRun<'b, 'p> {
             let rc = Arc::new(accept);
             self.cx
                 .la
-                .insert(node.addr(), rc.clone(), &self.cx.la_stats);
+                .insert(node.addr(), (node.clone(), rc.clone()), &self.cx.la_stats);
             computed.insert(node.addr(), rc);
         }
         Ok(computed.remove(&t.addr()).expect("root computed"))
@@ -665,7 +761,7 @@ impl<'b, 'p> ItemRun<'b, 'p> {
             out = set.into_iter().collect();
         }
         let rc = Arc::new(out);
-        self.memo_put(key, rc.clone());
+        self.memo_put(key, t, rc.clone());
         Ok(rc)
     }
 

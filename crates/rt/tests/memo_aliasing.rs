@@ -1,0 +1,138 @@
+//! Regression test for the memo-aliasing bug: `BatchMemo` keys on raw
+//! `Tree::addr()` (an `Arc` pointer address). Before the fix, entries
+//! did **not** keep their subtree alive, so a caller that dropped input
+//! trees between `run_batch` calls — exactly what cascaded pipelines do
+//! with intermediate trees — could see the allocator hand a *new* tree
+//! the address of a dropped one, aliasing its stale memo entry and
+//! returning another tree's cached outputs.
+//!
+//! The fix retains a strong `Tree` clone inside every entry, pinning the
+//! address for the table's lifetime. This test drops and reallocates
+//! trees in a tight loop against one shared memo; on the pre-fix memo
+//! the allocator's LIFO reuse makes a wrong (stale) result appear within
+//! a few iterations, failing the assertions below.
+
+use fast_core::{Out, Sttr, SttrBuilder};
+use fast_rt::{BatchMemo, Plan, RunOptions};
+use fast_smt::{Formula, Label, LabelAlg, LabelFn, LabelSig, Sort, Term};
+use fast_trees::{Tree, TreeType};
+use std::sync::Arc;
+
+fn ilist() -> (Arc<TreeType>, Arc<LabelAlg>) {
+    let ty = TreeType::new(
+        "IList",
+        LabelSig::single("i", Sort::Int),
+        vec![("nil", 0), ("cons", 1)],
+    );
+    let alg = Arc::new(LabelAlg::new(ty.sig().clone()));
+    (ty, alg)
+}
+
+/// `inc`: adds 1 to every element — output uniquely determines input,
+/// so a stale memo entry is immediately visible as a wrong label.
+fn inc(ty: &Arc<TreeType>, alg: &Arc<LabelAlg>) -> Sttr {
+    let (nil, cons) = (ty.ctor_id("nil").unwrap(), ty.ctor_id("cons").unwrap());
+    let mut b = SttrBuilder::new(ty.clone(), alg.clone());
+    let q = b.state("inc");
+    b.plain_rule(
+        q,
+        nil,
+        Formula::True,
+        Out::node(nil, LabelFn::new(vec![Term::int(0)]), vec![]),
+    );
+    b.plain_rule(
+        q,
+        cons,
+        Formula::True,
+        Out::node(
+            cons,
+            LabelFn::new(vec![Term::field(0).add(Term::int(1))]),
+            vec![Out::Call(q, 0)],
+        ),
+    );
+    b.build(q)
+}
+
+fn list(ty: &Arc<TreeType>, items: &[i64]) -> Tree {
+    let (nil, cons) = (ty.ctor_id("nil").unwrap(), ty.ctor_id("cons").unwrap());
+    let mut t = Tree::leaf(nil, Label::single(0i64));
+    for &v in items.iter().rev() {
+        t = Tree::new(cons, Label::single(v), vec![t]);
+    }
+    t
+}
+
+/// Drop-and-reallocate against a shared memo: every batch's trees are
+/// dropped before the next batch runs, so without address pinning the
+/// allocator reuses their `Arc` allocations almost immediately (LIFO
+/// free lists) and a stale `(state, addr)` entry answers for the wrong
+/// tree. With the fix, resident entries pin their trees, addresses are
+/// never recycled while the memo lives, and every answer is correct.
+#[test]
+fn shared_memo_survives_dropped_and_reallocated_trees() {
+    let (ty, alg) = ilist();
+    let plan = Plan::compile(&inc(&ty, &alg));
+    let memo = BatchMemo::new(1 << 16);
+    let opts = RunOptions {
+        workers: 1,
+        ..RunOptions::default()
+    };
+    let mut reused_addr = false;
+    let mut last_addr: Option<usize> = None;
+    for round in 0..200i64 {
+        // Same shape every round, different labels: a same-size
+        // allocation (maximally reusable) whose correct output differs
+        // from every earlier round's.
+        let t = list(&ty, &[round, round + 1000]);
+        if last_addr == Some(t.addr()) {
+            reused_addr = true;
+        }
+        last_addr = Some(t.addr());
+        let (results, _) = plan.run_batch_shared(std::slice::from_ref(&t), &opts, &memo);
+        let out = results[0]
+            .as_ref()
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        assert_eq!(out.len(), 1, "round {round}");
+        assert_eq!(
+            out[0],
+            list(&ty, &[round + 1, round + 1001]),
+            "round {round}: shared memo returned another tree's cached outputs \
+             (stale entry aliased by a reallocated address)"
+        );
+        // `t` drops here while the memo stays alive.
+    }
+    // With address pinning, a live entry's address can never be handed
+    // to the next round's root. (Pre-fix, this reuse is precisely what
+    // produced the stale hits.)
+    assert!(
+        !reused_addr,
+        "a memoized root address was recycled into a new tree while the memo was alive"
+    );
+}
+
+/// The same hazard through the `Pipeline` cascade path: intermediate
+/// frontiers are dropped stage by stage while the per-segment memos
+/// live on. Running many batches through a cascaded two-stage pipeline
+/// must keep producing exact answers.
+#[test]
+fn cascaded_pipeline_reallocation_is_correct() {
+    use fast_rt::{FusionStrategy, Pipeline, PipelineOptions};
+    let (ty, alg) = ilist();
+    let stages = vec![Arc::new(inc(&ty, &alg)), Arc::new(inc(&ty, &alg))];
+    let p = Pipeline::compile_with(
+        &stages,
+        &PipelineOptions {
+            strategy: FusionStrategy::Never,
+        },
+    );
+    assert_eq!(p.segment_count(), 2);
+    for round in 0..50i64 {
+        let batch = vec![list(&ty, &[round]), list(&ty, &[round, round])];
+        let results = p.run_batch(&batch);
+        assert_eq!(*results[0].as_ref().unwrap(), vec![list(&ty, &[round + 2])]);
+        assert_eq!(
+            *results[1].as_ref().unwrap(),
+            vec![list(&ty, &[round + 2, round + 2])]
+        );
+    }
+}

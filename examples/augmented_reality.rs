@@ -98,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let double_tag = b.build(conflict);
 
     let check = |a: &Sttr, b: &Sttr| -> Result<bool, Box<dyn std::error::Error>> {
-        let composed = compose(a, b)?; // 1. composition
+        let composed = compose(a, b)?.sttr; // 1. composition
         let on_clean = restrict(&composed, &no_tags)?; // 2. input restriction
         let conflicting = restrict_out(&on_clean, &double_tag)?; // 3. output restriction
         Ok(!fast::core::is_empty_transducer(&conflicting)?) // 4. check
@@ -122,7 +122,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Concrete demonstration: run both conflicting taggers in sequence.
     let world = Tree::parse(&ty, "elem[7](nil[0], nil[0])")?;
-    let both = compose(&t1, &t2)?;
+    let both = compose(&t1, &t2)?.sttr;
     let tagged = both.run(&world)?.pop().unwrap();
     println!("\nelement v=7 after both taggers: {}", tagged.display(&ty));
     Ok(())

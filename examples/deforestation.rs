@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Fuse n maps into one transducer…
         let mut fused = map.clone();
         for _ in 1..n {
-            fused = compose(&fused, &map)?;
+            fused = compose(&fused, &map)?.sttr;
         }
         let start = Instant::now();
         let fast_out = fused.run(&input)?.pop().unwrap();

@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("doubled: {}", doubled.display(&bt));
 
     // 4. Compose double with itself: one pass that multiplies by 4.
-    let quadruple = compose(&double, &double)?;
+    let quadruple = compose(&double, &double)?.sttr;
     let quadrupled = quadruple.run(&t)?.pop().unwrap();
     println!(
         "quadrupled (single fused pass): {}",

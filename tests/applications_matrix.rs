@@ -75,8 +75,8 @@ fn augmented_reality_row() {
     // Composition of two relabelings…
     let a = map_add(&ty, &alg, 2);
     let b = map_add(&ty, &alg, 3);
-    let ab = compose(&a, &b).unwrap();
-    let ba = compose(&b, &a).unwrap();
+    let ab = compose(&a, &b).unwrap().sttr;
+    let ba = compose(&b, &a).unwrap().sttr;
     // …and equivalence of their domains (both total) plus behavior:
     // +2 then +3 ≡ +3 then +2 — checked on pre-images of a range.
     let r = range_lang(&ty, &alg, 0, 10);
@@ -121,7 +121,7 @@ fn html_sanitization_row() {
 fn deforestation_row() {
     let (ty, alg) = ilist();
     let m = map_add(&ty, &alg, 1);
-    let fused = compose(&compose(&m, &m).unwrap(), &m).unwrap();
+    let fused = compose(&compose(&m, &m).unwrap().sttr, &m).unwrap().sttr;
     let nil = ty.ctor_id("nil").unwrap();
     let cons = ty.ctor_id("cons").unwrap();
     let input = Tree::new(
@@ -141,7 +141,7 @@ fn program_analysis_row() {
     let (ty, alg) = ilist();
     let m = map_add(&ty, &alg, 5);
     let id = identity(&ty, &alg);
-    let round_trip = compose(&m, &map_add(&ty, &alg, -5)).unwrap();
+    let round_trip = compose(&m, &map_add(&ty, &alg, -5)).unwrap().sttr;
     // Equivalence: (+5 then −5) has the same pre-images as the identity.
     let r = range_lang(&ty, &alg, 2, 4);
     let via_round_trip = preimage(&round_trip, &r).unwrap();
@@ -203,7 +203,7 @@ fn css_analysis_row() {
     let blue = rule("blue");
     // Composition: later rules win — black then blue ≡ blue alone on the
     // pre-image of "some p is blue".
-    let composed = compose(&black, &blue).unwrap();
+    let composed = compose(&black, &blue).unwrap().sttr;
     let mut b = StaBuilder::new(ty.clone(), alg.clone());
     let s = b.state("some_blue_p");
     b.rule(

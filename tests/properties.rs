@@ -242,7 +242,7 @@ proptest! {
         let s = bt_relabel(g1, e1, e2);
         let u = bt_relabel(g2, e3, e4);
         prop_assume!(s.is_deterministic().unwrap());
-        let c = compose(&s, &u).unwrap();
+        let c = compose(&s, &u).unwrap().sttr;
         let sequential: Vec<Tree> = s
             .run(&t)
             .unwrap()
