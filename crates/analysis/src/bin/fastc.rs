@@ -339,6 +339,10 @@ fn pipeline_run(
                 s.memo_evictions,
             );
         }
+        println!(
+            "interner: {} canonical tree nodes live (process-wide)",
+            fast_trees::intern::table_len(),
+        );
     }
     ExitCode::SUCCESS
 }

@@ -186,10 +186,15 @@ impl<A: BoolAlg<Elem = Label>> Sta<A> {
     }
 
     /// Bottom-up evaluation over the whole tree with sharing-aware
-    /// memoization: returns, for every distinct shared node (keyed by
-    /// [`Tree::addr`]), the set of accepting states. Used by the
+    /// memoization: returns, for every distinct subtree (keyed by its
+    /// interned [`fast_trees::TreeId`]), the set of accepting states.
+    /// Structurally equal subtrees share one id — and therefore one
+    /// entry — even when they were built independently. Used by the
     /// transducer crate to check rule lookaheads in a single pass.
-    pub fn eval_states_map(&self, t: &Tree) -> std::collections::HashMap<usize, BTreeSet<StateId>> {
+    pub fn eval_states_map(
+        &self,
+        t: &Tree,
+    ) -> std::collections::HashMap<fast_trees::TreeId, BTreeSet<StateId>> {
         let mut memo = std::collections::HashMap::new();
         self.eval_into(t, &mut memo);
         memo
@@ -200,11 +205,11 @@ impl<A: BoolAlg<Elem = Label>> Sta<A> {
     fn eval_into(
         &self,
         root: &Tree,
-        memo: &mut std::collections::HashMap<usize, BTreeSet<StateId>>,
+        memo: &mut std::collections::HashMap<fast_trees::TreeId, BTreeSet<StateId>>,
     ) {
         let mut stack: Vec<(&Tree, bool)> = vec![(root, false)];
         while let Some((t, expanded)) = stack.pop() {
-            if memo.contains_key(&t.addr()) {
+            if memo.contains_key(&t.id()) {
                 continue;
             }
             if !expanded {
@@ -221,7 +226,7 @@ impl<A: BoolAlg<Elem = Label>> Sta<A> {
                         continue;
                     }
                     for (i, la) in r.lookahead.iter().enumerate() {
-                        let child_states = &memo[&t.child(i).addr()];
+                        let child_states = &memo[&t.child(i).id()];
                         if !la.is_subset(child_states) {
                             continue 'rules;
                         }
@@ -230,7 +235,7 @@ impl<A: BoolAlg<Elem = Label>> Sta<A> {
                     break;
                 }
             }
-            memo.insert(t.addr(), out);
+            memo.insert(t.id(), out);
         }
     }
 

@@ -5,10 +5,12 @@
 //! 2. `plan` — compiled dispatch plan + shared memo, one worker;
 //! 3. `plan+pool` — the same plan across the work-stealing pool.
 //!
-//! Repeats in the batch are `Arc` clones, so the plan's `(state, addr)`
-//! memo answers them without re-evaluating — the speedup is memoization
-//! first, parallelism on top where cores exist. Writes
-//! `BENCH_rt_batch.json` with timings, speedups, and `rt.*` telemetry.
+//! Repeats in the batch are `Arc` clones, and trees are globally
+//! hash-consed, so the plan's `(state, TreeId)` memo answers both
+//! repeats *and* independently built structural duplicates without
+//! re-evaluating — the speedup is memoization first, parallelism on top
+//! where cores exist. Writes `BENCH_rt_batch.json` with timings,
+//! speedups, interner statistics, and `rt.*` telemetry.
 //!
 //! Usage: `rt_batch [--seed S] [--reps N]`
 
@@ -46,7 +48,11 @@ fn main() {
     let plan = plan_fig2(&compiled);
 
     let docs = corpus(seed);
+    let intern_before = fast_obs::snapshot();
     let batch = encoded_batch(&ty, &docs, reps);
+    let intern_delta = fast_obs::snapshot().delta_from(&intern_before);
+    let corpus_intern_hits = intern_delta.get("intern.hits");
+    let corpus_intern_misses = intern_delta.get("intern.misses");
     println!(
         "batch: {} items ({} distinct pages × {reps} reps), {cores} core(s)\n",
         batch.len(),
@@ -119,6 +125,16 @@ fn main() {
         item_hist.quantile(0.99) as f64 / 1e3,
         item_hist.max_ns as f64 / 1e3,
     );
+    let intern_table = fast_trees::intern::table_len();
+    println!(
+        "interner: {} canonical nodes; corpus encoding {} hits / {} misses \
+         ({:.1}% of constructions deduplicated)",
+        intern_table,
+        corpus_intern_hits,
+        corpus_intern_misses,
+        100.0 * corpus_intern_hits as f64
+            / (corpus_intern_hits + corpus_intern_misses).max(1) as f64,
+    );
 
     // Tracing-overhead probe: re-run plan mode twice with the subscriber
     // off (the second run bounds run-to-run noise), then once with it
@@ -159,6 +175,12 @@ fn main() {
             ("item_p50_ns", Json::Int(item_hist.quantile(0.5) as i64)),
             ("item_p99_ns", Json::Int(item_hist.quantile(0.99) as i64)),
             ("item_max_ns", Json::Int(item_hist.max_ns as i64)),
+            ("intern_table_len", Json::Int(intern_table as i64)),
+            ("intern_corpus_hits", Json::Int(corpus_intern_hits as i64)),
+            (
+                "intern_corpus_misses",
+                Json::Int(corpus_intern_misses as i64),
+            ),
             ("plan_repeat_ms", Json::Float(repeat_ms)),
             ("traced_ms", Json::Float(traced_ms)),
             ("trace_noise_pct", Json::Float(noise_pct)),

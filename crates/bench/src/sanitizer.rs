@@ -83,7 +83,7 @@ pub fn plan_fig2(compiled: &Compiled) -> Plan {
 }
 
 /// Encodes the corpus and repeats it `reps` times. The repeats are
-/// `Tree` clones of the first round — `Arc`-shared, same `Tree::addr` —
+/// `Tree` clones of the first round — `Arc`-shared, same `TreeId` —
 /// modeling a sanitization service that sees the same pages over and
 /// over (the batch runtime's memo answers repeats without re-running).
 pub fn encoded_batch(ty: &TreeType, docs: &[HtmlDoc], reps: usize) -> Vec<Tree> {

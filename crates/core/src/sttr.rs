@@ -4,7 +4,7 @@ use crate::error::TransducerError;
 use crate::out::Out;
 use fast_automata::{nonempty_states, normalize_rooted, Rule as StaRule, Sta, StateId};
 use fast_smt::{Label, LabelAlg, TransAlg};
-use fast_trees::{CtorId, Tree, TreeType};
+use fast_trees::{CtorId, Tree, TreeId, TreeType};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::rc::Rc;
@@ -244,7 +244,7 @@ impl<A: TransAlg<Elem = Label>> Sttr<A> {
         } else {
             None
         };
-        let mut memo: HashMap<(usize, usize), Rc<Vec<Tree>>> = HashMap::new();
+        let mut memo: HashMap<(usize, TreeId), Rc<Vec<Tree>>> = HashMap::new();
         let r = self.transduce(q, t, &la_map, &mut memo, cap)?;
         Ok(r.as_ref().clone())
     }
@@ -253,11 +253,11 @@ impl<A: TransAlg<Elem = Label>> Sttr<A> {
         &self,
         q: StateId,
         t: &Tree,
-        la_map: &Option<HashMap<usize, BTreeSet<StateId>>>,
-        memo: &mut HashMap<(usize, usize), Rc<Vec<Tree>>>,
+        la_map: &Option<HashMap<TreeId, BTreeSet<StateId>>>,
+        memo: &mut HashMap<(usize, TreeId), Rc<Vec<Tree>>>,
         cap: usize,
     ) -> Result<Rc<Vec<Tree>>, TransducerError> {
-        let key = (q.0, t.addr());
+        let key = (q.0, t.id());
         if let Some(r) = memo.get(&key) {
             return Ok(r.clone());
         }
@@ -273,7 +273,7 @@ impl<A: TransAlg<Elem = Label>> Sttr<A> {
             let la_ok = r.lookahead.iter().enumerate().all(|(i, s)| {
                 s.is_empty()
                     || match la_map {
-                        Some(m) => s.is_subset(&m[&t.child(i).addr()]),
+                        Some(m) => s.is_subset(&m[&t.child(i).id()]),
                         None => false,
                     }
             });
@@ -301,8 +301,8 @@ impl<A: TransAlg<Elem = Label>> Sttr<A> {
         &self,
         out: &Out<A>,
         t: &Tree,
-        la_map: &Option<HashMap<usize, BTreeSet<StateId>>>,
-        memo: &mut HashMap<(usize, usize), Rc<Vec<Tree>>>,
+        la_map: &Option<HashMap<TreeId, BTreeSet<StateId>>>,
+        memo: &mut HashMap<(usize, TreeId), Rc<Vec<Tree>>>,
         cap: usize,
     ) -> Result<Vec<Tree>, TransducerError> {
         match out {

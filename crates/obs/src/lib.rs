@@ -31,6 +31,10 @@
 //! | `smt.intern_hits` | interning returns an existing [`Interned<Formula>`] |
 //! | `smt.intern_misses` | interning allocates a new formula node |
 //! | `smt.minterms_enumerated` | a satisfiable minterm is produced |
+//! | `intern.hits` | tree interning returns an existing canonical node |
+//! | `intern.misses` | tree interning allocates a new canonical node (== table size: the table never evicts) |
+//! | `intern.hash_collisions` | a new tree lands in a non-empty hash bucket (structural-hash collision) |
+//! | `intern.contended` | a shard `try_lock` fails and the interner falls back to blocking |
 //! | `automata.product_states` | `intersect` emits a satisfiable product rule |
 //! | `automata.det_states` | determinization creates a subset state |
 //! | `compose.reduce_iterations` | one `Reduce` step runs during §4.1 composition |
@@ -124,6 +128,10 @@ pub const DOCUMENTED_COUNTERS: &[&str] = &[
     "smt.intern_hits",
     "smt.intern_misses",
     "smt.minterms_enumerated",
+    "intern.hits",
+    "intern.misses",
+    "intern.hash_collisions",
+    "intern.contended",
     "automata.product_states",
     "automata.det_states",
     "compose.reduce_iterations",

@@ -13,10 +13,12 @@
 //!   pre-indexed by constructor. Compilation is done once; the plan is
 //!   immutable and shared by every worker.
 //! * [`Plan::run_batch`] evaluates a whole batch against a **shared memo
-//!   table** keyed on `(state, Tree::addr)`. Because trees are
-//!   `Arc`-shared, a subtree reachable from several batch items has one
-//!   address — its transduction (and its lookahead state set) is
-//!   computed once per batch, not once per item. The table is
+//!   table** keyed on `(state, TreeId)` — the stable structural identity
+//!   every tree gets from the global hash-cons table in
+//!   `fast_trees::intern`. Structurally equal subtrees share one id, so
+//!   a subtree appearing in several batch items (or re-parsed from the
+//!   same source) has its transduction and lookahead state set computed
+//!   once per batch, not once per item. The table is
 //!   capacity-bounded with eviction, and hit/miss/eviction counters
 //!   surface both per batch ([`BatchStats`]) and globally (`rt.*`
 //!   counters in `fast-obs`).

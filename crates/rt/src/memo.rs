@@ -1,24 +1,27 @@
 //! Sharded concurrent maps backing the per-batch caches.
 //!
-//! Both caches key on [`Tree::addr`](fast_trees::Tree::addr) — the stable
-//! address of an `Arc`-shared node — so a subtree that appears in many
-//! batch items (cloned templates, repeated documents) is looked up by
-//! pointer, not by structural comparison:
+//! Both caches key on [`TreeId`](fast_trees::TreeId) — the stable
+//! identity a tree receives from the global hash-cons table in
+//! `fast_trees::intern` — so a subtree that appears in many batch items
+//! is looked up by a single integer comparison, whether the occurrences
+//! are `Arc`-shared clones or were built independently (parser, builder,
+//! generator: structurally equal trees intern to the same id):
 //!
-//! * the **result memo** maps `(transformation state, subtree address)`
-//!   to the finished output set of that sub-transduction;
-//! * the **lookahead cache** maps `subtree address` to the set of
-//!   lookahead-STA states accepting that subtree.
+//! * the **result memo** maps `(transformation state, TreeId)` to the
+//!   finished output set of that sub-transduction;
+//! * the **lookahead cache** maps `TreeId` to the set of lookahead-STA
+//!   states accepting that subtree.
 //!
-//! An address only identifies a subtree while that allocation is alive;
-//! a dropped tree's address can be handed to an unrelated new tree by
-//! the allocator. Both caches therefore **retain a strong [`Tree`]
-//! clone inside every entry** (see the value types in `plan.rs`):
-//! while an entry is resident, its subtree cannot be freed, so its
-//! address can never be reused by another tree. This is what makes it
-//! sound for a memo to outlive one batch (`Plan::run_batch_shared`,
-//! cascaded pipelines) even when callers drop intermediate trees
-//! between runs.
+//! Earlier revisions keyed on `Tree::addr()` (the raw `Arc` pointer),
+//! which only identifies a subtree while that allocation is alive — a
+//! dropped tree's address can be handed to an unrelated new tree by the
+//! allocator, so every entry had to pin a strong `Tree` clone to keep
+//! its key valid. `TreeId`s retire that hazard by construction: the
+//! interner is append-only, ids are never reused, and the canonical
+//! node behind each id is owned by the interner itself. A memo may
+//! therefore outlive one batch (`Plan::run_batch_shared`, cascaded
+//! pipelines) with no pinning at all, even when callers drop
+//! intermediate trees between runs.
 //!
 //! Sharding mirrors `fast-smt`'s solver cache: 16 mutex-guarded shards
 //! selected by key hash, so concurrent workers rarely contend.
@@ -33,8 +36,6 @@
 //! there). Insertion into a full shard evicts one resident entry
 //! (cheap random-ish choice — the first key of the shard's current
 //! iteration order) and bumps `rt.memo_evictions`.
-//!
-//! [`Tree`]: fast_trees::Tree
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};

@@ -24,10 +24,11 @@
 //!   bounded by [`RunOptions::cap`] exactly like
 //!   [`fast_core::Sttr::run_bounded`] — intermediate blow-up errors,
 //!   it never truncates or OOMs. Each segment keeps its own
-//!   [`BatchMemo`] alive for the whole run, which is sound precisely
-//!   because memo entries pin their subtrees (see the memo-aliasing
-//!   notes on [`BatchMemo`]): intermediate trees are dropped as soon as
-//!   the next segment has consumed them.
+//!   [`BatchMemo`] alive for the whole run, which is sound because memo
+//!   entries key on never-reused `TreeId`s (see the identity notes on
+//!   [`BatchMemo`]): intermediate trees are dropped as soon as the next
+//!   segment has consumed them, and no later tree can alias a resident
+//!   entry.
 //!
 //! A compose that exceeds its construction budget also falls back to
 //! cascading — the pipeline always compiles; fusion is an optimization,
@@ -176,8 +177,10 @@ enum Verdict {
 
 /// Global fusion cache entry. The key is the pair of stage `Arc`
 /// addresses; the stored `Arc` clones pin both stages (and the fused
-/// product) alive so a key address can never be recycled into an alias
-/// — the same rule the batch memo follows for trees.
+/// product) alive so a key address can never be recycled into an alias.
+/// (Trees no longer need this treatment — the batch memo keys on
+/// interned `TreeId`s — but `Sttr` stages are not interned, so address
+/// pinning is still the right tool here.)
 struct FuseEntry {
     _left: Arc<Sttr>,
     _right: Arc<Sttr>,
@@ -350,7 +353,7 @@ impl Pipeline {
     /// [`TransducerError::Budget`], never truncates. Intermediate trees
     /// are dropped as soon as the next segment has consumed them; the
     /// per-segment memos ([`BatchMemo`]) stay alive for the whole call,
-    /// which is safe because entries pin their subtrees.
+    /// which is safe because entries key on never-reused `TreeId`s.
     pub fn run_batch_with(
         &self,
         items: &[Tree],
@@ -424,8 +427,8 @@ impl Pipeline {
                 }
                 stage_hist.record_ns(start.elapsed().as_nanos() as u64);
                 // The previous frontier's trees drop here; the memos
-                // stay alive — the exact pattern the address-pinning
-                // memo entries make sound.
+                // stay alive — sound because their TreeId keys are
+                // never reused, so no later tree can alias an entry.
             }
             (frontiers, seg_stats)
         })

@@ -6,7 +6,7 @@ use crate::profile::{self, ProfileData, RuleProfile, RuleProfileEntry};
 use fast_automata::StateId;
 use fast_core::{Out, Sttr, TransducerError, DEFAULT_RUN_CAP};
 use fast_smt::{BoolAlg, TransAlg};
-use fast_trees::Tree;
+use fast_trees::{Tree, TreeId};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, SyncSender};
@@ -40,7 +40,7 @@ pub struct RunOptions {
     /// and `cap == 0` allows only empty (outside-the-domain) results.
     pub cap: usize,
     /// Share transduction results across the batch via the
-    /// `(state, Tree::addr)` memo table.
+    /// `(state, TreeId)` memo table.
     pub memo: bool,
     /// Capacity (entries) of the shared memo table; full shards evict.
     pub memo_capacity: usize,
@@ -106,28 +106,31 @@ impl BatchStats {
     }
 }
 
-/// Shared memo table: `(state, Tree::addr) → finished output set`.
+/// Shared memo table: `(state, TreeId) → finished output set`.
 ///
-/// Every entry retains a strong [`Tree`] clone of the subtree it
-/// describes. That pin keeps the keyed address allocated for as long as
-/// the entry is resident, so a caller dropping input trees between runs
-/// (as cascaded pipelines do with intermediate trees) can never observe
-/// a freshly-allocated tree aliasing a stale entry.
-type OutMemo = Sharded<(usize, usize), (Tree, Arc<Vec<Tree>>)>;
+/// [`TreeId`]s come from the global hash-cons table in
+/// `fast_trees::intern`: they are assigned once per structurally
+/// distinct tree and never reused, so a stale entry can never be
+/// aliased by a later tree — no address pinning is needed (the interner
+/// itself keeps every canonical node alive). Structurally equal trees
+/// share an id, so the memo also hits across *independently built*
+/// inputs, not just `Arc`-shared clones.
+type OutMemo = Sharded<(usize, TreeId), Arc<Vec<Tree>>>;
 
-/// Lookahead cache: `Tree::addr → accepting lookahead states`, with the
-/// same address-pinning `Tree` clone as [`OutMemo`].
-type LaMemo = Sharded<usize, (Tree, Arc<BTreeSet<StateId>>)>;
+/// Lookahead cache: `TreeId → accepting lookahead states`.
+type LaMemo = Sharded<TreeId, Arc<BTreeSet<StateId>>>;
 
 /// A result memo plus lookahead cache that **outlives a single batch**:
 /// pass it to [`Plan::run_batch_shared`] to reuse sub-transduction
 /// results across successive `run_batch` calls (cascaded pipeline
 /// stages, repeated queries over a mutating corpus).
 ///
-/// Entries pin a strong clone of their subtree, so dropping input trees
-/// between runs is safe — a new tree can never be allocated at a
-/// memoized address while this table holds it (see the `memo` module
-/// docs for the aliasing hazard this prevents).
+/// Dropping input trees between runs is safe by construction: entries
+/// are keyed on [`TreeId`]s, which are never reused, so a tree built
+/// after a drop can only collide with a resident key by being the
+/// *same* structural tree — in which case the cached result is exactly
+/// right (see the `memo` module docs for the historical aliasing
+/// hazard this design retires).
 ///
 /// The memo keys on the plan's state ids: share one `BatchMemo` only
 /// across runs of the **same** [`Plan`]. Cloning is cheap and yields a
@@ -164,7 +167,7 @@ struct BatchCtx<'p> {
     /// `None` = shared memo off (items fall back to a private table).
     memo: Option<Arc<OutMemo>>,
     memo_stats: CacheStats,
-    /// `Tree::addr → accepting lookahead states`.
+    /// `TreeId → accepting lookahead states`.
     la: Arc<LaMemo>,
     la_stats: CacheStats,
     /// Per-rule attribution, present when [`RunOptions::profile`] is set.
@@ -185,7 +188,7 @@ struct ItemRun<'b, 'p> {
     deadline: Option<Instant>,
     timeout_ms: u64,
     ticks: u32,
-    local_memo: HashMap<(usize, usize), Arc<Vec<Tree>>>,
+    local_memo: HashMap<(usize, TreeId), Arc<Vec<Tree>>>,
 }
 
 /// A compiled evaluation plan for one [`Sttr`].
@@ -419,9 +422,10 @@ impl Plan {
     /// [`Plan::run_batch_with`] against a caller-owned [`BatchMemo`], so
     /// sub-transduction results and lookahead sets persist across
     /// batches. It is safe to drop the input trees of one call before
-    /// the next: resident entries pin their subtrees alive, so addresses
-    /// cannot be recycled into aliases (the memo-aliasing bugfix this
-    /// API exists to exercise).
+    /// the next: [`TreeId`] keys are never reused, so later trees can
+    /// only match a resident entry by being structurally identical — in
+    /// which case the hit is sound (and free: even a re-parsed copy of
+    /// an earlier input hits at its root).
     pub fn run_batch_shared(
         &self,
         items: &[Tree],
@@ -613,20 +617,16 @@ impl<'b, 'p> ItemRun<'b, 'p> {
         Ok(())
     }
 
-    fn memo_get(&mut self, key: &(usize, usize)) -> Option<Arc<Vec<Tree>>> {
+    fn memo_get(&mut self, key: &(usize, TreeId)) -> Option<Arc<Vec<Tree>>> {
         match &self.cx.memo {
-            Some(shared) => shared.get(key, &self.cx.memo_stats).map(|(_pin, v)| v),
+            Some(shared) => shared.get(key, &self.cx.memo_stats),
             None => self.local_memo.get(key).cloned(),
         }
     }
 
-    /// `t` is the subtree whose address `key` carries: the shared table
-    /// stores a clone of it so the address stays pinned (see [`OutMemo`]).
-    /// The private per-item table needs no pin — its keys are subtrees of
-    /// the item, which outlives it.
-    fn memo_put(&mut self, key: (usize, usize), t: &Tree, value: Arc<Vec<Tree>>) {
+    fn memo_put(&mut self, key: (usize, TreeId), value: Arc<Vec<Tree>>) {
         match &self.cx.memo {
-            Some(shared) => shared.insert(key, (t.clone(), value), &self.cx.memo_stats),
+            Some(shared) => shared.insert(key, value, &self.cx.memo_stats),
             None => {
                 self.local_memo.insert(key, value);
             }
@@ -639,7 +639,7 @@ impl<'b, 'p> ItemRun<'b, 'p> {
         if self.cx.plan.la_state_count == 0 {
             return Ok(empty_states().clone());
         }
-        if let Some((_pin, s)) = self.cx.la.get(&t.addr(), &self.cx.la_stats) {
+        if let Some(s) = self.cx.la.get(&t.id(), &self.cx.la_stats) {
             return Ok(s);
         }
         // Explicit post-order stack (deep documents must not overflow),
@@ -648,16 +648,16 @@ impl<'b, 'p> ItemRun<'b, 'p> {
         let la = plan.sttr.lookahead_sta();
         let alg = plan.sttr.alg();
         let mut stack: Vec<(&Tree, bool)> = vec![(t, false)];
-        let mut computed: HashMap<usize, Arc<BTreeSet<StateId>>> = HashMap::new();
+        let mut computed: HashMap<TreeId, Arc<BTreeSet<StateId>>> = HashMap::new();
         while let Some((node, expanded)) = stack.pop() {
             self.tick()?;
-            if computed.contains_key(&node.addr()) {
+            if computed.contains_key(&node.id()) {
                 continue;
             }
             if !expanded {
                 // Only probe the shared cache on first visit.
-                if let Some((_pin, s)) = self.cx.la.get(&node.addr(), &self.cx.la_stats) {
-                    computed.insert(node.addr(), s);
+                if let Some(s) = self.cx.la.get(&node.id(), &self.cx.la_stats) {
+                    computed.insert(node.id(), s);
                     continue;
                 }
                 stack.push((node, true));
@@ -676,29 +676,28 @@ impl<'b, 'p> ItemRun<'b, 'p> {
                     continue;
                 }
                 let ok = r.lookahead.iter().enumerate().all(|(i, set)| {
-                    set.is_empty() || set.is_subset(&computed[&node.child(i).addr()])
+                    set.is_empty() || set.is_subset(&computed[&node.child(i).id()])
                 });
                 if ok {
                     accept.insert(lr.state);
                 }
             }
             let rc = Arc::new(accept);
-            self.cx
-                .la
-                .insert(node.addr(), (node.clone(), rc.clone()), &self.cx.la_stats);
-            computed.insert(node.addr(), rc);
+            self.cx.la.insert(node.id(), rc.clone(), &self.cx.la_stats);
+            computed.insert(node.id(), rc);
         }
-        Ok(computed.remove(&t.addr()).expect("root computed"))
+        Ok(computed.remove(&t.id()).expect("root computed"))
     }
 
     /// `T_q(t)` under the plan's dispatch tables (Definition 7), memoized
-    /// on `(q, Tree::addr)`. With [`RunOptions::profile`] set, the loop
+    /// on `(q, TreeId)` — structural identity, courtesy of the global
+    /// tree interner. With [`RunOptions::profile`] set, the loop
     /// charges guard evaluations, firings, and inclusive time to each
     /// dispatched rule and memo hits to the state.
     fn transduce(&mut self, q: StateId, t: &Tree) -> Result<Arc<Vec<Tree>>, TransducerError> {
         self.tick()?;
         let profile = self.cx.profile.as_ref();
-        let key = (q.0, t.addr());
+        let key = (q.0, t.id());
         if let Some(hit) = self.memo_get(&key) {
             if let Some(p) = self.cx.profile.as_ref() {
                 p.state_memo_hits[q.0].fetch_add(1, Ordering::Relaxed);
@@ -761,7 +760,7 @@ impl<'b, 'p> ItemRun<'b, 'p> {
             out = set.into_iter().collect();
         }
         let rc = Arc::new(out);
-        self.memo_put(key, t, rc.clone());
+        self.memo_put(key, rc.clone());
         Ok(rc)
     }
 

@@ -1,21 +1,29 @@
-//! Regression test for the memo-aliasing bug: `BatchMemo` keys on raw
-//! `Tree::addr()` (an `Arc` pointer address). Before the fix, entries
-//! did **not** keep their subtree alive, so a caller that dropped input
-//! trees between `run_batch` calls — exactly what cascaded pipelines do
-//! with intermediate trees — could see the allocator hand a *new* tree
-//! the address of a dropped one, aliasing its stale memo entry and
-//! returning another tree's cached outputs.
+//! Regression tests for memo-key identity.
 //!
-//! The fix retains a strong `Tree` clone inside every entry, pinning the
-//! address for the table's lifetime. This test drops and reallocates
-//! trees in a tight loop against one shared memo; on the pre-fix memo
-//! the allocator's LIFO reuse makes a wrong (stale) result appear within
-//! a few iterations, failing the assertions below.
+//! History: `BatchMemo` once keyed on raw `Tree::addr()` (an `Arc`
+//! pointer address). An address only names a subtree while that
+//! allocation lives, so entries had to pin a strong `Tree` clone to
+//! stop the allocator recycling a dropped tree's address into an alias
+//! of a stale entry (the PR-5 bugfix). Keys are now interned
+//! [`TreeId`]s — assigned once per structurally distinct tree by the
+//! global hash-cons table and never reused — which makes that entire
+//! hazard impossible *by construction*: no pinning, nothing for the
+//! allocator to recycle into a key.
+//!
+//! These tests pin the two properties that replace the old pin-based
+//! argument:
+//!
+//! 1. drop-and-reallocate churn against a long-lived memo stays exact
+//!    (ids of dropped trees are never handed to new, structurally
+//!    different trees);
+//! 2. structural equality is rewarded — an independently rebuilt copy
+//!    of an earlier input *hits* the shared memo at its root, which the
+//!    address-keyed design could never do.
 
 use fast_core::{Out, Sttr, SttrBuilder};
 use fast_rt::{BatchMemo, Plan, RunOptions};
 use fast_smt::{Formula, Label, LabelAlg, LabelFn, LabelSig, Sort, Term};
-use fast_trees::{Tree, TreeType};
+use fast_trees::{Tree, TreeId, TreeType};
 use std::sync::Arc;
 
 fn ilist() -> (Arc<TreeType>, Arc<LabelAlg>) {
@@ -62,14 +70,15 @@ fn list(ty: &Arc<TreeType>, items: &[i64]) -> Tree {
     t
 }
 
-/// Drop-and-reallocate against a shared memo: every batch's trees are
-/// dropped before the next batch runs, so without address pinning the
-/// allocator reuses their `Arc` allocations almost immediately (LIFO
-/// free lists) and a stale `(state, addr)` entry answers for the wrong
-/// tree. With the fix, resident entries pin their trees, addresses are
-/// never recycled while the memo lives, and every answer is correct.
+/// Drop-and-reallocate against a shared memo: every round's trees are
+/// dropped before the next round runs — the access pattern that broke
+/// the address-keyed memo (allocator LIFO reuse aliased stale entries).
+/// With `TreeId` keys the hazard cannot arise: a distinct tree gets a
+/// distinct, never-before-used id, so every answer stays correct, and
+/// the ids observed across rounds are pairwise distinct even though the
+/// underlying allocations churn.
 #[test]
-fn shared_memo_survives_dropped_and_reallocated_trees() {
+fn shared_memo_is_immune_to_address_reuse_by_construction() {
     let (ty, alg) = ilist();
     let plan = Plan::compile(&inc(&ty, &alg));
     let memo = BatchMemo::new(1 << 16);
@@ -77,17 +86,18 @@ fn shared_memo_survives_dropped_and_reallocated_trees() {
         workers: 1,
         ..RunOptions::default()
     };
-    let mut reused_addr = false;
-    let mut last_addr: Option<usize> = None;
+    let mut seen_root_ids: Vec<TreeId> = Vec::new();
     for round in 0..200i64 {
         // Same shape every round, different labels: a same-size
         // allocation (maximally reusable) whose correct output differs
         // from every earlier round's.
         let t = list(&ty, &[round, round + 1000]);
-        if last_addr == Some(t.addr()) {
-            reused_addr = true;
-        }
-        last_addr = Some(t.addr());
+        assert!(
+            !seen_root_ids.contains(&t.id()),
+            "round {round}: a structurally new tree received an id already \
+             used by a dropped tree — TreeId reuse would alias memo entries"
+        );
+        seen_root_ids.push(t.id());
         let (results, _) = plan.run_batch_shared(std::slice::from_ref(&t), &opts, &memo);
         let out = results[0]
             .as_ref()
@@ -96,21 +106,47 @@ fn shared_memo_survives_dropped_and_reallocated_trees() {
         assert_eq!(
             out[0],
             list(&ty, &[round + 1, round + 1001]),
-            "round {round}: shared memo returned another tree's cached outputs \
-             (stale entry aliased by a reallocated address)"
+            "round {round}: shared memo returned another tree's cached outputs"
         );
         // `t` drops here while the memo stays alive.
     }
-    // With address pinning, a live entry's address can never be handed
-    // to the next round's root. (Pre-fix, this reuse is precisely what
-    // produced the stale hits.)
-    assert!(
-        !reused_addr,
-        "a memoized root address was recycled into a new tree while the memo was alive"
+}
+
+/// The flip side of id-keying: structurally *equal* trees built through
+/// independent code paths share an id, so a rebuilt (even re-parsed)
+/// copy of an earlier input hits the cross-batch memo at its root —
+/// zero re-evaluation. Address keys could never hit here.
+#[test]
+fn structurally_equal_rebuilt_tree_hits_shared_memo_at_root() {
+    let (ty, alg) = ilist();
+    let plan = Plan::compile(&inc(&ty, &alg));
+    let memo = BatchMemo::new(1 << 16);
+    let opts = RunOptions {
+        workers: 1,
+        ..RunOptions::default()
+    };
+
+    let first = list(&ty, &[1, 2, 3]);
+    let (r1, s1) = plan.run_batch_shared(std::slice::from_ref(&first), &opts, &memo);
+    assert!(r1[0].is_ok());
+    assert_eq!(s1.memo_hits, 0, "cold memo should not hit");
+    drop(first); // the memo must not depend on this allocation
+
+    // Independently built: a parse of the printed form, not a clone.
+    let rebuilt = Tree::parse(&ty, "cons[1](cons[2](cons[3](nil[0])))").unwrap();
+    let (r2, s2) = plan.run_batch_shared(std::slice::from_ref(&rebuilt), &opts, &memo);
+    assert_eq!(*r2[0].as_ref().unwrap(), vec![list(&ty, &[2, 3, 4])]);
+    assert_eq!(
+        s2.memo_hits, 1,
+        "structurally equal rebuilt tree must hit the memo at its root"
+    );
+    assert_eq!(
+        s2.memo_misses, 0,
+        "a root hit answers the whole item — no recursion, no misses"
     );
 }
 
-/// The same hazard through the `Pipeline` cascade path: intermediate
+/// The old hazard through the `Pipeline` cascade path: intermediate
 /// frontiers are dropped stage by stage while the per-segment memos
 /// live on. Running many batches through a cascaded two-stage pipeline
 /// must keep producing exact answers.

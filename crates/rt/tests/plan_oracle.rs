@@ -179,7 +179,7 @@ fn bt_sttr() -> impl Strategy<Value = Sttr> {
 }
 
 /// A batch that deliberately repeats items: `picks` indexes into the
-/// distinct trees, so clones (`Arc`-shared, same `Tree::addr`) appear —
+/// distinct trees, so clones (`Arc`-shared, same `TreeId`) appear —
 /// the scenario the shared memo exists for.
 fn bt_batch() -> impl Strategy<Value = Vec<Tree>> {
     (proptest::collection::vec(bt_tree(), 1..4)).prop_flat_map(|distinct| {
@@ -269,21 +269,25 @@ fn left_chain(depth: usize) -> Tree {
     t
 }
 
-/// A complete binary tree of the given depth with all-distinct nodes
-/// (no `Arc` sharing): 2^depth − 1 internal nodes, so plenty of
-/// evaluation steps at a recursion depth the test stack tolerates.
+/// A complete binary tree of the given depth where every node carries a
+/// distinct label — structurally unique subtrees that the global
+/// interner cannot collapse — so evaluation really visits 2^(depth+1)−1
+/// nodes at a recursion depth the test stack tolerates.
 fn full_tree(depth: usize) -> Tree {
-    let (ty, _) = bt();
-    let leaf = ty.ctor_id("L").unwrap();
-    let node = ty.ctor_id("N").unwrap();
-    if depth == 0 {
-        return Tree::leaf(leaf, Label::single(0));
+    fn go(ty: &TreeType, depth: usize, next: &mut i64) -> Tree {
+        let leaf = ty.ctor_id("L").unwrap();
+        let node = ty.ctor_id("N").unwrap();
+        let label = Label::single(*next);
+        *next += 1;
+        if depth == 0 {
+            return Tree::leaf(leaf, label);
+        }
+        let l = go(ty, depth - 1, next);
+        let r = go(ty, depth - 1, next);
+        Tree::new(node, label, vec![l, r])
     }
-    Tree::new(
-        node,
-        Label::single(depth as i64),
-        vec![full_tree(depth - 1), full_tree(depth - 1)],
-    )
+    let (ty, _) = bt();
+    go(&ty, depth, &mut 0)
 }
 
 /// The identity transducer on BT, used by the directed tests below.
@@ -325,7 +329,7 @@ fn memo_hits_across_cloned_batch_items() {
         },
     );
     assert!(results.iter().all(|r| r.is_ok()));
-    // Items 2..8 are clones of item 1: their roots share addresses, so
+    // Items 2..8 are clones of item 1: their roots share a TreeId, so
     // everything after the first evaluation is a single memo hit.
     assert!(
         stats.memo_hits >= 7,

@@ -1,0 +1,186 @@
+//! Global hash-consing of trees.
+//!
+//! Every [`Tree`] in the process is built through this module: the
+//! constructors ([`Tree::new`], [`Tree::leaf`], and everything layered
+//! on them — the s-expression parser, the HTML/JSON builders, the
+//! generators) intern each node in a process-wide, 16-way-sharded
+//! hash-cons table. Each structurally distinct `(ctor, label, children)`
+//! node is stored exactly once behind an [`Arc`], and every `Tree`
+//! handle carries the canonical node plus:
+//!
+//! * a **stable 64-bit [`TreeId`]** — equal ids ⇔ structurally equal
+//!   trees, for the life of the process. Ids are allocated from a
+//!   monotonic counter and *never reused*, which is what makes them
+//!   sound memo keys: unlike the raw `Arc` addresses the batch runtime
+//!   used before, an id can never be recycled into an alias of a
+//!   dropped tree (the interner owns the canonical node, so it is never
+//!   dropped at all);
+//! * a **precomputed structural hash**, deterministic across runs and
+//!   threads (derived from the structure only, never from ids), making
+//!   `Hash` O(1) and shard selection consistent.
+//!
+//! This mirrors `fast_smt::intern` (`Interned<Formula>`), which proved
+//! the pattern on guard formulas in PR 1. The full interning contract —
+//! what callers may and may not rely on — is written out in
+//! `ARCHITECTURE.md` §6 ("Tree interning").
+//!
+//! # Memory
+//!
+//! The table is append-only: entries are never evicted, so every
+//! structurally distinct tree built during the process stays resident.
+//! That is the price of id stability, and it is the same trade
+//! `fast-smt` makes for formulas. `intern.misses` therefore *is* the
+//! table size.
+//!
+//! # Telemetry
+//!
+//! | counter | meaning |
+//! |---|---|
+//! | `intern.hits` | an intern call returned an existing canonical node |
+//! | `intern.misses` | a new canonical node was allocated (= table size) |
+//! | `intern.hash_collisions` | two distinct nodes share a 64-bit structural hash |
+//! | `intern.contended` | a shard lock was busy and the call had to block |
+
+use crate::tree::{Node, Tree, TreeId};
+use crate::ty::CtorId;
+use fast_smt::Label;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of intern-table shards (matches `fast_smt::intern::SHARDS`).
+pub const SHARDS: usize = 16;
+
+/// One canonical node and its id.
+struct Entry {
+    node: Arc<Node>,
+    id: TreeId,
+}
+
+/// Buckets keyed by the full 64-bit structural hash; a bucket with more
+/// than one entry is a genuine hash collision (counted).
+type Shard = HashMap<u64, Vec<Entry>>;
+
+struct Interner {
+    shards: [Mutex<Shard>; SHARDS],
+    next_id: AtomicU64,
+}
+
+fn interner() -> &'static Interner {
+    static TABLE: OnceLock<Interner> = OnceLock::new();
+    TABLE.get_or_init(|| Interner {
+        shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        next_id: AtomicU64::new(0),
+    })
+}
+
+/// Deterministic structural hash of a prospective node. Children
+/// contribute their precomputed hashes (not their ids), so the result
+/// depends only on structure — the same in every thread and run.
+fn structural_hash(ctor: CtorId, label: &Label, children: &[Tree]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    ctor.hash(&mut h);
+    label.hash(&mut h);
+    for c in children {
+        h.write_u64(c.precomputed_hash());
+    }
+    h.finish()
+}
+
+/// Shard index for a structural hash (top bits, like the solver cache).
+#[inline]
+fn shard_of(hash: u64) -> usize {
+    (hash >> 60) as usize & (SHARDS - 1)
+}
+
+/// Interns a node, returning the canonical handle for this structure.
+///
+/// Children must already be interned handles (they always are — `Tree`
+/// cannot be built any other way), so the equality scan compares child
+/// ids in O(arity) instead of deep-comparing subtrees.
+pub(crate) fn intern(ctor: CtorId, label: Label, children: Vec<Tree>) -> Tree {
+    let hash = structural_hash(ctor, &label, &children);
+    let table = interner();
+    let mut shard = match table.shards[shard_of(hash)].try_lock() {
+        Ok(guard) => guard,
+        Err(std::sync::TryLockError::WouldBlock) => {
+            fast_obs::count!("intern.contended");
+            table.shards[shard_of(hash)].lock().unwrap()
+        }
+        Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+    };
+    let bucket = shard.entry(hash).or_default();
+    for e in bucket.iter() {
+        if e.node.ctor == ctor && e.node.children == children && e.node.label == label {
+            fast_obs::count!("intern.hits");
+            return Tree::from_parts(Arc::clone(&e.node), e.id, hash);
+        }
+    }
+    fast_obs::count!("intern.misses");
+    if !bucket.is_empty() {
+        fast_obs::count!("intern.hash_collisions");
+    }
+    let id = TreeId(table.next_id.fetch_add(1, Ordering::Relaxed));
+    let node = Arc::new(Node {
+        ctor,
+        label,
+        children,
+    });
+    bucket.push(Entry {
+        node: Arc::clone(&node),
+        id,
+    });
+    Tree::from_parts(node, id, hash)
+}
+
+/// Number of distinct trees currently interned (all shards). Equals the
+/// process-lifetime `intern.misses` count: the table never evicts.
+pub fn table_len() -> usize {
+    interner()
+        .shards
+        .iter()
+        .map(|s| s.lock().unwrap().values().map(Vec::len).sum::<usize>())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_smt::{LabelSig, Sort};
+    use std::sync::Arc as StdArc;
+
+    fn bt() -> StdArc<crate::ty::TreeType> {
+        crate::ty::TreeType::new(
+            "BT",
+            LabelSig::single("i", Sort::Int),
+            vec![("L", 0), ("N", 2)],
+        )
+    }
+
+    #[test]
+    fn interning_dedupes_and_ids_are_stable() {
+        let ty = bt();
+        let leaf = || Tree::leaf(ty.ctor_id("L").unwrap(), Label::single(424_242i64));
+        let a = leaf();
+        let b = leaf();
+        assert!(a.ptr_eq(&b));
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.precomputed_hash(), b.precomputed_hash());
+        let c = Tree::leaf(ty.ctor_id("L").unwrap(), Label::single(424_243i64));
+        assert_ne!(a.id(), c.id());
+        assert!(!a.ptr_eq(&c));
+    }
+
+    #[test]
+    fn table_len_is_monotonic() {
+        let ty = bt();
+        let before = table_len();
+        // A label value chosen to be unique to this test.
+        let _t = Tree::leaf(ty.ctor_id("L").unwrap(), Label::single(987_654_321i64));
+        let after = table_len();
+        assert!(after > before, "new structure must grow the table");
+        let _t2 = Tree::leaf(ty.ctor_id("L").unwrap(), Label::single(987_654_321i64));
+        assert_eq!(table_len(), after, "re-interning must not grow the table");
+    }
+}

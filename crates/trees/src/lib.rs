@@ -3,8 +3,11 @@
 //! Tree substrate for the `fast` workspace (PLDI 2014 “Fast” reproduction):
 //!
 //! * [`TreeType`] — ranked alphabets with label signatures (`T_σ^Σ`);
-//! * [`Tree`] — immutable, structurally shared σ-labeled trees with
-//!   s-expression printing/parsing;
+//! * [`Tree`] — immutable σ-labeled trees with s-expression
+//!   printing/parsing, globally **hash-consed** ([`intern`]): every
+//!   structurally distinct subtree exists once, equality/hashing are
+//!   O(1), and [`TreeId`] gives a stable, never-reused identity that
+//!   the runtime uses as its memo key;
 //! * [`html`] — the paper's Fig. 3 encoding of unranked HTML documents
 //!   into the `HtmlE` ranked type, and its inverse;
 //! * [`TreeGen`] / [`HtmlGen`] — seeded workload generators.
@@ -30,10 +33,11 @@ mod tree;
 mod ty;
 
 pub mod html;
+pub mod intern;
 
 mod json_impls;
 
 pub use gen::{HtmlGen, TreeGen};
 pub use html::{html_type, HtmlCtors, HtmlDoc, HtmlElem};
-pub use tree::{DisplayTree, Iter, Tree};
+pub use tree::{DisplayTree, Iter, Tree, TreeId};
 pub use ty::{Ctor, CtorId, TreeType};

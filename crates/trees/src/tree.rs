@@ -1,12 +1,39 @@
-//! σ-labeled finite trees with cheap structural sharing.
+//! σ-labeled finite trees, globally hash-consed.
 
 use crate::ty::{CtorId, TreeType};
 use fast_smt::{Label, Value};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-/// An immutable σ-labeled tree. Cloning is O(1) (shared via `Arc`);
-/// equality, ordering and hashing are structural.
+/// The stable identity of an interned tree: equal ids ⇔ structurally
+/// equal trees, for the life of the process.
+///
+/// Ids are allocated monotonically by the global interner
+/// ([`crate::intern`]) and never reused — the canonical node behind an
+/// id is owned by the intern table and never dropped — so a `TreeId` is
+/// a sound cache key across arbitrary drops and rebuilds of the trees
+/// it describes. Ids depend on interning *order* (which threads can
+/// perturb), so they are deliberately not `Ord`: use the tree's
+/// structural ordering for deterministic iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TreeId(pub(crate) u64);
+
+impl TreeId {
+    /// The raw 64-bit id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// An immutable σ-labeled tree, hash-consed in a process-wide table:
+/// every structurally distinct subtree exists once, behind one
+/// canonical `Arc`, with a stable [`TreeId`].
+///
+/// Cloning is O(1) (one `Arc` bump). Equality is an id comparison and
+/// hashing writes a precomputed structural hash — both O(1) regardless
+/// of tree size. Ordering is structural (deterministic across runs),
+/// with an id fast path for the equal case.
 ///
 /// # Examples
 ///
@@ -21,25 +48,34 @@ use std::sync::Arc;
 ///                   vec![leaf(1), leaf(2)]);
 /// assert_eq!(t.size(), 3);
 /// assert_eq!(t.display(&bt).to_string(), "N[0](L[1], L[2])");
+/// // Building the same structure again yields the same canonical node.
+/// let again = Tree::parse(&bt, "N[0](L[1], L[2])").unwrap();
+/// assert_eq!(t.id(), again.id());
+/// assert!(t.ptr_eq(&again));
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Tree(Arc<Node>);
+pub struct Tree {
+    node: Arc<Node>,
+    id: TreeId,
+    hash: u64,
+}
 
-#[derive(PartialEq, Eq, PartialOrd, Ord, Hash)]
-struct Node {
-    ctor: CtorId,
-    label: Label,
-    children: Vec<Tree>,
+pub(crate) struct Node {
+    pub(crate) ctor: CtorId,
+    pub(crate) label: Label,
+    pub(crate) children: Vec<Tree>,
 }
 
 impl Tree {
-    /// Creates a tree node.
+    /// Creates a tree node (interned: structurally equal trees share one
+    /// canonical node and [`TreeId`], whoever builds them).
     pub fn new(ctor: CtorId, label: Label, children: Vec<Tree>) -> Tree {
-        Tree(Arc::new(Node {
-            ctor,
-            label,
-            children,
-        }))
+        crate::intern::intern(ctor, label, children)
+    }
+
+    /// Assembles a handle around an already-interned node (interner
+    /// use only — this is what keeps `Tree::new` the single chokepoint).
+    pub(crate) fn from_parts(node: Arc<Node>, id: TreeId, hash: u64) -> Tree {
+        Tree { node, id, hash }
     }
 
     /// Creates a leaf (nullary node).
@@ -49,17 +85,17 @@ impl Tree {
 
     /// The constructor at the root.
     pub fn ctor(&self) -> CtorId {
-        self.0.ctor
+        self.node.ctor
     }
 
     /// The label at the root.
     pub fn label(&self) -> &Label {
-        &self.0.label
+        &self.node.label
     }
 
     /// Child subtrees.
     pub fn children(&self) -> &[Tree] {
-        &self.0.children
+        &self.node.children
     }
 
     /// The `i`-th child.
@@ -68,7 +104,7 @@ impl Tree {
     ///
     /// Panics if `i` is out of bounds.
     pub fn child(&self, i: usize) -> &Tree {
-        &self.0.children[i]
+        &self.node.children[i]
     }
 
     /// Total number of nodes.
@@ -95,11 +131,35 @@ impl Tree {
         Iter { stack: vec![self] }
     }
 
-    /// A stable address identifying the shared node (valid while any clone
-    /// of this tree is alive). Used for memoization keyed on subtree
-    /// identity.
+    /// The interned identity of this tree: equal ids ⇔ structurally
+    /// equal trees, stable and never reused for the life of the process.
+    /// This is the memo key the runtime uses (`(state, TreeId)`), and
+    /// the right key for any caller-side cache over trees.
+    pub fn id(&self) -> TreeId {
+        self.id
+    }
+
+    /// The precomputed structural hash (deterministic across runs and
+    /// threads; equal trees have equal hashes).
+    pub fn precomputed_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// True if both handles share the canonical allocation. Because
+    /// trees are globally interned, this coincides with `==` (and with
+    /// `id()` equality) — it exists as a cheap sanity probe for tests.
+    pub fn ptr_eq(&self, other: &Tree) -> bool {
+        Arc::ptr_eq(&self.node, &other.node)
+    }
+
+    /// The address of the canonical shared node. **Debug-only**: use
+    /// [`Tree::id`] for memoization and caching. (Interning makes the
+    /// address stable for the process lifetime, but it says nothing an
+    /// id does not, and ids survive serialization boundaries where
+    /// addresses cannot.)
+    #[deprecated(note = "debug-only diagnostic; key caches on Tree::id() instead")]
     pub fn addr(&self) -> usize {
-        Arc::as_ptr(&self.0) as usize
+        Arc::as_ptr(&self.node) as usize
     }
 
     /// Pretty-prints using constructor names from `ty`.
@@ -127,6 +187,51 @@ impl Tree {
             return Err(format!("trailing input at position {}", p.pos));
         }
         Ok(t)
+    }
+}
+
+impl Clone for Tree {
+    fn clone(&self) -> Tree {
+        Tree {
+            node: Arc::clone(&self.node),
+            id: self.id,
+            hash: self.hash,
+        }
+    }
+}
+
+impl PartialEq for Tree {
+    fn eq(&self, other: &Tree) -> bool {
+        self.id == other.id
+    }
+}
+impl Eq for Tree {}
+
+impl Hash for Tree {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl PartialOrd for Tree {
+    fn partial_cmp(&self, other: &Tree) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tree {
+    fn cmp(&self, other: &Tree) -> std::cmp::Ordering {
+        // Structural order (ctor, label, children — the pre-interning
+        // derived order) keeps iteration deterministic across runs; ids
+        // depend on interning order, so they only serve the equal case.
+        if self.id == other.id {
+            return std::cmp::Ordering::Equal;
+        }
+        self.node
+            .ctor
+            .cmp(&other.node.ctor)
+            .then_with(|| self.node.label.cmp(&other.node.label))
+            .then_with(|| self.node.children.cmp(&other.node.children))
     }
 }
 
@@ -455,6 +560,11 @@ mod tests {
         );
         let t2 = Tree::parse(&ty, "N[0](L[7], L[7])").unwrap();
         assert_eq!(t1, t2);
+        // Interning: independent construction paths (builder vs parser)
+        // converge on the same canonical node and id.
+        assert_eq!(t1.id(), t2.id());
+        assert!(t1.ptr_eq(&t2));
+        assert!(t1.child(0).ptr_eq(t2.child(1)));
         use std::collections::HashSet;
         let mut s = HashSet::new();
         s.insert(t1);
