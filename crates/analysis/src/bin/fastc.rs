@@ -17,7 +17,14 @@
 //!   checks (dead rules, guard overlap, exhaustiveness, reachability,
 //!   vacuous lookahead, contract typechecking) and renders every
 //!   diagnostic with a source excerpt; `--json` emits the
-//!   machine-readable form on stdout instead.
+//!   machine-readable form on stdout instead. With `--pipeline
+//!   t1,t2,...` the named transformations are additionally checked as a
+//!   staged chain: per-stage FA007 single-valuedness verdicts,
+//!   per-boundary Theorem 4 fusability, and the FA101 pipeline contract
+//!   check (iterated pre-images backward, counterexample replay
+//!   forward) against `--input`/`--output` languages — defaulting to
+//!   the first stage's contract input and the last stage's contract
+//!   output. A violated pipeline contract exits 2.
 //! - **profile**: `fastc profile <file.fast> [--trees N] [--seed S]
 //!   [--top K] [--trans NAME] [--trace FILE] [--jsonl FILE]` compiles
 //!   the program with tracing on, generates `N` random input trees for
@@ -40,13 +47,14 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: fastc <file.fast> [--quiet|-q] [--stats|-s] [--trace FILE]
                      [--pipeline t1,t2,... [--trees N] [--seed S]]
        fastc check <file.fast> [--json] [--deny-warnings] [--stats|-s] [--trace FILE]
+             [--pipeline t1,t2,... [--input LANG] [--output LANG]]
        fastc profile <file.fast> [--trees N] [--seed S] [--top K] [--trans NAME]
                      [--trace FILE] [--jsonl FILE] [--stats|-s]
        fastc --help
 
 modes:
   (default)        compile, evaluate definitions, and run assertions
-  check            run semantic analysis (FA001-FA100) without failing
+  check            run semantic analysis (FA001-FA101) without failing
                    on assertions; see --json for machine-readable output
   profile          batch-run one transducer over generated trees and
                    report phase times and the hottest rules
@@ -58,6 +66,13 @@ options:
                    a fast-rt pipeline: print the fusion report (fused vs
                    cascaded boundaries, Theorem 4 verdicts) and evaluate
                    generated inputs through the chain
+                   (check) typecheck the chain end to end: per-stage
+                   FA007 single-valuedness, per-boundary fusability, and
+                   the FA101 contract check with counterexample replay
+  --input LANG     (check --pipeline) input language of the chain
+                   [first stage's contract input]
+  --output LANG    (check --pipeline) output language the chain must
+                   land in [last stage's contract output]
   --jsonl FILE     (profile) write the span buffer as JSON lines
   --trees N        (profile/pipeline) number of generated input trees
                    [200 / 100]
@@ -70,8 +85,8 @@ exit codes:
      warnings when --deny-warnings is set)
   1  run: compile error or failed assertion; check: warnings present
      under --deny-warnings
-  2  usage or I/O error; check: error diagnostics (e.g. FA100 contract
-     violations or compile errors)";
+  2  usage or I/O error; check: error diagnostics (e.g. FA100/FA101
+     contract violations or compile errors)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -352,6 +367,9 @@ fn check_mode(args: &[String]) -> ExitCode {
     let mut deny_warnings = false;
     let mut stats = false;
     let mut trace: Option<String> = None;
+    let mut pipeline: Option<String> = None;
+    let mut input_lang: Option<String> = None;
+    let mut output_lang: Option<String> = None;
     let mut path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -363,6 +381,18 @@ fn check_mode(args: &[String]) -> ExitCode {
                 match flag_value(args, i) {
                     Ok(v) => trace = Some(v),
                     Err(code) => return code,
+                }
+                i += 1;
+            }
+            flag @ ("--pipeline" | "--input" | "--output") => {
+                let v = match flag_value(args, i) {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                match flag {
+                    "--pipeline" => pipeline = Some(v),
+                    "--input" => input_lang = Some(v),
+                    _ => output_lang = Some(v),
                 }
                 i += 1;
             }
@@ -390,6 +420,7 @@ fn check_mode(args: &[String]) -> ExitCode {
     // first; analysis runs only when compilation succeeded.
     let mut sink = fast_lang::DiagSink::new();
     let mut diags = Vec::new();
+    let mut compiled_opt = None;
     match fast_lang::parse(&src) {
         Err(d) => sink.push(d),
         Ok(program) => {
@@ -397,12 +428,13 @@ fn check_mode(args: &[String]) -> ExitCode {
                 diags = fast_obs::time("analysis.total", || {
                     fast_analysis::analyze(&program, &compiled)
                 });
+                compiled_opt = Some(compiled);
             }
         }
     }
     let mut all = sink.into_vec();
     all.extend(diags);
-    let errors = all.iter().filter(|d| d.is_error()).count();
+    let mut errors = all.iter().filter(|d| d.is_error()).count();
     let warnings = all.len() - errors;
 
     if json {
@@ -415,6 +447,21 @@ fn check_mode(args: &[String]) -> ExitCode {
             eprint!("{path}:{}", fast_lang::render_diagnostic(&src, d));
         }
         eprintln!("fastc check: {path}: {errors} error(s), {warnings} warning(s)");
+    }
+    if let Some(list) = &pipeline {
+        match &compiled_opt {
+            None => eprintln!("fastc: skipping --pipeline check: compilation failed"),
+            Some(compiled) => match pipeline_check(
+                compiled,
+                &path,
+                list,
+                input_lang.as_deref(),
+                output_lang.as_deref(),
+            ) {
+                Ok(violations) => errors += violations,
+                Err(code) => return code,
+            },
+        }
     }
     if stats {
         println!("{}", fast_obs::snapshot().to_json().pretty());
@@ -430,6 +477,149 @@ fn check_mode(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `fastc check <file> --pipeline t1,t2,...`: prints per-stage FA007
+/// single-valuedness verdicts and per-boundary Theorem 4 exactness, then
+/// runs the FA101 pipeline contract check ([`fast_analysis::check_pipeline`])
+/// against the resolved input/output languages and renders the replayed
+/// counterexample on violation. Returns the number of contract violations
+/// (0 or 1), or an exit code for usage errors.
+fn pipeline_check(
+    compiled: &fast_lang::Compiled,
+    path: &str,
+    list: &str,
+    input_lang: Option<&str>,
+    output_lang: Option<&str>,
+) -> Result<usize, ExitCode> {
+    let names: Vec<&str> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if names.is_empty() {
+        return Err(usage_error(
+            "'--pipeline' needs a comma-separated list of transformation names",
+        ));
+    }
+    let mut stages = Vec::with_capacity(names.len());
+    let mut ty_name: Option<&str> = None;
+    for n in &names {
+        let Some(sttr) = compiled.transducer(n) else {
+            eprintln!(
+                "fastc: no transformation '{n}' in '{path}' (have: {})",
+                compiled.transducer_names().join(", ")
+            );
+            return Err(ExitCode::from(2));
+        };
+        let t = compiled.transducer_type(n).unwrap_or_default();
+        match ty_name {
+            None => ty_name = Some(t),
+            Some(prev) if prev != t => {
+                eprintln!(
+                    "fastc: pipeline stages disagree on tree type: '{}' is over '{prev}' \
+                     but '{n}' is over '{t}'",
+                    names[0]
+                );
+                return Err(ExitCode::from(2));
+            }
+            Some(_) => {}
+        }
+        stages.push(sttr);
+    }
+    let Some(ty) = ty_name.and_then(|t| compiled.tree_type(t)) else {
+        eprintln!("fastc: cannot resolve the pipeline's tree type");
+        return Err(ExitCode::from(2));
+    };
+
+    eprintln!("pipeline check: {}", names.join(" ; "));
+    fast_obs::time("analysis.check.fa007", || {
+        for (i, (n, s)) in names.iter().zip(&stages).enumerate() {
+            let v = s.single_valuedness(fast_core::SvBudget::default());
+            eprintln!("  stage {} '{}': {}", i + 1, n, v.display(ty));
+        }
+    });
+    for i in 0..stages.len() - 1 {
+        let ex = fast_core::compose_exactness(stages[i], stages[i + 1]);
+        let verb = if matches!(ex, fast_core::Exactness::Overapproximate { .. }) {
+            "cascades"
+        } else {
+            "fuses"
+        };
+        eprintln!(
+            "  boundary '{}' ; '{}': {verb} ({ex})",
+            names[i],
+            names[i + 1]
+        );
+    }
+
+    // Contract resolution: explicit flags win; otherwise the first
+    // stage's contract input and the last stage's contract output.
+    let contract_of = |t: &str| compiled.contracts().iter().find(|c| c.trans == t);
+    let in_name = input_lang
+        .map(str::to_string)
+        .or_else(|| contract_of(names[0]).and_then(|c| c.input.clone()));
+    let out_name = output_lang
+        .map(str::to_string)
+        .or_else(|| contract_of(names[names.len() - 1]).and_then(|c| c.output.clone()));
+    let Some(out_name) = out_name else {
+        eprintln!(
+            "  no output language to check against (give --output LANG or declare a \
+             contract on '{}'); skipping the FA101 contract check",
+            names[names.len() - 1]
+        );
+        return Ok(0);
+    };
+    let Some(l2) = compiled.lang(&out_name) else {
+        eprintln!("fastc: no language '{out_name}' in '{path}'");
+        return Err(ExitCode::from(2));
+    };
+    let l1 = match &in_name {
+        Some(n) => match compiled.lang(n) {
+            Some(sta) => Some(sta),
+            None => {
+                eprintln!("fastc: no language '{n}' in '{path}'");
+                return Err(ExitCode::from(2));
+            }
+        },
+        None => None,
+    };
+
+    let outcome = fast_obs::time("analysis.check.fa101", || {
+        fast_analysis::check_pipeline(&stages, l1, l2)
+    });
+    let contract = format!(
+        "{} -> {out_name}",
+        in_name.as_deref().unwrap_or("<any input>")
+    );
+    match outcome {
+        fast_analysis::PipelineOutcome::Satisfied => {
+            eprintln!("  contract {contract}: satisfied (FA101)");
+            Ok(0)
+        }
+        fast_analysis::PipelineOutcome::Violated(v) => {
+            eprintln!("  contract {contract}: VIOLATED (FA101)");
+            eprintln!("    counterexample input: {}", v.input.display(ty));
+            for (i, t) in v.intermediates.iter().enumerate() {
+                let marker = if i == v.offending_stage {
+                    "   <- offending stage"
+                } else {
+                    ""
+                };
+                eprintln!(
+                    "    after stage {} ('{}'): {}{marker}",
+                    i + 1,
+                    names[i],
+                    t.display(ty)
+                );
+            }
+            Ok(1)
+        }
+        fast_analysis::PipelineOutcome::Unknown(reason) => {
+            eprintln!("  contract {contract}: not verified ({reason})");
+            Ok(0)
+        }
     }
 }
 

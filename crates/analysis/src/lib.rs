@@ -15,13 +15,27 @@
 //! | `FA003` | warning | non-exhaustive match: the disjunction of a constructor's guards is not valid; the witness label from the solver model is reported |
 //! | `FA004` | warning | a `lang` accepts no trees, a `trans` has an empty domain, or transducer states are unreachable from the initial state |
 //! | `FA005` | warning | vacuous lookahead: a `given` clause names a language that accepts *every* tree |
-//! | `FA006` | warning | pipeline boundary not fusable: in a `(compose S T)`, `S` is not single-valued **and** `T` is not linear, so the composed transducer over-approximates `T_T ∘ T_S` (Theorem 4); the witness rules are reported |
+//! | `FA006` | warning | pipeline boundary not fusable: in a `(compose S T)`, `S` is not single-valued **and** `T` is not linear, so the composed transducer over-approximates `T_T ∘ T_S` (Theorem 4); the FA007 verdict for `S` and the witness rule of `T` are reported |
+//! | `FA007` | warning | not single-valued (semantic): a concrete, run-verified input produces ≥ 2 distinct outputs, so the transformation can never be the left factor of an exact composition (Theorem 4) and pipelines cascade at its boundaries |
 //! | `FA100` | error | contract violation: for `trans f : L1 -> L2` over languages, `L(L1) ∩ preimage(f, ¬L(L2)) ≠ ∅`; a concrete counterexample input tree is reported |
+//! | `FA101` | error | pipeline contract violation: for a `def` chain `t1; …; tn : L1 -> L2`, iterated pre-images prove some input in `L1` reaches an output outside `L2`; the counterexample is replayed forward through the actual stages and the offending stage's concrete bad intermediate is reported |
 //!
 //! Contract checking (`FA100`) is the pre-image-based typechecking
 //! recipe: backward application of the transducer to the complement of
 //! the output language, intersected with the input language — exact for
 //! this class because pre-images of STTRs are regular.
+//!
+//! Pipeline typechecking (`FA101`, [`check_pipeline`]) extends the same
+//! recipe to chains: when a `def` body is a pure `(compose …)` chain of
+//! named stages, the bad-output language `¬L2` is pulled backward one
+//! stage at a time (`Bn = preimage(tn, ¬L2)`, `Bi = preimage(ti,
+//! Bi+1)`) and the contract is violated iff `L(L1) ∩ B1 ≠ ∅`. The
+//! stage-wise pre-images stay exact where checking the eagerly composed
+//! product could over-approximate (Theorem 4), and the violation
+//! witness is replayed forward through the real stages to locate the
+//! first one whose concrete intermediate can no longer reach a good
+//! final output. `fastc check` exits 2 on `FA100`/`FA101` errors and 1
+//! on warnings under `--deny-warnings`.
 //!
 //! ## Telemetry
 //!
@@ -54,14 +68,17 @@ use fast_automata::{
     complement, intersect, is_empty, is_universal, nonempty_states, normalize_rooted, witness, Sta,
     StaBuilder, StateId,
 };
-use fast_core::{compose_exactness, preimage, type_check, Exactness, Sttr};
+use fast_core::{
+    compose_exactness, preimage, type_check, Exactness, Out, Sttr, SvBudget, SvVerdict,
+};
 use fast_json::Json;
 use fast_lang::{
-    Compiled, Decl, DefTransDecl, Diagnostic, LangDecl, LangRule, Program, TExpr, TransDecl,
+    Compiled, Contract, Decl, DefTransDecl, Diagnostic, LangDecl, LangRule, Program, TExpr,
+    TransDecl,
 };
 use fast_obs::count;
-use fast_smt::{BoolAlg, Formula, Label, LabelAlg, LabelSig};
-use fast_trees::TreeType;
+use fast_smt::{BoolAlg, Formula, Label, LabelAlg, LabelSig, TransAlg};
+use fast_trees::{Tree, TreeType};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -78,6 +95,7 @@ pub fn analyze(program: &Program, compiled: &Compiled) -> Vec<Diagnostic> {
         diags: Vec::new(),
         universal: HashMap::new(),
         vacuous_reported: BTreeSet::new(),
+        chains: HashMap::new(),
     };
     for d in &program.decls {
         match d {
@@ -116,6 +134,142 @@ pub fn guards_exhaustive(alg: &LabelAlg, guards: &[Formula]) -> (bool, Option<La
     } else {
         (true, None)
     }
+}
+
+/// Outcome of a pipeline-wide contract check (`FA101`, [`check_pipeline`]).
+#[derive(Debug, Clone)]
+pub enum PipelineOutcome {
+    /// No input in `L1` can drive the chain to an output outside `L2`.
+    Satisfied,
+    /// The contract is violated; carries the replayed counterexample.
+    Violated(PipelineViolation),
+    /// An automaton construction or the replay exceeded its budget.
+    Unknown(String),
+}
+
+/// A replay-verified counterexample to a pipeline contract.
+#[derive(Debug, Clone)]
+pub struct PipelineViolation {
+    /// Input tree in `L1` whose staged evaluation escapes `L2`.
+    pub input: Tree,
+    /// One chosen output per stage (`intermediates[i]` is the replayed
+    /// output of stage `i`); the last entry is the bad final output.
+    pub intermediates: Vec<Tree>,
+    /// First stage index (0-based) whose replayed output can no longer
+    /// reach any output in `L2` — the stage that commits the violation;
+    /// later stages only propagate it.
+    pub offending_stage: usize,
+}
+
+/// Pipeline-wide contract typechecking (`FA101`): decides whether the
+/// staged chain `stages[0]; …; stages[n-1]` maps every input of `l1`
+/// (every input, when `None`) into `l2`, **without composing stages**.
+///
+/// The bad-output language `¬l2` is pulled backward through the chain
+/// with [`preimage`] — exact for STTRs, where checking the eagerly
+/// composed product could over-approximate (Theorem 4). On violation
+/// the witness input is replayed forward through the actual stages,
+/// choosing at each step an output that still reaches a bad final
+/// output, and the offending stage — the first whose intermediate
+/// cannot reach `l2` anymore — is identified against the good-output
+/// pre-image chain.
+///
+/// Every failure mode (pre-image budgets, replay budgets) degrades to
+/// [`PipelineOutcome::Unknown`], never to a wrong verdict.
+///
+/// # Panics
+///
+/// Panics when `stages` is empty.
+pub fn check_pipeline(stages: &[&Sttr], l1: Option<&Sta>, l2: &Sta) -> PipelineOutcome {
+    assert!(!stages.is_empty(), "pipeline needs at least one stage");
+    let n = stages.len();
+    // bad[i]: trees entering stage i that can reach a final output
+    // outside l2; bad[n] = ¬l2.
+    count!("analysis.solver_calls");
+    let mut bad = match complement(l2) {
+        Ok(s) => vec![s],
+        Err(e) => {
+            return PipelineOutcome::Unknown(format!(
+                "complementing the output language failed: {e}"
+            ))
+        }
+    };
+    for (i, s) in stages.iter().enumerate().rev() {
+        count!("analysis.solver_calls");
+        match preimage(s, bad.last().expect("seeded")) {
+            Ok(p) => bad.push(p),
+            Err(e) => {
+                return PipelineOutcome::Unknown(format!(
+                    "pre-image through stage {} failed: {e}",
+                    i + 1
+                ))
+            }
+        }
+    }
+    bad.reverse();
+    let offending_inputs = match l1 {
+        Some(l) => intersect(l, &bad[0]),
+        None => bad[0].clone(),
+    };
+    count!("analysis.solver_calls");
+    let input = match witness(&offending_inputs) {
+        Ok(Some(w)) => w,
+        Ok(None) => return PipelineOutcome::Satisfied,
+        Err(e) => {
+            return PipelineOutcome::Unknown(format!(
+                "witness extraction from the offending-input language failed: {e}"
+            ))
+        }
+    };
+    // good[i]: trees entering stage i that can still reach an output in
+    // l2; good[n] = l2. Locates the offending stage during replay.
+    let mut good = vec![l2.clone()];
+    for (i, s) in stages.iter().enumerate().rev() {
+        count!("analysis.solver_calls");
+        match preimage(s, good.last().expect("seeded")) {
+            Ok(p) => good.push(p),
+            Err(e) => {
+                return PipelineOutcome::Unknown(format!(
+                    "good-output pre-image through stage {} failed: {e}",
+                    i + 1
+                ))
+            }
+        }
+    }
+    good.reverse();
+    // Forward replay: stay inside the bad chain so the final output is
+    // guaranteed to land outside l2.
+    let mut cur = input.clone();
+    let mut intermediates = Vec::with_capacity(n);
+    for (i, s) in stages.iter().enumerate() {
+        let outs = match s.run(&cur) {
+            Ok(o) => o,
+            Err(e) => {
+                return PipelineOutcome::Unknown(format!(
+                    "replaying the counterexample through stage {} failed: {e}",
+                    i + 1
+                ))
+            }
+        };
+        // Exact pre-images guarantee such an output exists; the guard is
+        // purely defensive.
+        let Some(next) = outs.into_iter().find(|o| bad[i + 1].accepts(o)) else {
+            return PipelineOutcome::Unknown(format!(
+                "replay diverged from the pre-image chain at stage {}",
+                i + 1
+            ));
+        };
+        intermediates.push(next.clone());
+        cur = next;
+    }
+    let offending_stage = (0..n)
+        .find(|&i| !good[i + 1].accepts(&intermediates[i]))
+        .unwrap_or(n - 1);
+    PipelineOutcome::Violated(PipelineViolation {
+        input,
+        intermediates,
+        offending_stage,
+    })
 }
 
 /// Renders diagnostics as a machine-readable JSON object:
@@ -174,6 +328,10 @@ struct Analyzer<'a> {
     universal: HashMap<String, bool>,
     /// Languages already reported as vacuous, to warn once per name.
     vacuous_reported: BTreeSet<String>,
+    /// `def` bodies that flatten to a pure `(compose …)` chain of named
+    /// stages, recorded by [`Analyzer::check_deftrans`] so contract
+    /// checking can route them to FA101 instead of FA100.
+    chains: HashMap<String, Vec<String>>,
 }
 
 impl Analyzer<'_> {
@@ -246,6 +404,42 @@ impl Analyzer<'_> {
                 self.vacuous_lookahead_check(&r.lhs);
             }
         });
+        fast_obs::time("analysis.check.fa007", || {
+            self.single_valuedness_check(t, sttr);
+        });
+    }
+
+    /// FA007: the *semantic* single-valuedness decision
+    /// ([`Sttr::single_valuedness`]). Only a run-verified ambiguity is
+    /// reported: `Unknown` stays silent (FA002 already flags the
+    /// syntactic overlap that caused it), and the
+    /// single-valued-but-nondeterministic case is the good outcome —
+    /// it unlocks exact left-composition where the determinism-only
+    /// check used to cascade.
+    fn single_valuedness_check(&mut self, t: &TransDecl, sttr: &Sttr) {
+        count!("analysis.solver_calls");
+        if let SvVerdict::Ambiguous { witness, outputs } =
+            sttr.single_valuedness(SvBudget::default())
+        {
+            self.diags.push(
+                Diagnostic::warning(
+                    t.span,
+                    format!(
+                        "transformation '{}' is not single-valued: input {} produces {} \
+                         distinct outputs",
+                        t.name,
+                        witness.display(sttr.ty()),
+                        outputs,
+                    ),
+                )
+                .with_code("FA007")
+                .with_note(
+                    "single-valuedness is the left precondition of Theorem 4: composing this \
+                     transformation on the left over-approximates, and pipelines cascade at \
+                     its boundaries",
+                ),
+            );
+        }
     }
 
     /// FA001: a rule is dead when its guard is unsatisfiable or when some
@@ -322,6 +516,13 @@ impl Analyzer<'_> {
                 count!("analysis.solver_calls");
                 let joint_guard = alg.and(&ra.guard, &rb.guard);
                 if !alg.is_sat(&joint_guard) {
+                    continue;
+                }
+                // Syntactically different outputs may still be provably
+                // equal on the overlap (e.g. `i` vs. `i * 1` under a
+                // joint guard pinning `i = 0`): harmless nondeterminism,
+                // exactly what FA007's product construction discharges.
+                if outputs_provably_equal(alg, &joint_guard, &ra.output, &rb.output) {
                     continue;
                 }
                 let mut overlap = true;
@@ -480,6 +681,10 @@ impl Analyzer<'_> {
     /// walked, so every named pair gets a verdict.
     fn check_deftrans(&mut self, d: &DefTransDecl) {
         fast_obs::time("analysis.check.fa006", || self.boundary_check(&d.body));
+        let mut stages = Vec::new();
+        if flatten_chain(&d.body, &mut stages) && stages.len() >= 2 {
+            self.chains.insert(d.name.clone(), stages);
+        }
     }
 
     fn boundary_check(&mut self, e: &TExpr) {
@@ -504,7 +709,9 @@ impl Analyzer<'_> {
                              over-approximates the staged chain (Theorem 4)",
                         )
                         .with_code("FA006")
-                        .with_note(format!("left factor is not single-valued: {left_witness}"))
+                        .with_note(format!(
+                            "left factor is not single-valued (FA007 verdict: {left_witness})"
+                        ))
                         .with_note(format!("right factor is not linear: {right_witness}"))
                         .with_note(
                             "the composition accepts every staged output and possibly more; \
@@ -564,9 +771,14 @@ impl Analyzer<'_> {
         }
     }
 
-    /// FA100: every declared contract `trans f : L1 -> L2` must satisfy
+    /// FA100/FA101: every declared contract `f : L1 -> L2` must satisfy
     /// `L(L1) ∩ preimage(f, ¬L(L2)) = ∅` (pre-image typechecking). On
     /// violation, a concrete counterexample input tree is extracted.
+    ///
+    /// Contracts on a `def` whose body is a pure compose chain of named
+    /// stages are routed to the stage-wise FA101 check ([`check_pipeline`])
+    /// instead: iterating `preimage` backward through the stages stays
+    /// exact where the eagerly composed product may over-approximate.
     fn check_contracts(&mut self) {
         for c in self.compiled.contracts() {
             let Some(out_name) = c.output.as_deref() else {
@@ -587,6 +799,16 @@ impl Analyzer<'_> {
                 },
                 None => universal_sta(ty, alg),
             };
+            if let Some(names) = self.chains.get(&c.trans).cloned() {
+                let stages: Option<Vec<&Sttr>> =
+                    names.iter().map(|n| self.compiled.transducer(n)).collect();
+                if let Some(stages) = stages {
+                    fast_obs::time("analysis.check.fa101", || {
+                        self.pipeline_contract_check(c, &names, &stages, &l1, l2, out_name, ty);
+                    });
+                    continue;
+                }
+            }
             count!("analysis.solver_calls");
             match type_check(&l1, sttr, l2) {
                 Ok(true) => {}
@@ -620,6 +842,127 @@ impl Analyzer<'_> {
                 }
             }
         }
+    }
+
+    /// FA101 proper: runs [`check_pipeline`] over the resolved stages of
+    /// a chain `def` and renders the outcome, replay trace included.
+    #[allow(clippy::too_many_arguments)]
+    fn pipeline_contract_check(
+        &mut self,
+        c: &Contract,
+        names: &[String],
+        stages: &[&Sttr],
+        l1: &Sta,
+        l2: &Sta,
+        out_name: &str,
+        ty: &Arc<TreeType>,
+    ) {
+        match check_pipeline(stages, Some(l1), l2) {
+            PipelineOutcome::Satisfied => {}
+            PipelineOutcome::Violated(v) => {
+                let input_desc = match c.input.as_deref() {
+                    Some(n) => format!("an input in '{n}'"),
+                    None => "an input".to_string(),
+                };
+                let mut d = Diagnostic::new(
+                    c.span,
+                    format!(
+                        "pipeline '{}' violates its contract: {input_desc} drives the staged \
+                         chain {} to an output outside '{out_name}'",
+                        c.trans,
+                        names.join(" ; "),
+                    ),
+                )
+                .with_code("FA101")
+                .with_note(format!("counterexample input: {}", v.input.display(ty)));
+                for (i, t) in v.intermediates.iter().enumerate() {
+                    let marker = if i == v.offending_stage {
+                        " <- offending stage: no good final output is reachable from here"
+                    } else {
+                        ""
+                    };
+                    d = d.with_note(format!(
+                        "after stage {} ('{}'): {}{marker}",
+                        i + 1,
+                        names[i],
+                        t.display(ty),
+                    ));
+                }
+                self.diags.push(d);
+            }
+            PipelineOutcome::Unknown(reason) => {
+                self.diags.push(
+                    Diagnostic::warning(
+                        c.span,
+                        format!(
+                            "pipeline contract of '{}' could not be verified: {reason}",
+                            c.trans
+                        ),
+                    )
+                    .with_code("FA101"),
+                );
+            }
+        }
+    }
+}
+
+/// `true` when `e` is a pure `(compose …)` tree over plain names; the
+/// stage names are appended to `out` in application (left-to-right)
+/// order. `restrict`/`restrict-out` factors disqualify the chain — their
+/// contracts keep the composed FA100 check.
+fn flatten_chain(e: &TExpr, out: &mut Vec<String>) -> bool {
+    match e {
+        TExpr::Name(n, _) => {
+            out.push(n.clone());
+            true
+        }
+        TExpr::Compose(l, r, _) => flatten_chain(l, out) && flatten_chain(r, out),
+        TExpr::Restrict(..) | TExpr::RestrictOut(..) => false,
+    }
+}
+
+/// Are two rule outputs provably equal wherever `joint` holds? Requires
+/// identical shapes and identical recursive calls; label functions may
+/// differ syntactically as long as the solver proves they agree on every
+/// label satisfying the joint guard (FA002's semantic upgrade — the
+/// local, single-rule-pair slice of FA007's product construction).
+fn outputs_provably_equal(
+    alg: &Arc<LabelAlg>,
+    joint: &<LabelAlg as BoolAlg>::Pred,
+    a: &Out<LabelAlg>,
+    b: &Out<LabelAlg>,
+) -> bool {
+    match (a, b) {
+        (Out::Call(p, i), Out::Call(q, j)) => p == q && i == j,
+        (
+            Out::Node {
+                ctor: c1,
+                fun: f1,
+                children: k1,
+            },
+            Out::Node {
+                ctor: c2,
+                fun: f2,
+                children: k2,
+            },
+        ) => {
+            if c1 != c2 || k1.len() != k2.len() {
+                return false;
+            }
+            if f1 != f2 {
+                let Some(diff) = alg.funs_differ(f1, f2) else {
+                    return false;
+                };
+                count!("analysis.solver_calls");
+                if alg.is_sat(&alg.and(joint, &diff)) {
+                    return false;
+                }
+            }
+            k1.iter()
+                .zip(k2)
+                .all(|(x, y)| outputs_provably_equal(alg, joint, x, y))
+        }
+        _ => false,
     }
 }
 
@@ -907,6 +1250,153 @@ mod tests {
     }
 
     #[test]
+    fn fa007_ambiguous_transformation_warns() {
+        let diags = check(
+            r#"
+            type T[i: Int] { z(0), s(1) }
+            trans amb: T -> T {
+              z() to (z [i])
+            | z() to (z [i + 1])
+            | s(x) to (s [i] (amb x))
+            }
+            "#,
+        );
+        let d = diags
+            .iter()
+            .find(|d| d.code == Some("FA007"))
+            .unwrap_or_else(|| panic!("{diags:?}"));
+        assert!(!d.is_error());
+        assert!(d.message.contains("not single-valued"), "{}", d.message);
+        assert!(d.message.contains("distinct outputs"), "{}", d.message);
+    }
+
+    #[test]
+    fn fa007_and_fa002_silent_for_output_equivalent_overlap() {
+        // Overlapping guards whose outputs provably agree on the overlap
+        // (`i` vs `i * 1` at `i = 0`): nondeterministic but single-valued.
+        // FA007's product construction proves it; FA002's semantic
+        // upgrade skips the pair for the same reason.
+        let diags = check(
+            r#"
+            type T[i: Int] { z(0), s(1) }
+            trans norm: T -> T {
+              z() to (z [0])
+            | s(x) where (i >= 0) to (s [i] (norm x))
+            | s(x) where (i <= 0) to (s [i * 1] (norm x))
+            }
+            "#,
+        );
+        assert!(!codes(&diags).contains(&"FA007"), "{diags:?}");
+        assert!(!codes(&diags).contains(&"FA002"), "{diags:?}");
+    }
+
+    #[test]
+    fn fa101_chain_contract_violation_replays_counterexample() {
+        // keep;bump over evens: bump flips parity, so the chain maps
+        // evens outside evens. The contract sits on a pure compose chain
+        // of names — FA101 (stage-wise pre-images) must fire, FA100 on
+        // the eagerly composed product must not.
+        let diags = check(
+            r#"
+            type T[i: Int] { z(0), s(1) }
+            lang evens: T { z() where (i % 2 = 0) | s(x) where (i % 2 = 0) given (evens x) }
+            trans keep: T -> T { z() to (z [i]) | s(x) to (s [i] (keep x)) }
+            trans bump: T -> T { z() to (z [i + 1]) | s(x) to (s [i + 1] (bump x)) }
+            def chain: evens -> evens := (compose keep bump)
+            "#,
+        );
+        let d = diags
+            .iter()
+            .find(|d| d.code == Some("FA101"))
+            .unwrap_or_else(|| panic!("{diags:?}"));
+        assert!(d.is_error());
+        assert!(
+            d.notes.iter().any(|n| n.contains("counterexample input:")),
+            "{d:?}"
+        );
+        assert!(
+            d.notes.iter().any(|n| n.contains("offending stage")),
+            "{d:?}"
+        );
+        assert!(!codes(&diags).contains(&"FA100"), "{diags:?}");
+    }
+
+    #[test]
+    fn fa101_locates_the_committing_stage() {
+        // amb can keep parity or flip it; keep preserves. The replay
+        // that escapes `evens` commits at stage 1 — the bad branch of
+        // amb — and the marker must land on that intermediate.
+        let diags = check(
+            r#"
+            type T[i: Int] { z(0), s(1) }
+            lang evens: T { z() where (i % 2 = 0) | s(x) where (i % 2 = 0) given (evens x) }
+            trans amb: T -> T {
+              z() to (z [i])
+            | z() to (z [i + 1])
+            | s(x) to (s [i] (amb x))
+            }
+            trans keep: T -> T { z() to (z [i]) | s(x) to (s [i] (keep x)) }
+            def chain: evens -> evens := (compose amb keep)
+            "#,
+        );
+        let d = diags
+            .iter()
+            .find(|d| d.code == Some("FA101"))
+            .unwrap_or_else(|| panic!("{diags:?}"));
+        let off = d
+            .notes
+            .iter()
+            .find(|n| n.contains("offending stage"))
+            .unwrap_or_else(|| panic!("{d:?}"));
+        assert!(off.contains("after stage 1 ('amb')"), "{off}");
+    }
+
+    #[test]
+    fn fa101_satisfied_chain_is_clean() {
+        let diags = check(
+            r#"
+            type T[i: Int] { z(0), s(1) }
+            lang evens: T { z() where (i % 2 = 0) | s(x) where (i % 2 = 0) given (evens x) }
+            trans keep: T -> T { z() to (z [i]) | s(x) to (s [i] (keep x)) }
+            trans dbl: T -> T { z() to (z [i + i]) | s(x) to (s [i + i] (dbl x)) }
+            def chain: evens -> evens := (compose keep dbl)
+            "#,
+        );
+        assert!(!codes(&diags).contains(&"FA101"), "{diags:?}");
+        assert!(!codes(&diags).contains(&"FA100"), "{diags:?}");
+    }
+
+    #[test]
+    fn check_pipeline_agrees_with_single_stage_contract() {
+        // A single-stage "pipeline" against a satisfied contract: the
+        // public entry point must agree with FA100's verdict.
+        let program = fast_lang::parse(
+            r#"
+            type T[i: Int] { z(0), s(1) }
+            lang evens: T { z() where (i % 2 = 0) | s(x) where (i % 2 = 0) given (evens x) }
+            trans keep: T -> T { z() to (z [i]) | s(x) to (s [i] (keep x)) }
+            "#,
+        )
+        .expect("parse");
+        let mut sink = DiagSink::new();
+        let compiled = fast_lang::compile_ast(&program, &mut sink).expect("compile");
+        let keep = compiled.transducer("keep").unwrap();
+        let evens = compiled.lang("evens").unwrap();
+        match check_pipeline(&[keep], Some(evens), evens) {
+            PipelineOutcome::Satisfied => {}
+            other => panic!("expected Satisfied, got {other:?}"),
+        }
+        // And without an input restriction, odd inputs violate it.
+        match check_pipeline(&[keep], None, evens) {
+            PipelineOutcome::Violated(v) => {
+                assert_eq!(v.intermediates.len(), 1);
+                assert!(!evens.accepts(&v.intermediates[0]));
+            }
+            other => panic!("expected Violated, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn fa100_contract_violation_has_counterexample() {
         let diags = check(
             r#"
@@ -1039,6 +1529,7 @@ mod tests {
         assert!(d.get("analysis.solver_calls") >= 3);
         assert!(d.get("analysis.diags_emitted") >= 1);
         assert!(d.timers.keys().any(|k| k == "analysis.check.fa001"));
+        assert!(d.timers.keys().any(|k| k == "analysis.check.fa007"));
         assert!(d.timers.keys().any(|k| k == "analysis.check.fa100"));
     }
 }

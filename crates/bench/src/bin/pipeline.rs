@@ -1,6 +1,6 @@
 //! Pipeline fusion: chained transformations in three strategies.
 //!
-//! Two chains from the paper:
+//! Three chains:
 //!
 //! * the Fig. 7 deforestation chain `map_caesar ∘ filter_ev ∘
 //!   map_caesar` over random integer lists — every boundary is exact
@@ -9,7 +9,13 @@
 //!   intermediate list;
 //! * the §5.1 sanitizer chain `esc ∘ remScript` over the synthetic
 //!   page corpus — also fusable, but with the state-product blowup of
-//!   real rule sets.
+//!   real rule sets;
+//! * the `svfuse` chain `dup ∘ norm` over random binary trees — `norm`
+//!   is *nondeterministic but single-valued* (two overlapping leaf
+//!   rules with provably equal outputs) and `dup` is *nonlinear*, so
+//!   Theorem 4's syntactic reading cascades this boundary; the semantic
+//!   single-valuedness decision proves `norm` single-valued and fuses
+//!   it anyway.
 //!
 //! Strategies per chain:
 //!
@@ -27,10 +33,11 @@
 
 use fast_bench::lists::{filter_ev, ilist_alg, ilist_type, map_caesar, random_list};
 use fast_bench::sanitizer::{compile_fig2, corpus, encoded_batch};
-use fast_core::{Sttr, TransducerError};
+use fast_core::{Out, Sttr, SttrBuilder, TransducerError};
 use fast_json::Json;
 use fast_rt::{FusionStrategy, Pipeline, PipelineOptions};
-use fast_trees::Tree;
+use fast_smt::{CmpOp, Formula, LabelAlg, LabelFn, LabelSig, Sort, Term};
+use fast_trees::{Tree, TreeGen, TreeType};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Instant;
@@ -121,6 +128,80 @@ fn run_chain(name: &str, stages: &[Arc<Sttr>], batch: &[Tree]) -> ChainResult {
     }
 }
 
+/// Binary tree type for the `svfuse` chain.
+fn bt_type() -> (Arc<TreeType>, Arc<LabelAlg>) {
+    let ty = TreeType::new(
+        "BT",
+        LabelSig::single("i", Sort::Int),
+        vec![("L", 0), ("N", 2)],
+    );
+    let alg = Arc::new(LabelAlg::new(ty.sig().clone()));
+    (ty, alg)
+}
+
+/// `norm`: nondeterministic but single-valued. The leaf rules overlap
+/// at `i = 0` with provably equal outputs (`i` vs `i * 1`), so the
+/// determinism fast path cannot fuse a boundary it is left of — only
+/// the semantic single-valuedness decision can.
+fn norm_bt(ty: &Arc<TreeType>, alg: &Arc<LabelAlg>) -> Sttr {
+    let (leaf, node) = (ty.ctor_id("L").unwrap(), ty.ctor_id("N").unwrap());
+    let mut b = SttrBuilder::new(ty.clone(), alg.clone());
+    let q = b.state("norm");
+    b.plain_rule(
+        q,
+        leaf,
+        Formula::cmp(CmpOp::Ge, Term::field(0), Term::int(0)),
+        Out::node(leaf, LabelFn::new(vec![Term::field(0)]), vec![]),
+    );
+    b.plain_rule(
+        q,
+        leaf,
+        Formula::cmp(CmpOp::Le, Term::field(0), Term::int(0)),
+        Out::node(
+            leaf,
+            LabelFn::new(vec![Term::field(0).mul(Term::int(1))]),
+            vec![],
+        ),
+    );
+    b.plain_rule(
+        q,
+        node,
+        Formula::True,
+        Out::node(
+            node,
+            LabelFn::new(vec![Term::field(0)]),
+            vec![Out::Call(q, 0), Out::Call(q, 1)],
+        ),
+    );
+    b.build(q)
+}
+
+/// `dup`: nonlinear — every inner node reads its left child twice, so
+/// Theorem 4's right-linearity condition fails and fusion hinges
+/// entirely on the left factor being single-valued.
+fn dup_bt(ty: &Arc<TreeType>, alg: &Arc<LabelAlg>) -> Sttr {
+    let (leaf, node) = (ty.ctor_id("L").unwrap(), ty.ctor_id("N").unwrap());
+    let mut b = SttrBuilder::new(ty.clone(), alg.clone());
+    let q = b.state("dup");
+    b.plain_rule(
+        q,
+        leaf,
+        Formula::True,
+        Out::node(leaf, LabelFn::new(vec![Term::field(0)]), vec![]),
+    );
+    b.plain_rule(
+        q,
+        node,
+        Formula::True,
+        Out::node(
+            node,
+            LabelFn::new(vec![Term::field(0)]),
+            vec![Out::Call(q, 0), Out::Call(q, 0)],
+        ),
+    );
+    b.build(q)
+}
+
 fn main() {
     let mut seed = 7u64;
     let mut lists = 64usize;
@@ -198,6 +279,28 @@ fn main() {
     );
     let sani = run_chain("sanitizer", &sani_stages, &sani_batch);
 
+    // Chain 3: nondet-but-single-valued `norm` into nonlinear `dup` —
+    // the boundary only the semantic single-valuedness decision fuses.
+    let (bt_ty, bt_alg) = bt_type();
+    let sv_stages: Vec<Arc<Sttr>> = vec![
+        Arc::new(norm_bt(&bt_ty, &bt_alg)),
+        Arc::new(dup_bt(&bt_ty, &bt_alg)),
+    ];
+    let sv_distinct = TreeGen::new(seed).trees(&bt_ty, lists);
+    let mut sv_batch = Vec::with_capacity(lists * reps);
+    for _ in 0..reps {
+        sv_batch.extend(sv_distinct.iter().cloned());
+    }
+    println!(
+        "svfuse chain: norm | dup over {} items ({lists} distinct trees × {reps} reps)",
+        sv_batch.len()
+    );
+    let svfuse = run_chain("svfuse", &sv_stages, &sv_batch);
+    assert_eq!(
+        svfuse.segments_fused, 1,
+        "the nondet-but-single-valued boundary must fuse"
+    );
+
     let fig7_speedup = fig7.naive_ms / fig7.fused_ms.max(1e-9);
     fast_bench::telemetry::emit_with(
         "pipeline",
@@ -225,6 +328,19 @@ fn main() {
             ),
             ("sanitizer_segments", Json::Int(sani.segments_fused as i64)),
             ("sanitizer_outputs", Json::Int(sani.outputs as i64)),
+            ("svfuse_naive_ms", Json::Float(svfuse.naive_ms)),
+            ("svfuse_cascaded_ms", Json::Float(svfuse.cascaded_ms)),
+            ("svfuse_fused_ms", Json::Float(svfuse.fused_ms)),
+            (
+                "svfuse_speedup_fused",
+                Json::Float(svfuse.naive_ms / svfuse.fused_ms.max(1e-9)),
+            ),
+            (
+                "svfuse_speedup_cascaded",
+                Json::Float(svfuse.naive_ms / svfuse.cascaded_ms.max(1e-9)),
+            ),
+            ("svfuse_segments", Json::Int(svfuse.segments_fused as i64)),
+            ("svfuse_outputs", Json::Int(svfuse.outputs as i64)),
         ],
     );
 }

@@ -111,22 +111,40 @@ impl<A: TransAlg<Elem = Label>> Composed<A> {
 
 /// Decides the Theorem 4 exactness verdict for `compose(s, t)` without
 /// building the composition.
+///
+/// Left single-valuedness is decided *semantically* via
+/// [`Sttr::single_valuedness`]: determinism (cheap) first, then — only
+/// when the right factor is nonlinear, so the verdict actually matters —
+/// the bounded output-equivalence product construction. A
+/// single-valued-but-nondeterministic left factor therefore composes
+/// exactly where the determinism-only check had to over-approximate.
 pub fn compose_exactness<A: TransAlg<Elem = Label>>(s: &Sttr<A>, t: &Sttr<A>) -> Exactness {
-    let nd = s.nondeterministic_rules();
-    if matches!(nd, Ok(None)) {
+    if matches!(s.nondeterministic_rules(), Ok(None)) {
         return Exactness::LeftSingleValued;
     }
-    match t.nonlinear_rule() {
+    // Right linearity makes the composition exact regardless of the left
+    // factor, so don't spend the semantic decision unless it matters.
+    let nonlinear = t.nonlinear_rule();
+    if nonlinear.is_none() {
+        return Exactness::RightLinear;
+    }
+    let verdict = s.single_valuedness(crate::sv::SvBudget::default());
+    if verdict.is_single() {
+        return Exactness::LeftSingleValued;
+    }
+    match nonlinear {
         None => Exactness::RightLinear,
         Some((q, idx)) => Exactness::Overapproximate {
-            left_witness: match nd {
-                Ok(Some((p, a, b))) => format!(
-                    "overlapping rules {} / {}",
-                    s.describe_rule(p, a),
-                    s.describe_rule(p, b)
+            left_witness: match verdict {
+                crate::sv::SvVerdict::Ambiguous { witness, outputs } => format!(
+                    "ambiguous: {} outputs on input {}",
+                    outputs,
+                    witness.display(s.ty())
                 ),
-                Err(e) => format!("single-valuedness undecided: {e}"),
-                Ok(None) => unreachable!("handled above"),
+                crate::sv::SvVerdict::Unknown { reason } => {
+                    format!("single-valuedness undecided: {reason}")
+                }
+                crate::sv::SvVerdict::Single(_) => unreachable!("handled above"),
             },
             right_witness: format!("rule {} uses an input child twice", t.describe_rule(q, idx)),
         },
@@ -863,7 +881,9 @@ mod tests {
                 left_witness,
                 right_witness,
             }) => {
-                assert!(left_witness.contains("overlapping rules"), "{left_witness}");
+                // The semantic decision upgrades the witness from a rule
+                // pair to a run-verified ambiguous input.
+                assert!(left_witness.contains("ambiguous"), "{left_witness}");
                 assert!(right_witness.contains("twice"), "{right_witness}");
             }
             other => panic!("expected InexactComposition, got {other:?}"),
@@ -878,6 +898,90 @@ mod tests {
         assert_eq!(approx.len(), 4, "Theorem 4: ⊇ but not =");
         for e in &exact {
             assert!(approx.contains(e), "composition must over-approximate");
+        }
+    }
+
+    #[test]
+    fn nondet_but_single_valued_left_composes_exactly() {
+        // Left: two overlapping leaf rules with semantically equal
+        // outputs (identity vs. x*1, overlapping at x = 0). Right:
+        // duplicates child 0 — nonlinear. The determinism-only check
+        // would over-approximate here; the semantic single-valuedness
+        // decision proves the left factor single-valued, so the
+        // composition is exact and agrees with sequential runs.
+        let ty = TreeType::new(
+            "IT",
+            LabelSig::single("i", Sort::Int),
+            vec![("leaf", 0), ("node", 2)],
+        );
+        let alg = Arc::new(LabelAlg::new(ty.sig().clone()));
+        let leaf = ty.ctor_id("leaf").unwrap();
+        let node = ty.ctor_id("node").unwrap();
+
+        let mut b = SttrBuilder::new(ty.clone(), alg.clone());
+        let q = b.state("norm");
+        b.plain_rule(
+            q,
+            leaf,
+            Formula::cmp(fast_smt::CmpOp::Ge, Term::field(0), Term::int(0)),
+            Out::node(leaf, LabelFn::identity(1), vec![]),
+        );
+        b.plain_rule(
+            q,
+            leaf,
+            Formula::cmp(fast_smt::CmpOp::Le, Term::field(0), Term::int(0)),
+            Out::node(
+                leaf,
+                LabelFn::new(vec![Term::field(0).mul(Term::int(1))]),
+                vec![],
+            ),
+        );
+        b.plain_rule(
+            q,
+            node,
+            Formula::True,
+            Out::node(
+                node,
+                LabelFn::identity(1),
+                vec![Out::Call(q, 0), Out::Call(q, 1)],
+            ),
+        );
+        let s = b.build(q);
+        assert!(!s.is_deterministic().unwrap());
+        assert!(s.is_single_valued());
+
+        let mut b = SttrBuilder::new(ty.clone(), alg);
+        let d = b.state("dup");
+        b.plain_rule(
+            d,
+            leaf,
+            Formula::True,
+            Out::node(leaf, LabelFn::identity(1), vec![]),
+        );
+        b.plain_rule(
+            d,
+            node,
+            Formula::True,
+            Out::node(
+                node,
+                LabelFn::identity(1),
+                vec![Out::Call(d, 0), Out::Call(d, 0)],
+            ),
+        );
+        let t = b.build(d);
+        assert!(!t.is_linear());
+
+        assert_eq!(
+            compose_exactness(&s, &t),
+            Exactness::LeftSingleValued,
+            "nondet-but-single-valued left must now compose exactly"
+        );
+        let c = compose(&s, &t).unwrap();
+        assert!(c.exactness.is_exact());
+        let mut g = TreeGen::new(53).with_max_depth(5).with_int_range(-9, 9);
+        for _ in 0..40 {
+            let input = g.tree(&ty);
+            assert_eq!(c.sttr.run(&input).unwrap(), sequential(&s, &t, &input));
         }
     }
 

@@ -88,8 +88,18 @@ pub fn find_inequivalence<A: TransAlg<Elem = Label>>(
 /// all-default label. Models sit inside their guards; to also probe just
 /// *outside*, callers can extend the pool before testing.
 fn mined_labels<A: TransAlg<Elem = Label>>(a: &Sttr<A>, b: &Sttr<A>) -> Vec<Label> {
-    let alg = a.alg();
     let mut labels: Vec<Label> = vec![Label::default_of(alg_sig(a))];
+    extend_guard_labels(a, &mut labels);
+    extend_guard_labels(b, &mut labels);
+    labels
+}
+
+/// Extends `labels` with a model of every rule guard of `s` (and its
+/// negation) and of every lookahead-automaton rule guard, deduplicated.
+/// Shared by equivalence falsification and the single-valuedness witness
+/// search ([`crate::sv`]).
+pub(crate) fn extend_guard_labels<A: TransAlg<Elem = Label>>(s: &Sttr<A>, labels: &mut Vec<Label>) {
+    let alg = s.alg();
     let mut push = |l: Option<Label>| {
         if let Some(l) = l {
             if !labels.contains(&l) {
@@ -97,21 +107,18 @@ fn mined_labels<A: TransAlg<Elem = Label>>(a: &Sttr<A>, b: &Sttr<A>) -> Vec<Labe
             }
         }
     };
-    for s in [a, b] {
-        for q in s.states() {
-            for r in s.rules(q) {
-                push(alg.model(&r.guard));
-                push(alg.model(&alg.not(&r.guard)));
-            }
-        }
-        let la = s.lookahead_sta();
-        for q in la.states() {
-            for r in la.rules(q) {
-                push(alg.model(&r.guard));
-            }
+    for q in s.states() {
+        for r in s.rules(q) {
+            push(alg.model(&r.guard));
+            push(alg.model(&alg.not(&r.guard)));
         }
     }
-    labels
+    let la = s.lookahead_sta();
+    for q in la.states() {
+        for r in la.rules(q) {
+            push(alg.model(&r.guard));
+        }
+    }
 }
 
 fn alg_sig<A: TransAlg<Elem = Label>>(s: &Sttr<A>) -> &fast_smt::LabelSig {
@@ -120,7 +127,7 @@ fn alg_sig<A: TransAlg<Elem = Label>>(s: &Sttr<A>) -> &fast_smt::LabelSig {
 
 /// Depth-bounded exhaustive tree enumeration over a label pool; the
 /// visitor returns `false` to stop early.
-fn enumerate(
+pub(crate) fn enumerate(
     ty: &fast_trees::TreeType,
     labels: &[Label],
     depth: usize,

@@ -61,6 +61,7 @@ mod error;
 mod ops;
 mod out;
 mod sttr;
+pub mod sv;
 
 pub use compose::{
     compose, compose_exactness, compose_with, preimage, try_compose_exact, ComposeOptions,
@@ -71,3 +72,4 @@ pub use error::TransducerError;
 pub use ops::{is_empty_transducer, restrict, restrict_out, type_check};
 pub use out::Out;
 pub use sttr::{identity, identity_restricted, Sttr, SttrBuilder, TRule, DEFAULT_RUN_CAP};
+pub use sv::{SvBudget, SvProof, SvVerdict};

@@ -634,18 +634,19 @@ impl<A: TransAlg<Elem = Label>> Sttr<A> {
         Ok(None)
     }
 
-    /// Conservative single-valuedness check — the left-composability
-    /// precondition of Theorem 4 (`|T_q(t)| ≤ 1` for every input).
+    /// Single-valuedness — the left-composability precondition of
+    /// Theorem 4 (`|T_q(t)| ≤ 1` for every input).
     ///
-    /// Determinism (Definition 9) is a decidable sufficient condition, so
-    /// this returns `true` only for transducers proven deterministic;
-    /// single-valued-but-nondeterministic transducers (two overlapping
-    /// rules with semantically equal outputs) answer `false`, and a
-    /// lookahead state-budget overflow during the check also answers
-    /// `false`. Callers gating composition exactness on this therefore
-    /// never treat an inexact fusion as exact.
+    /// Semantic decision with the default [`crate::SvBudget`]: `true` for
+    /// transducers proven deterministic (Definition 9) *or* proven
+    /// output-equivalent on every rule overlap by the product
+    /// construction of [`crate::sv`]. Ambiguous and budget-limited
+    /// `Unknown` verdicts answer `false`, so callers gating composition
+    /// exactness on this never treat an inexact fusion as exact. Use
+    /// [`Sttr::single_valuedness`] directly for the three-way verdict.
     pub fn is_single_valued(&self) -> bool {
-        matches!(self.nondeterministic_rules(), Ok(None))
+        self.single_valuedness(crate::sv::SvBudget::default())
+            .is_single()
     }
 
     /// Renders one rule as `state#idx: ctor` for witness messages.

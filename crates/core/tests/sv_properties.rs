@@ -1,0 +1,125 @@
+//! Differential properties for the semantic single-valuedness decision
+//! ([`Sttr::single_valuedness`]):
+//!
+//! * a `Single` verdict is *sound* — on random inputs the transducer
+//!   never produces two distinct outputs;
+//! * an `Ambiguous` verdict is *honest* — its witness really does drive
+//!   the transducer to at least the claimed number of distinct outputs.
+//!
+//! The generator family is the interesting one for this decision:
+//! cons-list transducers whose leaf/cons rules carry overlapping sign
+//! guards (`i >= 0` / `i <= 0` / `i < 0` / `true`) and outputs that are
+//! sometimes syntactically different but semantically equal (`i` vs
+//! `i * 1`) and sometimes genuinely different (`i + 1`, constants) —
+//! exactly the boundary between nondeterministic-but-single-valued and
+//! truly ambiguous.
+
+use fast_core::{Out, Sttr, SttrBuilder, SvBudget, SvVerdict};
+use fast_smt::{CmpOp, Formula, Label, LabelAlg, LabelFn, LabelSig, Sort, Term};
+use fast_trees::{Tree, TreeType};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn ilist() -> (Arc<TreeType>, Arc<LabelAlg>) {
+    let ty = TreeType::new(
+        "IList",
+        LabelSig::single("i", Sort::Int),
+        vec![("nil", 0), ("cons", 1)],
+    );
+    let alg = Arc::new(LabelAlg::new(ty.sig().clone()));
+    (ty, alg)
+}
+
+/// Sign guards that overlap pairwise in controlled ways.
+fn guard() -> impl Strategy<Value = Formula> {
+    prop_oneof![
+        Just(Formula::True),
+        Just(Formula::cmp(CmpOp::Ge, Term::field(0), Term::int(0))),
+        Just(Formula::cmp(CmpOp::Le, Term::field(0), Term::int(0))),
+        Just(Formula::cmp(CmpOp::Lt, Term::field(0), Term::int(0))),
+    ]
+}
+
+/// Output label functions: two spellings of the identity plus genuinely
+/// different functions.
+fn out_fun() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        Just(Term::field(0)),
+        Just(Term::field(0).mul(Term::int(1))),
+        Just(Term::field(0).add(Term::int(1))),
+        (-3i64..3).prop_map(Term::int),
+    ]
+}
+
+/// A one-state cons-list STTR with 1–2 rules per constructor drawn from
+/// the overlapping guard/output family above.
+fn sv_sttr() -> impl Strategy<Value = Sttr> {
+    let rules = || proptest::collection::vec((guard(), out_fun()), 1..3usize);
+    (rules(), rules()).prop_map(|(leaf_rules, cons_rules)| {
+        let (ty, alg) = ilist();
+        let (nil, cons) = (ty.ctor_id("nil").unwrap(), ty.ctor_id("cons").unwrap());
+        let mut b = SttrBuilder::new(ty, alg);
+        let q = b.state("q");
+        for (g, f) in leaf_rules {
+            b.plain_rule(q, nil, g, Out::node(nil, LabelFn::new(vec![f]), vec![]));
+        }
+        for (g, f) in cons_rules {
+            b.plain_rule(
+                q,
+                cons,
+                g,
+                Out::node(cons, LabelFn::new(vec![f]), vec![Out::Call(q, 0)]),
+            );
+        }
+        b.build(q)
+    })
+}
+
+fn list(ty: &Arc<TreeType>, items: &[i64]) -> Tree {
+    let (nil, cons) = (ty.ctor_id("nil").unwrap(), ty.ctor_id("cons").unwrap());
+    let mut t = Tree::leaf(nil, Label::single(*items.last().unwrap_or(&0)));
+    for &v in items.iter().rev().skip(1) {
+        t = Tree::new(cons, Label::single(v), vec![t]);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `Single` ⇒ at most one output on every tested input;
+    /// `Ambiguous` ⇒ the witness reproduces ≥ 2 distinct outputs.
+    #[test]
+    fn verdicts_agree_with_the_run_semantics(
+        sttr in sv_sttr(),
+        lists in proptest::collection::vec(
+            proptest::collection::vec(-2i64..=2, 1..4), 1..6),
+    ) {
+        let (ty, _) = ilist();
+        match sttr.single_valuedness(SvBudget::default()) {
+            SvVerdict::Single(_) => {
+                for items in &lists {
+                    let outs = sttr.run(&list(&ty, items)).unwrap();
+                    prop_assert!(
+                        outs.len() <= 1,
+                        "proven single-valued, but {:?} produced {} outputs",
+                        items, outs.len(),
+                    );
+                }
+            }
+            SvVerdict::Ambiguous { witness, outputs } => {
+                let outs = sttr.run(&witness).unwrap();
+                prop_assert!(
+                    outs.len() >= 2,
+                    "claimed ambiguous with witness {}, but it produced {} output(s)",
+                    witness.display(&ty), outs.len(),
+                );
+                prop_assert!(outputs >= 2);
+            }
+            SvVerdict::Unknown { .. } => {
+                // No claim to check — but budget-default analysis of this
+                // tiny family should essentially never punt; accept it.
+            }
+        }
+    }
+}

@@ -40,6 +40,9 @@
 //! | `compose.reduce_iterations` | one `Reduce` step runs during §4.1 composition |
 //! | `compose.pair_states` | a composed pair state `p.q` is discovered |
 //! | `compose.preimage_pairs` | a pre-image pair state `(p, d)` is discovered |
+//! | `sv.proved_output_equivalent` | the single-valuedness product construction discharges all obligations on a nondeterministic transducer |
+//! | `sv.refuted` | the single-valuedness witness search finds a run-verified multi-output input |
+//! | `sv.unknown` | a single-valuedness decision exhausts its budget undecided |
 //! | `analysis.rules_checked` | `fastc check` visits a rule |
 //! | `analysis.solver_calls` | the analyzer issues a satisfiability/model query |
 //! | `analysis.diags_emitted` | one `fast_analysis::analyze` run emits diagnostics |
@@ -73,10 +76,11 @@
 //!
 //! Wall-clock durations (timers, histograms, spans) share one dotted
 //! namespace, listed in [`DOCUMENTED_DURATIONS`]: per-family analyzer
-//! timers (`analysis.check.fa001` … `analysis.check.fa100`,
+//! timers (`analysis.check.fa001` … `analysis.check.fa101`,
 //! `analysis.total`), solver latency (`smt.check` per query, `smt.solve`
 //! spans around actual solver misses), composition phases
-//! (`compose.total`, `compose.reduce`, `compose.preimage`), automata
+//! (`compose.total`, `compose.reduce`, `compose.preimage`), the
+//! single-valuedness decision (`sv.decide`), automata
 //! algorithms (`automata.intersect`, `automata.determinize`), runtime
 //! phases (`rt.run_batch` per batch, `rt.item` per input tree,
 //! `plan.dispatch` per memoized dispatch), pipeline phases
@@ -137,6 +141,9 @@ pub const DOCUMENTED_COUNTERS: &[&str] = &[
     "compose.reduce_iterations",
     "compose.pair_states",
     "compose.preimage_pairs",
+    "sv.proved_output_equivalent",
+    "sv.refuted",
+    "sv.unknown",
     "analysis.rules_checked",
     "analysis.solver_calls",
     "analysis.diags_emitted",
@@ -171,8 +178,11 @@ pub const DOCUMENTED_DURATIONS: &[&str] = &[
     "analysis.check.fa004",
     "analysis.check.fa005",
     "analysis.check.fa006",
+    "analysis.check.fa007",
     "analysis.check.fa100",
+    "analysis.check.fa101",
     "analysis.total",
+    "sv.decide",
     "smt.check",
     "smt.solve",
     "compose.total",

@@ -12,16 +12,10 @@
 //! * the **lookahead cache** maps `TreeId` to the set of lookahead-STA
 //!   states accepting that subtree.
 //!
-//! Earlier revisions keyed on `Tree::addr()` (the raw `Arc` pointer),
-//! which only identifies a subtree while that allocation is alive — a
-//! dropped tree's address can be handed to an unrelated new tree by the
-//! allocator, so every entry had to pin a strong `Tree` clone to keep
-//! its key valid. `TreeId`s retire that hazard by construction: the
-//! interner is append-only, ids are never reused, and the canonical
-//! node behind each id is owned by the interner itself. A memo may
-//! therefore outlive one batch (`Plan::run_batch_shared`, cascaded
-//! pipelines) with no pinning at all, even when callers drop
-//! intermediate trees between runs.
+//! Ids are never reused (the interner is append-only and owns every
+//! canonical node), so a memo may outlive one batch
+//! (`Plan::run_batch_shared`, cascaded pipelines) even when callers
+//! drop intermediate trees between runs.
 //!
 //! Sharding mirrors `fast-smt`'s solver cache: 16 mutex-guarded shards
 //! selected by key hash, so concurrent workers rarely contend.

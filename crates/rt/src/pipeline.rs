@@ -178,9 +178,8 @@ enum Verdict {
 /// Global fusion cache entry. The key is the pair of stage `Arc`
 /// addresses; the stored `Arc` clones pin both stages (and the fused
 /// product) alive so a key address can never be recycled into an alias.
-/// (Trees no longer need this treatment — the batch memo keys on
-/// interned `TreeId`s — but `Sttr` stages are not interned, so address
-/// pinning is still the right tool here.)
+/// `Sttr` stages are not interned, so address pinning is the right tool
+/// here.
 struct FuseEntry {
     _left: Arc<Sttr>,
     _right: Arc<Sttr>,

@@ -111,10 +111,9 @@ impl BatchStats {
 /// [`TreeId`]s come from the global hash-cons table in
 /// `fast_trees::intern`: they are assigned once per structurally
 /// distinct tree and never reused, so a stale entry can never be
-/// aliased by a later tree — no address pinning is needed (the interner
-/// itself keeps every canonical node alive). Structurally equal trees
-/// share an id, so the memo also hits across *independently built*
-/// inputs, not just `Arc`-shared clones.
+/// aliased by a later tree. Structurally equal trees share an id, so
+/// the memo also hits across *independently built* inputs, not just
+/// `Arc`-shared clones.
 type OutMemo = Sharded<(usize, TreeId), Arc<Vec<Tree>>>;
 
 /// Lookahead cache: `TreeId → accepting lookahead states`.

@@ -1,17 +1,10 @@
 //! Regression tests for memo-key identity.
 //!
-//! History: `BatchMemo` once keyed on raw `Tree::addr()` (an `Arc`
-//! pointer address). An address only names a subtree while that
-//! allocation lives, so entries had to pin a strong `Tree` clone to
-//! stop the allocator recycling a dropped tree's address into an alias
-//! of a stale entry (the PR-5 bugfix). Keys are now interned
-//! [`TreeId`]s — assigned once per structurally distinct tree by the
-//! global hash-cons table and never reused — which makes that entire
-//! hazard impossible *by construction*: no pinning, nothing for the
-//! allocator to recycle into a key.
-//!
-//! These tests pin the two properties that replace the old pin-based
-//! argument:
+//! `BatchMemo` keys on interned [`TreeId`]s — assigned once per
+//! structurally distinct tree by the global hash-cons table and never
+//! reused — so a dropped tree's key can never be recycled into an
+//! alias of a stale entry. These tests pin the two properties that
+//! argument rests on:
 //!
 //! 1. drop-and-reallocate churn against a long-lived memo stays exact
 //!    (ids of dropped trees are never handed to new, structurally

@@ -355,6 +355,98 @@ fn fig7_deforestation_chain_fuses_end_to_end() {
     }
 }
 
+/// `norm` over BT: *nondeterministic but single-valued*. The two leaf
+/// rules overlap at `i = 0`, but their outputs (`i` and `i * 1`) are
+/// provably equal wherever both fire.
+fn norm_bt(ty: &Arc<TreeType>, alg: &Arc<LabelAlg>) -> Sttr {
+    let (leaf, node) = (ty.ctor_id("L").unwrap(), ty.ctor_id("N").unwrap());
+    let mut b = SttrBuilder::new(ty.clone(), alg.clone());
+    let q = b.state("norm");
+    b.plain_rule(
+        q,
+        leaf,
+        Formula::cmp(CmpOp::Ge, Term::field(0), Term::int(0)),
+        Out::node(leaf, LabelFn::new(vec![Term::field(0)]), vec![]),
+    );
+    b.plain_rule(
+        q,
+        leaf,
+        Formula::cmp(CmpOp::Le, Term::field(0), Term::int(0)),
+        Out::node(
+            leaf,
+            LabelFn::new(vec![Term::field(0).mul(Term::int(1))]),
+            vec![],
+        ),
+    );
+    b.plain_rule(
+        q,
+        node,
+        Formula::True,
+        Out::node(
+            node,
+            LabelFn::new(vec![Term::field(0)]),
+            vec![Out::Call(q, 0), Out::Call(q, 1)],
+        ),
+    );
+    b.build(q)
+}
+
+/// `dup` over BT: *nonlinear* — every inner node copies its left child
+/// twice, so the right factor of Theorem 4's linearity condition fails.
+fn dup_bt(ty: &Arc<TreeType>, alg: &Arc<LabelAlg>) -> Sttr {
+    let (leaf, node) = (ty.ctor_id("L").unwrap(), ty.ctor_id("N").unwrap());
+    let mut b = SttrBuilder::new(ty.clone(), alg.clone());
+    let q = b.state("dup");
+    b.plain_rule(
+        q,
+        leaf,
+        Formula::True,
+        Out::node(leaf, LabelFn::new(vec![Term::field(0)]), vec![]),
+    );
+    b.plain_rule(
+        q,
+        node,
+        Formula::True,
+        Out::node(
+            node,
+            LabelFn::new(vec![Term::field(0)]),
+            vec![Out::Call(q, 0), Out::Call(q, 0)],
+        ),
+    );
+    b.build(q)
+}
+
+/// The boundary that Theorem 4's *syntactic* reading must cascade —
+/// left nondeterministic, right nonlinear — fuses once the semantic
+/// single-valuedness decision proves the left factor single-valued,
+/// and the fused segment computes exactly the staged reference.
+#[test]
+fn nondet_but_single_valued_boundary_fuses() {
+    let (ty, alg) = bt();
+    let norm = norm_bt(&ty, &alg);
+    assert!(
+        !norm.is_deterministic().unwrap(),
+        "fixture must be syntactically nondeterministic"
+    );
+    let stages: Vec<Arc<Sttr>> = vec![Arc::new(norm), Arc::new(dup_bt(&ty, &alg))];
+    let p = Pipeline::compile(&stages);
+    let report = p.report();
+    assert_eq!(report.segments, 1, "{report}");
+    assert!(report.boundaries.iter().all(|b| b.fused), "{report}");
+
+    let leaf = ty.ctor_id("L").unwrap();
+    let node = ty.ctor_id("N").unwrap();
+    let l = |v: i64| Tree::leaf(leaf, Label::single(v));
+    let n = |v: i64, a: Tree, b: Tree| Tree::new(node, Label::single(v), vec![a, b]);
+    let batch = vec![l(0), n(3, l(0), l(-2)), n(-1, n(0, l(5), l(0)), l(7))];
+    let results = p.run_batch(&batch);
+    for (t, r) in batch.iter().zip(&results) {
+        let got = sorted(r.clone().unwrap());
+        assert_eq!(got.len(), 1, "single-valued chain must stay single-valued");
+        assert_eq!(got, sorted(staged_reference(&stages, t).unwrap()));
+    }
+}
+
 /// The global fusion cache makes recompiling the same chain free — and
 /// the report says so.
 #[test]

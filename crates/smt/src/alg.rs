@@ -93,6 +93,14 @@ pub trait TransAlg: BoolAlg {
     fn subst_pred(&self, p: &Self::Pred, f: &Self::Fun) -> Self::Pred;
     /// True if `f` is (syntactically) the identity.
     fn is_identity_fun(&self, f: &Self::Fun) -> bool;
+    /// A predicate satisfied exactly by the elements on which `f` and `g`
+    /// produce *different* outputs, or `None` when the algebra cannot
+    /// express pointwise function disagreement (callers must then treat
+    /// function equivalence as undecided rather than assume either way).
+    fn funs_differ(&self, f: &Self::Fun, g: &Self::Fun) -> Option<Self::Pred> {
+        let _ = (f, g);
+        None
+    }
 }
 
 /// Counters describing solver traffic, for benchmarks and ablations.
@@ -359,6 +367,24 @@ impl TransAlg for LabelAlg {
     }
     fn is_identity_fun(&self, f: &Self::Fun) -> bool {
         f.is_identity()
+    }
+    fn funs_differ(&self, f: &Self::Fun, g: &Self::Fun) -> Option<Self::Pred> {
+        if f.terms().len() != g.terms().len() {
+            return None;
+        }
+        if f == g {
+            return Some(self.ff());
+        }
+        // ⋁ᵢ fᵢ(x) ≠ gᵢ(x). `Ne` evaluates to false when either side
+        // overflows, matching run semantics: an overflowing label function
+        // produces no output at all, so it cannot *disagree*.
+        let parts = f
+            .terms()
+            .iter()
+            .zip(g.terms())
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| Formula::ne(a.clone(), b.clone()));
+        Some(self.pred(Formula::disj(parts)))
     }
 }
 

@@ -152,16 +152,6 @@ impl Tree {
         Arc::ptr_eq(&self.node, &other.node)
     }
 
-    /// The address of the canonical shared node. **Debug-only**: use
-    /// [`Tree::id`] for memoization and caching. (Interning makes the
-    /// address stable for the process lifetime, but it says nothing an
-    /// id does not, and ids survive serialization boundaries where
-    /// addresses cannot.)
-    #[deprecated(note = "debug-only diagnostic; key caches on Tree::id() instead")]
-    pub fn addr(&self) -> usize {
-        Arc::as_ptr(&self.node) as usize
-    }
-
     /// Pretty-prints using constructor names from `ty`.
     pub fn display<'a>(&'a self, ty: &'a TreeType) -> DisplayTree<'a> {
         DisplayTree { tree: self, ty }
