@@ -1,6 +1,7 @@
-//! `fastc` — compile, run, profile, and statically check Fast programs.
+//! `fastc` — compile, run, build, profile, and statically check Fast
+//! programs.
 //!
-//! Three modes:
+//! Four modes:
 //!
 //! - **run** (default): `fastc <file.fast> [--quiet|-q] [--stats|-s]
 //!   [--trace FILE]` compiles the program, evaluates every definition
@@ -11,7 +12,20 @@
 //!   named transformations are chained into a `fast_rt::Pipeline`
 //!   instead: the per-boundary fusion report is printed (which
 //!   boundaries fused via Theorem 4, which cascade, and why), then
-//!   `--trees N` random inputs are evaluated through the chain.
+//!   `--trees N` random inputs are evaluated through the chain. With
+//!   `--trans NAME` (or `--all-trans`) the named transducer(s) are
+//!   batch-run over generated trees and the per-input output multisets
+//!   printed under `--print-outputs` — the same report an artifact run
+//!   produces, so the two can be diffed. With `--artifact FILE` instead
+//!   of a source path, a compiled `.fastc` artifact is loaded
+//!   (`fast_rt::Artifact::load`) and the same runs execute without
+//!   reparsing or recompiling anything.
+//! - **build**: `fastc build <file.fast> [-o FILE]
+//!   [--pipeline t1,t2,...]` compiles the program once and serializes
+//!   every transformation (plus any requested pre-compiled pipelines)
+//!   into a versioned binary `.fastc` artifact next to the source
+//!   (override with `-o`). Artifacts are byte-deterministic: building
+//!   the same source twice yields identical files.
 //! - **check**: `fastc check <file.fast> [--json] [--deny-warnings]
 //!   [--stats|-s] [--trace FILE]` runs the `fast-analysis` semantic
 //!   checks (dead rules, guard overlap, exhaustiveness, reachability,
@@ -46,6 +60,10 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: fastc <file.fast> [--quiet|-q] [--stats|-s] [--trace FILE]
                      [--pipeline t1,t2,... [--trees N] [--seed S]]
+                     [--trans NAME | --all-trans [--print-outputs]]
+       fastc --artifact <file.fastc> [--pipeline t1,t2,... | --trans NAME | --all-trans]
+                     [--trees N] [--seed S] [--print-outputs] [--quiet|-q]
+       fastc build <file.fast> [-o FILE] [--pipeline t1,t2,...]
        fastc check <file.fast> [--json] [--deny-warnings] [--stats|-s] [--trace FILE]
              [--pipeline t1,t2,... [--input LANG] [--output LANG]]
        fastc profile <file.fast> [--trees N] [--seed S] [--top K] [--trans NAME]
@@ -53,7 +71,12 @@ const USAGE: &str = "usage: fastc <file.fast> [--quiet|-q] [--stats|-s] [--trace
        fastc --help
 
 modes:
-  (default)        compile, evaluate definitions, and run assertions
+  (default)        compile, evaluate definitions, and run assertions;
+                   with --artifact, load a prebuilt .fastc artifact and
+                   run its transducers/pipelines without recompiling
+  build            compile once and write a versioned binary .fastc
+                   artifact (flat dispatch tables, interned formula
+                   pool) loadable with --artifact
   check            run semantic analysis (FA001-FA101) without failing
                    on assertions; see --json for machine-readable output
   profile          batch-run one transducer over generated trees and
@@ -62,35 +85,45 @@ modes:
 options:
   --trace FILE     record hierarchical spans and write a Chrome
                    trace_event JSON file (open in Perfetto)
+  --artifact FILE  (run) load FILE as a .fastc artifact instead of
+                   compiling a source program
+  -o FILE          (build) artifact output path [<file>.fastc]
   --pipeline LIST  (run) chain the comma-separated transformations into
                    a fast-rt pipeline: print the fusion report (fused vs
                    cascaded boundaries, Theorem 4 verdicts) and evaluate
                    generated inputs through the chain
+                   (build) additionally pre-compile the chain into the
+                   artifact under the normalized name \"t1,t2,...\"
                    (check) typecheck the chain end to end: per-stage
                    FA007 single-valuedness, per-boundary fusability, and
                    the FA101 contract check with counterexample replay
+  --trans NAME     (run) batch-run one transducer over generated trees
+                   (profile) transducer to profile [largest]
+  --all-trans      (run) batch-run every transducer, in name order
+  --print-outputs  (run --trans/--all-trans) print each input's output
+                   multiset, sorted, for byte-for-byte diffing
   --input LANG     (check --pipeline) input language of the chain
                    [first stage's contract input]
   --output LANG    (check --pipeline) output language the chain must
                    land in [last stage's contract output]
   --jsonl FILE     (profile) write the span buffer as JSON lines
-  --trees N        (profile/pipeline) number of generated input trees
-                   [200 / 100]
-  --seed S         (profile/pipeline) tree-generator seed [42]
+  --trees N        (profile/pipeline/trans) number of generated input
+                   trees [200 / 100]
+  --seed S         (profile/pipeline/trans) tree-generator seed [42]
   --top K          (profile) rows in the hot-rules table [10]
-  --trans NAME     (profile) transducer to profile [largest]
 
 exit codes:
   0  clean (run: all assertions passed; check: no errors, and no
      warnings when --deny-warnings is set)
-  1  run: compile error or failed assertion; check: warnings present
-     under --deny-warnings
+  1  run: compile error, failed assertion, or corrupt artifact; check:
+     warnings present under --deny-warnings
   2  usage or I/O error; check: error diagnostics (e.g. FA100/FA101
      contract violations or compile errors)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("build") => build_mode(&args[1..]),
         Some("check") => check_mode(&args[1..]),
         Some("profile") => profile_mode(&args[1..]),
         _ => run_mode(&args),
@@ -134,6 +167,10 @@ fn run_mode(args: &[String]) -> ExitCode {
     let mut stats = false;
     let mut trace: Option<String> = None;
     let mut pipeline: Option<String> = None;
+    let mut artifact: Option<String> = None;
+    let mut trans: Option<String> = None;
+    let mut all_trans = false;
+    let mut print_outputs = false;
     let mut trees = 100usize;
     let mut seed = 42u64;
     let mut path: Option<String> = None;
@@ -142,17 +179,18 @@ fn run_mode(args: &[String]) -> ExitCode {
         match args[i].as_str() {
             "--quiet" | "-q" => quiet = true,
             "--stats" | "-s" => stats = true,
-            "--trace" => {
-                match flag_value(args, i) {
-                    Ok(v) => trace = Some(v),
+            "--all-trans" => all_trans = true,
+            "--print-outputs" => print_outputs = true,
+            flag @ ("--trace" | "--pipeline" | "--artifact" | "--trans") => {
+                let v = match flag_value(args, i) {
+                    Ok(v) => v,
                     Err(code) => return code,
-                }
-                i += 1;
-            }
-            "--pipeline" => {
-                match flag_value(args, i) {
-                    Ok(v) => pipeline = Some(v),
-                    Err(code) => return code,
+                };
+                match flag {
+                    "--trace" => trace = Some(v),
+                    "--pipeline" => pipeline = Some(v),
+                    "--artifact" => artifact = Some(v),
+                    _ => trans = Some(v),
                 }
                 i += 1;
             }
@@ -180,13 +218,36 @@ fn run_mode(args: &[String]) -> ExitCode {
         }
         i += 1;
     }
+    if trace.is_some() {
+        fast_obs::set_tracing(true);
+    }
+    if let Some(art_path) = &artifact {
+        if path.is_some() {
+            return usage_error("give either a <file.fast> source or --artifact, not both");
+        }
+        let code = artifact_run(
+            art_path,
+            pipeline.as_deref(),
+            trans.as_deref(),
+            trees,
+            seed,
+            print_outputs,
+            quiet,
+        );
+        if stats {
+            println!("{}", fast_obs::snapshot().to_json().pretty());
+        }
+        if let Some(out) = &trace {
+            if let Err(code) = write_trace(out) {
+                return code;
+            }
+        }
+        return code;
+    }
     let Some(path) = path else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    if trace.is_some() {
-        fast_obs::set_tracing(true);
-    }
     let src = match read_source(&path) {
         Ok(s) => s,
         Err(code) => return code,
@@ -198,8 +259,19 @@ fn run_mode(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Some(list) = &pipeline {
-        let code = pipeline_run(&compiled, &path, list, trees, seed, quiet);
+    if pipeline.is_some() || trans.is_some() || all_trans {
+        let code = if let Some(list) = &pipeline {
+            pipeline_run(&compiled, &path, list, trees, seed, quiet)
+        } else {
+            source_trans_run(
+                &compiled,
+                &path,
+                trans.as_deref(),
+                trees,
+                seed,
+                print_outputs,
+            )
+        };
         if stats {
             println!("{}", fast_obs::snapshot().to_json().pretty());
         }
@@ -287,11 +359,7 @@ fn pipeline_run(
     seed: u64,
     quiet: bool,
 ) -> ExitCode {
-    let names: Vec<&str> = list
-        .split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .collect();
+    let names = split_stage_list(list);
     if names.is_empty() {
         return usage_error("'--pipeline' needs a comma-separated list of transformation names");
     }
@@ -327,7 +395,23 @@ fn pipeline_run(
 
     let p = fast_rt::Pipeline::compile(&stages);
     print!("{}", p.report());
+    pipeline_batch(&p, ty, trees, seed, quiet);
+    ExitCode::SUCCESS
+}
 
+/// Evaluates `trees` generated inputs through a compiled pipeline and
+/// prints the run summary (plus per-segment memo stats unless `quiet`).
+/// The output is identical whether `p` came from `Pipeline::compile` or
+/// out of a loaded artifact, so source and artifact runs can be diffed
+/// byte for byte (use `--quiet`: memo hit counts depend on worker
+/// scheduling, and the interner line on process history).
+fn pipeline_batch(
+    p: &fast_rt::Pipeline,
+    ty: &fast_trees::TreeType,
+    trees: usize,
+    seed: u64,
+    quiet: bool,
+) {
     let inputs = fast_trees::TreeGen::new(seed).trees(ty, trees);
     let opts = fast_rt::RunOptions::default();
     let (results, seg_stats) = p.run_batch_with(&inputs, &opts);
@@ -359,6 +443,282 @@ fn pipeline_run(
             fast_trees::intern::table_len(),
         );
     }
+}
+
+/// Splits a `--pipeline` stage list and normalizes it to the canonical
+/// comma-joined artifact entry name (whitespace trimmed, empties
+/// dropped), so `--pipeline \"a, b\"` at build and run time agree.
+fn split_stage_list(list: &str) -> Vec<&str> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Batch-runs one compiled plan over generated trees and prints the
+/// summary line (and, under `--print-outputs`, every input's sorted
+/// output multiset). Shared verbatim by source and artifact runs so CI
+/// can diff the two.
+fn run_one_trans(
+    name: &str,
+    plan: &fast_rt::Plan,
+    ty: &fast_trees::TreeType,
+    trees: usize,
+    seed: u64,
+    print_outputs: bool,
+) {
+    let inputs = fast_trees::TreeGen::new(seed).trees(ty, trees);
+    let results = plan.run_batch(&inputs);
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    let outputs: usize = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok().map(Vec::len))
+        .sum();
+    println!(
+        "trans {name}: {} trees (seed {seed}): {ok} ok / {} err, {outputs} output trees",
+        inputs.len(),
+        results.len() - ok,
+    );
+    if print_outputs {
+        for (i, r) in results.iter().enumerate() {
+            match r {
+                Ok(outs) => {
+                    // Sorted display strings: Tree's Ord is on interner
+                    // ids, which differ across processes.
+                    let mut shown: Vec<String> =
+                        outs.iter().map(|t| t.display(ty).to_string()).collect();
+                    shown.sort();
+                    for s in shown {
+                        println!("  {name}[{i}] {s}");
+                    }
+                }
+                Err(e) => println!("  {name}[{i}] error: {e}"),
+            }
+        }
+    }
+}
+
+/// `fastc <file> --trans NAME | --all-trans`: compiles the named
+/// transducer(s) to plans and batch-runs them, printing the same report
+/// as the artifact path so the two runs can be diffed.
+fn source_trans_run(
+    compiled: &fast_lang::Compiled,
+    path: &str,
+    trans: Option<&str>,
+    trees: usize,
+    seed: u64,
+    print_outputs: bool,
+) -> ExitCode {
+    let names: Vec<&str> = match trans {
+        Some(n) => {
+            if compiled.transducer(n).is_none() {
+                eprintln!(
+                    "fastc: no transformation '{n}' in '{path}' (have: {})",
+                    compiled.transducer_names().join(", ")
+                );
+                return ExitCode::from(2);
+            }
+            vec![n]
+        }
+        None => compiled.transducer_names(),
+    };
+    for name in names {
+        let sttr = compiled.transducer(name).unwrap();
+        let ty_name = compiled.transducer_type(name).unwrap_or_default();
+        let Some(ty) = compiled.tree_type(ty_name) else {
+            eprintln!("fastc: cannot resolve input type '{ty_name}' of transducer '{name}'");
+            return ExitCode::from(2);
+        };
+        let plan = fast_rt::Plan::compile(sttr);
+        run_one_trans(name, &plan, ty, trees, seed, print_outputs);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `fastc --artifact <file.fastc> ...`: loads a prebuilt artifact and
+/// runs a stored pipeline (`--pipeline`) or transducers (`--trans`,
+/// `--all-trans`, or everything by default) without recompiling.
+fn artifact_run(
+    art_path: &str,
+    pipeline: Option<&str>,
+    trans: Option<&str>,
+    trees: usize,
+    seed: u64,
+    print_outputs: bool,
+    quiet: bool,
+) -> ExitCode {
+    let art = match fast_rt::Artifact::load(art_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fastc: cannot load artifact '{art_path}': {e}");
+            // I/O errors are environment problems (exit 2, like an
+            // unreadable source); anything else means the artifact
+            // itself is bad (exit 1, like a compile failure).
+            return if matches!(e, fast_rt::ArtifactError::Io(_)) {
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+    if let Some(list) = pipeline {
+        let name = split_stage_list(list).join(",");
+        let Some(p) = art.pipeline(&name) else {
+            let have: Vec<&str> = art.pipeline_names().collect();
+            eprintln!(
+                "fastc: no pipeline '{name}' in '{art_path}' (have: {})",
+                have.join(", ")
+            );
+            return ExitCode::from(2);
+        };
+        let ty = art.pipeline_type(&name).unwrap();
+        print!("{}", p.report());
+        pipeline_batch(p, ty, trees, seed, quiet);
+        return ExitCode::SUCCESS;
+    }
+    let names: Vec<String> = match trans {
+        Some(n) => {
+            if art.transducer(n).is_none() {
+                let have: Vec<&str> = art.transducer_names().collect();
+                eprintln!(
+                    "fastc: no transducer '{n}' in '{art_path}' (have: {})",
+                    have.join(", ")
+                );
+                return ExitCode::from(2);
+            }
+            vec![n.to_string()]
+        }
+        None => {
+            let mut all: Vec<String> = art.transducer_names().map(str::to_string).collect();
+            all.sort();
+            all
+        }
+    };
+    for name in &names {
+        let plan = art.transducer(name).unwrap();
+        let ty = art.transducer_type(name).unwrap();
+        run_one_trans(name, plan, ty, trees, seed, print_outputs);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `fastc build <file.fast> [-o FILE] [--pipeline t1,t2,...]`: compiles
+/// the program once and serializes every transformation — flat dispatch
+/// tables, interned guard pool, lookahead STA — into a versioned binary
+/// `.fastc` artifact ([`fast_rt::Artifact`]). `--pipeline` additionally
+/// stores the pre-compiled chain (fusion already decided) under the
+/// normalized comma-joined name, so `--artifact --pipeline` runs skip
+/// composition and the solver entirely.
+fn build_mode(args: &[String]) -> ExitCode {
+    let mut out: Option<String> = None;
+    let mut pipelines: Vec<String> = Vec::new();
+    let mut path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--out" => {
+                match flag_value(args, i) {
+                    Ok(v) => out = Some(v),
+                    Err(code) => return code,
+                }
+                i += 1;
+            }
+            "--pipeline" => {
+                match flag_value(args, i) {
+                    Ok(v) => pipelines.push(v),
+                    Err(code) => return code,
+                }
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => return usage_error(&format!("unexpected argument '{other}'")),
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        return usage_error("build mode needs a <file.fast> argument");
+    };
+    let src = match read_source(&path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let compiled = match fast_lang::compile(&src) {
+        Ok(c) => c,
+        Err(d) => {
+            eprintln!("{path}:{d}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut builder = fast_rt::ArtifactBuilder::new();
+    for name in compiled.transducer_names() {
+        builder.add_transducer(name, compiled.transducer(name).unwrap());
+    }
+    let mut seen = Vec::new();
+    for list in &pipelines {
+        let names = split_stage_list(list);
+        if names.is_empty() {
+            return usage_error(
+                "'--pipeline' needs a comma-separated list of transformation names",
+            );
+        }
+        let entry_name = names.join(",");
+        if seen.contains(&entry_name) {
+            return usage_error(&format!("pipeline '{entry_name}' given more than once"));
+        }
+        let mut stages = Vec::with_capacity(names.len());
+        let mut ty_name: Option<&str> = None;
+        for n in &names {
+            let Some(sttr) = compiled.transducer(n) else {
+                eprintln!(
+                    "fastc: no transformation '{n}' in '{path}' (have: {})",
+                    compiled.transducer_names().join(", ")
+                );
+                return ExitCode::from(2);
+            };
+            let t = compiled.transducer_type(n).unwrap_or_default();
+            match ty_name {
+                None => ty_name = Some(t),
+                Some(prev) if prev != t => {
+                    eprintln!(
+                        "fastc: pipeline stages disagree on tree type: '{}' is over '{prev}' \
+                         but '{n}' is over '{t}'",
+                        names[0]
+                    );
+                    return ExitCode::from(2);
+                }
+                Some(_) => {}
+            }
+            stages.push(std::sync::Arc::new(sttr.clone()));
+        }
+        let stage_names: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        builder.add_pipeline(&entry_name, &stage_names, &stages);
+        seen.push(entry_name);
+    }
+    let art = builder.build();
+
+    let out_path = out.unwrap_or_else(|| {
+        std::path::Path::new(&path)
+            .with_extension("fastc")
+            .to_string_lossy()
+            .into_owned()
+    });
+    let bytes = art.encode();
+    if let Err(e) = std::fs::write(&out_path, &bytes) {
+        eprintln!("fastc: cannot write artifact '{out_path}': {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "wrote {out_path}: {} types, {} transducers, {} pipelines, {} bytes",
+        art.types().len(),
+        art.transducer_names().count(),
+        art.pipeline_names().count(),
+        bytes.len(),
+    );
     ExitCode::SUCCESS
 }
 
@@ -493,11 +853,7 @@ fn pipeline_check(
     input_lang: Option<&str>,
     output_lang: Option<&str>,
 ) -> Result<usize, ExitCode> {
-    let names: Vec<&str> = list
-        .split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .collect();
+    let names = split_stage_list(list);
     if names.is_empty() {
         return Err(usage_error(
             "'--pipeline' needs a comma-separated list of transformation names",

@@ -466,6 +466,217 @@ fn pipeline_mode_cascades_unfusable_boundary() {
     assert!(stdout.contains("segment 1"), "{stdout}");
 }
 
+// ------------------------------------------------- build / artifact mode
+
+/// `fastc build` is byte-reproducible: building any shipped program twice
+/// yields identical `.fastc` files, each opening with the documented
+/// magic and version. This is the CLI face of the determinism guarantee
+/// CI gates on (`cmp` of two builds per program).
+#[test]
+fn build_is_deterministic_for_every_program() {
+    let dir = std::env::temp_dir().join("fastc_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for entry in std::fs::read_dir(programs_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("fast") {
+            continue;
+        }
+        let stem = path.file_stem().unwrap().to_str().unwrap().to_string();
+        let out1 = dir.join(format!("{stem}.det1.fastc"));
+        let out2 = dir.join(format!("{stem}.det2.fastc"));
+        for out_path in [&out1, &out2] {
+            let out = fastc()
+                .arg("build")
+                .arg(&path)
+                .arg("-o")
+                .arg(out_path)
+                .output()
+                .unwrap();
+            assert!(
+                out.status.success(),
+                "build {} failed:\n{}{}",
+                path.display(),
+                String::from_utf8_lossy(&out.stdout),
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+        let b1 = std::fs::read(&out1).unwrap();
+        let b2 = std::fs::read(&out2).unwrap();
+        assert_eq!(b1, b2, "{} built non-deterministically", path.display());
+        assert_eq!(&b1[..4], b"FSTC", "bad magic for {}", path.display());
+        assert_eq!(
+            u32::from_le_bytes(b1[4..8].try_into().unwrap()),
+            1,
+            "unexpected format version for {}",
+            path.display()
+        );
+    }
+}
+
+/// The differential gate: a pipeline run from a prebuilt artifact prints
+/// byte-for-byte the same report as the source-compiled run (fusion
+/// decisions included), and per-transducer batch runs agree on the full
+/// printed output multisets.
+#[test]
+fn artifact_runs_match_source_runs() {
+    let dir = std::env::temp_dir().join("fastc_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = programs_dir().join("sanitizer_pipeline.fast");
+    let art = dir.join("san_pipe.diff.fastc");
+    let out = fastc()
+        .arg("build")
+        .arg(&src)
+        .arg("-o")
+        .arg(&art)
+        .args(["--pipeline", "remScript,esc"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Pipeline: artifact vs source (quiet: memo stats are scheduling-
+    // dependent and the interner line depends on process history).
+    let from_art = fastc()
+        .arg("--artifact")
+        .arg(&art)
+        .args(["--pipeline", "remScript,esc", "--trees", "60", "-q"])
+        .output()
+        .unwrap();
+    let from_src = fastc()
+        .arg(&src)
+        .args(["--pipeline", "remScript,esc", "--trees", "60", "-q"])
+        .output()
+        .unwrap();
+    assert!(from_art.status.success() && from_src.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&from_art.stdout),
+        String::from_utf8_lossy(&from_src.stdout),
+        "artifact pipeline run diverges from source run"
+    );
+    let stdout = String::from_utf8_lossy(&from_art.stdout);
+    assert!(stdout.contains("ran 60 trees"), "{stdout}");
+
+    // Transducers: full per-input output multisets must agree.
+    let from_art = fastc()
+        .arg("--artifact")
+        .arg(&art)
+        .args(["--all-trans", "--print-outputs", "--trees", "40"])
+        .output()
+        .unwrap();
+    let from_src = fastc()
+        .arg(&src)
+        .args(["--all-trans", "--print-outputs", "--trees", "40"])
+        .output()
+        .unwrap();
+    assert!(from_art.status.success() && from_src.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&from_art.stdout),
+        String::from_utf8_lossy(&from_src.stdout),
+        "artifact transducer runs diverge from source runs"
+    );
+    let stdout = String::from_utf8_lossy(&from_art.stdout);
+    assert!(stdout.contains("trans remScript:"), "{stdout}");
+    assert!(stdout.contains("trans esc:"), "{stdout}");
+}
+
+#[test]
+fn artifact_mode_error_contract() {
+    // Missing artifact file: I/O problem, exit 2.
+    let out = fastc()
+        .arg("--artifact")
+        .arg("/nonexistent/x.fastc")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot load artifact"), "{stderr}");
+
+    // Corrupt artifact: typed decode failure, exit 1.
+    let bad = write_temp("garbage.fastc", "this is not an artifact");
+    let out = fastc().arg("--artifact").arg(&bad).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot load artifact"), "{stderr}");
+
+    // Source path and --artifact together: usage error.
+    let out = fastc()
+        .arg(programs_dir().join("example2.fast"))
+        .arg("--artifact")
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // Unknown pipeline / transducer names inside a valid artifact.
+    let dir = std::env::temp_dir().join("fastc_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let art = dir.join("errs.fastc");
+    let out = fastc()
+        .arg("build")
+        .arg(programs_dir().join("sanitizer_pipeline.fast"))
+        .arg("-o")
+        .arg(&art)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = fastc()
+        .arg("--artifact")
+        .arg(&art)
+        .args(["--pipeline", "remScript,esc"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "pipeline was not stored");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no pipeline 'remScript,esc'"), "{stderr}");
+    let out = fastc()
+        .arg("--artifact")
+        .arg(&art)
+        .args(["--trans", "nope"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no transducer 'nope'"), "{stderr}");
+}
+
+#[test]
+fn build_mode_arguments_and_defaults() {
+    // No input file.
+    let out = fastc().arg("build").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // Unknown pipeline stage.
+    let out = fastc()
+        .arg("build")
+        .arg(programs_dir().join("sanitizer_pipeline.fast"))
+        .arg("-o")
+        .arg(std::env::temp_dir().join("fastc_test/unused.fastc"))
+        .args(["--pipeline", "remScript,nope"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no transformation 'nope'"), "{stderr}");
+
+    // Default output path: next to the source, extension swapped.
+    let src = programs_dir().join("example2.fast");
+    let copy = write_temp("default_out.fast", &std::fs::read_to_string(src).unwrap());
+    let out = fastc().arg("build").arg(&copy).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let produced = copy.with_extension("fastc");
+    assert!(produced.exists(), "default .fastc not written");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote "), "{stdout}");
+    assert!(stdout.contains("transducers"), "{stdout}");
+}
+
 #[test]
 fn pipeline_mode_rejects_unknown_stage_and_empty_list() {
     let path = programs_dir().join("deforestation.fast");

@@ -13,7 +13,7 @@ use crate::error::AutomataError;
 use crate::sta::{Rule, Sta, StateId};
 use fast_smt::{minterms, BoolAlg, Label, LabelAlg};
 use fast_trees::{CtorId, Tree, TreeType};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Budget for determinization (number of subset states).
@@ -26,8 +26,11 @@ pub const MAX_DET_STATES: usize = 1 << 12;
 /// STA accept the trees evaluating to it, so any Boolean combination of
 /// source languages can be designated as final.
 /// Symbolic transition table: per (constructor, child-state tuple), the
-/// minterm-partitioned guarded targets.
-type TransTable<A> = HashMap<(CtorId, Vec<usize>), Vec<(<A as BoolAlg>::Pred, usize)>>;
+/// minterm-partitioned guarded targets. Ordered so that every iteration
+/// (notably [`Dbta::to_sta`]'s rule emission) is deterministic — rule
+/// order feeds the flat dispatch tables serialized into `.fastc`
+/// artifacts, which must be byte-reproducible.
+type TransTable<A> = BTreeMap<(CtorId, Vec<usize>), Vec<(<A as BoolAlg>::Pred, usize)>>;
 
 /// A deterministic, complete, bottom-up symbolic tree automaton.
 ///
@@ -220,7 +223,7 @@ impl<A: BoolAlg<Elem = Label>> Dbta<A> {
             }
         }
         let _class_count = reps.len();
-        let mut trans: TransTable<A> = HashMap::new();
+        let mut trans: TransTable<A> = BTreeMap::new();
         for ((ctor, tuple), entries) in &self.trans {
             let key = (*ctor, tuple.iter().map(|&s| class[s]).collect::<Vec<_>>());
             let slot = trans.entry(key).or_default();
@@ -261,7 +264,7 @@ pub fn determinize<A: BoolAlg<Elem = Label>>(sta: &Sta<A>) -> Result<Dbta<A>, Au
 
     let mut subset_ids: HashMap<BTreeSet<StateId>, usize> = HashMap::new();
     let mut contents: Vec<BTreeSet<StateId>> = Vec::new();
-    let mut trans: TransTable<A> = HashMap::new();
+    let mut trans: TransTable<A> = BTreeMap::new();
 
     let mut intern = |set: BTreeSet<StateId>,
                       contents: &mut Vec<BTreeSet<StateId>>|

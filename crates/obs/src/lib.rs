@@ -61,6 +61,8 @@
 //! | `rt.pipeline.fuse_cache_hits` | a boundary verdict is served from the fusion cache |
 //! | `rt.pipeline.runs` | a `Pipeline::run_batch` invocation starts |
 //! | `rt.pipeline.items` | — bumped by the pipeline batch size, one per input tree |
+//! | `artifact.bytes` | — bumped by the byte length of a `.fastc` artifact on a successful decode |
+//! | `artifact.load_ns` | — bumped by the wall-clock nanoseconds a successful `Artifact::decode` took |
 //! | `obs.trace_dropped` | the span buffer is full and an event is discarded |
 //!
 //! This table is load-bearing: it must list exactly the names in
@@ -162,6 +164,8 @@ pub const DOCUMENTED_COUNTERS: &[&str] = &[
     "rt.pipeline.fuse_cache_hits",
     "rt.pipeline.runs",
     "rt.pipeline.items",
+    "artifact.bytes",
+    "artifact.load_ns",
     "obs.trace_dropped",
 ];
 

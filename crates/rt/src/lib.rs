@@ -33,12 +33,14 @@
 //! randomly generated transducers, and the cap contract (exceeding the
 //! output budget errors, never truncates) carries over unchanged.
 
+mod artifact;
 mod memo;
 mod pipeline;
 mod plan;
 mod pool;
 mod profile;
 
+pub use artifact::{Artifact, ArtifactBuilder, ArtifactError, MAGIC, VERSION};
 pub use pipeline::{BoundaryDecision, FusionStrategy, Pipeline, PipelineOptions, PipelineReport};
 pub use plan::{BatchMemo, BatchStats, Plan, RunOptions};
 pub use profile::{RuleProfile, RuleProfileEntry};

@@ -120,11 +120,11 @@ impl std::fmt::Display for PipelineReport {
 
 /// One compiled run of consecutive (fused) stages.
 #[derive(Debug)]
-struct Segment {
-    plan: Arc<Plan>,
+pub(crate) struct Segment {
+    pub(crate) plan: Arc<Plan>,
     /// Input stage range `[first, last]` this segment covers.
-    first: usize,
-    last: usize,
+    pub(crate) first: usize,
+    pub(crate) last: usize,
 }
 
 /// An ordered chain of STTRs compiled into the fastest sound evaluation
@@ -305,6 +305,14 @@ impl Pipeline {
             };
             Pipeline { segments, report }
         })
+    }
+
+    /// Reassembles a pipeline from already-compiled segments and its
+    /// original compilation report. Used by the artifact loader, which
+    /// deserializes each segment's (possibly fused) transducer directly
+    /// and must not rerun boundary analysis.
+    pub(crate) fn from_parts(segments: Vec<Segment>, report: PipelineReport) -> Pipeline {
+        Pipeline { segments, report }
     }
 
     /// The per-boundary fusion record.

@@ -5,7 +5,8 @@ use crate::pool::{self, PoolStats};
 use crate::profile::{self, ProfileData, RuleProfile, RuleProfileEntry};
 use fast_automata::StateId;
 use fast_core::{Out, Sttr, TransducerError, DEFAULT_RUN_CAP};
-use fast_smt::{BoolAlg, TransAlg};
+use fast_smt::bin::FormulaPool;
+use fast_smt::{BoolAlg, Formula, Interned, TransAlg};
 use fast_trees::{Tree, TreeId};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::Ordering;
@@ -14,22 +15,27 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// A rule reference inside a dispatch group: the index into the owning
-/// state's rule list plus precomputed fast-path flags.
+/// state's rule list, the guard's index in the plan's formula pool, and
+/// precomputed fast-path flags.
 #[derive(Debug, Clone, Copy)]
-struct CRule {
-    idx: usize,
+pub(crate) struct CRule {
+    pub(crate) idx: u32,
+    /// Index of the guard in [`Plan::guard_pool`].
+    pub(crate) guard: u32,
     /// Guard is syntactically ⊤ — skip label evaluation entirely.
-    trivial_guard: bool,
+    pub(crate) trivial_guard: bool,
     /// At least one child carries a non-empty lookahead set.
-    needs_la: bool,
+    pub(crate) needs_la: bool,
 }
 
 /// A lookahead-STA rule reference, pre-indexed by constructor.
 #[derive(Debug, Clone, Copy)]
-struct LaRule {
-    state: StateId,
-    idx: usize,
-    trivial_guard: bool,
+pub(crate) struct LaRule {
+    pub(crate) state: u32,
+    pub(crate) idx: u32,
+    /// Index of the guard in [`Plan::guard_pool`].
+    pub(crate) guard: u32,
+    pub(crate) trivial_guard: bool,
 }
 
 /// Options controlling one batch run.
@@ -192,11 +198,16 @@ struct ItemRun<'b, 'p> {
 
 /// A compiled evaluation plan for one [`Sttr`].
 ///
-/// `Plan::compile` groups the transducer's rules into per
-/// `(state, constructor)` dispatch tables (guard-ordered: syntactically
-/// trivial guards first, so the common unguarded rules skip label
-/// evaluation) and pre-indexes the lookahead STA's rules by constructor.
-/// The plan is immutable and `Sync`; one plan serves any number of
+/// `Plan::compile` flattens the transducer's rules into dense arrays:
+/// the rules dispatching `(state q, ctor c)` are the contiguous slice
+/// `groups[group_offsets[q*n_ctors+c] .. group_offsets[q*n_ctors+c+1]]`
+/// (guard-ordered: syntactically trivial guards first, so the common
+/// unguarded rules skip label evaluation), guards are deduplicated into
+/// a formula pool referenced by small indices, and the lookahead STA's
+/// rules are flattened by constructor the same way. Dispatch is pure
+/// index arithmetic — the same shape the plan has after round-tripping
+/// through a `.fastc` binary artifact (see `fast_rt::Artifact`). The
+/// plan is immutable and `Sync`; one plan serves any number of
 /// concurrent batches.
 ///
 /// # Examples
@@ -231,10 +242,22 @@ struct ItemRun<'b, 'p> {
 #[derive(Debug)]
 pub struct Plan {
     sttr: Sttr,
-    /// `dispatch[state][ctor]` — rule group, guard-ordered.
-    dispatch: Vec<Vec<Vec<CRule>>>,
-    /// `la_dispatch[ctor]` — lookahead rules reading that constructor.
-    la_dispatch: Vec<Vec<LaRule>>,
+    /// Constructor count of the tree type (row width of `group_offsets`).
+    n_ctors: usize,
+    /// Prefix sums over `groups`: the rules dispatching `(state q,
+    /// ctor c)` are `groups[group_offsets[q*n_ctors+c] ..
+    /// group_offsets[q*n_ctors+c+1]]`. Dispatch is pure arithmetic —
+    /// no hashing, no nested indirection.
+    group_offsets: Vec<u32>,
+    /// All dispatch groups, flattened; each group guard-ordered.
+    groups: Vec<CRule>,
+    /// Prefix sums over `la_groups`, indexed by constructor.
+    la_group_offsets: Vec<u32>,
+    /// Lookahead rules flattened by the constructor they read.
+    la_groups: Vec<LaRule>,
+    /// Distinct guard formulas, referenced by `CRule::guard` /
+    /// `LaRule::guard` pool indices (deduplicated by interned identity).
+    guard_pool: Vec<Interned<Formula>>,
     la_state_count: usize,
     /// Prefix sums of per-state rule counts: the flat profile index of
     /// `(state q, rule idx)` is `rule_offsets[q.0] + idx`.
@@ -243,43 +266,118 @@ pub struct Plan {
 }
 
 impl Plan {
-    /// Compiles `sttr` into dispatch tables. The transducer is cloned
-    /// (cheap: `Arc`-shared type/algebra, rule vectors copied once).
+    /// Compiles `sttr` into flat dispatch tables. The transducer is
+    /// cloned (cheap: `Arc`-shared type/algebra, rule vectors copied
+    /// once).
     pub fn compile(sttr: &Sttr) -> Plan {
         let sttr = sttr.clone();
         let tt = sttr.alg().tt();
-        let ctors = sttr.ty().ctor_count();
-        let mut dispatch: Vec<Vec<Vec<CRule>>> = Vec::with_capacity(sttr.state_count());
+        let n_ctors = sttr.ty().ctor_count();
+        let n_states = sttr.state_count();
+        let mut pool = FormulaPool::new();
+        let mut buckets: Vec<Vec<CRule>> = vec![Vec::new(); n_states * n_ctors];
         for q in sttr.states() {
-            let mut by_ctor: Vec<Vec<CRule>> = vec![Vec::new(); ctors];
             for (idx, r) in sttr.rules(q).iter().enumerate() {
-                by_ctor[r.ctor.0].push(CRule {
-                    idx,
+                buckets[q.0 * n_ctors + r.ctor.0].push(CRule {
+                    idx: idx as u32,
+                    guard: pool.index_of(&r.guard),
                     trivial_guard: r.guard == tt,
                     needs_la: r.lookahead.iter().any(|s| !s.is_empty()),
                 });
             }
-            for group in &mut by_ctor {
-                // Guard order: trivially-true guards first (stable on the
-                // original index). The output set is a union over enabled
-                // rules, so reordering is semantics-preserving.
-                group.sort_by_key(|c| (!c.trivial_guard, c.idx));
-            }
-            dispatch.push(by_ctor);
+        }
+        let mut group_offsets = Vec::with_capacity(n_states * n_ctors + 1);
+        let mut groups = Vec::new();
+        group_offsets.push(0u32);
+        for mut group in buckets {
+            // Guard order: trivially-true guards first (stable on the
+            // original index). The output set is a union over enabled
+            // rules, so reordering is semantics-preserving.
+            group.sort_by_key(|c| (!c.trivial_guard, c.idx));
+            groups.extend(group);
+            group_offsets.push(groups.len() as u32);
         }
         let la = sttr.lookahead_sta();
-        let mut la_dispatch: Vec<Vec<LaRule>> = vec![Vec::new(); ctors];
+        let mut la_buckets: Vec<Vec<LaRule>> = vec![Vec::new(); n_ctors];
         for s in la.states() {
             for (idx, r) in la.rules(s).iter().enumerate() {
-                la_dispatch[r.ctor.0].push(LaRule {
-                    state: s,
-                    idx,
+                la_buckets[r.ctor.0].push(LaRule {
+                    state: s.0 as u32,
+                    idx: idx as u32,
+                    guard: pool.index_of(&r.guard),
                     trivial_guard: r.guard == tt,
                 });
             }
         }
-        for group in &mut la_dispatch {
-            group.sort_by_key(|c| (c.state.0, !c.trivial_guard, c.idx));
+        let mut la_group_offsets = Vec::with_capacity(n_ctors + 1);
+        let mut la_groups = Vec::new();
+        la_group_offsets.push(0u32);
+        for mut group in la_buckets {
+            group.sort_by_key(|c| (c.state, !c.trivial_guard, c.idx));
+            la_groups.extend(group);
+            la_group_offsets.push(la_groups.len() as u32);
+        }
+        let la_state_count = la.state_count();
+        let mut rule_offsets = Vec::with_capacity(n_states);
+        let mut total_rules = 0;
+        for q in sttr.states() {
+            rule_offsets.push(total_rules);
+            total_rules += sttr.rules(q).len();
+        }
+        Plan {
+            sttr,
+            n_ctors,
+            group_offsets,
+            groups,
+            la_group_offsets,
+            la_groups,
+            guard_pool: pool.items().to_vec(),
+            la_state_count,
+            rule_offsets,
+            total_rules,
+        }
+    }
+
+    /// Rebuilds a plan from flat dispatch tables decoded out of a binary
+    /// artifact. The tables must already be validated (offsets monotone
+    /// and in range, rule indices valid for their state, each rule
+    /// present exactly once per state — see `artifact.rs`); guards and
+    /// fast-path flags are recomputed from the transducer itself, so a
+    /// hostile artifact cannot smuggle in mismatched semantics.
+    pub(crate) fn from_flat(
+        sttr: Sttr,
+        group_offsets: Vec<u32>,
+        group_idxs: &[u32],
+        la_group_offsets: Vec<u32>,
+        la_pairs: &[(u32, u32)],
+    ) -> Plan {
+        let tt = sttr.alg().tt();
+        let n_ctors = sttr.ty().ctor_count();
+        let mut pool = FormulaPool::new();
+        let mut groups = Vec::with_capacity(group_idxs.len());
+        for base in 0..group_offsets.len() - 1 {
+            let q = StateId(base / n_ctors);
+            for k in group_offsets[base]..group_offsets[base + 1] {
+                let idx = group_idxs[k as usize];
+                let r = &sttr.rules(q)[idx as usize];
+                groups.push(CRule {
+                    idx,
+                    guard: pool.index_of(&r.guard),
+                    trivial_guard: r.guard == tt,
+                    needs_la: r.lookahead.iter().any(|s| !s.is_empty()),
+                });
+            }
+        }
+        let la = sttr.lookahead_sta();
+        let mut la_groups = Vec::with_capacity(la_pairs.len());
+        for &(state, idx) in la_pairs {
+            let r = &la.rules(StateId(state as usize))[idx as usize];
+            la_groups.push(LaRule {
+                state,
+                idx,
+                guard: pool.index_of(&r.guard),
+                trivial_guard: r.guard == tt,
+            });
         }
         let la_state_count = la.state_count();
         let mut rule_offsets = Vec::with_capacity(sttr.state_count());
@@ -290,12 +388,46 @@ impl Plan {
         }
         Plan {
             sttr,
-            dispatch,
-            la_dispatch,
+            n_ctors,
+            group_offsets,
+            groups,
+            la_group_offsets,
+            la_groups,
+            guard_pool: pool.items().to_vec(),
             la_state_count,
             rule_offsets,
             total_rules,
         }
+    }
+
+    /// The dispatch group for `(state, ctor)` — a contiguous,
+    /// guard-ordered slice of the flat rule table.
+    #[inline]
+    fn group(&self, state: usize, ctor: usize) -> &[CRule] {
+        let base = state * self.n_ctors + ctor;
+        &self.groups[self.group_offsets[base] as usize..self.group_offsets[base + 1] as usize]
+    }
+
+    /// The lookahead rules reading `ctor`.
+    #[inline]
+    fn la_group(&self, ctor: usize) -> &[LaRule] {
+        &self.la_groups
+            [self.la_group_offsets[ctor] as usize..self.la_group_offsets[ctor + 1] as usize]
+    }
+
+    #[inline]
+    fn guard(&self, id: u32) -> &Interned<Formula> {
+        &self.guard_pool[id as usize]
+    }
+
+    /// Flat-table views for the artifact encoder.
+    pub(crate) fn flat_tables(&self) -> (&[u32], &[CRule], &[u32], &[LaRule]) {
+        (
+            &self.group_offsets,
+            &self.groups,
+            &self.la_group_offsets,
+            &self.la_groups,
+        )
     }
 
     /// The compiled transducer.
@@ -666,19 +798,20 @@ impl<'b, 'p> ItemRun<'b, 'p> {
                 continue;
             }
             let mut accept = BTreeSet::new();
-            for lr in &plan.la_dispatch[node.ctor().0] {
-                if accept.contains(&lr.state) {
+            for lr in plan.la_group(node.ctor().0) {
+                let state = StateId(lr.state as usize);
+                if accept.contains(&state) {
                     continue;
                 }
-                let r = &la.rules(lr.state)[lr.idx];
-                if !lr.trivial_guard && !alg.eval(&r.guard, node.label()) {
+                let r = &la.rules(state)[lr.idx as usize];
+                if !lr.trivial_guard && !alg.eval(plan.guard(lr.guard), node.label()) {
                     continue;
                 }
                 let ok = r.lookahead.iter().enumerate().all(|(i, set)| {
                     set.is_empty() || set.is_subset(&computed[&node.child(i).id()])
                 });
                 if ok {
-                    accept.insert(lr.state);
+                    accept.insert(state);
                 }
             }
             let rc = Arc::new(accept);
@@ -707,9 +840,9 @@ impl<'b, 'p> ItemRun<'b, 'p> {
         let alg = plan.sttr.alg();
         let rules = plan.sttr.rules(q);
         let mut out: Vec<Tree> = Vec::new();
-        for cr in &plan.dispatch[q.0][t.ctor().0] {
-            let r = &rules[cr.idx];
-            let prof_idx = plan.rule_offsets[q.0] + cr.idx;
+        for cr in plan.group(q.0, t.ctor().0) {
+            let r = &rules[cr.idx as usize];
+            let prof_idx = plan.rule_offsets[q.0] + cr.idx as usize;
             let rule_start = profile.map(|_| Instant::now());
             let charge = move || {
                 if let (Some(p), Some(s)) = (profile, rule_start) {
@@ -720,7 +853,7 @@ impl<'b, 'p> ItemRun<'b, 'p> {
                 if let Some(p) = profile {
                     p.guard_evals[prof_idx].fetch_add(1, Ordering::Relaxed);
                 }
-                if !alg.eval(&r.guard, t.label()) {
+                if !alg.eval(plan.guard(cr.guard), t.label()) {
                     charge();
                     continue;
                 }

@@ -1,0 +1,897 @@
+//! Little-endian binary codec for label-theory data.
+//!
+//! This is the serialization substrate of the `.fastc` artifact format
+//! (see `fast_rt::Artifact`): sorts, values, terms, formulas, and label
+//! functions round-trip through fixed-width little-endian integers and
+//! length-prefixed UTF-8 strings. Two invariants matter:
+//!
+//! * **Determinism** — encoding is a pure function of the structural
+//!   value. Interned-formula *ids* are never written (they depend on
+//!   process-local interning order); instead formulas are deduplicated
+//!   into a pool indexed by first use ([`FormulaPool`]), and pool
+//!   indices are what cross-reference sections.
+//! * **Hostility-safety** — decoding never panics and never reads out
+//!   of bounds on arbitrary input: every length is checked against the
+//!   remaining buffer, recursion depth is capped, and invalid tags or
+//!   operands produce a typed [`BinError`].
+
+use crate::formula::{Atom, CmpOp, Formula};
+use crate::intern::{intern, Interned};
+use crate::sort::{LabelSig, Sort};
+use crate::term::{LabelFn, Term};
+use crate::value::{Label, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Maximum nesting depth accepted when decoding terms and formulas.
+///
+/// Real guards are shallow (composition keeps them flat); the cap exists
+/// so a crafted buffer cannot overflow the decoder's stack.
+pub const MAX_DEPTH: usize = 512;
+
+/// Errors raised while decoding binary data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinError {
+    /// The buffer ended before the named item could be read.
+    Truncated(&'static str),
+    /// A tag, index, or operand had an out-of-range value.
+    Invalid {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// Structurally malformed data (bad UTF-8, excessive nesting, …).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinError::Truncated(what) => write!(f, "truncated input while reading {what}"),
+            BinError::Invalid { what, value } => write!(f, "invalid {what}: {value}"),
+            BinError::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+/// An append-only little-endian byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`, little-endian two's complement.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a boolean as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a string as a `u32` byte length followed by UTF-8 bytes.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends raw bytes (no length prefix).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// A bounds-checked little-endian cursor over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the cursor has consumed the whole slice.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], BinError> {
+        if self.remaining() < n {
+            return Err(BinError::Truncated(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self, what: &'static str) -> Result<u8, BinError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self, what: &'static str) -> Result<u32, BinError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self, what: &'static str) -> Result<u64, BinError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn take_i64(&mut self, what: &'static str) -> Result<i64, BinError> {
+        Ok(i64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a boolean byte; anything but 0/1 is invalid.
+    pub fn take_bool(&mut self, what: &'static str) -> Result<bool, BinError> {
+        match self.take_u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(BinError::Invalid {
+                what,
+                value: v as u64,
+            }),
+        }
+    }
+
+    /// Reads a `u32` element count, rejecting counts that could not
+    /// possibly fit in the remaining buffer (each element needs at least
+    /// `min_elem_bytes` bytes). This bounds allocations on hostile input.
+    pub fn take_count(
+        &mut self,
+        min_elem_bytes: usize,
+        what: &'static str,
+    ) -> Result<usize, BinError> {
+        let n = self.take_u32(what)? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(BinError::Truncated(what));
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self, what: &'static str) -> Result<String, BinError> {
+        let n = self.take_u32(what)? as usize;
+        if n > self.remaining() {
+            return Err(BinError::Truncated(what));
+        }
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| BinError::Malformed("utf-8 string"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sorts, values, labels, signatures
+// ---------------------------------------------------------------------------
+
+/// Encodes a [`Sort`] as one byte.
+pub fn write_sort(w: &mut ByteWriter, s: Sort) {
+    w.put_u8(match s {
+        Sort::Bool => 0,
+        Sort::Int => 1,
+        Sort::Str => 2,
+        Sort::Char => 3,
+    });
+}
+
+/// Decodes a [`Sort`].
+pub fn read_sort(r: &mut ByteReader<'_>) -> Result<Sort, BinError> {
+    match r.take_u8("sort")? {
+        0 => Ok(Sort::Bool),
+        1 => Ok(Sort::Int),
+        2 => Ok(Sort::Str),
+        3 => Ok(Sort::Char),
+        v => Err(BinError::Invalid {
+            what: "sort tag",
+            value: v as u64,
+        }),
+    }
+}
+
+/// Encodes a [`Value`] as a sort tag plus payload.
+pub fn write_value(w: &mut ByteWriter, v: &Value) {
+    match v {
+        Value::Bool(b) => {
+            w.put_u8(0);
+            w.put_bool(*b);
+        }
+        Value::Int(n) => {
+            w.put_u8(1);
+            w.put_i64(*n);
+        }
+        Value::Str(s) => {
+            w.put_u8(2);
+            w.put_str(s);
+        }
+        Value::Char(c) => {
+            w.put_u8(3);
+            w.put_u32(*c as u32);
+        }
+    }
+}
+
+/// Decodes a [`Value`].
+pub fn read_value(r: &mut ByteReader<'_>) -> Result<Value, BinError> {
+    match r.take_u8("value")? {
+        0 => Ok(Value::Bool(r.take_bool("bool value")?)),
+        1 => Ok(Value::Int(r.take_i64("int value")?)),
+        2 => Ok(Value::Str(r.take_str("string value")?)),
+        3 => {
+            let cp = r.take_u32("char value")?;
+            char::from_u32(cp)
+                .map(Value::Char)
+                .ok_or(BinError::Invalid {
+                    what: "char scalar value",
+                    value: cp as u64,
+                })
+        }
+        v => Err(BinError::Invalid {
+            what: "value tag",
+            value: v as u64,
+        }),
+    }
+}
+
+/// Encodes a [`Label`] as a field count plus values.
+pub fn write_label(w: &mut ByteWriter, l: &Label) {
+    w.put_u32(l.values().len() as u32);
+    for v in l.values() {
+        write_value(w, v);
+    }
+}
+
+/// Decodes a [`Label`].
+pub fn read_label(r: &mut ByteReader<'_>) -> Result<Label, BinError> {
+    let n = r.take_count(2, "label arity")?;
+    let mut vs = Vec::with_capacity(n);
+    for _ in 0..n {
+        vs.push(read_value(r)?);
+    }
+    Ok(Label::new(vs))
+}
+
+/// Encodes a [`LabelSig`] as a field count plus `(name, sort)` pairs.
+pub fn write_sig(w: &mut ByteWriter, sig: &LabelSig) {
+    w.put_u32(sig.arity() as u32);
+    for (name, sort) in sig.fields() {
+        w.put_str(name);
+        write_sort(w, *sort);
+    }
+}
+
+/// Decodes a [`LabelSig`], rejecting duplicate field names (which the
+/// in-memory constructor would panic on).
+pub fn read_sig(r: &mut ByteReader<'_>) -> Result<LabelSig, BinError> {
+    let n = r.take_count(5, "label signature arity")?;
+    let mut fields: Vec<(String, Sort)> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.take_str("field name")?;
+        let sort = read_sort(r)?;
+        if fields.iter().any(|(f, _)| *f == name) {
+            return Err(BinError::Malformed("duplicate label field name"));
+        }
+        fields.push((name, sort));
+    }
+    Ok(LabelSig::new(fields))
+}
+
+// ---------------------------------------------------------------------------
+// Terms and formulas
+// ---------------------------------------------------------------------------
+
+fn write_cmp_op(w: &mut ByteWriter, op: CmpOp) {
+    w.put_u8(match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    });
+}
+
+fn read_cmp_op(r: &mut ByteReader<'_>) -> Result<CmpOp, BinError> {
+    match r.take_u8("comparison op")? {
+        0 => Ok(CmpOp::Eq),
+        1 => Ok(CmpOp::Ne),
+        2 => Ok(CmpOp::Lt),
+        3 => Ok(CmpOp::Le),
+        4 => Ok(CmpOp::Gt),
+        5 => Ok(CmpOp::Ge),
+        v => Err(BinError::Invalid {
+            what: "comparison op tag",
+            value: v as u64,
+        }),
+    }
+}
+
+/// Encodes a [`Term`].
+pub fn write_term(w: &mut ByteWriter, t: &Term) {
+    match t {
+        Term::Field(i) => {
+            w.put_u8(0);
+            w.put_u32(*i as u32);
+        }
+        Term::Lit(v) => {
+            w.put_u8(1);
+            write_value(w, v);
+        }
+        Term::Neg(a) => {
+            w.put_u8(2);
+            write_term(w, a);
+        }
+        Term::Add(a, b) => {
+            w.put_u8(3);
+            write_term(w, a);
+            write_term(w, b);
+        }
+        Term::Sub(a, b) => {
+            w.put_u8(4);
+            write_term(w, a);
+            write_term(w, b);
+        }
+        Term::Mul(a, b) => {
+            w.put_u8(5);
+            write_term(w, a);
+            write_term(w, b);
+        }
+        Term::Mod(a, m) => {
+            w.put_u8(6);
+            w.put_u32(*m);
+            write_term(w, a);
+        }
+        Term::Div(a, m) => {
+            w.put_u8(7);
+            w.put_u32(*m);
+            write_term(w, a);
+        }
+        Term::Concat(a, b) => {
+            w.put_u8(8);
+            write_term(w, a);
+            write_term(w, b);
+        }
+        Term::StrLen(a) => {
+            w.put_u8(9);
+            write_term(w, a);
+        }
+        Term::Ite(c, a, b) => {
+            w.put_u8(10);
+            write_formula(w, c);
+            write_term(w, a);
+            write_term(w, b);
+        }
+    }
+}
+
+/// Decodes a [`Term`].
+pub fn read_term(r: &mut ByteReader<'_>) -> Result<Term, BinError> {
+    read_term_at(r, 0)
+}
+
+fn read_term_at(r: &mut ByteReader<'_>, depth: usize) -> Result<Term, BinError> {
+    if depth > MAX_DEPTH {
+        return Err(BinError::Malformed("term nesting too deep"));
+    }
+    match r.take_u8("term")? {
+        0 => Ok(Term::Field(r.take_u32("field index")? as usize)),
+        1 => Ok(Term::Lit(read_value(r)?)),
+        2 => Ok(Term::Neg(Box::new(read_term_at(r, depth + 1)?))),
+        3 => Ok(Term::Add(
+            Box::new(read_term_at(r, depth + 1)?),
+            Box::new(read_term_at(r, depth + 1)?),
+        )),
+        4 => Ok(Term::Sub(
+            Box::new(read_term_at(r, depth + 1)?),
+            Box::new(read_term_at(r, depth + 1)?),
+        )),
+        5 => Ok(Term::Mul(
+            Box::new(read_term_at(r, depth + 1)?),
+            Box::new(read_term_at(r, depth + 1)?),
+        )),
+        6 => {
+            let m = r.take_u32("modulus")?;
+            if m == 0 {
+                return Err(BinError::Invalid {
+                    what: "modulus (must be positive)",
+                    value: 0,
+                });
+            }
+            Ok(Term::Mod(Box::new(read_term_at(r, depth + 1)?), m))
+        }
+        7 => {
+            let m = r.take_u32("divisor")?;
+            if m == 0 {
+                return Err(BinError::Invalid {
+                    what: "divisor (must be positive)",
+                    value: 0,
+                });
+            }
+            Ok(Term::Div(Box::new(read_term_at(r, depth + 1)?), m))
+        }
+        8 => Ok(Term::Concat(
+            Box::new(read_term_at(r, depth + 1)?),
+            Box::new(read_term_at(r, depth + 1)?),
+        )),
+        9 => Ok(Term::StrLen(Box::new(read_term_at(r, depth + 1)?))),
+        10 => Ok(Term::Ite(
+            Box::new(read_formula_at(r, depth + 1)?),
+            Box::new(read_term_at(r, depth + 1)?),
+            Box::new(read_term_at(r, depth + 1)?),
+        )),
+        v => Err(BinError::Invalid {
+            what: "term tag",
+            value: v as u64,
+        }),
+    }
+}
+
+fn write_atom(w: &mut ByteWriter, a: &Atom) {
+    match a {
+        Atom::Cmp(op, x, y) => {
+            w.put_u8(0);
+            write_cmp_op(w, *op);
+            write_term(w, x);
+            write_term(w, y);
+        }
+        Atom::BoolTerm(t) => {
+            w.put_u8(1);
+            write_term(w, t);
+        }
+        Atom::StrPrefix(t, s) => {
+            w.put_u8(2);
+            w.put_str(s);
+            write_term(w, t);
+        }
+        Atom::StrSuffix(t, s) => {
+            w.put_u8(3);
+            w.put_str(s);
+            write_term(w, t);
+        }
+        Atom::StrContains(t, s) => {
+            w.put_u8(4);
+            w.put_str(s);
+            write_term(w, t);
+        }
+    }
+}
+
+fn read_atom_at(r: &mut ByteReader<'_>, depth: usize) -> Result<Atom, BinError> {
+    match r.take_u8("atom")? {
+        0 => {
+            let op = read_cmp_op(r)?;
+            let x = read_term_at(r, depth + 1)?;
+            let y = read_term_at(r, depth + 1)?;
+            Ok(Atom::Cmp(op, x, y))
+        }
+        1 => Ok(Atom::BoolTerm(read_term_at(r, depth + 1)?)),
+        2 => {
+            let s = r.take_str("prefix literal")?;
+            Ok(Atom::StrPrefix(read_term_at(r, depth + 1)?, s))
+        }
+        3 => {
+            let s = r.take_str("suffix literal")?;
+            Ok(Atom::StrSuffix(read_term_at(r, depth + 1)?, s))
+        }
+        4 => {
+            let s = r.take_str("substring literal")?;
+            Ok(Atom::StrContains(read_term_at(r, depth + 1)?, s))
+        }
+        v => Err(BinError::Invalid {
+            what: "atom tag",
+            value: v as u64,
+        }),
+    }
+}
+
+/// Encodes a [`Formula`] structurally (no interned ids).
+pub fn write_formula(w: &mut ByteWriter, f: &Formula) {
+    match f {
+        Formula::True => w.put_u8(0),
+        Formula::False => w.put_u8(1),
+        Formula::Atom(a) => {
+            w.put_u8(2);
+            write_atom(w, a);
+        }
+        Formula::Not(g) => {
+            w.put_u8(3);
+            write_formula(w, g);
+        }
+        Formula::And(fs) => {
+            w.put_u8(4);
+            w.put_u32(fs.len() as u32);
+            for g in fs {
+                write_formula(w, g);
+            }
+        }
+        Formula::Or(fs) => {
+            w.put_u8(5);
+            w.put_u32(fs.len() as u32);
+            for g in fs {
+                write_formula(w, g);
+            }
+        }
+    }
+}
+
+/// Decodes a [`Formula`].
+pub fn read_formula(r: &mut ByteReader<'_>) -> Result<Formula, BinError> {
+    read_formula_at(r, 0)
+}
+
+fn read_formula_at(r: &mut ByteReader<'_>, depth: usize) -> Result<Formula, BinError> {
+    if depth > MAX_DEPTH {
+        return Err(BinError::Malformed("formula nesting too deep"));
+    }
+    match r.take_u8("formula")? {
+        0 => Ok(Formula::True),
+        1 => Ok(Formula::False),
+        2 => Ok(Formula::Atom(read_atom_at(r, depth + 1)?)),
+        3 => Ok(Formula::Not(Box::new(read_formula_at(r, depth + 1)?))),
+        4 => {
+            let n = r.take_count(1, "conjunct count")?;
+            let mut fs = Vec::with_capacity(n);
+            for _ in 0..n {
+                fs.push(read_formula_at(r, depth + 1)?);
+            }
+            Ok(Formula::And(fs))
+        }
+        5 => {
+            let n = r.take_count(1, "disjunct count")?;
+            let mut fs = Vec::with_capacity(n);
+            for _ in 0..n {
+                fs.push(read_formula_at(r, depth + 1)?);
+            }
+            Ok(Formula::Or(fs))
+        }
+        v => Err(BinError::Invalid {
+            what: "formula tag",
+            value: v as u64,
+        }),
+    }
+}
+
+/// Encodes a [`LabelFn`] as a term count plus terms.
+pub fn write_label_fn(w: &mut ByteWriter, f: &LabelFn) {
+    w.put_u32(f.terms().len() as u32);
+    for t in f.terms() {
+        write_term(w, t);
+    }
+}
+
+/// Decodes a [`LabelFn`].
+pub fn read_label_fn(r: &mut ByteReader<'_>) -> Result<LabelFn, BinError> {
+    let n = r.take_count(2, "label fn arity")?;
+    let mut ts = Vec::with_capacity(n);
+    for _ in 0..n {
+        ts.push(read_term(r)?);
+    }
+    Ok(LabelFn::new(ts))
+}
+
+// ---------------------------------------------------------------------------
+// Formula pool — interned-formula id ↔ bytes round-trip
+// ---------------------------------------------------------------------------
+
+/// Deduplicating formula pool used while encoding.
+///
+/// Interned ids are process-local (they depend on interning order), so
+/// they cannot appear in artifact bytes. The pool maps each distinct
+/// [`Interned<Formula>`] to a dense `u32` index assigned in order of
+/// first use — a deterministic function of the encoding traversal — and
+/// serializes the formulas structurally, in index order.
+#[derive(Debug, Default)]
+pub struct FormulaPool {
+    by_id: HashMap<u64, u32>,
+    items: Vec<Interned<Formula>>,
+}
+
+impl FormulaPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        FormulaPool::default()
+    }
+
+    /// Returns the pool index for `f`, inserting it on first use.
+    pub fn index_of(&mut self, f: &Interned<Formula>) -> u32 {
+        if let Some(&i) = self.by_id.get(&f.id()) {
+            return i;
+        }
+        let i = self.items.len() as u32;
+        self.by_id.insert(f.id(), i);
+        self.items.push(f.clone());
+        i
+    }
+
+    /// Number of distinct formulas pooled.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no formula has been pooled.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The pooled formulas in index order.
+    pub fn items(&self) -> &[Interned<Formula>] {
+        &self.items
+    }
+
+    /// Serializes the pool: count, then each formula structurally.
+    pub fn write(&self, w: &mut ByteWriter) {
+        w.put_u32(self.items.len() as u32);
+        for f in &self.items {
+            write_formula(w, f.get());
+        }
+    }
+}
+
+/// Decodes a formula pool, re-interning each formula in this process.
+pub fn read_formula_pool(r: &mut ByteReader<'_>) -> Result<Vec<Interned<Formula>>, BinError> {
+    let n = r.take_count(1, "formula pool count")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(intern(read_formula(r)?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_term(t: &Term) {
+        let mut w = ByteWriter::new();
+        write_term(&mut w, t);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(&read_term(&mut r).unwrap(), t);
+        assert!(r.is_empty());
+    }
+
+    fn round_trip_formula(f: &Formula) {
+        let mut w = ByteWriter::new();
+        write_formula(&mut w, f);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(&read_formula(&mut r).unwrap(), f);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        for s in [Sort::Bool, Sort::Int, Sort::Str, Sort::Char] {
+            let mut w = ByteWriter::new();
+            write_sort(&mut w, s);
+            let bytes = w.into_bytes();
+            assert_eq!(read_sort(&mut ByteReader::new(&bytes)).unwrap(), s);
+        }
+        for v in [
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Str("héllo".into()),
+            Value::Char('λ'),
+        ] {
+            let mut w = ByteWriter::new();
+            write_value(&mut w, &v);
+            let bytes = w.into_bytes();
+            assert_eq!(read_value(&mut ByteReader::new(&bytes)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn sig_and_label_round_trip() {
+        let sig = LabelSig::new(vec![("tag".into(), Sort::Str), ("n".into(), Sort::Int)]);
+        let mut w = ByteWriter::new();
+        write_sig(&mut w, &sig);
+        let bytes = w.into_bytes();
+        assert_eq!(read_sig(&mut ByteReader::new(&bytes)).unwrap(), sig);
+
+        let l = Label::new(vec![Value::Str("div".into()), Value::Int(7)]);
+        let mut w = ByteWriter::new();
+        write_label(&mut w, &l);
+        let bytes = w.into_bytes();
+        assert_eq!(read_label(&mut ByteReader::new(&bytes)).unwrap(), l);
+    }
+
+    #[test]
+    fn duplicate_sig_field_is_rejected_not_panicking() {
+        // Hand-build a signature payload with two fields named "a".
+        let mut w = ByteWriter::new();
+        w.put_u32(2);
+        w.put_str("a");
+        write_sort(&mut w, Sort::Int);
+        w.put_str("a");
+        write_sort(&mut w, Sort::Bool);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            read_sig(&mut ByteReader::new(&bytes)),
+            Err(BinError::Malformed("duplicate label field name"))
+        );
+    }
+
+    #[test]
+    fn term_round_trips() {
+        round_trip_term(&Term::field(3));
+        round_trip_term(&Term::field(0).add(Term::int(5)).modulo(26));
+        round_trip_term(&Term::str("a").concat(Term::field(1)));
+        round_trip_term(&Term::StrLen(Box::new(Term::field(0))));
+        round_trip_term(&Term::Ite(
+            Box::new(Formula::eq(Term::field(0), Term::int(1))),
+            Box::new(Term::int(1)),
+            Box::new(Term::field(0).neg()),
+        ));
+        round_trip_term(&Term::field(0).sub(Term::int(2)).mul(Term::int(3)).div(4));
+    }
+
+    #[test]
+    fn formula_round_trips() {
+        round_trip_formula(&Formula::True);
+        round_trip_formula(&Formula::False);
+        round_trip_formula(&Formula::ne(Term::field(0), Term::str("script")));
+        round_trip_formula(&Formula::Not(Box::new(Formula::atom(Atom::StrContains(
+            Term::field(0),
+            "rip".into(),
+        )))));
+        round_trip_formula(&Formula::And(vec![
+            Formula::cmp(CmpOp::Lt, Term::field(0), Term::int(10)),
+            Formula::Or(vec![
+                Formula::atom(Atom::BoolTerm(Term::field(1))),
+                Formula::atom(Atom::StrPrefix(Term::field(2), "scr".into())),
+                Formula::atom(Atom::StrSuffix(Term::field(2), "ipt".into())),
+            ]),
+        ]));
+    }
+
+    #[test]
+    fn label_fn_round_trips() {
+        let f = LabelFn::new(vec![
+            Term::field(0).add(Term::int(5)).modulo(26),
+            Term::str("x"),
+        ]);
+        let mut w = ByteWriter::new();
+        write_label_fn(&mut w, &f);
+        let bytes = w.into_bytes();
+        assert_eq!(read_label_fn(&mut ByteReader::new(&bytes)).unwrap(), f);
+    }
+
+    #[test]
+    fn zero_modulus_is_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u8(6); // Mod tag
+        w.put_u32(0); // zero modulus
+        w.put_u8(0); // Field
+        w.put_u32(0);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            read_term(&mut ByteReader::new(&bytes)),
+            Err(BinError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected() {
+        let mut w = ByteWriter::new();
+        for _ in 0..(MAX_DEPTH + 8) {
+            w.put_u8(3); // Not
+        }
+        w.put_u8(0); // True
+        let bytes = w.into_bytes();
+        assert_eq!(
+            read_formula(&mut ByteReader::new(&bytes)),
+            Err(BinError::Malformed("formula nesting too deep"))
+        );
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let mut w = ByteWriter::new();
+        write_formula(
+            &mut w,
+            &Formula::And(vec![
+                Formula::eq(Term::field(0), Term::str("script")),
+                Formula::cmp(CmpOp::Ge, Term::field(1), Term::int(3)),
+            ]),
+        );
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            assert!(read_formula(&mut ByteReader::new(&bytes[..cut])).is_err());
+        }
+    }
+
+    #[test]
+    fn oversized_count_is_truncation_not_oom() {
+        let mut w = ByteWriter::new();
+        w.put_u8(4); // And
+        w.put_u32(u32::MAX); // absurd conjunct count
+        let bytes = w.into_bytes();
+        assert_eq!(
+            read_formula(&mut ByteReader::new(&bytes)),
+            Err(BinError::Truncated("conjunct count"))
+        );
+    }
+
+    #[test]
+    fn formula_pool_dedups_and_round_trips() {
+        let a = intern(Formula::eq(Term::field(0), Term::int(1)));
+        let b = intern(Formula::ne(Term::field(0), Term::str("script")));
+        let mut pool = FormulaPool::new();
+        assert_eq!(pool.index_of(&a), 0);
+        assert_eq!(pool.index_of(&b), 1);
+        assert_eq!(pool.index_of(&a), 0, "same interned formula, same index");
+        assert_eq!(pool.len(), 2);
+
+        let mut w = ByteWriter::new();
+        pool.write(&mut w);
+        let bytes = w.into_bytes();
+        let decoded = read_formula_pool(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(decoded.len(), 2);
+        // Re-interning yields handles pointer-equal to the originals.
+        assert!(decoded[0].ptr_eq(&a));
+        assert!(decoded[1].ptr_eq(&b));
+    }
+
+    #[test]
+    fn pool_encoding_is_structural_and_deterministic() {
+        let encode = || {
+            let mut pool = FormulaPool::new();
+            pool.index_of(&intern(Formula::eq(Term::field(0), Term::int(5))));
+            pool.index_of(&intern(Formula::True));
+            let mut w = ByteWriter::new();
+            pool.write(&mut w);
+            w.into_bytes()
+        };
+        assert_eq!(encode(), encode());
+    }
+}

@@ -48,6 +48,7 @@ mod sort;
 mod term;
 mod value;
 
+pub mod bin;
 pub mod intern;
 pub mod solver;
 
