@@ -155,6 +155,33 @@ fn main() {
          traced {traced_ms:.1} ms ({overhead_pct:+.1}%, {trace_events} events)",
     );
 
+    // Sampler-overhead probe: the background telemetry engine taking
+    // ~10 ms snapshot deltas must be invisible to the workload (the
+    // continuous-monitoring story only holds if watching is ~free).
+    // Min-of-3 on each side bounds scheduler noise better than single
+    // runs; CI gates on `engine_overhead_pct`.
+    let timed_run = || {
+        let start = Instant::now();
+        let _ = plan.run_batch_with(&batch, &opts1);
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    let mut unsampled_ms = f64::INFINITY;
+    let mut sampled_ms = f64::INFINITY;
+    let mut engine_windows = 0usize;
+    // Interleave the pairs (A B A B A B) so machine drift hits both
+    // sides equally instead of biasing whichever side ran later.
+    for _ in 0..3 {
+        unsampled_ms = unsampled_ms.min(timed_run());
+        let engine = fast_obs::engine::Engine::start(std::time::Duration::from_millis(10), 4096);
+        sampled_ms = sampled_ms.min(timed_run());
+        engine_windows += engine.stop().len();
+    }
+    let engine_overhead_pct = (sampled_ms - unsampled_ms) / unsampled_ms.max(1e-9) * 100.0;
+    println!(
+        "sampler overhead: unsampled {unsampled_ms:.1} ms, sampled {sampled_ms:.1} ms \
+         ({engine_overhead_pct:+.1}%, {engine_windows} windows at 10 ms)",
+    );
+
     fast_bench::telemetry::emit_with(
         "rt_batch",
         vec![
@@ -186,6 +213,10 @@ fn main() {
             ("trace_noise_pct", Json::Float(noise_pct)),
             ("trace_overhead_pct", Json::Float(overhead_pct)),
             ("trace_events", Json::Int(trace_events as i64)),
+            ("engine_unsampled_ms", Json::Float(unsampled_ms)),
+            ("engine_sampled_ms", Json::Float(sampled_ms)),
+            ("engine_overhead_pct", Json::Float(engine_overhead_pct)),
+            ("engine_windows", Json::Int(engine_windows as i64)),
         ],
     );
 }

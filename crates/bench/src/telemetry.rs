@@ -20,8 +20,15 @@ pub fn emit(bench: &str) {
 
 /// [`emit`] with benchmark-specific fields (timings, derived ratios…)
 /// spliced into the JSON object ahead of the telemetry snapshot.
+///
+/// Every emitted object leads with the common header CI validates on
+/// all `BENCH_*.json` files: `schema_version`
+/// ([`fast_obs::BENCH_SCHEMA_VERSION`]) and the benchmark `name`.
 pub fn emit_with(bench: &str, extra: Vec<(&str, Json)>) {
-    let mut fields = vec![("bench", Json::Str(bench.to_string()))];
+    let mut fields = vec![
+        ("schema_version", Json::Int(fast_obs::BENCH_SCHEMA_VERSION)),
+        ("bench", Json::Str(bench.to_string())),
+    ];
     fields.extend(extra);
     fields.push(("telemetry", fast_obs::snapshot().to_json()));
     let json = Json::obj(fields);

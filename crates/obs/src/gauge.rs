@@ -1,0 +1,98 @@
+//! Point-in-time gauges.
+//!
+//! Counters are monotonic — the right shape for events — but residency
+//! (interned tree nodes, memo entries, cache bytes) goes *down* as well
+//! as up, so it needs a second primitive. A [`Gauge`] is a process-wide
+//! named signed accumulator read as a clamped-at-zero `u64`: hot paths
+//! pay one relaxed atomic add (or sub), and a [`crate::Snapshot`]
+//! carries the value observed at capture time.
+//!
+//! Gauges are registered exactly like counters ([`crate::gauge`]), share
+//! the dotted `subsystem.event` namespace, and are listed in
+//! [`crate::DOCUMENTED_GAUGES`] / [`crate::DOCUMENTED_GAUGE_PREFIXES`]
+//! (kept honest by `tests/doc_consistency.rs`).
+//!
+//! Unlike counters, a gauge delta is meaningless: `Snapshot::delta_from`
+//! keeps the **later** snapshot's gauge values verbatim (a windowed view
+//! wants "residency now", not "residency change"), and
+//! `Snapshot::merge` sums them (per-process residency adds up across a
+//! fleet).
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// A process-wide point-in-time gauge (see the module docs).
+///
+/// Obtained from [`crate::gauge`]; references are `'static` and cheap
+/// to cache in a `OnceLock` at a call site. The internal accumulator is
+/// signed so concurrent `add`/`sub` interleavings can transiently dip
+/// below zero without wrapping; [`Gauge::get`] clamps the reading at 0.
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub(crate) fn new() -> Gauge {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Raises the gauge by `n` (relaxed; never blocks).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value
+            .fetch_add(n.min(i64::MAX as u64) as i64, Ordering::Relaxed);
+    }
+
+    /// Lowers the gauge by `n` (relaxed; never blocks).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.value
+            .fetch_sub(n.min(i64::MAX as u64) as i64, Ordering::Relaxed);
+    }
+
+    /// Overwrites the gauge with an absolute reading.
+    #[inline]
+    pub fn set(&self, n: u64) {
+        self.value
+            .store(n.min(i64::MAX as u64) as i64, Ordering::Relaxed);
+    }
+
+    /// Current value, clamped at zero.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed).max(0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_set_get() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        g.set(42);
+        assert_eq!(g.get(), 42);
+        // A transient dip below zero reads as zero, not a wrapped huge
+        // number.
+        g.sub(100);
+        assert_eq!(g.get(), 0);
+        g.add(5);
+        // The signed accumulator remembers the dip: -58 + 5 < 0.
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        crate::gauge("test.gauge_roundtrip").set(9);
+        assert_eq!(crate::snapshot().gauge("test.gauge_roundtrip"), 9);
+        crate::gauge("test.gauge_roundtrip").sub(4);
+        assert_eq!(crate::snapshot().gauge("test.gauge_roundtrip"), 5);
+    }
+}

@@ -52,8 +52,18 @@ pub struct Hist {
     pub(crate) max: AtomicU64,
 }
 
+impl Default for Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Hist {
-    pub(crate) fn new() -> Hist {
+    /// An empty standalone histogram. Most callers want the registered,
+    /// snapshot-visible [`histogram`](crate::histogram) instead; a
+    /// standalone `Hist` is for local aggregation and for building
+    /// synthetic [`HistSnapshot`]s in tests.
+    pub fn new() -> Hist {
         Hist {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
@@ -156,9 +166,19 @@ impl HistSnapshot {
         }
     }
 
-    /// Bucket-wise difference `self - earlier` (saturating). Because a
-    /// maximum cannot be differenced, `max_ns` keeps the **later**
-    /// snapshot's value — an upper bound on the interval's maximum.
+    /// Bucket-wise difference `self - earlier` (saturating).
+    ///
+    /// **Limitation:** a maximum cannot be differenced, so the delta's
+    /// `max_ns` keeps the **later** snapshot's cumulative value — an
+    /// upper bound on the interval's maximum that never resets, even
+    /// when every sample in the interval was fast. Windowed consumers
+    /// that need a per-interval maximum must tighten it from the bucket
+    /// deltas: [`HistSnapshot::bucket_max_ns`] on the returned delta
+    /// bounds the interval's largest sample by its bucket, which *does*
+    /// reset between windows. `fast_obs::engine` applies exactly that
+    /// correction to every windowed delta; this raw API deliberately
+    /// does not, so that `delta_from` stays a pure bucket subtraction
+    /// whose `max_ns` is a sound (if loose) upper bound.
     pub fn delta_from(&self, earlier: &HistSnapshot) -> HistSnapshot {
         HistSnapshot {
             buckets: self
@@ -171,6 +191,21 @@ impl HistSnapshot {
             sum_ns: self.sum_ns.saturating_sub(earlier.sum_ns),
             max_ns: self.max_ns,
         }
+    }
+
+    /// Upper bound (in nanoseconds) of the highest non-empty bucket —
+    /// the tightest maximum the bucket counts alone can justify, within
+    /// 2× of the true largest sample. On a windowed delta this is the
+    /// correct per-window maximum bound (it resets when the window has
+    /// no slow samples), unlike the carried-over cumulative
+    /// [`HistSnapshot::max_ns`] (see [`HistSnapshot::delta_from`]).
+    /// Returns 0 on an empty histogram.
+    pub fn bucket_max_ns(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(bucket_upper)
+            .unwrap_or(0)
     }
 
     /// Renders the summary statistics (count, total, mean, max, and the
@@ -254,6 +289,26 @@ mod tests {
         // Delta against an empty snapshot is the identity.
         let id = h.snapshot().delta_from(&HistSnapshot::empty());
         assert_eq!(id, h.snapshot());
+    }
+
+    /// Pins the documented `delta_from` max limitation and the
+    /// `bucket_max_ns` correction: after a window with only fast
+    /// samples, the raw delta still carries the old cumulative max but
+    /// the bucket bound resets.
+    #[test]
+    fn bucket_max_resets_where_cumulative_max_cannot() {
+        let h = Hist::new();
+        h.record_ns(1_000_000); // one slow sample, then…
+        let before = h.snapshot();
+        h.record_ns(100); // …a window of only fast ones
+        h.record_ns(200);
+        let d = h.snapshot().delta_from(&before);
+        assert_eq!(d.count, 2);
+        // Raw API: cumulative max carried over (the documented bound).
+        assert_eq!(d.max_ns, 1_000_000);
+        // Bucket bound: resets to the fast window's bucket (< 512 ns).
+        assert!(d.bucket_max_ns() >= 200 && d.bucket_max_ns() < 512);
+        assert_eq!(HistSnapshot::empty().bucket_max_ns(), 0);
     }
 
     #[test]

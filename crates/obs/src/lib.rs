@@ -1,22 +1,33 @@
 //! # fast-obs — workspace observability
 //!
-//! Three layers, cheapest first:
+//! Five layers, cheapest first:
 //!
 //! 1. **Counters** — process-wide named monotonic counters; hot paths
 //!    pay one relaxed atomic add ([`count!`], [`counter`]).
-//! 2. **Histograms** — log-bucketed latency histograms ([`histogram`],
+//! 2. **Gauges** — process-wide point-in-time values for quantities
+//!    that go down as well as up (residency, cache entries, bytes):
+//!    one relaxed atomic add/sub per update ([`gauge`], [`Gauge`]).
+//! 3. **Histograms** — log-bucketed latency histograms ([`histogram`],
 //!    [`Hist`]): 64 power-of-two nanosecond buckets recorded lock-free,
 //!    merged exactly, summarized as p50/p90/p99/max. [`time`] feeds both
 //!    the legacy `(calls, total_ns)` timer table and the histogram of
 //!    the same name.
-//! 3. **Spans** — hierarchical wall-clock spans ([`span!`],
+//! 4. **Exemplars** — the top-K slowest items per family
+//!    ([`record_exemplar`], [`Exemplar`]): identity, state, latency,
+//!    output size; one relaxed load per non-tail item.
+//! 5. **Spans** — hierarchical wall-clock spans ([`span!`],
 //!    [`SpanGuard`]) recorded into a lock-sharded buffer when the global
 //!    subscriber is on ([`set_tracing`]) and costing one relaxed load
 //!    when it is off. Exported as Chrome `trace_event` JSON, JSON lines,
 //!    or an aggregated phase tree (see [`trace`]).
 //!
 //! Cold paths (CLI `--stats`, bench binaries, `fastc profile`) capture
-//! everything as a [`Snapshot`] and print it as JSON.
+//! everything as a [`Snapshot`] and print it as JSON. Long-running
+//! paths (`fastc watch`, the future `fast-serve`) run the windowing
+//! sampler in [`engine`] — periodic snapshot deltas into a fixed ring,
+//! with per-window rates, percentiles, a correctly-reset window max,
+//! and JSONL export — and evaluate declarative SLOs against the
+//! windows via [`slo`].
 //!
 //! ## Counter naming
 //!
@@ -61,6 +72,7 @@
 //! | `rt.pipeline.fuse_cache_hits` | a boundary verdict is served from the fusion cache |
 //! | `rt.pipeline.runs` | a `Pipeline::run_batch` invocation starts |
 //! | `rt.pipeline.items` | — bumped by the pipeline batch size, one per input tree |
+//! | `rt.item_errors` | a batch item finishes with an error (budget, timeout) |
 //! | `artifact.bytes` | — bumped by the byte length of a `.fastc` artifact on a successful decode |
 //! | `artifact.load_ns` | — bumped by the wall-clock nanoseconds a successful `Artifact::decode` took |
 //! | `obs.trace_dropped` | the span buffer is full and an event is discarded |
@@ -73,6 +85,22 @@
 //! (`LabelAlg::check` and `Interned<Formula>` live in `fast-smt`; the
 //! `rt.*` family is emitted by `fast-rt`, which also mirrors the same
 //! numbers per batch in its `BatchStats`.)
+//!
+//! ## Gauge naming
+//!
+//! Gauges ([`gauge`], [`Gauge`]) share the dotted namespace and are
+//! listed in [`DOCUMENTED_GAUGES`] / [`DOCUMENTED_GAUGE_PREFIXES`],
+//! checked by the same consistency test:
+//!
+//! | gauge | meaning |
+//! |---|---|
+//! | `intern.resident_nodes.shard00`..`shard15` | canonical tree nodes resident per interner shard (the table never evicts) |
+//! | `intern.resident_bytes` | estimated heap bytes held by the tree interner, all shards |
+//! | `rt.memo.entries` | entries resident across every live batch-memo result table |
+//! | `rt.memo.bytes` | estimated heap bytes held by those result tables |
+//! | `rt.la.entries` | entries resident across every live lookahead cache |
+//! | `rt.la.bytes` | estimated heap bytes held by those lookahead caches |
+//! | `smt.cache.entries` | satisfiability results resident across every live solver cache |
 //!
 //! ## Duration naming
 //!
@@ -115,14 +143,26 @@ use std::time::Instant;
 
 use fast_json::Json;
 
+pub mod engine;
+mod exemplar;
+mod gauge;
 mod hist;
+pub mod slo;
 pub mod span;
 pub mod trace;
 
+pub use exemplar::{exemplar_recorder, record_exemplar, Exemplar, ExemplarRecorder, MAX_EXEMPLARS};
+pub use gauge::Gauge;
 pub use hist::{Hist, HistSnapshot, HIST_BUCKETS};
 pub use span::{
     drain_events, events_len, set_tracing, tracing_enabled, SpanEvent, SpanGuard, MAX_EVENTS,
 };
+
+/// Schema version stamped into every emitted `BENCH_*.json` file (the
+/// common `{"schema_version": …, "bench": …}` header), so trajectory
+/// tooling can parse the whole family uniformly. Bump on any breaking
+/// change to the shared header or the telemetry snapshot shape.
+pub const BENCH_SCHEMA_VERSION: i64 = 1;
 
 /// Every counter name the workspace emits, mirrored by the doc table in
 /// the crate docs (kept in sync by `tests/doc_consistency.rs`). Shard
@@ -164,6 +204,7 @@ pub const DOCUMENTED_COUNTERS: &[&str] = &[
     "rt.pipeline.fuse_cache_hits",
     "rt.pipeline.runs",
     "rt.pipeline.items",
+    "rt.item_errors",
     "artifact.bytes",
     "artifact.load_ns",
     "obs.trace_dropped",
@@ -172,6 +213,22 @@ pub const DOCUMENTED_COUNTERS: &[&str] = &[
 /// Counter-name prefixes expanding to indexed families (the 16 solver
 /// cache shards).
 pub const DOCUMENTED_COUNTER_PREFIXES: &[&str] = &["smt.cache_hits.shard"];
+
+/// Every gauge name the workspace emits, mirrored by the gauge table in
+/// the crate docs (kept in sync by `tests/doc_consistency.rs`). Shard
+/// families are covered by [`DOCUMENTED_GAUGE_PREFIXES`].
+pub const DOCUMENTED_GAUGES: &[&str] = &[
+    "intern.resident_bytes",
+    "rt.memo.entries",
+    "rt.memo.bytes",
+    "rt.la.entries",
+    "rt.la.bytes",
+    "smt.cache.entries",
+];
+
+/// Gauge-name prefixes expanding to indexed families (the 16 interner
+/// shards).
+pub const DOCUMENTED_GAUGE_PREFIXES: &[&str] = &["intern.resident_nodes.shard"];
 
 /// Every wall-clock duration name the workspace emits — as a timer
 /// ([`time`]), a histogram ([`histogram`]), or a span ([`span!`]).
@@ -236,6 +293,7 @@ impl Counter {
 
 struct Registry {
     counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
     timers: Mutex<BTreeMap<&'static str, (u64, u64)>>, // name -> (calls, total ns)
     hists: Mutex<BTreeMap<&'static str, &'static Hist>>,
 }
@@ -244,6 +302,7 @@ fn registry() -> &'static Registry {
     static REG: OnceLock<Registry> = OnceLock::new();
     REG.get_or_init(|| Registry {
         counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
         timers: Mutex::new(BTreeMap::new()),
         hists: Mutex::new(BTreeMap::new()),
     })
@@ -267,6 +326,17 @@ pub fn counter(name: &'static str) -> &'static Counter {
             value: AtomicU64::new(0),
         }))
     })
+}
+
+/// Looks up (or registers) the process-wide gauge named `name`.
+///
+/// Like [`counter`], `name` must be a `'static` string literal and the
+/// returned reference is `'static` — hot paths cache it in a `OnceLock`
+/// and pay one relaxed atomic add/sub per update.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut map = registry().gauges.lock().unwrap();
+    map.entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Gauge::new())))
 }
 
 /// Looks up (or registers) the process-wide latency histogram named
@@ -295,19 +365,25 @@ pub fn time<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
     out
 }
 
-/// A point-in-time copy of every registered counter, timer, and
-/// histogram.
+/// A point-in-time copy of every registered counter, gauge, timer,
+/// histogram, and exemplar family.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Snapshot {
     /// Counter values, sorted by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge readings at capture time, sorted by name.
+    pub gauges: BTreeMap<String, u64>,
     /// Timer totals, sorted by name: `(calls, total nanoseconds)`.
     pub timers: BTreeMap<String, (u64, u64)>,
     /// Latency histograms, sorted by name.
     pub hists: BTreeMap<String, HistSnapshot>,
+    /// Slow-item exemplars per family, slowest first (at most
+    /// [`MAX_EXEMPLARS`] each).
+    pub exemplars: BTreeMap<String, Vec<Exemplar>>,
 }
 
-/// Captures the current value of every counter, timer, and histogram.
+/// Captures the current value of every counter, gauge, timer,
+/// histogram, and exemplar family.
 pub fn snapshot() -> Snapshot {
     let reg = registry();
     let counters = reg
@@ -316,6 +392,13 @@ pub fn snapshot() -> Snapshot {
         .unwrap()
         .iter()
         .map(|(name, c)| (name.to_string(), c.get()))
+        .collect();
+    let gauges = reg
+        .gauges
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(name, g)| (name.to_string(), g.get()))
         .collect();
     let timers = reg
         .timers
@@ -333,25 +416,45 @@ pub fn snapshot() -> Snapshot {
         .collect();
     Snapshot {
         counters,
+        gauges,
         timers,
         hists,
+        exemplars: exemplar::snapshot_all(),
     }
 }
 
 impl Snapshot {
-    /// An empty snapshot (no counters, timers, or histograms) — the
-    /// identity for [`Snapshot::merge`] and [`Snapshot::delta_from`].
+    /// An empty snapshot (no metrics of any kind) — the identity for
+    /// [`Snapshot::merge`] and [`Snapshot::delta_from`].
     pub fn empty() -> Snapshot {
         Snapshot {
             counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
             timers: BTreeMap::new(),
             hists: BTreeMap::new(),
+            exemplars: BTreeMap::new(),
         }
     }
 
     /// The value of counter `name` (0 if never registered).
     pub fn get(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The reading of gauge `name` (0 if never registered).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sums every gauge whose name starts with `prefix` — e.g.
+    /// `gauge_sum_prefix("intern.resident_nodes.")` totals all sixteen
+    /// interner shard gauges.
+    pub fn gauge_sum_prefix(&self, prefix: &str) -> u64 {
+        self.gauges
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
     }
 
     /// Sums every counter whose name starts with `prefix` — e.g.
@@ -370,6 +473,10 @@ impl Snapshot {
     /// timers, and bucket-wise for histograms
     /// ([`HistSnapshot::delta_from`]; the delta's `max_ns` keeps the
     /// later snapshot's maximum, an upper bound for the interval).
+    ///
+    /// Gauges and exemplars are **not** differenced — a gauge delta is
+    /// meaningless (residency is a point-in-time reading), so the delta
+    /// keeps the later snapshot's gauges and exemplars verbatim.
     ///
     /// Because counters are global and monotonic, this is how a test or
     /// bench isolates its own activity. Differencing against
@@ -405,20 +512,28 @@ impl Snapshot {
             .collect();
         Snapshot {
             counters,
+            gauges: self.gauges.clone(),
             timers,
             hists,
+            exemplars: self.exemplars.clone(),
         }
     }
 
-    /// Entry-wise sum of two snapshots: counters add, timers add both
+    /// Entry-wise sum of two snapshots: counters and gauges add (a
+    /// fleet's residency is the sum of its processes'), timers add both
     /// calls and nanoseconds, histograms merge exactly
-    /// ([`HistSnapshot::merge`]). [`Snapshot::empty`] is the identity.
-    /// This is how per-process `BENCH_*.json` snapshots roll up into a
-    /// fleet-wide view.
+    /// ([`HistSnapshot::merge`]), and each exemplar family keeps the
+    /// [`MAX_EXEMPLARS`] slowest of the union. [`Snapshot::empty`] is
+    /// the identity. This is how per-process `BENCH_*.json` snapshots
+    /// roll up into a fleet-wide view.
     pub fn merge(&self, other: &Snapshot) -> Snapshot {
         let mut counters = self.counters.clone();
         for (k, v) in &other.counters {
             *counters.entry(k.clone()).or_insert(0) += v;
+        }
+        let mut gauges = self.gauges.clone();
+        for (k, v) in &other.gauges {
+            *gauges.entry(k.clone()).or_insert(0) += v;
         }
         let mut timers = self.timers.clone();
         for (k, (c, n)) in &other.timers {
@@ -434,10 +549,20 @@ impl Snapshot {
             };
             hists.insert(k.clone(), merged);
         }
+        let mut exemplars = self.exemplars.clone();
+        for (k, ex) in &other.exemplars {
+            let merged = match exemplars.get(k) {
+                Some(mine) => exemplar::merge_exemplars(mine, ex),
+                None => ex.clone(),
+            };
+            exemplars.insert(k.clone(), merged);
+        }
         Snapshot {
             counters,
+            gauges,
             timers,
             hists,
+            exemplars,
         }
     }
 
@@ -446,9 +571,14 @@ impl Snapshot {
     ///
     /// ```json
     /// {"counters":{"smt.sat_queries":12,...},
+    ///  "exemplars":{"rt.item":[{"item":9,"latency_ns":48211,...}]},
+    ///  "gauges":{"intern.resident_bytes":18340,...},
     ///  "hists":{"smt.check":{"count":12,"p50_ns":310,...}},
     ///  "timers":{"compose.total":{"calls":1,"total_ns":5120}}}
     /// ```
+    ///
+    /// Empty sections (`gauges`, `exemplars`) are omitted so existing
+    /// consumers of the three legacy keys see unchanged output.
     pub fn to_json(&self) -> Json {
         let counters = Json::Object(
             self.counters
@@ -476,7 +606,37 @@ impl Snapshot {
                 })
                 .collect(),
         );
-        Json::obj([("counters", counters), ("hists", hists), ("timers", timers)])
+        let mut fields = vec![("counters", counters)];
+        if !self.exemplars.is_empty() {
+            fields.push((
+                "exemplars",
+                Json::Object(
+                    self.exemplars
+                        .iter()
+                        .map(|(k, v)| {
+                            (
+                                k.clone(),
+                                Json::Array(v.iter().map(|e| e.to_json()).collect()),
+                            )
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.gauges.is_empty() {
+            fields.push((
+                "gauges",
+                Json::Object(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Int(*v as i64)))
+                        .collect(),
+                ),
+            ));
+        }
+        fields.push(("hists", hists));
+        fields.push(("timers", timers));
+        Json::obj(fields)
     }
 }
 

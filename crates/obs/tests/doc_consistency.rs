@@ -1,12 +1,13 @@
-//! Keeps the counter/duration documentation honest.
+//! Keeps the counter/gauge/duration documentation honest.
 //!
-//! The crate docs of `fast-obs` carry a table of every counter the
-//! workspace emits, mirrored in [`fast_obs::DOCUMENTED_COUNTERS`] and
+//! The crate docs of `fast-obs` carry tables of every counter and gauge
+//! the workspace emits, mirrored in [`fast_obs::DOCUMENTED_COUNTERS`],
+//! [`fast_obs::DOCUMENTED_GAUGES`], and
 //! [`fast_obs::DOCUMENTED_DURATIONS`]. This test greps the workspace
-//! sources for every name passed to `count!` / `counter(` /
+//! sources for every name passed to `count!` / `counter(` / `gauge(` /
 //! `time(` / `span!(` / `histogram(` / `observe!(` and fails if any
-//! emitted name is missing from the constants, or if the doc table in
-//! `lib.rs` drifts from `DOCUMENTED_COUNTERS`.
+//! emitted name is missing from the constants, or if the doc tables in
+//! `lib.rs` drift from `DOCUMENTED_COUNTERS` / `DOCUMENTED_GAUGES`.
 //!
 //! Names starting with `test.` / `tspan.` / `demo.` / `example.` are
 //! reserved for tests and doc examples and are exempt.
@@ -71,11 +72,12 @@ fn extract(src: &str, pat: &str, into: &mut BTreeSet<String>) {
     }
 }
 
-/// All emitted (counter, duration) names plus raw sources for the
-/// shard-prefix substring check.
-fn scan() -> (BTreeSet<String>, BTreeSet<String>, String) {
+/// All emitted (counter, gauge, duration) names plus raw sources for
+/// the shard-prefix substring checks.
+fn scan() -> (BTreeSet<String>, BTreeSet<String>, BTreeSet<String>, String) {
     let root = workspace_root();
     let mut counters = BTreeSet::new();
+    let mut gauges = BTreeSet::new();
     let mut durations = BTreeSet::new();
     let mut all_src = String::new();
     for file in source_files(&root) {
@@ -83,17 +85,18 @@ fn scan() -> (BTreeSet<String>, BTreeSet<String>, String) {
         for pat in ["count!(\"", "counter(\""] {
             extract(&src, pat, &mut counters);
         }
+        extract(&src, "gauge(\"", &mut gauges);
         for pat in ["time(\"", "span!(\"", "histogram(\"", "observe!(\""] {
             extract(&src, pat, &mut durations);
         }
         all_src.push_str(&src);
     }
-    (counters, durations, all_src)
+    (counters, gauges, durations, all_src)
 }
 
 #[test]
 fn every_emitted_counter_is_documented() {
-    let (counters, _, _) = scan();
+    let (counters, _, _, _) = scan();
     let undocumented: Vec<&String> = counters
         .iter()
         .filter(|n| {
@@ -112,7 +115,7 @@ fn every_emitted_counter_is_documented() {
 
 #[test]
 fn every_documented_counter_is_emitted() {
-    let (counters, _, all_src) = scan();
+    let (counters, _, _, all_src) = scan();
     let dead: Vec<&&str> = fast_obs::DOCUMENTED_COUNTERS
         .iter()
         .filter(|n| !counters.contains(**n))
@@ -131,8 +134,47 @@ fn every_documented_counter_is_emitted() {
 }
 
 #[test]
+fn every_emitted_gauge_is_documented() {
+    let (_, gauges, _, _) = scan();
+    let undocumented: Vec<&String> = gauges
+        .iter()
+        .filter(|n| {
+            !fast_obs::DOCUMENTED_GAUGES.contains(&n.as_str())
+                && !fast_obs::DOCUMENTED_GAUGE_PREFIXES
+                    .iter()
+                    .any(|p| n.starts_with(p))
+        })
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "gauges emitted but missing from fast_obs::DOCUMENTED_GAUGES \
+         (and the lib.rs gauge table): {undocumented:?}"
+    );
+}
+
+#[test]
+fn every_documented_gauge_is_emitted() {
+    let (_, gauges, _, all_src) = scan();
+    let dead: Vec<&&str> = fast_obs::DOCUMENTED_GAUGES
+        .iter()
+        .filter(|n| !gauges.contains(**n))
+        .collect();
+    assert!(
+        dead.is_empty(),
+        "gauges documented in fast_obs::DOCUMENTED_GAUGES but never \
+         emitted anywhere in crates/*/src: {dead:?}"
+    );
+    for prefix in fast_obs::DOCUMENTED_GAUGE_PREFIXES {
+        assert!(
+            all_src.contains(prefix),
+            "documented gauge prefix '{prefix}' does not appear in any source file"
+        );
+    }
+}
+
+#[test]
 fn every_emitted_duration_is_documented() {
-    let (_, durations, _) = scan();
+    let (_, _, durations, _) = scan();
     let undocumented: Vec<&String> = durations
         .iter()
         .filter(|n| !fast_obs::DOCUMENTED_DURATIONS.contains(&n.as_str()))
@@ -146,7 +188,7 @@ fn every_emitted_duration_is_documented() {
 
 #[test]
 fn every_documented_duration_is_emitted() {
-    let (_, durations, _) = scan();
+    let (_, _, durations, _) = scan();
     let dead: Vec<&&str> = fast_obs::DOCUMENTED_DURATIONS
         .iter()
         .filter(|n| !durations.contains(**n))
@@ -158,9 +200,10 @@ fn every_documented_duration_is_emitted() {
     );
 }
 
-/// The markdown table in the `fast-obs` crate docs must list exactly the
-/// names in `DOCUMENTED_COUNTERS` (shard families appear as one
-/// `prefix00..` row, covered by `DOCUMENTED_COUNTER_PREFIXES`).
+/// The markdown tables in the `fast-obs` crate docs must list exactly
+/// the names in `DOCUMENTED_COUNTERS` ∪ `DOCUMENTED_GAUGES` (shard
+/// families appear as one `prefix00..` row, covered by the
+/// `*_PREFIXES` constants).
 #[test]
 fn lib_rs_doc_table_matches_documented_counters() {
     let lib = workspace_root().join("crates/obs/src/lib.rs");
@@ -178,30 +221,36 @@ fn lib_rs_doc_table_matches_documented_counters() {
     }
     assert!(!table.is_empty(), "found no counter table rows in lib.rs");
 
+    let prefixes: Vec<&str> = fast_obs::DOCUMENTED_COUNTER_PREFIXES
+        .iter()
+        .chain(fast_obs::DOCUMENTED_GAUGE_PREFIXES)
+        .copied()
+        .collect();
     let mut prefixes_seen = BTreeSet::new();
     for name in &table {
-        if let Some(p) = fast_obs::DOCUMENTED_COUNTER_PREFIXES
-            .iter()
-            .find(|p| name.starts_with(**p))
-        {
+        if let Some(p) = prefixes.iter().find(|p| name.starts_with(**p)) {
             prefixes_seen.insert(*p);
         } else {
             assert!(
-                fast_obs::DOCUMENTED_COUNTERS.contains(&name.as_str()),
-                "doc table row `{name}` is not in DOCUMENTED_COUNTERS"
+                fast_obs::DOCUMENTED_COUNTERS.contains(&name.as_str())
+                    || fast_obs::DOCUMENTED_GAUGES.contains(&name.as_str()),
+                "doc table row `{name}` is not in DOCUMENTED_COUNTERS or DOCUMENTED_GAUGES"
             );
         }
     }
-    for name in fast_obs::DOCUMENTED_COUNTERS {
+    for name in fast_obs::DOCUMENTED_COUNTERS
+        .iter()
+        .chain(fast_obs::DOCUMENTED_GAUGES)
+    {
         assert!(
             table.contains(*name),
-            "DOCUMENTED_COUNTERS entry `{name}` is missing from the lib.rs doc table"
+            "documented metric `{name}` is missing from the lib.rs doc tables"
         );
     }
-    for p in fast_obs::DOCUMENTED_COUNTER_PREFIXES {
+    for p in &prefixes {
         assert!(
             prefixes_seen.contains(p),
-            "documented prefix `{p}` has no row in the lib.rs doc table"
+            "documented prefix `{p}` has no row in the lib.rs doc tables"
         );
     }
 }

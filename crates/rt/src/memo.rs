@@ -36,6 +36,8 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use fast_obs::Gauge;
+
 /// Number of shards (matches `fast_smt::intern::SHARDS`).
 pub(crate) const SHARDS: usize = 16;
 
@@ -48,10 +50,34 @@ pub(crate) struct CacheStats {
     pub evictions: AtomicU64,
 }
 
+/// Process-wide residency gauges a [`Sharded`] map reports into:
+/// `entries` counts resident entries, `bytes` their estimated heap
+/// weight as computed by `weigh`. Several maps may share one gauge pair
+/// (every batch memo reports into `rt.memo.*`); each map subtracts its
+/// own contribution on eviction and on drop, so the gauges track *live*
+/// residency across all concurrently-alive maps.
+///
+/// `weigh` is a plain `fn` pointer (not a closure/trait bound) so the
+/// gauge-aware map can still have an unconditional `Drop` impl.
+pub(crate) struct ResidencyGauges<K, V> {
+    pub entries: &'static Gauge,
+    pub bytes: &'static Gauge,
+    pub weigh: fn(&K, &V) -> u64,
+}
+
+// Manual impls: `derive` would wrongly bound K/V.
+impl<K, V> Clone for ResidencyGauges<K, V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K, V> Copy for ResidencyGauges<K, V> {}
+
 /// A sharded, capacity-bounded concurrent hash map.
 pub(crate) struct Sharded<K, V> {
     shards: Vec<Mutex<HashMap<K, V>>>,
     per_shard_cap: usize,
+    gauges: Option<ResidencyGauges<K, V>>,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> Sharded<K, V> {
@@ -63,7 +89,16 @@ impl<K: Eq + Hash + Clone, V: Clone> Sharded<K, V> {
         Sharded {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             per_shard_cap,
+            gauges: None,
         }
+    }
+
+    /// [`Sharded::new`], reporting residency into `gauges` (see
+    /// [`ResidencyGauges`]).
+    pub fn with_gauges(capacity: usize, gauges: ResidencyGauges<K, V>) -> Self {
+        let mut m = Self::new(capacity);
+        m.gauges = Some(gauges);
+        m
     }
 
     fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
@@ -87,9 +122,22 @@ impl<K: Eq + Hash + Clone, V: Clone> Sharded<K, V> {
         let mut shard = self.shard(&key).lock().unwrap();
         if shard.len() >= self.per_shard_cap && !shard.contains_key(&key) {
             if let Some(victim) = shard.keys().next().cloned() {
-                shard.remove(&victim);
-                stats.evictions.fetch_add(1, Ordering::Relaxed);
+                if let Some(evicted) = shard.remove(&victim) {
+                    stats.evictions.fetch_add(1, Ordering::Relaxed);
+                    if let Some(g) = &self.gauges {
+                        g.entries.sub(1);
+                        g.bytes.sub((g.weigh)(&victim, &evicted));
+                    }
+                }
             }
+        }
+        if let Some(g) = &self.gauges {
+            let new_weight = (g.weigh)(&key, &value);
+            match shard.get(&key) {
+                Some(old) => g.bytes.sub((g.weigh)(&key, old)),
+                None => g.entries.add(1),
+            }
+            g.bytes.add(new_weight);
         }
         shard.insert(key, value);
     }
@@ -98,6 +146,21 @@ impl<K: Eq + Hash + Clone, V: Clone> Sharded<K, V> {
     #[cfg(test)]
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+}
+
+impl<K, V> Drop for Sharded<K, V> {
+    /// A dropped map's residency must leave the process-wide gauges:
+    /// subtract everything still resident (no-op without gauges).
+    fn drop(&mut self) {
+        if let Some(g) = &self.gauges {
+            for shard in &self.shards {
+                let shard = shard.lock().unwrap();
+                g.entries.sub(shard.len() as u64);
+                g.bytes
+                    .sub(shard.iter().map(|(k, v)| (g.weigh)(k, v)).sum());
+            }
+        }
     }
 }
 
@@ -148,6 +211,39 @@ mod tests {
             tiny.insert(i, i, &stats);
         }
         assert!(tiny.len() <= SHARDS);
+    }
+
+    /// Gauge accounting stays balanced through insert / replace /
+    /// eviction / drop (test-only gauge names keep this independent of
+    /// the live `rt.memo.*` gauges other tests touch).
+    #[test]
+    fn residency_gauges_balance_to_zero() {
+        let stats = CacheStats::default();
+        let gauges: ResidencyGauges<usize, u64> = ResidencyGauges {
+            entries: fast_obs::gauge("test.sharded.entries"),
+            bytes: fast_obs::gauge("test.sharded.bytes"),
+            weigh: |_k, v| *v,
+        };
+        let m: Sharded<usize, u64> = Sharded::with_gauges(32, gauges);
+        m.insert(1, 10, &stats);
+        m.insert(2, 5, &stats);
+        assert_eq!(gauges.entries.get(), 2);
+        assert_eq!(gauges.bytes.get(), 15);
+        // Replacing a key adjusts bytes without growing entries.
+        m.insert(1, 30, &stats);
+        assert_eq!(gauges.entries.get(), 2);
+        assert_eq!(gauges.bytes.get(), 35);
+        // Evictions subtract the victim's weight: flood far past cap.
+        for i in 10..1000 {
+            m.insert(i, 1, &stats);
+        }
+        assert!(stats.evictions.load(Ordering::Relaxed) > 0);
+        assert_eq!(gauges.entries.get() as usize, m.len());
+        // Dropping the map returns both gauges to zero — residency of a
+        // dead table must not linger in the process-wide reading.
+        drop(m);
+        assert_eq!(gauges.entries.get(), 0);
+        assert_eq!(gauges.bytes.get(), 0);
     }
 
     #[test]

@@ -125,6 +125,45 @@ type OutMemo = Sharded<(usize, TreeId), Arc<Vec<Tree>>>;
 /// Lookahead cache: `TreeId → accepting lookahead states`.
 type LaMemo = Sharded<TreeId, Arc<BTreeSet<StateId>>>;
 
+/// A result memo reporting residency into the process-wide
+/// `rt.memo.entries` / `rt.memo.bytes` gauges. Every live table (one
+/// per batch by default, or a shared [`BatchMemo`]) reports into the
+/// same pair, so the gauges read total memo residency across the
+/// process; each table subtracts its contribution on eviction and drop.
+fn out_memo(capacity: usize) -> OutMemo {
+    Sharded::with_gauges(
+        capacity,
+        crate::memo::ResidencyGauges {
+            entries: fast_obs::gauge("rt.memo.entries"),
+            bytes: fast_obs::gauge("rt.memo.bytes"),
+            // Estimate: the key, the Arc's control+vec blocks, and one
+            // interned handle per output tree (the trees themselves are
+            // owned by the interner and counted there).
+            weigh: |k, v| {
+                (std::mem::size_of_val(k)
+                    + std::mem::size_of::<Arc<Vec<Tree>>>()
+                    + v.len() * std::mem::size_of::<Tree>()) as u64
+            },
+        },
+    )
+}
+
+/// The lookahead-cache analogue of [`out_memo`] (`rt.la.*` gauges).
+fn la_memo(capacity: usize) -> LaMemo {
+    Sharded::with_gauges(
+        capacity,
+        crate::memo::ResidencyGauges {
+            entries: fast_obs::gauge("rt.la.entries"),
+            bytes: fast_obs::gauge("rt.la.bytes"),
+            weigh: |k, v| {
+                (std::mem::size_of_val(k)
+                    + std::mem::size_of::<Arc<BTreeSet<StateId>>>()
+                    + v.len() * std::mem::size_of::<StateId>()) as u64
+            },
+        },
+    )
+}
+
 /// A result memo plus lookahead cache that **outlives a single batch**:
 /// pass it to [`Plan::run_batch_shared`] to reuse sub-transduction
 /// results across successive `run_batch` calls (cascaded pipeline
@@ -152,8 +191,8 @@ impl BatchMemo {
     pub fn new(capacity: usize) -> BatchMemo {
         let cap = capacity.max(crate::memo::SHARDS);
         BatchMemo {
-            out: Arc::new(Sharded::new(cap)),
-            la: Arc::new(Sharded::new(cap)),
+            out: Arc::new(out_memo(cap)),
+            la: Arc::new(la_memo(cap)),
         }
     }
 }
@@ -523,9 +562,9 @@ impl Plan {
             timeout: opts.timeout,
             memo: opts
                 .memo
-                .then(|| Arc::new(Sharded::new(opts.memo_capacity.max(crate::memo::SHARDS)))),
+                .then(|| Arc::new(out_memo(opts.memo_capacity.max(crate::memo::SHARDS)))),
             memo_stats: CacheStats::default(),
-            la: Arc::new(Sharded::new(opts.memo_capacity.max(crate::memo::SHARDS))),
+            la: Arc::new(la_memo(opts.memo_capacity.max(crate::memo::SHARDS))),
             la_stats: CacheStats::default(),
             profile: opts
                 .profile
@@ -681,9 +720,14 @@ fn stream_batch(
 
 /// Evaluates one item under the batch context, recording its latency in
 /// the `rt.item` histogram (and, when tracing is on, an `rt.item` span
-/// wrapping a `plan.dispatch` span around the root dispatch).
+/// wrapping a `plan.dispatch` span around the root dispatch). Errored
+/// items bump `rt.item_errors`. Every item is also offered to the
+/// always-on `rt.item` slow-item exemplar store — the top-K slowest
+/// items process-wide, by `TreeId` — at the cost of one relaxed load
+/// for non-tail items.
 fn run_item(cx: &BatchCtx<'_>, t: &Tree) -> Result<Vec<Tree>, TransducerError> {
     static ITEM_HIST: OnceLock<&'static fast_obs::Hist> = OnceLock::new();
+    static EXEMPLARS: OnceLock<fast_obs::ExemplarRecorder> = OnceLock::new();
     let hist = *ITEM_HIST.get_or_init(|| fast_obs::histogram("rt.item"));
     let _span = fast_obs::span!("rt.item");
     let start = Instant::now();
@@ -702,7 +746,19 @@ fn run_item(cx: &BatchCtx<'_>, t: &Tree) -> Result<Vec<Tree>, TransducerError> {
         let _dispatch = fast_obs::span!("plan.dispatch");
         item.transduce(cx.plan.sttr.initial(), t)
     };
-    hist.record_ns(start.elapsed().as_nanos() as u64);
+    let ns = start.elapsed().as_nanos() as u64;
+    hist.record_ns(ns);
+    if out.is_err() {
+        fast_obs::count!("rt.item_errors");
+    }
+    EXEMPLARS
+        .get_or_init(|| fast_obs::exemplar_recorder("rt.item"))
+        .record(fast_obs::Exemplar {
+            item: t.id().as_u64(),
+            state: cx.plan.sttr.initial().0 as u64,
+            latency_ns: ns,
+            output_size: out.as_ref().map(|o| o.len() as u64).unwrap_or(0),
+        });
     Ok(out?.as_ref().clone())
 }
 

@@ -161,6 +161,15 @@ fn shard_hit_counter(i: usize) -> &'static fast_obs::Counter {
     COUNTERS.get_or_init(|| std::array::from_fn(|k| fast_obs::counter(NAMES[k])))[i]
 }
 
+/// Process-wide solver-cache residency (`smt.cache.entries`): total
+/// memoized satisfiability results across every live [`LabelAlg`]. Each
+/// algebra adds on first insert of a formula id and subtracts its whole
+/// cache on drop.
+fn cache_entries_gauge() -> &'static fast_obs::Gauge {
+    static G: OnceLock<&'static fast_obs::Gauge> = OnceLock::new();
+    G.get_or_init(|| fast_obs::gauge("smt.cache.entries"))
+}
+
 /// The standard label algebra: hash-consed [`Formula`] predicates over a
 /// [`LabelSig`], decided by [`solve`], with memoized satisfiability.
 ///
@@ -286,13 +295,29 @@ impl LabelAlg {
             self.stats.unknowns.fetch_add(1, Ordering::Relaxed);
             fast_obs::count!("smt.unknown_results");
         }
-        shard.insert(f.id(), r.clone());
+        if shard.insert(f.id(), r.clone()).is_none() {
+            cache_entries_gauge().add(1);
+        }
         r
     }
 
     /// Convenience: interns `f` and runs [`LabelAlg::check`].
     pub fn check_formula(&self, f: &Formula) -> SatResult {
         self.check(&intern(f.clone()))
+    }
+}
+
+impl Drop for LabelAlg {
+    /// A dropped algebra's memoized results must leave the process-wide
+    /// `smt.cache.entries` gauge, or residency of dead caches would
+    /// accumulate forever.
+    fn drop(&mut self) {
+        let resident: u64 = self
+            .cache
+            .iter()
+            .map(|s| s.lock().map(|m| m.len() as u64).unwrap_or(0))
+            .sum();
+        cache_entries_gauge().sub(resident);
     }
 }
 

@@ -40,10 +40,19 @@
 //! | `intern.misses` | a new canonical node was allocated (= table size) |
 //! | `intern.hash_collisions` | two distinct nodes share a 64-bit structural hash |
 //! | `intern.contended` | a shard lock was busy and the call had to block |
+//!
+//! Residency is tracked by gauges, so a windowed view (`fastc watch`,
+//! the future `fast-serve`) can watch it without replaying counters:
+//! `intern.resident_nodes.shard00..15` count canonical nodes per shard
+//! (their sum equals [`table_len`]; imbalance means a skewed structural
+//! hash), and `intern.resident_bytes` estimates the heap bytes the
+//! whole table pins ([`resident_bytes`]). Because the table never
+//! evicts, these gauges only rise — the point of exposing them is to
+//! see *how fast*, which bounded-memory evaluation work needs.
 
 use crate::tree::{Node, Tree, TreeId};
 use crate::ty::CtorId;
-use fast_smt::Label;
+use fast_smt::{Label, Value};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -94,6 +103,60 @@ fn shard_of(hash: u64) -> usize {
     (hash >> 60) as usize & (SHARDS - 1)
 }
 
+/// Per-shard resident-node gauge names (`&'static` literals, as the
+/// registry requires), mirroring the solver cache's shard counters.
+static SHARD_GAUGE_NAMES: [&str; SHARDS] = [
+    "intern.resident_nodes.shard00",
+    "intern.resident_nodes.shard01",
+    "intern.resident_nodes.shard02",
+    "intern.resident_nodes.shard03",
+    "intern.resident_nodes.shard04",
+    "intern.resident_nodes.shard05",
+    "intern.resident_nodes.shard06",
+    "intern.resident_nodes.shard07",
+    "intern.resident_nodes.shard08",
+    "intern.resident_nodes.shard09",
+    "intern.resident_nodes.shard10",
+    "intern.resident_nodes.shard11",
+    "intern.resident_nodes.shard12",
+    "intern.resident_nodes.shard13",
+    "intern.resident_nodes.shard14",
+    "intern.resident_nodes.shard15",
+];
+
+fn shard_gauge(i: usize) -> &'static fast_obs::Gauge {
+    static GAUGES: OnceLock<[&'static fast_obs::Gauge; SHARDS]> = OnceLock::new();
+    GAUGES.get_or_init(|| std::array::from_fn(|i| fast_obs::gauge(SHARD_GAUGE_NAMES[i])))[i]
+}
+
+fn bytes_gauge() -> &'static fast_obs::Gauge {
+    static G: OnceLock<&'static fast_obs::Gauge> = OnceLock::new();
+    G.get_or_init(|| fast_obs::gauge("intern.resident_bytes"))
+}
+
+/// Estimated heap bytes a newly interned node pins for the life of the
+/// process: the canonical [`Node`] allocation, its label's field values
+/// (plus string heap storage), the child-handle vector, and the bucket
+/// [`Entry`] bookkeeping. An estimate — allocator slack and `HashMap`
+/// load factor are not modelled — but a stable one, so the
+/// `intern.resident_bytes` gauge is comparable across runs.
+fn node_bytes(node: &Node) -> u64 {
+    let label_heap: usize = node
+        .label
+        .values()
+        .iter()
+        .map(|v| match v {
+            Value::Str(s) => s.capacity(),
+            _ => 0,
+        })
+        .sum();
+    (std::mem::size_of::<Node>()
+        + std::mem::size_of_val(node.label.values())
+        + label_heap
+        + node.children.len() * std::mem::size_of::<Tree>()
+        + std::mem::size_of::<Entry>()) as u64
+}
+
 /// Interns a node, returning the canonical handle for this structure.
 ///
 /// Children must already be interned handles (they always are — `Tree`
@@ -127,6 +190,8 @@ pub(crate) fn intern(ctor: CtorId, label: Label, children: Vec<Tree>) -> Tree {
         label,
         children,
     });
+    shard_gauge(shard_of(hash)).add(1);
+    bytes_gauge().add(node_bytes(&node));
     bucket.push(Entry {
         node: Arc::clone(&node),
         id,
@@ -142,6 +207,26 @@ pub fn table_len() -> usize {
         .iter()
         .map(|s| s.lock().unwrap().values().map(Vec::len).sum::<usize>())
         .sum()
+}
+
+/// Resident canonical nodes per shard (sums to [`table_len`]) — the
+/// live readings behind the `intern.resident_nodes.shard*` gauges,
+/// counted from the table itself rather than the gauges.
+pub fn shard_lens() -> [usize; SHARDS] {
+    std::array::from_fn(|i| {
+        interner().shards[i]
+            .lock()
+            .unwrap()
+            .values()
+            .map(Vec::len)
+            .sum()
+    })
+}
+
+/// Estimated heap bytes pinned by the intern table — the current
+/// reading of the `intern.resident_bytes` gauge.
+pub fn resident_bytes() -> u64 {
+    bytes_gauge().get()
 }
 
 #[cfg(test)]
@@ -170,6 +255,39 @@ mod tests {
         let c = Tree::leaf(ty.ctor_id("L").unwrap(), Label::single(424_243i64));
         assert_ne!(a.id(), c.id());
         assert!(!a.ptr_eq(&c));
+    }
+
+    #[test]
+    fn residency_gauges_track_the_table() {
+        let ty = bt();
+        let before_nodes = table_len();
+        let before_bytes = resident_bytes();
+        // Two distinct new structures, one re-intern (no growth).
+        let a = Tree::leaf(ty.ctor_id("L").unwrap(), Label::single(555_000_111i64));
+        let _b = Tree::new(
+            ty.ctor_id("N").unwrap(),
+            Label::single(555_000_112i64),
+            vec![a.clone(), a.clone()],
+        );
+        let _a2 = Tree::leaf(ty.ctor_id("L").unwrap(), Label::single(555_000_111i64));
+        // Sibling tests intern concurrently, so totals are ≥, not ==.
+        assert!(table_len() >= before_nodes + 2);
+        assert!(resident_bytes() >= before_bytes + 2 * std::mem::size_of::<Node>() as u64);
+        // When no concurrent interning lands mid-check (two identical
+        // per-shard readings bracket the snapshot), the gauges must
+        // agree with the table exactly.
+        let lens_before = shard_lens();
+        let snap = fast_obs::snapshot();
+        let lens_after = shard_lens();
+        if lens_before == lens_after {
+            assert_eq!(
+                snap.gauge_sum_prefix("intern.resident_nodes.") as usize,
+                lens_after.iter().sum::<usize>(),
+            );
+            for (i, name) in SHARD_GAUGE_NAMES.iter().enumerate() {
+                assert_eq!(snap.gauge(name) as usize, lens_after[i], "shard {i}");
+            }
+        }
     }
 
     #[test]
