@@ -1,7 +1,7 @@
-//! `fastc` — compile, run, build, profile, watch, and statically check
-//! Fast programs.
+//! `fastc` — compile, run, build, serve, profile, watch, and statically
+//! check Fast programs.
 //!
-//! Five modes:
+//! Six modes:
 //!
 //! - **run** (default): `fastc <file.fast> [--quiet|-q] [--stats|-s]
 //!   [--trace FILE]` compiles the program, evaluates every definition
@@ -26,6 +26,14 @@
 //!   into a versioned binary `.fastc` artifact next to the source
 //!   (override with `-o`). Artifacts are byte-deterministic: building
 //!   the same source twice yields identical files.
+//! - **serve**: `fastc serve <file.fastc>... [--addr HOST:PORT]
+//!   [--workers N] [--queue N] [--max-conns N] [--timeout-ms N]
+//!   [--slo FILE]` loads one or more `.fastc` artifacts and serves
+//!   their transducers and pipelines over TCP (`fast-serve`:
+//!   length-prefixed JSON frames, admission control, shared memos, a
+//!   background telemetry engine, and — with `--slo` — continuous SLO
+//!   evaluation surfaced through the `stats` operation). Runs until
+//!   killed.
 //! - **check**: `fastc check <file.fast> [--json] [--deny-warnings]
 //!   [--stats|-s] [--trace FILE]` runs the `fast-analysis` semantic
 //!   checks (dead rules, guard overlap, exhaustiveness, reachability,
@@ -79,6 +87,8 @@ const USAGE: &str = "usage: fastc <file.fast> [--quiet|-q] [--stats|-s] [--trace
        fastc --artifact <file.fastc> [--pipeline t1,t2,... | --trans NAME | --all-trans]
                      [--trees N] [--seed S] [--print-outputs] [--quiet|-q]
        fastc build <file.fast> [-o FILE] [--pipeline t1,t2,...]
+       fastc serve <file.fastc>... [--addr HOST:PORT] [--workers N] [--queue N]
+                     [--max-conns N] [--timeout-ms N] [--slo FILE]
        fastc check <file.fast> [--json] [--deny-warnings] [--stats|-s] [--trace FILE]
              [--pipeline t1,t2,... [--input LANG] [--output LANG]]
        fastc profile <file.fast> [--trees N] [--seed S] [--top K] [--trans NAME]
@@ -95,6 +105,10 @@ modes:
   build            compile once and write a versioned binary .fastc
                    artifact (flat dispatch tables, interned formula
                    pool) loadable with --artifact
+  serve            load .fastc artifact(s) and serve their transducers
+                   and pipelines over TCP (length-prefixed JSON frames)
+                   with admission control, process-wide shared memos,
+                   and continuous windowed telemetry; runs until killed
   check            run semantic analysis (FA001-FA101) without failing
                    on assertions; see --json for machine-readable output
   profile          batch-run one transducer over generated trees and
@@ -140,6 +154,15 @@ options:
   --slo FILE       (watch) JSON SLO spec: any of p99_latency_ms,
                    min_memo_hit_rate, max_intern_resident_bytes,
                    max_error_rate; violations exit 1
+                   (serve) the same spec, evaluated continuously over
+                   the server's sliding window; the violation state is
+                   reported by the 'stats' operation
+  --addr HOST:PORT (serve) listen address [127.0.0.1:7878]
+  --workers N      (serve) executor threads [one per core, max 8]
+  --queue N        (serve) bounded work-queue depth; a full queue sheds
+                   requests with 429 responses [64]
+  --max-conns N    (serve) concurrent connection cap [64]
+  --timeout-ms N   (serve) per-request deadline ceiling [10000]
   --ticks N        (watch) number of workload ticks = sampler windows [8]
   --window W       (watch) sliding-view width in windows [5]
   --bench-json FILE
@@ -158,6 +181,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("build") => build_mode(&args[1..]),
+        Some("serve") => serve_mode(&args[1..]),
         Some("check") => check_mode(&args[1..]),
         Some("profile") => profile_mode(&args[1..]),
         Some("watch") => watch_mode(&args[1..]),
@@ -755,6 +779,119 @@ fn build_mode(args: &[String]) -> ExitCode {
         bytes.len(),
     );
     ExitCode::SUCCESS
+}
+
+fn serve_mode(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut cfg = fast_serve::ServeConfig::default();
+    let mut slo_path: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let parse_count = |flag: &str, v: &str| -> Result<usize, ExitCode> {
+        v.parse::<usize>().map_err(|_| {
+            eprintln!("fastc: '{flag}' needs a non-negative integer, got '{v}'");
+            ExitCode::from(2)
+        })
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                match flag_value(args, i) {
+                    Ok(v) => addr = v,
+                    Err(code) => return code,
+                }
+                i += 1;
+            }
+            "--workers" => {
+                match flag_value(args, i).and_then(|v| parse_count("--workers", &v)) {
+                    Ok(n) => cfg.workers = n,
+                    Err(code) => return code,
+                }
+                i += 1;
+            }
+            "--queue" => {
+                match flag_value(args, i).and_then(|v| parse_count("--queue", &v)) {
+                    Ok(n) => cfg.queue_depth = n.max(1),
+                    Err(code) => return code,
+                }
+                i += 1;
+            }
+            "--max-conns" => {
+                match flag_value(args, i).and_then(|v| parse_count("--max-conns", &v)) {
+                    Ok(n) => cfg.max_connections = n.max(1),
+                    Err(code) => return code,
+                }
+                i += 1;
+            }
+            "--timeout-ms" => {
+                match flag_value(args, i).and_then(|v| parse_count("--timeout-ms", &v)) {
+                    Ok(n) => cfg.timeout = std::time::Duration::from_millis(n as u64),
+                    Err(code) => return code,
+                }
+                i += 1;
+            }
+            "--slo" => {
+                match flag_value(args, i) {
+                    Ok(v) => slo_path = Some(v),
+                    Err(code) => return code,
+                }
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => return usage_error(&format!("unexpected argument '{other}'")),
+        }
+        i += 1;
+    }
+    if paths.is_empty() {
+        return usage_error("serve mode needs at least one <file.fastc> argument");
+    }
+    if let Some(p) = &slo_path {
+        let text = match read_source(p) {
+            Ok(t) => t,
+            Err(code) => return code,
+        };
+        match fast_obs::slo::SloSpec::parse(&text) {
+            Ok(s) => cfg.slo = Some(s),
+            Err(e) => {
+                eprintln!("fastc: bad SLO spec '{p}': {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut artifacts = Vec::with_capacity(paths.len());
+    for p in &paths {
+        match fast_rt::Artifact::load(p) {
+            Ok(a) => artifacts.push(a),
+            Err(e) => {
+                eprintln!("fastc: cannot load artifact '{p}': {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (n_trans, n_pipes) = artifacts.iter().fold((0, 0), |(t, p), a| {
+        (
+            t + a.transducer_names().count(),
+            p + a.pipeline_names().count(),
+        )
+    });
+    match fast_serve::start(artifacts, &addr, cfg) {
+        Ok(handle) => {
+            println!(
+                "fastc serve: {n_trans} transducer(s), {n_pipes} pipeline(s) on {}",
+                handle.addr()
+            );
+            handle.wait();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fastc: cannot bind '{addr}': {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn check_mode(args: &[String]) -> ExitCode {

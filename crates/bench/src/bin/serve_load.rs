@@ -1,0 +1,222 @@
+//! Serving-path load test: an in-process `fast-serve` server loaded
+//! with the Fig. 2 sanitizer, driven by concurrent TCP clients sending
+//! the §5.1 HTML corpus as parse-syntax text — the full wire round
+//! trip (frame → parse → intern → shared-memo run → render → frame),
+//! not just the evaluator.
+//!
+//! The admission settings are *nominal* for this corpus (depth and
+//! frame caps sized with headroom, queue deeper than the client
+//! count), so a healthy build sheds nothing: CI gates on `shed == 0`
+//! and on the client-observed p99 against `ci/slo_sanitizer.json`.
+//! Writes `BENCH_serve.json` with throughput, tail latency, shed/error
+//! counts, the server's own windowed `stats` view, and `serve.*`/
+//! `rt.*` telemetry.
+//!
+//! Usage: `serve_load [--seed S] [--clients N] [--requests N] [--slo FILE]`
+
+use fast_bench::sanitizer::{compile_fig2, corpus};
+use fast_json::Json;
+use fast_obs::slo::SloSpec;
+use fast_rt::ArtifactBuilder;
+use fast_serve::{Client, ServeConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let mut seed = 42u64;
+    let mut clients = 8usize;
+    let mut requests = 80usize;
+    let mut slo_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = args[i + 1].parse().expect("--seed S");
+                i += 2;
+            }
+            "--clients" => {
+                clients = args[i + 1].parse().expect("--clients N");
+                i += 2;
+            }
+            "--requests" => {
+                requests = args[i + 1].parse().expect("--requests N");
+                i += 2;
+            }
+            "--slo" => {
+                slo_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let clients = clients.max(1);
+    let requests = requests.max(clients);
+
+    println!("compiling the Fig. 2 sanitizer…");
+    let compiled = compile_fig2();
+    let ty = compiled.tree_type("HtmlE").unwrap().clone();
+    let mut builder = ArtifactBuilder::new();
+    builder.add_transducer("sani", compiled.transducer("sani").unwrap());
+    let artifact = builder.build();
+
+    // Render the corpus to the wire form clients actually send. The
+    // biggest page is ~3.3 MB of text nested ~700 parens deep, so the
+    // frame and depth gates get explicit headroom over their defaults —
+    // this is the config a real deployment of this corpus would ship.
+    let docs = corpus(seed);
+    let texts: Vec<String> = docs
+        .iter()
+        .map(|d| d.encode(&ty).display(&ty).to_string())
+        .collect();
+    let max_bytes = texts.iter().map(String::len).max().unwrap_or(0);
+    let slo = slo_path.as_deref().map(|p| {
+        let text = std::fs::read_to_string(p).expect("readable --slo file");
+        SloSpec::parse(&text).expect("valid SLO spec")
+    });
+    let slo_configured = slo.is_some();
+    // A 3-second stats window (12 × 250 ms): long enough to cover the
+    // timed phase, short enough that the cold-start runs from warmup
+    // age out before the final SLO check.
+    let cfg = ServeConfig {
+        queue_depth: (2 * clients).max(64),
+        max_connections: clients + 8,
+        max_input_depth: 1024,
+        max_request_bytes: 8 << 20,
+        timeout: Duration::from_secs(30),
+        engine_interval: Duration::from_millis(250),
+        stats_windows: 12,
+        slo,
+        ..ServeConfig::default()
+    };
+    let server = fast_serve::start(vec![artifact], "127.0.0.1:0", cfg).expect("server starts");
+    let addr = server.addr();
+    println!(
+        "serving sani on {addr}: {} pages, {} bytes max frame, {clients} client(s) × {requests} total requests",
+        texts.len(),
+        max_bytes
+    );
+
+    // Warmup: one pass over the corpus populates the interner and the
+    // shared memo, so the timed phase measures the steady state a
+    // long-running service actually operates in.
+    let texts = Arc::new(texts);
+    {
+        let mut warm = Client::connect(addr).expect("warmup client connects");
+        for text in texts.iter() {
+            let resp = warm.run("sani", text).expect("warmup request");
+            assert_eq!(
+                resp.get("ok"),
+                Some(&Json::Bool(true)),
+                "warmup request failed: {resp}"
+            );
+        }
+    }
+
+    // Let the warmup's cold-start latencies age out of the windowed
+    // view, so the SLO verdict reflects the steady state.
+    std::thread::sleep(Duration::from_millis(3_500));
+
+    // Timed phase: `clients` threads, requests dealt round-robin, each
+    // latency measured at the client (queue wait + parse + run + render
+    // + both frame hops).
+    let wall = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let texts = Arc::clone(&texts);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("load client connects");
+                let mut latencies_ns: Vec<u64> = Vec::new();
+                let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
+                let mut req = c;
+                while req < requests {
+                    let input = &texts[req % texts.len()];
+                    let t0 = Instant::now();
+                    let resp = client.run("sani", input).expect("load request completes");
+                    let dt = t0.elapsed().as_nanos() as u64;
+                    match resp.get("code").and_then(Json::as_int) {
+                        None => {
+                            assert_eq!(
+                                resp.get("ok"),
+                                Some(&Json::Bool(true)),
+                                "unexpected response: {resp}"
+                            );
+                            ok += 1;
+                            latencies_ns.push(dt);
+                        }
+                        Some(429) => shed += 1,
+                        Some(_) => errors += 1,
+                    }
+                    req += clients;
+                }
+                (latencies_ns, ok, shed, errors)
+            })
+        })
+        .collect();
+
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
+    for w in workers {
+        let (l, o, s, e) = w.join().expect("load client thread");
+        latencies_ns.extend(l);
+        ok += o;
+        shed += s;
+        errors += e;
+    }
+    let wall = wall.elapsed();
+    latencies_ns.sort_unstable();
+
+    // The server's own windowed view, straight off the wire.
+    let server_stats = Client::connect(addr)
+        .and_then(|mut c| c.stats())
+        .expect("stats request");
+    server.shutdown();
+
+    let quantile = |q: f64| -> f64 {
+        if latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_ns.len() - 1) as f64 * q).round() as usize;
+        latencies_ns[idx] as f64 / 1e6
+    };
+    let p50_ms = quantile(0.50);
+    let p99_ms = quantile(0.99);
+    let max_ms = latencies_ns.last().map_or(0.0, |&n| n as f64 / 1e6);
+    let throughput = ok as f64 / wall.as_secs_f64();
+    let shed_rate = shed as f64 / requests as f64;
+
+    println!(
+        "\n{ok} ok, {shed} shed, {errors} errors in {:.2}s — {throughput:.1} req/s, p50 {p50_ms:.2} ms, p99 {p99_ms:.2} ms, max {max_ms:.2} ms",
+        wall.as_secs_f64()
+    );
+    if let Some(hit) = server_stats.get("memo_hit_rate").and_then(Json::as_f64) {
+        println!("server memo hit rate: {hit:.3}");
+    }
+
+    fast_bench::telemetry::emit_with(
+        "serve",
+        vec![
+            ("seed", Json::Int(seed as i64)),
+            ("clients", Json::Int(clients as i64)),
+            ("requests", Json::Int(requests as i64)),
+            ("corpus_pages", Json::Int(texts.len() as i64)),
+            ("max_frame_bytes", Json::Int(max_bytes as i64)),
+            ("ok", Json::Int(ok as i64)),
+            ("shed", Json::Int(shed as i64)),
+            ("errors", Json::Int(errors as i64)),
+            ("shed_rate", Json::Float(shed_rate)),
+            ("wall_ms", Json::Float(wall.as_secs_f64() * 1e3)),
+            ("throughput_rps", Json::Float(throughput)),
+            (
+                "latency_ms",
+                Json::obj([
+                    ("p50", Json::Float(p50_ms)),
+                    ("p99", Json::Float(p99_ms)),
+                    ("max", Json::Float(max_ms)),
+                ]),
+            ),
+            ("slo_configured", Json::Bool(slo_configured)),
+            ("server_stats", server_stats),
+        ],
+    );
+}

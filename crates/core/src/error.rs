@@ -22,6 +22,16 @@ pub enum TransducerError {
         /// The configured per-item budget, in milliseconds.
         limit_ms: u64,
     },
+    /// The caller cancelled the run before it finished (the batch
+    /// runtime's cooperative cancellation token — a streaming consumer
+    /// hung up, or a server connection went away).
+    Cancelled,
+    /// The runtime lost this item to an internal fault (a worker thread
+    /// died mid-item). The fault degrades the one item, not the process.
+    Internal {
+        /// Which runtime component failed.
+        context: &'static str,
+    },
     /// [`crate::try_compose_exact`] was asked for an exact composition
     /// but neither exactness precondition of Theorem 4 holds: the left
     /// factor is not single-valued *and* the right factor is not linear.
@@ -45,6 +55,10 @@ impl fmt::Display for TransducerError {
             TransducerError::Timeout { limit_ms } => {
                 write!(f, "run exceeded its deadline of {limit_ms} ms")
             }
+            TransducerError::Cancelled => write!(f, "run cancelled by the caller"),
+            TransducerError::Internal { context } => {
+                write!(f, "internal runtime fault in {context}")
+            }
             TransducerError::InexactComposition {
                 left_witness,
                 right_witness,
@@ -65,6 +79,8 @@ impl std::error::Error for TransducerError {
             TransducerError::Automata(e) => Some(e),
             TransducerError::Budget { .. }
             | TransducerError::Timeout { .. }
+            | TransducerError::Cancelled
+            | TransducerError::Internal { .. }
             | TransducerError::InexactComposition { .. } => None,
         }
     }

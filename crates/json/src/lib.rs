@@ -384,16 +384,32 @@ impl<'a> Parser<'a> {
         self.eat(b'"', "expected string")?;
         let mut out = String::new();
         loop {
-            let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                .map_err(|_| self.err("invalid UTF-8"))?;
-            let mut chars = rest.char_indices();
-            match chars.next() {
+            // Copy the maximal run of unescaped bytes in one shot and
+            // validate only that run — `"` and `\` (0x22, 0x5C) never
+            // appear as UTF-8 continuation bytes, so the byte scan
+            // cannot split a multi-byte character. Validating from
+            // `pos` to the end of the *input* here instead would make
+            // parsing quadratic in the string length.
+            let run_start = self.pos;
+            while !matches!(self.bytes.get(self.pos), None | Some(b'"') | Some(b'\\')) {
+                self.pos += 1;
+            }
+            if self.pos > run_start {
+                let run = std::str::from_utf8(&self.bytes[run_start..self.pos]).map_err(|e| {
+                    JsonError {
+                        message: "invalid UTF-8".to_string(),
+                        offset: run_start + e.valid_up_to(),
+                    }
+                })?;
+                out.push_str(run);
+            }
+            match self.bytes.get(self.pos).copied() {
                 None => return Err(self.err("unterminated string")),
-                Some((_, '"')) => {
+                Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
                 }
-                Some((_, '\\')) => {
+                Some(_) => {
                     self.pos += 1;
                     let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
                     self.pos += 1;
@@ -438,10 +454,6 @@ impl<'a> Parser<'a> {
                         }
                         _ => return Err(self.err("unknown escape")),
                     }
-                }
-                Some((i, c)) => {
-                    out.push(c);
-                    self.pos += c.len_utf8() + i;
                 }
             }
         }
@@ -628,5 +640,31 @@ mod tests {
     fn pretty_round_trips() {
         let v = Json::parse(r#"{"a":[1,2],"b":{"c":null},"d":[]}"#).unwrap();
         assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+    }
+
+    /// Megabyte-scale strings must parse in linear time. The parser
+    /// once re-validated UTF-8 from the cursor to the end of the input
+    /// on *every* character of a string, which made a 1 MB payload
+    /// take tens of seconds — the bound here is generous for a linear
+    /// parser and hopeless for a quadratic one.
+    #[test]
+    fn large_strings_parse_in_linear_time() {
+        let mut body = "munged \\\"wire\\\" text, 100% straight ahead ".repeat(25_000);
+        body.push_str("é😀");
+        let text = format!("{{\"input\": \"{body}\"}}");
+        assert!(text.len() > 1_000_000);
+        let start = std::time::Instant::now();
+        let v = Json::parse(&text).unwrap();
+        let elapsed = start.elapsed();
+        // Each of the 2 × 25 000 `\"` escapes shrinks by one byte; the
+        // raw multi-byte tail passes through unchanged.
+        assert_eq!(
+            v.get("input").and_then(Json::as_str).map(str::len),
+            Some(body.len() - 2 * 25_000)
+        );
+        assert!(
+            elapsed < std::time::Duration::from_secs(10),
+            "1 MB string took {elapsed:?} to parse — quadratic again?"
+        );
     }
 }

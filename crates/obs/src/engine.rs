@@ -39,7 +39,7 @@
 use std::collections::VecDeque;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use fast_json::Json;
@@ -269,9 +269,24 @@ struct Shared {
     sampler: Mutex<Sampler>,
 }
 
+impl Shared {
+    /// The sampler lock, recovering from poisoning: a panic inside one
+    /// `with_sampler` closure must not wedge telemetry for the rest of
+    /// the process (a `Sampler` is just a ring of finished windows —
+    /// structurally sound whenever the lock is free).
+    fn sampler(&self) -> MutexGuard<'_, Sampler> {
+        self.sampler.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 impl Engine {
     /// Starts the sampling thread: one [`Sampler::tick`] every
     /// `interval`, retaining `capacity` windows.
+    ///
+    /// If the OS refuses to spawn the thread, the engine degrades to a
+    /// passive sampler: no background ticks, but [`Engine::with_sampler`]
+    /// and the closing tick of [`Engine::stop`] still work — telemetry
+    /// loses granularity, the process keeps serving.
     pub fn start(interval: Duration, capacity: usize) -> Engine {
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
@@ -292,21 +307,18 @@ impl Engine {
                     slept += slice;
                     if slept >= interval {
                         slept = Duration::ZERO;
-                        thread_shared.sampler.lock().unwrap().tick();
+                        thread_shared.sampler().tick();
                     }
                 }
             })
-            .expect("spawn fast-obs-engine thread");
-        Engine {
-            shared,
-            handle: Some(handle),
-        }
+            .ok();
+        Engine { shared, handle }
     }
 
     /// Runs `f` against the live sampler (under its lock — keep `f`
     /// short; the sampling thread blocks on the same lock).
     pub fn with_sampler<R>(&self, f: impl FnOnce(&Sampler) -> R) -> R {
-        f(&self.shared.sampler.lock().unwrap())
+        f(&self.shared.sampler())
     }
 
     /// Stops the sampling thread, takes a final closing tick, and
@@ -318,8 +330,7 @@ impl Engine {
         }
         // The thread has joined, so ours is the only Arc clone left and
         // swapping the sampler out under the lock loses nothing.
-        let mut sampler =
-            std::mem::replace(&mut *self.shared.sampler.lock().unwrap(), Sampler::new(1));
+        let mut sampler = std::mem::replace(&mut *self.shared.sampler(), Sampler::new(1));
         sampler.tick();
         sampler
     }

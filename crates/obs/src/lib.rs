@@ -73,6 +73,14 @@
 //! | `rt.pipeline.runs` | a `Pipeline::run_batch` invocation starts |
 //! | `rt.pipeline.items` | — bumped by the pipeline batch size, one per input tree |
 //! | `rt.item_errors` | a batch item finishes with an error (budget, timeout) |
+//! | `rt.worker_panics` | a pool job panics and is contained (its slot degrades to an error) |
+//! | `rt.stream_done` | a `run_stream` coordinator finishes (normally or after cancellation) |
+//! | `rt.stream_cancelled` | a `run_stream` batch is abandoned because the receiver hung up or the cancel token tripped |
+//! | `serve.requests` | `fast-serve` admits a request for execution |
+//! | `serve.shed` | `fast-serve` sheds a request because the work queue is full |
+//! | `serve.errors` | a `fast-serve` request finishes with an error response |
+//! | `serve.conn_rejected` | `fast-serve` rejects a connection over the connection cap |
+//! | `serve.slo_violations` | the `fast-serve` SLO watcher observes a window in violation |
 //! | `artifact.bytes` | — bumped by the byte length of a `.fastc` artifact on a successful decode |
 //! | `artifact.load_ns` | — bumped by the wall-clock nanoseconds a successful `Artifact::decode` took |
 //! | `obs.trace_dropped` | the span buffer is full and an event is discarded |
@@ -101,6 +109,7 @@
 //! | `rt.la.entries` | entries resident across every live lookahead cache |
 //! | `rt.la.bytes` | estimated heap bytes held by those lookahead caches |
 //! | `smt.cache.entries` | satisfiability results resident across every live solver cache |
+//! | `serve.connections` | live client connections held by a `fast-serve` server |
 //!
 //! ## Duration naming
 //!
@@ -116,7 +125,8 @@
 //! `plan.dispatch` per memoized dispatch), pipeline phases
 //! (`rt.pipeline.compile` per chain compilation, `rt.pipeline.run` per
 //! pipeline batch, `rt.pipeline.stage` per segment pass — also a span
-//! and a histogram), and the `fastc profile` phases
+//! and a histogram), the serving path (`serve.request` per admitted
+//! request, queue wait included), and the `fastc profile` phases
 //! (`profile.compile`, `profile.plan_compile`, `profile.run`).
 //!
 //! ## Reading a snapshot
@@ -205,6 +215,14 @@ pub const DOCUMENTED_COUNTERS: &[&str] = &[
     "rt.pipeline.runs",
     "rt.pipeline.items",
     "rt.item_errors",
+    "rt.worker_panics",
+    "rt.stream_done",
+    "rt.stream_cancelled",
+    "serve.requests",
+    "serve.shed",
+    "serve.errors",
+    "serve.conn_rejected",
+    "serve.slo_violations",
     "artifact.bytes",
     "artifact.load_ns",
     "obs.trace_dropped",
@@ -224,6 +242,7 @@ pub const DOCUMENTED_GAUGES: &[&str] = &[
     "rt.la.entries",
     "rt.la.bytes",
     "smt.cache.entries",
+    "serve.connections",
 ];
 
 /// Gauge-name prefixes expanding to indexed families (the 16 interner
@@ -256,6 +275,7 @@ pub const DOCUMENTED_DURATIONS: &[&str] = &[
     "rt.pipeline.compile",
     "rt.pipeline.run",
     "rt.pipeline.stage",
+    "serve.request",
     "plan.dispatch",
     "profile.compile",
     "profile.plan_compile",

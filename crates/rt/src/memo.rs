@@ -34,9 +34,18 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use fast_obs::Gauge;
+
+/// Locks `m`, recovering from poisoning. A cache shard is structurally
+/// sound even if a worker panicked while holding its lock (entries are
+/// inserted whole; the worst residue is a slightly stale gauge), so a
+/// poisoned shard must degrade to a plain lock — never take the process
+/// down with a second panic.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Number of shards (matches `fast_smt::intern::SHARDS`).
 pub(crate) const SHARDS: usize = 16;
@@ -109,7 +118,7 @@ impl<K: Eq + Hash + Clone, V: Clone> Sharded<K, V> {
 
     /// Looks up `key`, recording a hit or miss in `stats`.
     pub fn get(&self, key: &K, stats: &CacheStats) -> Option<V> {
-        let found = self.shard(key).lock().unwrap().get(key).cloned();
+        let found = lock_unpoisoned(self.shard(key)).get(key).cloned();
         match &found {
             Some(_) => stats.hits.fetch_add(1, Ordering::Relaxed),
             None => stats.misses.fetch_add(1, Ordering::Relaxed),
@@ -119,7 +128,7 @@ impl<K: Eq + Hash + Clone, V: Clone> Sharded<K, V> {
 
     /// Inserts `key → value`, evicting one entry if the shard is full.
     pub fn insert(&self, key: K, value: V, stats: &CacheStats) {
-        let mut shard = self.shard(&key).lock().unwrap();
+        let mut shard = lock_unpoisoned(self.shard(&key));
         if shard.len() >= self.per_shard_cap && !shard.contains_key(&key) {
             if let Some(victim) = shard.keys().next().cloned() {
                 if let Some(evicted) = shard.remove(&victim) {
@@ -145,7 +154,7 @@ impl<K: Eq + Hash + Clone, V: Clone> Sharded<K, V> {
     /// Total entries across shards (test/diagnostic use).
     #[cfg(test)]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards.iter().map(|s| lock_unpoisoned(s).len()).sum()
     }
 }
 
@@ -155,7 +164,7 @@ impl<K, V> Drop for Sharded<K, V> {
     fn drop(&mut self) {
         if let Some(g) = &self.gauges {
             for shard in &self.shards {
-                let shard = shard.lock().unwrap();
+                let shard = lock_unpoisoned(shard);
                 g.entries.sub(shard.len() as u64);
                 g.bytes
                     .sub(shard.iter().map(|(k, v)| (g.weigh)(k, v)).sum());

@@ -197,7 +197,7 @@ fn fuse_cache() -> &'static Mutex<HashMap<(usize, usize), FuseEntry>> {
 /// pair, returning the fused product when Theorem 4 says it is exact.
 fn fuse_boundary(left: &Arc<Sttr>, right: &Arc<Sttr>, cache_hits: &mut u64) -> Verdict {
     let key = (Arc::as_ptr(left) as usize, Arc::as_ptr(right) as usize);
-    if let Some(e) = fuse_cache().lock().unwrap().get(&key) {
+    if let Some(e) = crate::memo::lock_unpoisoned(fuse_cache()).get(&key) {
         *cache_hits += 1;
         fast_obs::count!("rt.pipeline.fuse_cache_hits");
         return e.verdict.clone();
@@ -213,7 +213,7 @@ fn fuse_boundary(left: &Arc<Sttr>, right: &Arc<Sttr>, cache_hits: &mut u64) -> V
         }
         ex @ Exactness::Overapproximate { .. } => Verdict::Cascade(format!("not fusable — {ex}")),
     };
-    let mut cache = fuse_cache().lock().unwrap();
+    let mut cache = crate::memo::lock_unpoisoned(fuse_cache());
     if cache.len() >= FUSE_CACHE_CAP && !cache.contains_key(&key) {
         if let Some(victim) = cache.keys().next().copied() {
             cache.remove(&victim);

@@ -9,7 +9,7 @@ use fast_smt::bin::FormulaPool;
 use fast_smt::{BoolAlg, Formula, Interned, TransAlg};
 use fast_trees::{Tree, TreeId};
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -62,6 +62,13 @@ pub struct RunOptions {
     /// [`Plan::run_batch_profiled`]). Off by default: profiling adds two
     /// clock reads per dispatched rule.
     pub profile: bool,
+    /// Cooperative cancellation token, checked at the same amortized
+    /// cadence as the deadline: once it reads `true`, in-flight items
+    /// fail with [`TransducerError::Cancelled`] and unstarted items are
+    /// skipped. `run_stream` sets it automatically when the consumer
+    /// drops the receiver; servers set it on connection teardown or
+    /// shutdown.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for RunOptions {
@@ -74,6 +81,7 @@ impl Default for RunOptions {
             timeout: None,
             channel_bound: 64,
             profile: false,
+            cancel: None,
         }
     }
 }
@@ -208,6 +216,8 @@ struct BatchCtx<'p> {
     plan: &'p Plan,
     cap: usize,
     timeout: Option<Duration>,
+    /// Cooperative cancellation token ([`RunOptions::cancel`]).
+    cancel: Option<Arc<AtomicBool>>,
     /// `None` = shared memo off (items fall back to a private table).
     memo: Option<Arc<OutMemo>>,
     memo_stats: CacheStats,
@@ -506,9 +516,13 @@ impl Plan {
             let cx = self.batch_ctx(opts);
             let workers = pool::resolve_workers(opts.workers);
             let pool_stats = PoolStats::default();
-            let results = pool::run_indexed(workers, items.len(), &pool_stats, |i| {
-                run_item(&cx, &items[i])
-            });
+            let results = pool::run_indexed(
+                workers,
+                items.len(),
+                &pool_stats,
+                |i| run_item(&cx, &items[i]),
+                recover_item,
+            );
             (
                 results,
                 finish_stats(&cx, &pool_stats, items.len(), workers),
@@ -550,6 +564,7 @@ impl Plan {
             for (i, t) in items.iter().enumerate() {
                 let _ = tx.send((i, run_item(&cx, t)));
             }
+            fast_obs::count!("rt.stream_done");
             return rx;
         }
         rx
@@ -560,6 +575,7 @@ impl Plan {
             plan: self,
             cap: opts.cap,
             timeout: opts.timeout,
+            cancel: opts.cancel.clone(),
             memo: opts
                 .memo
                 .then(|| Arc::new(out_memo(opts.memo_capacity.max(crate::memo::SHARDS)))),
@@ -579,6 +595,7 @@ impl Plan {
             plan: self,
             cap: opts.cap,
             timeout: opts.timeout,
+            cancel: opts.cancel.clone(),
             memo: Some(Arc::clone(&memo.out)),
             memo_stats: CacheStats::default(),
             la: Arc::clone(&memo.la),
@@ -608,9 +625,13 @@ impl Plan {
             let cx = self.batch_ctx_with_memo(opts, memo);
             let workers = pool::resolve_workers(opts.workers);
             let pool_stats = PoolStats::default();
-            let results = pool::run_indexed(workers, items.len(), &pool_stats, |i| {
-                run_item(&cx, &items[i])
-            });
+            let results = pool::run_indexed(
+                workers,
+                items.len(),
+                &pool_stats,
+                |i| run_item(&cx, &items[i]),
+                recover_item,
+            );
             (
                 results,
                 finish_stats(&cx, &pool_stats, items.len(), workers),
@@ -642,9 +663,13 @@ impl Plan {
             let cx = self.batch_ctx(&opts);
             let workers = pool::resolve_workers(opts.workers);
             let pool_stats = PoolStats::default();
-            let results = pool::run_indexed(workers, items.len(), &pool_stats, |i| {
-                run_item(&cx, &items[i])
-            });
+            let results = pool::run_indexed(
+                workers,
+                items.len(),
+                &pool_stats,
+                |i| run_item(&cx, &items[i]),
+                recover_item,
+            );
             let profile = self.collect_profile(cx.profile.as_ref().expect("profiling on"));
             (
                 results,
@@ -682,25 +707,48 @@ impl Plan {
 
 /// Worker loop of [`Plan::run_stream`]: scoped workers claim items from
 /// an atomic cursor and send results as soon as they are ready.
+///
+/// Receiver-drop contract: a send on the bounded channel fails (it never
+/// blocks or panics) once the consumer drops the [`Receiver`]. The first
+/// worker to see the failure parks the claim cursor past the end *and*
+/// trips the batch's cancellation token, so siblings stop claiming new
+/// items and items already mid-evaluation abort at their next
+/// cooperative tick with [`TransducerError::Cancelled`] instead of
+/// burning the rest of their (possibly unbounded) evaluation.
 fn stream_batch(
     plan: &Plan,
     items: &[Tree],
     opts: &RunOptions,
     tx: &SyncSender<(usize, Result<Vec<Tree>, TransducerError>)>,
 ) {
-    let cx = plan.batch_ctx(opts);
+    // Every stream run gets a cancellation token (chaining onto the
+    // caller's, when provided) so a consumer hang-up can reach in-flight
+    // evaluations, not just unclaimed items.
+    let cancel = opts.cancel.clone().unwrap_or_default();
+    let opts = RunOptions {
+        cancel: Some(Arc::clone(&cancel)),
+        ..opts.clone()
+    };
+    let cx = plan.batch_ctx(&opts);
     let workers = pool::resolve_workers(opts.workers).min(items.len()).max(1);
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let work = |tx: SyncSender<(usize, Result<Vec<Tree>, TransducerError>)>| {
             loop {
+                if cancel.load(Ordering::Relaxed) {
+                    return;
+                }
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     return;
                 }
-                // A send error means the consumer hung up; stop quietly.
+                // A send error means the consumer hung up: cancel the
+                // batch and stop quietly.
                 if tx.send((i, run_item(&cx, &items[i]))).is_err() {
                     cursor.store(items.len(), Ordering::Relaxed);
+                    if !cancel.swap(true, Ordering::Relaxed) {
+                        fast_obs::count!("rt.stream_cancelled");
+                    }
                     return;
                 }
             }
@@ -716,6 +764,7 @@ fn stream_batch(
     });
     let stats = finish_stats(&cx, &PoolStats::default(), items.len(), workers);
     let _ = stats; // mirrored to fast_obs inside finish_stats
+    fast_obs::count!("rt.stream_done");
 }
 
 /// Evaluates one item under the batch context, recording its latency in
@@ -762,6 +811,17 @@ fn run_item(cx: &BatchCtx<'_>, t: &Tree) -> Result<Vec<Tree>, TransducerError> {
     Ok(out?.as_ref().clone())
 }
 
+/// Fills the slot of an item whose evaluation panicked (the pool caught
+/// it and counted `rt.worker_panics`): the item degrades to a typed
+/// error — counted like any other errored item — instead of taking the
+/// process down.
+fn recover_item(_i: usize) -> Result<Vec<Tree>, TransducerError> {
+    fast_obs::count!("rt.item_errors");
+    Err(TransducerError::Internal {
+        context: "worker pool",
+    })
+}
+
 /// Publishes the batch's local counters into `fast_obs` and folds them
 /// into a [`BatchStats`].
 fn finish_stats(
@@ -788,10 +848,16 @@ fn finish_stats(
 }
 
 impl<'b, 'p> ItemRun<'b, 'p> {
-    /// Cooperative deadline check, amortized over 256 evaluation steps.
+    /// Cooperative deadline and cancellation check, amortized over 256
+    /// evaluation steps.
     fn tick(&mut self) -> Result<(), TransducerError> {
         self.ticks = self.ticks.wrapping_add(1);
         if self.ticks.is_multiple_of(256) {
+            if let Some(c) = &self.cx.cancel {
+                if c.load(Ordering::Relaxed) {
+                    return Err(TransducerError::Cancelled);
+                }
+            }
             if let Some(d) = self.deadline {
                 if Instant::now() > d {
                     fast_obs::count!("rt.timeouts");

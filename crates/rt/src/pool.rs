@@ -15,7 +15,9 @@
 //! batch still completes — the calling thread doubles as worker 0 and
 //! drains every deque itself. `rt.pool_fallbacks` counts such events.
 
+use crate::memo::lock_unpoisoned;
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -32,13 +34,38 @@ pub(crate) struct PoolStats {
 /// included), returning results in index order.
 ///
 /// `workers` is the *total* parallelism: `workers <= 1` runs inline.
-pub(crate) fn run_indexed<R, F>(workers: usize, n: usize, stats: &PoolStats, exec: F) -> Vec<R>
+///
+/// A job that **panics** is contained: the panic is caught, counted
+/// under `rt.worker_panics`, and the job's slot is filled with
+/// `recover(i)` — one hostile item degrades to one errored result
+/// instead of tearing down the batch (or, server-side, the process).
+pub(crate) fn run_indexed<R, F, G>(
+    workers: usize,
+    n: usize,
+    stats: &PoolStats,
+    exec: F,
+    recover: G,
+) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
+    G: Fn(usize) -> R,
 {
+    let guarded = |i: usize| {
+        std::panic::catch_unwind(AssertUnwindSafe(|| exec(i)))
+            .ok()
+            .map_or_else(
+                || {
+                    fast_obs::count!("rt.worker_panics");
+                    None
+                },
+                Some,
+            )
+    };
     if workers <= 1 || n <= 1 {
-        return (0..n).map(&exec).collect();
+        return (0..n)
+            .map(|i| guarded(i).unwrap_or_else(|| recover(i)))
+            .collect();
     }
     let lanes = workers.min(n);
     let deques: Vec<Mutex<VecDeque<usize>>> = (0..lanes)
@@ -52,10 +79,10 @@ where
         let mut out = Vec::new();
         loop {
             // Own work first (front), then steal from siblings (back).
-            let mut job = deques[me].lock().unwrap().pop_front();
+            let mut job = lock_unpoisoned(&deques[me]).pop_front();
             if job.is_none() {
                 for other in (0..lanes).filter(|&o| o != me) {
-                    if let Some(stolen) = deques[other].lock().unwrap().pop_back() {
+                    if let Some(stolen) = lock_unpoisoned(&deques[other]).pop_back() {
                         stats.steals.fetch_add(1, Ordering::Relaxed);
                         fast_obs::count!("rt.pool_steals");
                         job = Some(stolen);
@@ -64,7 +91,11 @@ where
                 }
             }
             match job {
-                Some(i) => out.push((i, exec(i))),
+                Some(i) => {
+                    if let Some(r) = guarded(i) {
+                        out.push((i, r));
+                    }
+                }
                 // Every deque was empty; jobs never spawn jobs, so the
                 // batch is drained.
                 None => return out,
@@ -90,13 +121,30 @@ where
         // The calling thread is worker 0.
         gathered.extend(work(0));
         for h in handles {
-            gathered.extend(h.join().expect("fast-rt worker panicked"));
+            // `work` catches job panics, so a join failure means the
+            // thread died outside a job; its finished results are lost
+            // and the indices are refilled below.
+            match h.join() {
+                Ok(part) => gathered.extend(part),
+                Err(_) => fast_obs::count!("rt.worker_panics"),
+            }
         }
     });
 
-    debug_assert_eq!(gathered.len(), n);
     gathered.sort_unstable_by_key(|(i, _)| *i);
-    gathered.into_iter().map(|(_, r)| r).collect()
+    if gathered.len() == n {
+        return gathered.into_iter().map(|(_, r)| r).collect();
+    }
+    // Panicked (or lost) slots: rebuild in index order, filling gaps.
+    let mut by_index: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in gathered {
+        by_index[i] = Some(r);
+    }
+    by_index
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| recover(i)))
+        .collect()
 }
 
 /// Resolves a worker-count request: `0` means "ask the OS", anything
@@ -116,17 +164,21 @@ pub(crate) fn resolve_workers(requested: usize) -> usize {
 mod tests {
     use super::*;
 
+    fn no_recover(i: usize) -> usize {
+        panic!("job {i} should not need recovery")
+    }
+
     #[test]
     fn results_are_in_index_order() {
         let stats = PoolStats::default();
-        let out = run_indexed(4, 100, &stats, |i| i * 2);
+        let out = run_indexed(4, 100, &stats, |i| i * 2, no_recover);
         assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn inline_when_single_worker() {
         let stats = PoolStats::default();
-        let out = run_indexed(1, 10, &stats, |i| i);
+        let out = run_indexed(1, 10, &stats, |i| i, no_recover);
         assert_eq!(out.len(), 10);
         assert_eq!(stats.steals.load(Ordering::Relaxed), 0);
     }
@@ -137,19 +189,52 @@ mod tests {
         // drain their own deques and steal the stragglers. (Timing-free:
         // we only assert completion and order, steals are best-effort.)
         let stats = PoolStats::default();
-        let out = run_indexed(4, 32, &stats, |i| {
-            if i % 4 == 0 {
-                std::thread::sleep(std::time::Duration::from_millis(2));
-            }
-            i
-        });
+        let out = run_indexed(
+            4,
+            32,
+            &stats,
+            |i| {
+                if i % 4 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                i
+            },
+            no_recover,
+        );
         assert_eq!(out, (0..32).collect::<Vec<_>>());
     }
 
     #[test]
     fn more_workers_than_jobs() {
         let stats = PoolStats::default();
-        let out = run_indexed(16, 3, &stats, |i| i + 1);
+        let out = run_indexed(16, 3, &stats, |i| i + 1, no_recover);
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    /// A panicking job degrades to its `recover` value; every other job
+    /// completes normally and order is preserved. Covers both the
+    /// pooled and the inline path.
+    #[test]
+    fn panicking_job_is_contained() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        for workers in [1, 4] {
+            let stats = PoolStats::default();
+            let out = run_indexed(
+                workers,
+                16,
+                &stats,
+                |i| {
+                    if i == 7 {
+                        panic!("hostile item");
+                    }
+                    i
+                },
+                |i| 1000 + i,
+            );
+            let expected: Vec<usize> = (0..16).map(|i| if i == 7 { 1007 } else { i }).collect();
+            assert_eq!(out, expected, "workers = {workers}");
+        }
+        std::panic::set_hook(hook);
     }
 }

@@ -1,0 +1,740 @@
+//! The server proper: acceptor, bounded work queue, executors.
+//!
+//! Admission control has three gates, hit in order, each shedding load
+//! *before* the expensive part behind it:
+//!
+//! 1. **Connection cap** — an accept over [`ServeConfig::max_connections`]
+//!    is answered with one 429 frame and closed (`serve.conn_rejected`).
+//! 2. **Frame cap** — a length prefix over
+//!    [`ServeConfig::max_request_bytes`] is rejected before any payload
+//!    allocation (413), and a nesting-depth scan bounds the recursion the
+//!    parser and evaluator will perform (the depth gate is what makes a
+//!    `catch_unwind` story honest: a stack overflow is an abort, not a
+//!    panic, so it must be prevented, not contained).
+//! 3. **Work queue** — `run`/`pipeline`/`check` requests go through a
+//!    bounded queue; when it is full the request is shed with a 429
+//!    (`serve.shed`) instead of queuing unbounded latency. `stats` and
+//!    `ping` are answered inline and are never shed — the telemetry
+//!    plane must stay responsive exactly when the data plane is
+//!    saturated.
+//!
+//! Admitted requests run under the runtime's own guard rails: a
+//! per-request deadline (clamped to the server's), an output-set budget,
+//! the process-wide cancellation token (tripped on shutdown), and
+//! per-transducer [`BatchMemo`]s shared across all connections — a
+//! repeated subtree is transduced once per process, not once per
+//! request.
+
+use crate::proto::{self, FrameError, Op, Request};
+use fast_core::TransducerError;
+use fast_json::Json;
+use fast_obs::engine::Engine;
+use fast_obs::slo::{SloSpec, SloViolation};
+use fast_rt::{Artifact, BatchMemo, RunOptions};
+use fast_trees::Tree;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Executor threads get a deep stack: the evaluator recurses once per
+/// tree level, and the depth gate ([`ServeConfig::max_input_depth`])
+/// is calibrated against this, not against the platform default.
+const EXECUTOR_STACK_BYTES: usize = 16 << 20;
+
+/// Server tuning. [`ServeConfig::default`] is sized for a small
+/// single-process deployment; every limit is a ceiling that per-request
+/// `timeout_ms`/`cap` fields may tighten but never exceed.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Executor threads (0 = one per core, capped at 8).
+    pub workers: usize,
+    /// Bounded work-queue depth; a full queue sheds with 429.
+    pub queue_depth: usize,
+    /// Concurrent connections; excess accepts are rejected with 429.
+    pub max_connections: usize,
+    /// Per-request wall-clock ceiling.
+    pub timeout: Duration,
+    /// Per-request output-set budget ceiling.
+    pub cap: usize,
+    /// Largest accepted request frame, in bytes.
+    pub max_request_bytes: usize,
+    /// Largest serialized output set returned, in bytes.
+    pub max_response_bytes: usize,
+    /// Maximum input-tree nesting depth (guards parser/evaluator
+    /// recursion — see [`EXECUTOR_STACK_BYTES`]).
+    pub max_input_depth: usize,
+    /// Read timeout on idle connections (`None` = wait forever).
+    pub idle_timeout: Option<Duration>,
+    /// Capacity of each shared per-transducer [`BatchMemo`].
+    pub memo_capacity: usize,
+    /// Telemetry sampling interval (window width).
+    pub engine_interval: Duration,
+    /// Telemetry window-ring capacity.
+    pub engine_capacity: usize,
+    /// Windows merged into each `stats` / SLO evaluation.
+    pub stats_windows: usize,
+    /// Service-level objectives, evaluated continuously over the
+    /// windowed view when set.
+    pub slo: Option<SloSpec>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 0,
+            queue_depth: 64,
+            max_connections: 64,
+            timeout: Duration::from_secs(10),
+            cap: RunOptions::default().cap,
+            max_request_bytes: 4 << 20,
+            max_response_bytes: 16 << 20,
+            max_input_depth: 512,
+            idle_timeout: Some(Duration::from_secs(60)),
+            memo_capacity: RunOptions::default().memo_capacity,
+            engine_interval: Duration::from_millis(500),
+            engine_capacity: 240,
+            stats_windows: 20,
+            slo: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TargetKind {
+    Transducer,
+    Pipeline,
+}
+
+/// Where a published name points.
+struct TargetEntry {
+    kind: TargetKind,
+    artifact: usize,
+}
+
+/// Continuous SLO evaluation state, updated by the watcher thread.
+#[derive(Debug, Default, Clone)]
+struct SloState {
+    /// Violations in the most recent evaluation (empty = healthy).
+    current: Vec<SloViolation>,
+    /// Evaluations performed.
+    checks: u64,
+    /// Evaluations that found at least one violation.
+    violated_checks: u64,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    artifacts: Vec<Artifact>,
+    targets: HashMap<String, TargetEntry>,
+    /// One shared memo per *transducer* target (pipelines build their
+    /// own per-segment memos per run).
+    memos: HashMap<String, BatchMemo>,
+    engine: Engine,
+    slo_state: Mutex<SloState>,
+    stop: AtomicBool,
+    /// Cooperative cancellation token threaded into every run; tripped
+    /// on shutdown so in-flight items fail fast with `Cancelled`.
+    cancel: Arc<AtomicBool>,
+    conns: AtomicUsize,
+    started: Instant,
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Job {
+    req: Request,
+    reply: SyncSender<Json>,
+}
+
+/// A running server. Dropping the handle (or calling
+/// [`ServerHandle::shutdown`]) stops the acceptor, trips the
+/// cancellation token, and joins the service threads it can join;
+/// handler threads for connections the *client* still holds open exit
+/// when those connections close or time out.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    watcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with a `:0` request port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, cancels in-flight runs, joins the acceptor and
+    /// SLO watcher.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+
+    /// Blocks the calling thread for the server's lifetime (until the
+    /// process is killed) — the foreground `fastc serve` mode.
+    pub fn wait(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.cancel.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking `accept`.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.watcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Starts a server over `artifacts` on `addr` (e.g. `"127.0.0.1:7878"`,
+/// port 0 for ephemeral). Every transducer and pipeline in every
+/// artifact becomes a published target; on a name collision the first
+/// artifact wins (transducers before pipelines within one artifact).
+pub fn start(artifacts: Vec<Artifact>, addr: &str, cfg: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+
+    let mut targets = HashMap::new();
+    let mut memos = HashMap::new();
+    for (i, art) in artifacts.iter().enumerate() {
+        for name in art.transducer_names() {
+            targets.entry(name.to_owned()).or_insert(TargetEntry {
+                kind: TargetKind::Transducer,
+                artifact: i,
+            });
+            memos
+                .entry(name.to_owned())
+                .or_insert_with(|| BatchMemo::new(cfg.memo_capacity));
+        }
+        for name in art.pipeline_names() {
+            targets.entry(name.to_owned()).or_insert(TargetEntry {
+                kind: TargetKind::Pipeline,
+                artifact: i,
+            });
+        }
+    }
+
+    let engine = Engine::start(cfg.engine_interval, cfg.engine_capacity);
+    let shared = Arc::new(Shared {
+        cfg,
+        artifacts,
+        targets,
+        memos,
+        engine,
+        slo_state: Mutex::new(SloState::default()),
+        stop: AtomicBool::new(false),
+        cancel: Arc::new(AtomicBool::new(false)),
+        conns: AtomicUsize::new(0),
+        started: Instant::now(),
+    });
+
+    // Executors: they own the receive side of the bounded work queue
+    // and exit when every sender (acceptor + connection handlers) is
+    // gone.
+    let (jobs_tx, jobs_rx) = sync_channel::<Job>(shared.cfg.queue_depth.max(1));
+    let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+    let n_workers = if shared.cfg.workers > 0 {
+        shared.cfg.workers
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    };
+    for w in 0..n_workers.max(1) {
+        let shared = Arc::clone(&shared);
+        let rx = Arc::clone(&jobs_rx);
+        let builder = std::thread::Builder::new()
+            .name(format!("fast-serve-exec-{w}"))
+            .stack_size(EXECUTOR_STACK_BYTES);
+        // A refused spawn degrades parallelism, not correctness — the
+        // executors that did start drain the same queue.
+        let _ = builder.spawn(move || executor_loop(&shared, &rx));
+    }
+
+    // SLO watcher: evaluates the windowed view each interval.
+    let watcher = shared.cfg.slo.as_ref().map(|_| {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || watcher_loop(&shared))
+    });
+
+    // Acceptor.
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || acceptor_loop(&shared, &listener, &jobs_tx))
+    };
+
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        acceptor: Some(acceptor),
+        watcher: Some(watcher.unwrap_or_else(|| std::thread::spawn(|| {}))),
+    })
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener, jobs_tx: &SyncSender<Job>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Connection cap: one 429 frame, then close.
+        let live = shared.conns.fetch_add(1, Ordering::SeqCst);
+        if live >= shared.cfg.max_connections {
+            shared.conns.fetch_sub(1, Ordering::SeqCst);
+            fast_obs::count!("serve.conn_rejected");
+            let mut w = BufWriter::new(stream);
+            let _ = proto::write_json(
+                &mut w,
+                &proto::error_response(
+                    &Json::Null,
+                    proto::CODE_SHED,
+                    "connection limit reached, retry later",
+                ),
+            );
+            continue;
+        }
+        fast_obs::gauge("serve.connections").set(shared.conns.load(Ordering::SeqCst) as u64);
+        let conn_shared = Arc::clone(shared);
+        let jobs_tx = jobs_tx.clone();
+        let spawned = std::thread::Builder::new()
+            .name("fast-serve-conn".into())
+            .spawn(move || {
+                handle_conn(&conn_shared, &jobs_tx, stream);
+                conn_shared.conns.fetch_sub(1, Ordering::SeqCst);
+                fast_obs::gauge("serve.connections")
+                    .set(conn_shared.conns.load(Ordering::SeqCst) as u64);
+            });
+        if spawned.is_err() {
+            // Could not spawn a handler: treat like an over-cap accept.
+            shared.conns.fetch_sub(1, Ordering::SeqCst);
+            fast_obs::count!("serve.conn_rejected");
+        }
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, jobs_tx: &SyncSender<Job>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    if let Some(t) = shared.cfg.idle_timeout {
+        let _ = stream.set_read_timeout(Some(t));
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            let _ = proto::write_json(
+                &mut writer,
+                &proto::error_response(&Json::Null, proto::CODE_UNAVAILABLE, "shutting down"),
+            );
+            return;
+        }
+        match proto::read_frame(&mut reader, shared.cfg.max_request_bytes) {
+            Ok(None) => return,
+            Ok(Some(bytes)) => {
+                let resp = dispatch(shared, jobs_tx, &bytes);
+                if proto::write_json(&mut writer, &resp).is_err() {
+                    return;
+                }
+            }
+            Err(FrameError::TooLarge { len, max }) => {
+                // The announced payload was never read, so the stream
+                // position is unknown — answer once, then close.
+                fast_obs::count!("serve.errors");
+                let _ = proto::write_json(
+                    &mut writer,
+                    &proto::error_response(
+                        &Json::Null,
+                        proto::CODE_TOO_LARGE,
+                        format!("request frame of {len} bytes exceeds the {max}-byte limit"),
+                    ),
+                );
+                return;
+            }
+            Err(FrameError::Truncated | FrameError::Io(_)) => return,
+        }
+    }
+}
+
+/// Routes one raw frame: parse, answer `ping`/`stats` inline, enqueue
+/// everything else through the bounded work queue.
+fn dispatch(shared: &Arc<Shared>, jobs_tx: &SyncSender<Job>, bytes: &[u8]) -> Json {
+    let req = match proto::parse_request(bytes) {
+        Ok(r) => r,
+        Err((id, msg)) => {
+            fast_obs::count!("serve.errors");
+            return proto::error_response(&id, proto::CODE_BAD_REQUEST, msg);
+        }
+    };
+    match req.op {
+        Op::Ping => proto::ok_response(
+            &req.id,
+            vec![("op", Json::Str("ping".into())), ("pong", Json::Bool(true))],
+        ),
+        // The telemetry plane is never shed: answered inline, no queue.
+        Op::Stats => stats_response(shared, &req.id),
+        Op::Run | Op::Pipeline | Op::Check => {
+            let id = req.id.clone();
+            let (reply_tx, reply_rx) = sync_channel(1);
+            match jobs_tx.try_send(Job {
+                req,
+                reply: reply_tx,
+            }) {
+                Ok(()) => reply_rx.recv().unwrap_or_else(|_| {
+                    fast_obs::count!("serve.errors");
+                    proto::error_response(&id, proto::CODE_INTERNAL, "executor dropped the request")
+                }),
+                Err(TrySendError::Full(_)) => {
+                    fast_obs::count!("serve.shed");
+                    proto::error_response(&id, proto::CODE_SHED, "work queue full, retry later")
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    proto::error_response(&id, proto::CODE_UNAVAILABLE, "server is shutting down")
+                }
+            }
+        }
+    }
+}
+
+fn executor_loop(shared: &Arc<Shared>, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only for the dequeue, not the execution.
+        let job = match lock_unpoisoned(rx).recv() {
+            Ok(j) => j,
+            Err(_) => return,
+        };
+        fast_obs::count!("serve.requests");
+        let start = Instant::now();
+        let resp = execute(shared, &job.req);
+        fast_obs::histogram("serve.request").record_ns(start.elapsed().as_nanos() as u64);
+        if resp.get("ok") == Some(&Json::Bool(false)) {
+            fast_obs::count!("serve.errors");
+        }
+        // A vanished requester (connection handler gone) is fine.
+        let _ = job.reply.send(resp);
+    }
+}
+
+/// Maximum `(`-nesting of the input text — an over-approximation of the
+/// tree depth (parens inside string labels count), which errs on the
+/// side of rejection.
+fn nesting_depth(s: &str) -> usize {
+    let (mut depth, mut max) = (0usize, 0usize);
+    for b in s.bytes() {
+        match b {
+            b'(' => {
+                depth += 1;
+                max = max.max(depth);
+            }
+            b')' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    max
+}
+
+fn run_error_response(id: &Json, e: &TransducerError) -> Json {
+    let code = match e {
+        TransducerError::Timeout { .. } => proto::CODE_TIMEOUT,
+        TransducerError::Budget { .. } => proto::CODE_TOO_LARGE,
+        TransducerError::Cancelled => proto::CODE_UNAVAILABLE,
+        TransducerError::Automata(_)
+        | TransducerError::Internal { .. }
+        | TransducerError::InexactComposition { .. } => proto::CODE_INTERNAL,
+    };
+    proto::error_response(id, code, e.to_string())
+}
+
+/// Executes an admitted `run`/`pipeline`/`check` request.
+fn execute(shared: &Shared, req: &Request) -> Json {
+    let Some(entry) = shared.targets.get(&req.target) else {
+        return proto::error_response(
+            &req.id,
+            proto::CODE_NOT_FOUND,
+            format!("unknown transducer or pipeline {:?}", req.target),
+        );
+    };
+    let art = &shared.artifacts[entry.artifact];
+    let ty = match entry.kind {
+        TargetKind::Transducer => art.transducer_type(&req.target),
+        TargetKind::Pipeline => art.pipeline_type(&req.target),
+    };
+    let Some(ty) = ty else {
+        return proto::error_response(
+            &req.id,
+            proto::CODE_INTERNAL,
+            "artifact is missing the target's input type",
+        );
+    };
+
+    let depth = nesting_depth(&req.input);
+    if depth > shared.cfg.max_input_depth {
+        return proto::error_response(
+            &req.id,
+            proto::CODE_TOO_LARGE,
+            format!(
+                "input nesting depth {depth} exceeds the limit of {}",
+                shared.cfg.max_input_depth
+            ),
+        );
+    }
+    let tree = match Tree::parse(ty, &req.input) {
+        Ok(t) => t,
+        Err(msg) => {
+            return proto::error_response(
+                &req.id,
+                proto::CODE_BAD_REQUEST,
+                format!("input does not parse: {msg}"),
+            )
+        }
+    };
+
+    // Per-request limits tighten the server's ceilings, never exceed
+    // them. Runs are single-threaded: parallelism comes from the
+    // executor pool, not nested worker pools per request.
+    let timeout = req
+        .timeout_ms
+        .map(Duration::from_millis)
+        .unwrap_or(shared.cfg.timeout)
+        .min(shared.cfg.timeout);
+    let opts = RunOptions {
+        cap: req.cap.unwrap_or(shared.cfg.cap).min(shared.cfg.cap).max(1),
+        timeout: Some(timeout),
+        workers: 1,
+        cancel: Some(Arc::clone(&shared.cancel)),
+        ..RunOptions::default()
+    };
+
+    let result = match entry.kind {
+        TargetKind::Transducer => {
+            let plan = art
+                .transducer(&req.target)
+                .expect("target map points at a present transducer");
+            let memo = &shared.memos[&req.target];
+            let (mut results, _) = plan.run_batch_shared(std::slice::from_ref(&tree), &opts, memo);
+            results.remove(0)
+        }
+        TargetKind::Pipeline => {
+            let pipe = art
+                .pipeline(&req.target)
+                .expect("target map points at a present pipeline");
+            let (mut results, _) = pipe.run_batch_with(std::slice::from_ref(&tree), &opts);
+            results.remove(0)
+        }
+    };
+
+    let outputs = match result {
+        Ok(outs) => outs,
+        Err(e) => return run_error_response(&req.id, &e),
+    };
+
+    if req.op == Op::Check {
+        return proto::ok_response(
+            &req.id,
+            vec![
+                ("op", Json::Str("check".into())),
+                ("target", Json::Str(req.target.clone())),
+                ("in_domain", Json::Bool(!outputs.is_empty())),
+                ("outputs", Json::Int(outputs.len() as i64)),
+            ],
+        );
+    }
+
+    // Serialize under the response-size cap: over it, fail the request
+    // rather than truncate the output set. Rendering uses the target's
+    // tree type, so responses round-trip through `Tree::parse`.
+    let mut rendered = Vec::with_capacity(outputs.len());
+    let mut total = 0usize;
+    for t in &outputs {
+        let s = t.display(ty).to_string();
+        total += s.len();
+        if total > shared.cfg.max_response_bytes {
+            return proto::error_response(
+                &req.id,
+                proto::CODE_TOO_LARGE,
+                format!(
+                    "serialized output exceeds the {}-byte response limit",
+                    shared.cfg.max_response_bytes
+                ),
+            );
+        }
+        rendered.push(Json::Str(s));
+    }
+    proto::ok_response(
+        &req.id,
+        vec![
+            (
+                "op",
+                Json::Str(match req.op {
+                    Op::Pipeline => "pipeline".into(),
+                    _ => "run".into(),
+                }),
+            ),
+            ("target", Json::Str(req.target.clone())),
+            ("count", Json::Int(rendered.len() as i64)),
+            ("outputs", Json::Array(rendered)),
+        ],
+    )
+}
+
+fn watcher_loop(shared: &Arc<Shared>) {
+    let Some(spec) = shared.cfg.slo.as_ref() else {
+        return;
+    };
+    let step = Duration::from_millis(25);
+    let mut next = Instant::now() + shared.cfg.engine_interval;
+    while !shared.stop.load(Ordering::SeqCst) {
+        // Sleep in short steps so shutdown is prompt.
+        if Instant::now() < next {
+            std::thread::sleep(step.min(shared.cfg.engine_interval));
+            continue;
+        }
+        next = Instant::now() + shared.cfg.engine_interval;
+        let view = shared
+            .engine
+            .with_sampler(|s| s.view(shared.cfg.stats_windows));
+        let violations = spec.evaluate(&view);
+        let mut state = lock_unpoisoned(&shared.slo_state);
+        state.checks += 1;
+        if !violations.is_empty() {
+            state.violated_checks += 1;
+            fast_obs::count!("serve.slo_violations");
+        }
+        state.current = violations;
+    }
+}
+
+fn quantile_json(view: &fast_obs::engine::WindowView, name: &str, q: f64) -> Json {
+    view.quantile_ns(name, q)
+        .map_or(Json::Null, |ns| Json::Int(ns as i64))
+}
+
+/// Builds the `stats` response from the windowed view, the cumulative
+/// snapshot, and the SLO watcher's state.
+fn stats_response(shared: &Shared, id: &Json) -> Json {
+    let view = shared
+        .engine
+        .with_sampler(|s| s.view(shared.cfg.stats_windows));
+    let cum = fast_obs::snapshot();
+    let slo = lock_unpoisoned(&shared.slo_state).clone();
+    let exemplars = view
+        .snap
+        .exemplars
+        .get("rt.item")
+        .map(|v| v.iter().map(fast_obs::Exemplar::to_json).collect())
+        .unwrap_or_default();
+    proto::ok_response(
+        id,
+        vec![
+            ("op", Json::Str("stats".into())),
+            (
+                "uptime_ms",
+                Json::Int(shared.started.elapsed().as_millis() as i64),
+            ),
+            ("windows", Json::Int(view.windows as i64)),
+            ("span_ms", Json::Int(view.span_ms as i64)),
+            (
+                "rates",
+                Json::obj([
+                    ("requests_per_s", Json::Float(view.rate("serve.requests"))),
+                    ("items_per_s", Json::Float(view.rate("rt.batch_items"))),
+                    ("errors_per_s", Json::Float(view.rate("serve.errors"))),
+                    ("shed_per_s", Json::Float(view.rate("serve.shed"))),
+                ]),
+            ),
+            (
+                "latency_ns",
+                Json::obj([
+                    ("request_p50", quantile_json(&view, "serve.request", 0.50)),
+                    ("request_p99", quantile_json(&view, "serve.request", 0.99)),
+                    (
+                        "request_max",
+                        view.max_ns("serve.request")
+                            .map_or(Json::Null, |ns| Json::Int(ns as i64)),
+                    ),
+                    ("item_p50", quantile_json(&view, "rt.item", 0.50)),
+                    ("item_p99", quantile_json(&view, "rt.item", 0.99)),
+                ]),
+            ),
+            (
+                "memo_hit_rate",
+                view.hit_rate("rt.memo_hits", "rt.memo_misses")
+                    .map_or(Json::Null, Json::Float),
+            ),
+            (
+                "gauges",
+                Json::obj([
+                    (
+                        "connections",
+                        Json::Int(cum.gauge("serve.connections") as i64),
+                    ),
+                    (
+                        "intern_resident_bytes",
+                        Json::Int(cum.gauge("intern.resident_bytes") as i64),
+                    ),
+                    (
+                        "memo_entries",
+                        Json::Int(cum.gauge("rt.memo.entries") as i64),
+                    ),
+                    ("memo_bytes", Json::Int(cum.gauge("rt.memo.bytes") as i64)),
+                ]),
+            ),
+            (
+                "totals",
+                Json::obj([
+                    ("requests", Json::Int(cum.get("serve.requests") as i64)),
+                    ("shed", Json::Int(cum.get("serve.shed") as i64)),
+                    ("errors", Json::Int(cum.get("serve.errors") as i64)),
+                    (
+                        "conn_rejected",
+                        Json::Int(cum.get("serve.conn_rejected") as i64),
+                    ),
+                    ("timeouts", Json::Int(cum.get("rt.timeouts") as i64)),
+                    ("item_errors", Json::Int(cum.get("rt.item_errors") as i64)),
+                ]),
+            ),
+            ("exemplars", Json::Array(exemplars)),
+            (
+                "slo",
+                Json::obj([
+                    ("configured", Json::Bool(shared.cfg.slo.is_some())),
+                    ("violating", Json::Bool(!slo.current.is_empty())),
+                    (
+                        "violations",
+                        Json::Array(slo.current.iter().map(SloViolation::to_json).collect()),
+                    ),
+                    ("checks", Json::Int(slo.checks as i64)),
+                    ("violated_checks", Json::Int(slo.violated_checks as i64)),
+                ]),
+            ),
+        ],
+    )
+}

@@ -1,0 +1,48 @@
+//! Shared fixture for the server integration tests: a tiny fast-lang
+//! program compiled into an in-memory artifact.
+
+use fast_rt::{Artifact, ArtifactBuilder};
+use std::sync::Arc;
+
+const SRC: &str = r#"
+    type BT[i: Int] { L(0), N(2) }
+    trans inc: BT -> BT {
+      L() to (L [i + 1])
+    | N(x, y) to (N [i + 1] (inc x) (inc y))
+    }
+"#;
+
+pub fn artifact() -> Artifact {
+    let c = fast_lang::compile(SRC).expect("fixture program compiles");
+    let mut b = ArtifactBuilder::new();
+    for name in c.transducer_names() {
+        b.add_transducer(name, c.transducer(name).unwrap());
+    }
+    let inc = Arc::new(c.transducer("inc").unwrap().clone());
+    b.add_pipeline(
+        "inc,inc",
+        &["inc".to_string(), "inc".to_string()],
+        &[Arc::clone(&inc), inc],
+    );
+    b.build()
+}
+
+/// A complete binary tree in `Tree::parse` syntax with distinct labels,
+/// so the shared memo cannot collapse the work across requests.
+pub fn bushy_input(depth: u32, salt: i64) -> String {
+    fn go(depth: u32, next: &mut i64) -> String {
+        let label = *next;
+        *next += 1;
+        if depth == 0 {
+            format!("L[{label}]")
+        } else {
+            format!(
+                "N[{label}]({}, {})",
+                go(depth - 1, next),
+                go(depth - 1, next)
+            )
+        }
+    }
+    let mut next = salt;
+    go(depth, &mut next)
+}
