@@ -25,6 +25,16 @@
 
 use std::fmt;
 
+/// Maximum container nesting [`Json::parse`] accepts. The parser is
+/// recursive-descent — one `value → array/object → value` cycle per
+/// nesting level — so without a ceiling a few hundred kilobytes of
+/// `[[[[…` from a hostile peer would overflow the stack, and a stack
+/// overflow is an *abort*, not a catchable panic. 512 levels is far
+/// beyond any legitimate document this workspace exchanges while
+/// keeping peak parser recursion well under the smallest (~2 MiB
+/// default) thread stack it runs on.
+pub const MAX_PARSE_DEPTH: usize = 512;
+
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -158,11 +168,13 @@ impl Json {
     ///
     /// # Errors
     ///
-    /// Returns a positioned [`JsonError`] on malformed input.
+    /// Returns a positioned [`JsonError`] on malformed input, including
+    /// containers nested deeper than [`MAX_PARSE_DEPTH`].
     pub fn parse(input: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -274,6 +286,8 @@ impl fmt::Display for Json {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting, checked against [`MAX_PARSE_DEPTH`].
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -322,11 +336,29 @@ impl<'a> Parser<'a> {
             Some(b't') => self.lit("true", Json::Bool(true)),
             Some(b'f') => self.lit("false", Json::Bool(false)),
             Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(b'-' | b'0'..=b'9') => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
+    }
+
+    /// Runs one container parse a level deeper, failing instead of
+    /// recursing past [`MAX_PARSE_DEPTH`].
+    fn nested(
+        &mut self,
+        container: fn(&mut Self) -> Result<Json, JsonError>,
+    ) -> Result<Json, JsonError> {
+        if self.depth >= MAX_PARSE_DEPTH {
+            return Err(JsonError {
+                message: format!("nesting deeper than the {MAX_PARSE_DEPTH}-level limit"),
+                offset: self.pos,
+            });
+        }
+        self.depth += 1;
+        let v = container(self);
+        self.depth -= 1;
+        v
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
@@ -640,6 +672,33 @@ mod tests {
     fn pretty_round_trips() {
         let v = Json::parse(r#"{"a":[1,2],"b":{"c":null},"d":[]}"#).unwrap();
         assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+    }
+
+    /// A hostile `[[[[…` document must fail with a positioned error,
+    /// not recurse once per byte and overflow the stack (an abort no
+    /// handler could catch). Nesting at the limit still parses.
+    #[test]
+    fn pathological_nesting_is_rejected_not_overflowed() {
+        let bomb = "[".repeat(500_000);
+        let err = Json::parse(&bomb).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // Mixed containers hit the same gate.
+        let bomb = "{\"k\":[".repeat(200_000);
+        assert!(Json::parse(&bomb).unwrap_err().message.contains("nesting"));
+        // Exactly MAX_PARSE_DEPTH levels is legal…
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(Json::parse(&deep).is_ok());
+        // …and one more is not.
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH + 1),
+            "]".repeat(MAX_PARSE_DEPTH + 1)
+        );
+        assert!(Json::parse(&over).is_err());
     }
 
     /// Megabyte-scale strings must parse in linear time. The parser

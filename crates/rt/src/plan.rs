@@ -558,11 +558,22 @@ impl Plan {
         if let Err(_e) = spawned {
             // Coordinator refused: evaluate inline on a channel wide
             // enough to hold everything, so the caller never deadlocks.
+            // Mirror `stream_batch`'s exits even in this degraded path:
+            // stop when the caller's cancel token trips, and stop when a
+            // send fails (receiver dropped) rather than keep evaluating
+            // items nobody will read.
             fast_obs::count!("rt.pool_fallbacks");
+            let cancel = opts.cancel.clone().unwrap_or_default();
             let (tx, rx) = std::sync::mpsc::sync_channel(items.len().max(1));
             let cx = self.batch_ctx(&opts);
             for (i, t) in items.iter().enumerate() {
-                let _ = tx.send((i, run_item(&cx, t)));
+                if cancel.load(Ordering::Relaxed) {
+                    break;
+                }
+                if tx.send((i, run_item(&cx, t))).is_err() {
+                    fast_obs::count!("rt.stream_cancelled");
+                    break;
+                }
             }
             fast_obs::count!("rt.stream_done");
             return rx;

@@ -7,10 +7,13 @@
 //!    is answered with one 429 frame and closed (`serve.conn_rejected`).
 //! 2. **Frame cap** — a length prefix over
 //!    [`ServeConfig::max_request_bytes`] is rejected before any payload
-//!    allocation (413), and a nesting-depth scan bounds the recursion the
-//!    parser and evaluator will perform (the depth gate is what makes a
-//!    `catch_unwind` story honest: a stack overflow is an abort, not a
-//!    panic, so it must be prevented, not contained).
+//!    allocation (413). Recursion is bounded layer by layer: the JSON
+//!    parser enforces its own hard nesting ceiling
+//!    ([`fast_json::MAX_PARSE_DEPTH`]), and a nesting-depth scan of the
+//!    input tree text ([`ServeConfig::max_input_depth`]) bounds what the
+//!    tree parser and evaluator will recurse. The depth gates are what
+//!    make a `catch_unwind` story honest: a stack overflow is an abort,
+//!    not a panic, so it must be prevented, not contained.
 //! 3. **Work queue** — `run`/`pipeline`/`check` requests go through a
 //!    bounded queue; when it is full the request is shed with a 429
 //!    (`serve.shed`) instead of queuing unbounded latency. `stats` and
@@ -67,7 +70,9 @@ pub struct ServeConfig {
     /// Maximum input-tree nesting depth (guards parser/evaluator
     /// recursion — see [`EXECUTOR_STACK_BYTES`]).
     pub max_input_depth: usize,
-    /// Read timeout on idle connections (`None` = wait forever).
+    /// Per-connection read *and* write timeout (`None` = wait forever):
+    /// closes connections idle past it, and connections whose peer
+    /// stops draining responses.
     pub idle_timeout: Option<Duration>,
     /// Capacity of each shared per-transducer [`BatchMemo`].
     pub memo_capacity: usize,
@@ -259,6 +264,8 @@ pub fn start(artifacts: Vec<Artifact>, addr: &str, cfg: ServeConfig) -> io::Resu
             .unwrap_or(1)
             .min(8)
     };
+    let mut executors = 0usize;
+    let mut spawn_err = None;
     for w in 0..n_workers.max(1) {
         let shared = Arc::clone(&shared);
         let rx = Arc::clone(&jobs_rx);
@@ -266,8 +273,20 @@ pub fn start(artifacts: Vec<Artifact>, addr: &str, cfg: ServeConfig) -> io::Resu
             .name(format!("fast-serve-exec-{w}"))
             .stack_size(EXECUTOR_STACK_BYTES);
         // A refused spawn degrades parallelism, not correctness — the
-        // executors that did start drain the same queue.
-        let _ = builder.spawn(move || executor_loop(&shared, &rx));
+        // executors that did start drain the same queue. But at least
+        // one must start: with zero executors, admitted jobs would
+        // enqueue and never run, and their connection handlers would
+        // block in `reply_rx.recv()` forever (the job senders stay
+        // alive, so the channel never disconnects).
+        match builder.spawn(move || executor_loop(&shared, &rx)) {
+            Ok(_) => executors += 1,
+            Err(e) => spawn_err = Some(e),
+        }
+    }
+    if executors == 0 {
+        return Err(
+            spawn_err.unwrap_or_else(|| io::Error::other("no executor thread could be started"))
+        );
     }
 
     // SLO watcher: evaluates the windowed view each interval.
@@ -298,6 +317,10 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener, jobs_tx: &SyncSen
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
+                // Persistent accept errors (EMFILE under fd exhaustion —
+                // i.e. exactly when overloaded) must not busy-spin the
+                // acceptor at 100% CPU; back off briefly before retrying.
+                std::thread::sleep(Duration::from_millis(50));
                 continue;
             }
         };
@@ -309,6 +332,9 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener, jobs_tx: &SyncSen
         if live >= shared.cfg.max_connections {
             shared.conns.fetch_sub(1, Ordering::SeqCst);
             fast_obs::count!("serve.conn_rejected");
+            // This write runs on the acceptor thread: bound it so a
+            // peer that connects and never reads cannot stall accepts.
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
             let mut w = BufWriter::new(stream);
             let _ = proto::write_json(
                 &mut w,
@@ -343,6 +369,11 @@ fn handle_conn(shared: &Arc<Shared>, jobs_tx: &SyncSender<Job>, stream: TcpStrea
     let _ = stream.set_nodelay(true);
     if let Some(t) = shared.cfg.idle_timeout {
         let _ = stream.set_read_timeout(Some(t));
+        // Also bound writes: a client that pipelines requests but never
+        // drains responses would otherwise block this handler in
+        // `write_all` forever (the read timeout cannot fire while
+        // blocked on write), wedging a connection slot and a thread.
+        let _ = stream.set_write_timeout(Some(t));
     }
     let Ok(read_half) = stream.try_clone() else {
         return;

@@ -84,6 +84,33 @@ fn malformed_payloads_get_400_and_the_connection_survives() {
     server.shutdown();
 }
 
+/// A frame of hundreds of thousands of `[`s must come back as a 400 —
+/// the JSON parser's own depth ceiling, not a stack overflow on the
+/// connection-handler thread (which runs on the platform-default stack;
+/// an overflow there aborts the whole process).
+#[test]
+fn deeply_nested_json_bomb_gets_400_not_a_crash() {
+    let server = start(ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    for bomb in [
+        "[".repeat(500_000),                                            // bare array bomb
+        format!("{{\"op\":\"run\",\"target\":{}", "[".repeat(500_000)), // nested in a field
+        "{\"a\":".repeat(200_000),                                      // object bomb
+    ] {
+        let resp = client.call_raw(bomb.as_bytes()).unwrap();
+        assert_eq!(
+            resp.get("code"),
+            Some(&Json::Int(proto::CODE_BAD_REQUEST)),
+            "{resp}"
+        );
+    }
+    // Same connection and server both still serve.
+    let resp = client.run("inc", "L[1]").unwrap();
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+    assert_still_serving(server.addr());
+    server.shutdown();
+}
+
 #[test]
 fn unknown_transducer_is_a_clean_404() {
     let server = start(ServeConfig::default());
